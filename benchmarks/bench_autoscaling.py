@@ -1,0 +1,87 @@
+"""Extension use case: horizontal autoscaling under diurnal load.
+
+Not a paper figure — the cluster-management study the paper's
+introduction motivates. Compares an autoscaled webserver tier against
+static provisioning at the same peak capacity: the autoscaler should
+cut provisioned core-seconds substantially while keeping the p99 in the
+same regime.
+"""
+
+from repro.apps.base import add_client_machine, new_world
+from repro.apps.nginx import SERVE_PATH, make_nginx
+from repro.hardware import Machine
+from repro.scaling import ActiveSetBalancer, AutoScaler
+from repro.telemetry import format_table
+from repro.topology import PathNode, PathTree
+from repro.workload import DiurnalPattern, OpenLoopClient
+
+from .conftest import run_once, scaled
+
+REPLICAS = 8
+
+
+def build_tier(seed):
+    world = new_world(seed=seed)
+    add_client_machine(world)
+    world.cluster.add_machine(Machine("server0", 24))
+    instances = [
+        make_nginx(world, "server0", f"web{i}", processes=1, tier="web")
+        for i in range(REPLICAS)
+    ]
+    world.dispatcher.add_tree(
+        PathTree("serve").chain(PathNode("web", "web", path_name=SERVE_PATH))
+    )
+    return world, instances
+
+
+def run_case(autoscale, duration):
+    world, instances = build_tier(seed=3)
+    pattern = DiurnalPattern(low=4_000, high=32_000, period=duration / 2)
+    scaler = None
+    if autoscale:
+        balancer = ActiveSetBalancer(REPLICAS, initial_active=2)
+        world.deployment._balancers["web"] = balancer
+        scaler = AutoScaler(
+            world.sim, instances, balancer,
+            decision_interval=0.25, low_watermark=0.35, high_watermark=0.7,
+        )
+        scaler.start()
+    client = OpenLoopClient(
+        world.sim, world.dispatcher, arrivals=pattern, stop_at=duration
+    )
+    client.start()
+    world.sim.run(until=duration)
+    core_seconds = (
+        scaler.core_seconds_active() if scaler else REPLICAS * duration
+    )
+    return {
+        "p50": client.latencies.p50(since=duration * 0.1),
+        "p99": client.latencies.p99(since=duration * 0.1),
+        "completed": client.requests_completed,
+        "core_seconds": core_seconds,
+    }
+
+
+def run_both(duration):
+    return run_case(False, duration), run_case(True, duration)
+
+
+def test_autoscaling_use_case(benchmark, emit):
+    duration = max(30.0, scaled(30.0))
+    static, scaled_case = run_once(benchmark, run_both, duration)
+    emit("\n=== Use case: horizontal autoscaling under diurnal load ===")
+    emit(format_table(
+        ["variant", "p50 ms", "p99 ms", "core-seconds"],
+        [
+            ["static 8 replicas", static["p50"] * 1e3, static["p99"] * 1e3,
+             round(static["core_seconds"])],
+            ["autoscaled (0.35-0.7 band)", scaled_case["p50"] * 1e3,
+             scaled_case["p99"] * 1e3, round(scaled_case["core_seconds"])],
+        ],
+    ))
+    savings = 1 - scaled_case["core_seconds"] / static["core_seconds"]
+    emit(f"capacity saved: {savings:.0%}")
+    # The autoscaler must save meaningful capacity...
+    assert savings > 0.3
+    # ...without leaving the latency regime (within 5x of static p99).
+    assert scaled_case["p99"] < 5 * static["p99"]

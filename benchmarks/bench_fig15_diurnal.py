@@ -1,0 +1,58 @@
+"""Figure 15: the diurnal input load used by the power-management
+study.
+
+Regenerates the load-over-time series two ways: the analytic pattern
+and the arrival counts an open-loop client actually produced, binned —
+the two must track each other.
+"""
+
+import numpy as np
+
+from repro.apps import two_tier
+from repro.telemetry import TimeSeries, format_series, format_table
+from repro.workload import DiurnalPattern, OpenLoopClient
+
+from .conftest import run_once, scaled
+
+LOW, HIGH, PERIOD = 3_000.0, 12_000.0, 15.0
+
+
+def generate_series(duration):
+    pattern = DiurnalPattern(low=LOW, high=HIGH, period=PERIOD)
+    world = two_tier(nginx_processes=2, memcached_threads=1, seed=5)
+    client = OpenLoopClient(
+        world.sim, world.dispatcher, arrivals=pattern, stop_at=duration
+    )
+    arrivals = TimeSeries("arrivals")
+    original_fire = client._fire
+
+    def counting_fire():
+        arrivals.append(world.sim.now, 1.0)
+        original_fire()
+
+    client._fire = counting_fire
+    client.start()
+    world.sim.run(until=duration)
+    bin_width = 1.0
+    centres, counts = arrivals.resample(bin_width, reducer=np.sum)
+    measured_qps = counts / bin_width
+    analytic = np.array([pattern.rate(t) for t in centres])
+    return centres, measured_qps, analytic
+
+
+def test_fig15_diurnal_load(benchmark, emit):
+    duration = max(15.0, scaled(15.0))
+    centres, measured, analytic = run_once(benchmark, generate_series, duration)
+    emit("\n=== Figure 15: diurnal input load ===")
+    emit(format_series("offered (analytic)", centres, analytic, "t s", "QPS"))
+    emit(format_series("generated (client)", centres, measured, "t s", "QPS"))
+    rows = [
+        [round(t, 1), round(a), round(m)]
+        for t, a, m in zip(centres, analytic, measured)
+    ]
+    emit(format_table(["t (s)", "analytic QPS", "measured QPS"], rows))
+    # The generated load must track the pattern within Poisson noise.
+    rel_err = np.abs(measured - analytic) / analytic
+    assert np.median(rel_err) < 0.15
+    # And actually fluctuate diurnally.
+    assert measured.max() > 2.5 * measured.min()

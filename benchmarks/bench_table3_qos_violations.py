@@ -1,0 +1,52 @@
+"""Table III: power-management QoS violation rates vs decision
+interval.
+
+Expected shape: longer decision intervals react later to load rises and
+violate QoS more often; the real system violates at least as often as
+the simulated one at every interval (paper: sim 0.6/2.2/5.0% vs real
+1.5/2.7/6.0% for 0.1/0.5/1 s).
+"""
+
+from repro.experiments.power_mgmt import violation_table
+from repro.telemetry import format_table
+from repro.testbed import RealismConfig
+
+from .conftest import run_once, scaled
+
+INTERVALS = (0.1, 0.5, 1.0)
+PAPER = {0.1: (0.6, 1.5), 0.5: (2.2, 2.7), 1.0: (5.0, 6.0)}
+
+
+def run_both(duration):
+    sim_rows = violation_table(INTERVALS, duration=duration, seed=2)
+    real_rows = violation_table(
+        INTERVALS, duration=duration, seed=9, realism=RealismConfig()
+    )
+    return sim_rows, real_rows
+
+
+def test_table3_qos_violations(benchmark, emit):
+    duration = max(60.0, scaled(60.0))
+    sim_rows, real_rows = run_once(benchmark, run_both, duration)
+    emit("\n=== Table III: QoS violation rates (%) ===")
+    rows = []
+    for interval in INTERVALS:
+        rows.append([
+            f"{interval:g}s",
+            round(sim_rows[interval].violation_rate * 100, 1),
+            round(real_rows[interval].violation_rate * 100, 1),
+            f"{PAPER[interval][0]} / {PAPER[interval][1]}",
+        ])
+    emit(format_table(
+        ["decision interval", "simulated %", "real %", "paper sim/real %"],
+        rows,
+    ))
+    # Shape checks: the longest interval violates more than the
+    # shortest, and every rate is a small fraction of the intervals.
+    assert (
+        sim_rows[1.0].violation_rate + real_rows[1.0].violation_rate
+        >= sim_rows[0.1].violation_rate + real_rows[0.1].violation_rate
+    )
+    for result in list(sim_rows.values()) + list(real_rows.values()):
+        assert result.violation_rate < 0.5
+        assert result.decisions > 0

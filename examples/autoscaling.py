@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Autoscaling under a diurnal load: replicas of a webserver tier are
+activated and deactivated to track utilisation, trading provisioned
+core-hours against latency.
+
+Run:  python examples/autoscaling.py
+"""
+
+import numpy as np
+
+from repro.apps.base import add_client_machine, new_world
+from repro.apps.nginx import SERVE_PATH, make_nginx
+from repro.hardware import Machine
+from repro.scaling import ActiveSetBalancer, AutoScaler
+from repro.telemetry import format_table, ms
+from repro.topology import PathNode, PathTree
+from repro.workload import DiurnalPattern, OpenLoopClient
+
+REPLICAS = 8
+
+
+def main() -> None:
+    world = new_world(seed=3)
+    add_client_machine(world)
+    world.cluster.add_machine(Machine("server0", 24))
+    instances = [
+        make_nginx(world, "server0", f"web{i}", processes=1, tier="web")
+        for i in range(REPLICAS)
+    ]
+    balancer = ActiveSetBalancer(REPLICAS, initial_active=2)
+    world.deployment._balancers["web"] = balancer
+    world.dispatcher.add_tree(
+        PathTree("serve").chain(PathNode("web", "web", path_name=SERVE_PATH))
+    )
+
+    pattern = DiurnalPattern(low=4_000, high=32_000, period=20.0)
+    scaler = AutoScaler(
+        world.sim, instances, balancer,
+        decision_interval=0.25, low_watermark=0.35, high_watermark=0.7,
+    )
+    client = OpenLoopClient(world.sim, world.dispatcher, arrivals=pattern,
+                            stop_at=40.0)
+    scaler.start()
+    client.start()
+    print("Simulating 40 s of diurnal load over an autoscaled tier...")
+    world.sim.run(until=40.0)
+
+    times, active = scaler.active_series.resample(2.0, reducer=np.mean)
+    rows = [
+        [round(t, 1), round(pattern.rate(t)), round(a, 1)]
+        for t, a in zip(times, active)
+    ]
+    print(format_table(["t (s)", "offered QPS", "active replicas"], rows))
+
+    static_core_seconds = REPLICAS * 40.0
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["requests completed", client.requests_completed],
+            ["p50 (ms)", ms(client.latencies.p50(since=5.0))],
+            ["p99 (ms)", ms(client.latencies.p99(since=5.0))],
+            ["core-seconds (autoscaled)", round(scaler.core_seconds_active())],
+            ["core-seconds (static 8x)", round(static_core_seconds)],
+            ["capacity saved",
+             f"{1 - scaler.core_seconds_active()/static_core_seconds:.0%}"],
+        ],
+        title="\nOutcome",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""QoS-aware power management (paper SSV-B / Algorithm 1): the 2-tier
+application under a diurnal load, with the manager trading frequency
+for latency slack.
+
+Run:  python examples/power_management.py
+"""
+
+import numpy as np
+
+from repro.experiments.power_mgmt import run_power_experiment
+from repro.telemetry import format_table, ms
+
+
+def main() -> None:
+    print("Running Algorithm 1 on the 2-tier app (compressed diurnal load,")
+    print("15 s period, QoS = 5 ms p99, decision interval 0.5 s)...\n")
+    result = run_power_experiment(decision_interval=0.5, duration=20.0)
+
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["decision cycles", result.decisions],
+            ["QoS violations", f"{result.violation_rate:.1%}"],
+            ["mean p99 (ms)", ms(result.mean_p99)],
+            ["QoS target (ms)", ms(result.qos_target)],
+        ],
+        title="Power management summary",
+    ))
+
+    print("\nTimeline (1 s bins):")
+    rows = []
+    t, p99 = result.p99_series.resample(1.0, reducer=np.mean)
+    freq = {
+        tier: dict(zip(*series.resample(1.0, reducer=np.mean)))
+        for tier, series in result.frequency_series.items()
+    }
+    load = dict(zip(*result.load_series.resample(1.0, reducer=np.mean)))
+
+    def nearest(table, key):
+        if not table:
+            return None
+        best = min(table, key=lambda k: abs(k - key))
+        return table[best]
+
+    for ti, p in zip(t, p99):
+        rows.append([
+            round(ti, 1),
+            round(nearest(load, ti) or 0),
+            ms(p),
+            round((nearest(freq["nginx"], ti) or 0) / 1e9, 1),
+            round((nearest(freq["memcached"], ti) or 0) / 1e9, 1),
+        ])
+    print(format_table(
+        ["t (s)", "load QPS", "p99 ms", "nginx GHz", "memcached GHz"], rows
+    ))
+    print(
+        "\nThe manager tracks the diurnal load: it walks frequencies down\n"
+        "while QoS has slack and races back up as the peak approaches.\n"
+        "Tail latency converges well below the QoS target because DVFS\n"
+        "only offers discrete speed steps (the paper's 2 ms-vs-5 ms gap)."
+    )
+
+
+if __name__ == "__main__":
+    main()

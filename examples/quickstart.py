@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate the paper's 2-tier NGINX-memcached application
+and print its load-latency curve.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import two_tier
+from repro.experiments import load_latency_sweep, saturation_load
+from repro.telemetry import format_table, ms
+
+
+def main() -> None:
+    loads = [10_000, 25_000, 40_000, 52_000, 60_000, 66_000]
+    print("Sweeping the 2-tier app (8 NGINX workers, 4 memcached threads)...")
+    points = load_latency_sweep(two_tier, loads, duration=0.4, warmup=0.1)
+
+    rows = [
+        [p.offered_qps, round(p.throughput), ms(p.mean), ms(p.p95), ms(p.p99),
+         "saturated" if p.saturated else ""]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["offered QPS", "throughput", "mean ms", "p95 ms", "p99 ms", ""],
+            rows,
+            title="2-tier NGINX -> memcached load-latency curve",
+        )
+    )
+    print(f"\nSustained load before saturation: "
+          f"{saturation_load(points, p99_limit=5e-3):,.0f} QPS")
+
+
+if __name__ == "__main__":
+    main()

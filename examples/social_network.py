@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The end-to-end Social Network application (paper Fig 11 / SSIV-D):
+Thrift frontend fanning out to User + Post services, synchronising,
+consulting the Media service, and composing the response — every
+business tier backed by its own memcached + MongoDB pair.
+
+Run:  python examples/social_network.py
+"""
+
+from repro.apps import social_network
+from repro.telemetry import format_table, ms, us
+from repro.workload import OpenLoopClient
+
+
+def main() -> None:
+    world = social_network(seed=3)
+    client = OpenLoopClient(
+        world.sim, world.dispatcher, arrivals=4_000, stop_at=0.5
+    )
+    client.start()
+    print("Simulating 0.5 s of the social network at 4k QPS...")
+    world.sim.run(until=0.6)
+
+    lat = client.latencies
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["requests completed", client.requests_completed],
+            ["mean latency (ms)", ms(lat.mean(since=0.1))],
+            ["p50 (ms)", ms(lat.p50(since=0.1))],
+            ["p99 (ms)", ms(lat.p99(since=0.1))],
+        ],
+        title="Read-post request, end to end",
+    ))
+
+    rows = []
+    for tier in sorted(world.deployment.services):
+        for instance in world.instances(tier):
+            rows.append([
+                tier,
+                instance.machine_name,
+                instance.jobs_completed,
+                round(instance.utilization(now=0.5) * 100, 1),
+            ])
+    print()
+    print(format_table(
+        ["tier", "machine", "jobs", "core util %"], rows,
+        title="Per-tier accounting",
+    ))
+
+
+if __name__ == "__main__":
+    main()

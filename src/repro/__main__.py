@@ -1,0 +1,110 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run <spec-dir> [--seed N] [--until S] [--real]
+    python -m repro experiments list
+    python -m repro experiments run <exp-id>
+
+``run`` loads a Table I spec directory (machines.json, services/,
+graph.json, path.json, client.json), simulates it, and prints the
+end-to-end latency summary. ``experiments`` exposes the figure/table
+registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import SimulationSpec
+from .errors import ReproError
+from .experiments import registry
+from .telemetry import format_table, ms
+from .testbed import RealismConfig
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = SimulationSpec.load(args.spec_dir)
+    realism = RealismConfig() if args.real else None
+    world, client = spec.build(seed=args.seed, realism=realism)
+    if client is None:
+        print("spec has no client.json; nothing to drive", file=sys.stderr)
+        return 2
+    client.start()
+    world.sim.run(until=args.until)
+    if client.requests_completed == 0:
+        print("no requests completed; raise --until or the client's "
+              "stop_at/max_requests", file=sys.stderr)
+        return 1
+    lat = client.latencies
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["requests sent", client.requests_sent],
+            ["requests completed", client.requests_completed],
+            ["simulated time (s)", round(world.sim.now, 4)],
+            ["events processed", world.sim.events_processed],
+            ["mean latency (ms)", ms(lat.mean())],
+            ["p50 (ms)", ms(lat.p50())],
+            ["p95 (ms)", ms(lat.p95())],
+            ["p99 (ms)", ms(lat.p99())],
+        ],
+        title=f"uqSim run of {args.spec_dir}"
+              + (" [real-system surrogate]" if args.real else ""),
+    ))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        rows = [
+            [spec.exp_id, spec.paper_ref, spec.title]
+            for spec in registry.all_experiments()
+        ]
+        print(format_table(["id", "paper", "title"], rows))
+        return 0
+    spec = registry.get(args.exp_id)
+    print(f"running {spec.exp_id} ({spec.paper_ref}): {spec.title} ...")
+    result = spec.run()
+    print(repr(result))
+    return 0
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="uqSim reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="simulate a Table I spec directory")
+    run_parser.add_argument("spec_dir")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--until", type=float, default=None,
+        help="simulation horizon in seconds (default: run to drain)",
+    )
+    run_parser.add_argument(
+        "--real", action="store_true",
+        help="apply the real-system surrogate (noise + timeouts)",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    exp_parser = sub.add_parser("experiments", help="figure/table registry")
+    exp_sub = exp_parser.add_subparsers(dest="action", required=True)
+    exp_sub.add_parser("list", help="list experiment ids")
+    exp_run = exp_sub.add_parser("run", help="run one experiment")
+    exp_run.add_argument("exp_id")
+    exp_parser.set_defaults(func=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Analysis tools: closed-form queueing formulas for cross-validation
+and critical-path attribution over request traces."""
+
+from .backpressure import (
+    BackpressureOnset,
+    cascade_report,
+    culprit,
+    detect_onsets,
+)
+from .critical_path import (
+    NodeContribution,
+    NodeSpan,
+    analyze,
+    critical_path,
+    slowest_nodes,
+    spans_of,
+)
+from .queueing import (
+    erlang_c,
+    fanout_percentile_amplification,
+    mg1_mean_sojourn,
+    mg1_mean_wait,
+    mm1_mean_sojourn,
+    mm1_sojourn_percentile,
+    mmc_mean_sojourn,
+    mmc_mean_wait,
+    required_leaf_quantile,
+)
+
+__all__ = [
+    "BackpressureOnset",
+    "NodeContribution",
+    "NodeSpan",
+    "analyze",
+    "cascade_report",
+    "critical_path",
+    "culprit",
+    "detect_onsets",
+    "erlang_c",
+    "fanout_percentile_amplification",
+    "mg1_mean_sojourn",
+    "mg1_mean_wait",
+    "mm1_mean_sojourn",
+    "mm1_sojourn_percentile",
+    "mmc_mean_sojourn",
+    "mmc_mean_wait",
+    "required_leaf_quantile",
+    "slowest_nodes",
+    "spans_of",
+]

@@ -1,0 +1,123 @@
+"""Critical-path analysis over request traces.
+
+With dispatcher tracing enabled
+(:class:`~repro.topology.Dispatcher` ``trace=True``), every request
+carries per-node (enter, leave) timestamps. This module turns a set of
+traced requests into the numbers an operator actually needs:
+
+* per-node latency contributions (mean/percentile of node spans),
+* the **critical path** of each request — the chain of nodes whose
+  spans sum (with the gaps between them) to the end-to-end latency,
+  accounting for fan-out branches that overlap in time,
+* aggregate blame: how often each node sits on the critical path.
+
+This is the style of per-tier attribution the paper's power manager
+needs (per-tier latency tuples) and the precursor of tools like Seer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..service import Request
+
+
+@dataclass
+class NodeSpan:
+    """One node visit inside a trace."""
+
+    node: str
+    instance: str
+    enter: float
+    leave: float
+
+    @property
+    def duration(self) -> float:
+        return self.leave - self.enter
+
+
+def spans_of(request: Request) -> List[NodeSpan]:
+    """Extract the trace spans of one completed request."""
+    trace = request.metadata.get("trace")
+    if trace is None:
+        raise ReproError(
+            f"request {request.request_id} carries no trace; build the "
+            f"Dispatcher with trace=True"
+        )
+    return [NodeSpan(*entry) for entry in trace]
+
+
+def critical_path(request: Request) -> List[NodeSpan]:
+    """The latency-defining chain of node visits.
+
+    Walks backwards from the last-finishing span, at each step jumping
+    to the latest-finishing span that ended at or before the current
+    span began — under fan-out, that is precisely the branch the
+    synchronisation waited for.
+    """
+    spans = sorted(spans_of(request), key=lambda s: s.leave)
+    if not spans:
+        raise ReproError(f"request {request.request_id} has an empty trace")
+    path = [spans[-1]]
+    cursor = spans[-1].enter
+    for span in reversed(spans[:-1]):
+        if span.leave <= cursor + 1e-12:
+            path.append(span)
+            cursor = span.enter
+    path.reverse()
+    return path
+
+
+@dataclass
+class NodeContribution:
+    """Aggregated latency attribution of one path node."""
+
+    node: str
+    mean_span: float
+    p99_span: float
+    critical_fraction: float  # share of requests where it's on the path
+    visits: int
+
+
+def analyze(requests: Iterable[Request]) -> Dict[str, NodeContribution]:
+    """Aggregate per-node latency attribution over traced requests."""
+    durations: Dict[str, List[float]] = {}
+    critical_hits: Dict[str, int] = {}
+    total = 0
+    for request in requests:
+        total += 1
+        for span in spans_of(request):
+            durations.setdefault(span.node, []).append(span.duration)
+        for span in critical_path(request):
+            critical_hits[span.node] = critical_hits.get(span.node, 0) + 1
+    if total == 0:
+        raise ReproError("no traced requests to analyze")
+    result = {}
+    for node, values in durations.items():
+        arr = np.asarray(values)
+        result[node] = NodeContribution(
+            node=node,
+            mean_span=float(arr.mean()),
+            p99_span=float(np.percentile(arr, 99)),
+            critical_fraction=critical_hits.get(node, 0) / total,
+            visits=int(arr.size),
+        )
+    return result
+
+
+def slowest_nodes(
+    requests: Sequence[Request], top: int = 3
+) -> List[Tuple[str, float]]:
+    """The *top* nodes by mean critical-path presence x span — the
+    first candidates for speeding up or scaling out."""
+    contributions = analyze(requests)
+    ranked = sorted(
+        contributions.values(),
+        key=lambda c: c.critical_fraction * c.mean_span,
+        reverse=True,
+    )
+    return [(c.node, c.critical_fraction * c.mean_span) for c in ranked[:top]]

@@ -1,0 +1,131 @@
+"""Closed-form queueing results for cross-validation.
+
+uqSim's credibility rests on agreeing with queueing theory where
+closed forms exist (the paper leans on this: "unlike complex monoliths
+[microservices] conform to the principles of queueing theory"). This
+module provides the standard formulas — M/M/1, M/M/c (Erlang C),
+M/G/1 (Pollaczek-Khinchine), and the tail-at-scale fan-in bound — used
+by the test suite to check the simulator end to end and by users to
+sanity-check calibrations.
+
+All times in seconds, rates in 1/seconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ReproError
+
+
+def _check_stability(rho: float) -> None:
+    if rho >= 1.0:
+        raise ReproError(f"unstable queue: utilisation rho={rho:.3f} >= 1")
+    if rho < 0:
+        raise ReproError(f"negative utilisation rho={rho:.3f}")
+
+
+def mm1_mean_sojourn(arrival_rate: float, service_rate: float) -> float:
+    """E[T] for M/M/1: 1 / (mu - lambda)."""
+    rho = arrival_rate / service_rate
+    _check_stability(rho)
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def mm1_sojourn_percentile(
+    arrival_rate: float, service_rate: float, q: float
+) -> float:
+    """Exact percentile of the (exponential) M/M/1 sojourn time."""
+    if not 0 < q < 100:
+        raise ReproError(f"percentile must be in (0,100), got {q!r}")
+    mean = mm1_mean_sojourn(arrival_rate, service_rate)
+    return -mean * math.log(1.0 - q / 100.0)
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang C: probability an arrival waits in M/M/c.
+
+    *offered_load* is a = lambda/mu (in Erlangs); requires a < c.
+    """
+    if servers < 1:
+        raise ReproError(f"need >= 1 server, got {servers}")
+    rho = offered_load / servers
+    _check_stability(rho)
+    # Stable evaluation via the iterative Erlang B recurrence.
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    return b / (1.0 - rho * (1.0 - b))
+
+
+def mmc_mean_wait(
+    arrival_rate: float, service_rate: float, servers: int
+) -> float:
+    """E[W] (queueing delay, excluding service) for M/M/c."""
+    offered = arrival_rate / service_rate
+    rho = offered / servers
+    _check_stability(rho)
+    wait_prob = erlang_c(servers, offered)
+    return wait_prob / (servers * service_rate - arrival_rate)
+
+
+def mmc_mean_sojourn(
+    arrival_rate: float, service_rate: float, servers: int
+) -> float:
+    """E[T] = E[W] + E[S] for M/M/c."""
+    return mmc_mean_wait(arrival_rate, service_rate, servers) + 1.0 / service_rate
+
+
+def mg1_mean_wait(
+    arrival_rate: float, service_mean: float, service_scv: float
+) -> float:
+    """Pollaczek-Khinchine: E[W] for M/G/1.
+
+    *service_scv* is the squared coefficient of variation of the
+    service time (1 for exponential, 0 for deterministic).
+    """
+    rho = arrival_rate * service_mean
+    _check_stability(rho)
+    if service_scv < 0:
+        raise ReproError(f"scv must be >= 0, got {service_scv!r}")
+    return rho * service_mean * (1.0 + service_scv) / (2.0 * (1.0 - rho))
+
+
+def mg1_mean_sojourn(
+    arrival_rate: float, service_mean: float, service_scv: float
+) -> float:
+    """E[T] for M/G/1."""
+    return mg1_mean_wait(arrival_rate, service_mean, service_scv) + service_mean
+
+
+def fanout_percentile_amplification(fanout: int, per_leaf_quantile: float) -> float:
+    """The tail-at-scale identity: if each of *fanout* independent leaves
+    answers within its q-quantile latency with probability q, the
+    probability ALL do is q**fanout.
+
+    Returns the per-request probability that the synchronised response
+    meets the per-leaf quantile — e.g. Dean & Barroso's "1% of requests
+    take over a second at one server => 63% of fanout-100 requests do".
+    """
+    if fanout < 1:
+        raise ReproError(f"fanout must be >= 1, got {fanout}")
+    if not 0.0 < per_leaf_quantile < 1.0:
+        raise ReproError(
+            f"quantile must be in (0,1), got {per_leaf_quantile!r}"
+        )
+    return per_leaf_quantile**fanout
+
+
+def required_leaf_quantile(fanout: int, end_to_end_quantile: float) -> float:
+    """Invert :func:`fanout_percentile_amplification`: the per-leaf
+    quantile each leaf must hit for the fan-in to hit
+    *end_to_end_quantile* — the paper's motivation for studying fanout
+    ("a single slow leaf node can degrade the performance of the
+    majority of user requests")."""
+    if fanout < 1:
+        raise ReproError(f"fanout must be >= 1, got {fanout}")
+    if not 0.0 < end_to_end_quantile < 1.0:
+        raise ReproError(
+            f"quantile must be in (0,1), got {end_to_end_quantile!r}"
+        )
+    return end_to_end_quantile ** (1.0 / fanout)

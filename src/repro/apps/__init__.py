@@ -1,0 +1,48 @@
+"""Application model library: the microservices of the paper's
+evaluation (NGINX, memcached, MongoDB, Thrift, the Social Network) and
+builders for every end-to-end scenario (2-/3-tier, load balancing,
+fanout, Thrift echo, social network)."""
+
+from . import calibration
+from .base import World, add_client_machine, make_netproc, new_world
+from .builders import (
+    default_value_sizes,
+    fanout,
+    load_balanced,
+    single_memcached,
+    single_nginx,
+    social_network,
+    three_tier,
+    thrift_echo,
+    two_tier,
+)
+from .memcached import make_memcached
+from .social_ops import add_social_operations
+from .synthetic import GraphShape, synthetic_graph
+from .mongodb import make_mongodb
+from .nginx import make_nginx
+from .thrift import make_thrift
+
+__all__ = [
+    "World",
+    "add_client_machine",
+    "add_social_operations",
+    "calibration",
+    "default_value_sizes",
+    "fanout",
+    "load_balanced",
+    "make_memcached",
+    "make_mongodb",
+    "make_netproc",
+    "make_nginx",
+    "make_thrift",
+    "new_world",
+    "single_memcached",
+    "single_nginx",
+    "GraphShape",
+    "social_network",
+    "synthetic_graph",
+    "three_tier",
+    "thrift_echo",
+    "two_tier",
+]

@@ -1,0 +1,120 @@
+"""The memcached model (paper Listing 1 / Fig 1's JSON example).
+
+Stages: ``epoll`` (per-connection subqueues, batching) ->
+``socket_read`` (per-connection, batching, cost proportional to bytes
+read) -> ``memcached_processing`` (single queue) -> ``socket_send``.
+Two deterministic execution paths, read and write, over the same stage
+sequence — "only used to distinguish between different processing time
+distributions" (SSIII-B).
+"""
+
+from __future__ import annotations
+
+from ..service import (
+    EpollQueue,
+    ExecutionPath,
+    Microservice,
+    MultiThreadedModel,
+    PathSelector,
+    SingleQueue,
+    SocketQueue,
+    Stage,
+)
+from . import calibration as cal
+from .base import World, det_time, rate_time, stage_time
+
+#: Stage ids, mirroring Listing 1.
+EPOLL, SOCKET_READ, PROCESSING_READ, PROCESSING_WRITE, SOCKET_SEND = range(5)
+
+READ_PATH = "memcached_read"
+WRITE_PATH = "memcached_write"
+
+
+def make_memcached(
+    world: World,
+    machine_name: str,
+    name: str = "memcached0",
+    threads: int = 4,
+    epoll_events: int = 16,
+    read_batch: int = 16,
+    tier: str = "memcached",
+    batching: bool = True,
+) -> Microservice:
+    """Build and register one memcached instance with *threads* worker
+    threads pinned to as many dedicated cores.
+
+    ``batching=False`` ablates batch amortisation: epoll and socket_read
+    serve one job per invocation, charging their base costs to every
+    request."""
+    realism = world.realism
+    machine = world.cluster.machine(machine_name)
+    cores = machine.allocate(name, threads)
+
+    epoll_queue = (
+        EpollQueue(per_connection_limit=epoll_events)
+        if batching
+        else SingleQueue(batch_limit=1)
+    )
+    read_queue = (
+        SocketQueue(batch_limit=read_batch)
+        if batching
+        else SingleQueue(batch_limit=1)
+    )
+    stages = [
+        Stage(
+            "epoll",
+            EPOLL,
+            epoll_queue,
+            base=det_time(cal.MEMCACHED_EPOLL_BASE, realism),
+            per_job=det_time(cal.MEMCACHED_EPOLL_PER_EVENT, realism),
+            batching=True,
+        ),
+        Stage(
+            "socket_read",
+            SOCKET_READ,
+            read_queue,
+            base=det_time(cal.MEMCACHED_SOCKET_READ_BASE, realism),
+            per_byte=rate_time(cal.MEMCACHED_SOCKET_READ_PER_BYTE, realism),
+            batching=True,
+        ),
+        Stage(
+            "memcached_processing",
+            PROCESSING_READ,
+            SingleQueue(),
+            base=stage_time(cal.MEMCACHED_READ_PROCESSING, 4, realism),
+        ),
+        Stage(
+            "memcached_write_processing",
+            PROCESSING_WRITE,
+            SingleQueue(),
+            base=stage_time(cal.MEMCACHED_WRITE_PROCESSING, 4, realism),
+        ),
+        Stage(
+            "socket_send",
+            SOCKET_SEND,
+            SingleQueue(),
+            base=det_time(cal.MEMCACHED_SOCKET_SEND, realism),
+        ),
+    ]
+    selector = PathSelector(
+        [
+            ExecutionPath(
+                0, READ_PATH, [EPOLL, SOCKET_READ, PROCESSING_READ, SOCKET_SEND]
+            ),
+            ExecutionPath(
+                1, WRITE_PATH, [EPOLL, SOCKET_READ, PROCESSING_WRITE, SOCKET_SEND]
+            ),
+        ]
+    )
+    instance = Microservice(
+        name,
+        world.sim,
+        stages,
+        selector,
+        cores,
+        model=MultiThreadedModel(threads),
+        machine_name=machine_name,
+        tier=tier,
+    )
+    world.deployment.add_instance(instance)
+    return instance

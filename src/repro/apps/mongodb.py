@@ -1,0 +1,106 @@
+"""The MongoDB model.
+
+Paper SSIII-B names MongoDB as the example needing *probabilistic*
+execution-path selection: "a query could be either a cache hit that
+only accesses memory, or a cache miss that results in disk I/O. The
+probability for each path in that case is a function of MongoDB's
+working set size and allocated memory."
+
+The miss path carries an I/O phase on the instance's shared disk
+device, which is what makes the 3-tier application disk-bound
+(SSIV-A).
+"""
+
+from __future__ import annotations
+
+from ..distributions import Exponential
+from ..service import (
+    EpollQueue,
+    ExecutionPath,
+    IoDevice,
+    Microservice,
+    MultiThreadedModel,
+    PathSelector,
+    SingleQueue,
+    Stage,
+)
+from . import calibration as cal
+from .base import World, det_time, stage_time
+
+EPOLL, HIT_QUERY, MISS_QUERY, SOCKET_SEND = range(4)
+
+HIT_PATH = "mongo_hit"
+MISS_PATH = "mongo_miss"
+
+
+def make_mongodb(
+    world: World,
+    machine_name: str,
+    name: str = "mongodb0",
+    threads: int = 8,
+    cores: int = 2,
+    miss_probability: float = cal.MONGODB_CACHE_MISS,
+    disk_channels: int = cal.MONGODB_DISK_CHANNELS,
+    disk_read_mean: float = cal.MONGODB_DISK_READ_MEAN,
+    tier: str = "mongodb",
+) -> Microservice:
+    """Build and register one MongoDB instance.
+
+    MongoDB is thread-per-connection and I/O bound: more threads than
+    cores, so compute multiplexes while most threads block on the disk
+    (*disk_channels* concurrent device operations).
+    """
+    realism = world.realism
+    machine = world.cluster.machine(machine_name)
+    core_set = machine.allocate(name, cores)
+    disk = IoDevice(f"{name}/disk", world.sim, channels=disk_channels)
+
+    stages = [
+        Stage(
+            "epoll",
+            EPOLL,
+            EpollQueue(per_connection_limit=16),
+            base=det_time(cal.MONGODB_EPOLL_BASE, realism),
+            per_job=det_time(cal.MONGODB_EPOLL_PER_EVENT, realism),
+            batching=True,
+        ),
+        Stage(
+            "query_memory",
+            HIT_QUERY,
+            SingleQueue(),
+            base=stage_time(cal.MONGODB_HIT_CPU, 4, realism),
+        ),
+        Stage(
+            "query_disk",
+            MISS_QUERY,
+            SingleQueue(),
+            base=stage_time(cal.MONGODB_QUERY_CPU, 4, realism),
+            io=Exponential(disk_read_mean),
+        ),
+        Stage(
+            "socket_send",
+            SOCKET_SEND,
+            SingleQueue(),
+            base=det_time(cal.MONGODB_SOCKET_SEND, realism),
+        ),
+    ]
+    selector = PathSelector(
+        [
+            ExecutionPath(0, HIT_PATH, [EPOLL, HIT_QUERY, SOCKET_SEND]),
+            ExecutionPath(1, MISS_PATH, [EPOLL, MISS_QUERY, SOCKET_SEND]),
+        ],
+        probabilities={0: 1.0 - miss_probability, 1: miss_probability},
+    )
+    instance = Microservice(
+        name,
+        world.sim,
+        stages,
+        selector,
+        core_set,
+        model=MultiThreadedModel(threads, context_switch=2e-6),
+        machine_name=machine_name,
+        tier=tier,
+        io_device=disk,
+    )
+    world.deployment.add_instance(instance)
+    return instance

@@ -1,0 +1,108 @@
+"""The NGINX model.
+
+Paper SSIV-E: NGINX is modelled with two stages — ``epoll`` and
+``handler_processing`` (Fig 3 additionally shows the TCP rx/tx handled
+by the per-machine network-processing service). We give the handler
+three execution paths for NGINX's three jobs in the evaluation:
+
+* ``serve``  — static page webserver (LB backends, fanout leaves);
+* ``proxy``  — parse a request and forward it upstream (2-tier entry,
+  LB/fanout proxy);
+* ``respond`` — compose and send the final response when the upstream
+  answer comes back (the revisit node of multi-tier trees).
+"""
+
+from __future__ import annotations
+
+from ..service import (
+    EpollQueue,
+    ExecutionPath,
+    Microservice,
+    MultiThreadedModel,
+    PathSelector,
+    SingleQueue,
+    Stage,
+)
+from . import calibration as cal
+from .base import World, det_time, stage_time
+
+EPOLL, SERVE, PROXY, RESPOND = range(4)
+
+SERVE_PATH = "serve"
+PROXY_PATH = "proxy"
+RESPOND_PATH = "respond"
+
+
+def make_nginx(
+    world: World,
+    machine_name: str,
+    name: str = "nginx0",
+    processes: int = 8,
+    epoll_events: int = 16,
+    tier: str = "nginx",
+    batching: bool = True,
+) -> Microservice:
+    """Build and register one NGINX instance with *processes* worker
+    processes, each pinned to a dedicated core (SSIV-A).
+
+    ``batching=False`` is an ablation switch: the epoll stage serves one
+    job per invocation (its base cost is charged to every request), the
+    single-queue failure mode of BigHouse."""
+    realism = world.realism
+    machine = world.cluster.machine(machine_name)
+    cores = machine.allocate(name, processes)
+
+    epoll_queue = (
+        EpollQueue(per_connection_limit=epoll_events)
+        if batching
+        else SingleQueue(batch_limit=1)
+    )
+    stages = [
+        Stage(
+            "epoll",
+            EPOLL,
+            epoll_queue,
+            base=det_time(cal.NGINX_EPOLL_BASE, realism),
+            per_job=det_time(cal.NGINX_EPOLL_PER_EVENT, realism),
+            batching=True,
+        ),
+        Stage(
+            "handler_processing",
+            SERVE,
+            SingleQueue(),
+            base=stage_time(cal.NGINX_HANDLER, 4, realism),
+        ),
+        Stage(
+            "proxy_processing",
+            PROXY,
+            SingleQueue(),
+            base=stage_time(cal.NGINX_PROXY_HANDLER, 4, realism),
+        ),
+        Stage(
+            "response_processing",
+            RESPOND,
+            SingleQueue(),
+            base=stage_time(cal.NGINX_RESPOND, 4, realism),
+        ),
+    ]
+    selector = PathSelector(
+        [
+            ExecutionPath(0, SERVE_PATH, [EPOLL, SERVE]),
+            ExecutionPath(1, PROXY_PATH, [EPOLL, PROXY]),
+            ExecutionPath(2, RESPOND_PATH, [EPOLL, RESPOND]),
+        ]
+    )
+    # NGINX worker processes are single-threaded event loops: one
+    # process per core, context switching negligible under pinning.
+    instance = Microservice(
+        name,
+        world.sim,
+        stages,
+        selector,
+        cores,
+        model=MultiThreadedModel(processes, context_switch=1e-6),
+        machine_name=machine_name,
+        tier=tier,
+    )
+    world.deployment.add_instance(instance)
+    return instance

@@ -1,0 +1,169 @@
+"""Additional social-network operations.
+
+The paper's social network "implements a unidirectional, broadcast-
+style social network, where users can follow each other, post messages,
+reply publicly or privately to another user, and browse information
+about a given user", but evaluates only the read-post flow "for
+simplicity" (SSIV-D). This module models the remaining operations as
+typed path trees over the same deployment, so a mixed workload can
+exercise the full service:
+
+* ``read_post``    — the paper's flow (built by
+  :func:`repro.apps.builders.social_network`);
+* ``compose_post`` — frontend -> post service -> post MongoDB write
+  (with write-through to the post cache) -> media service (fan-out with
+  the user service, which validates the author);
+* ``follow``       — frontend -> user service -> user MongoDB write;
+* ``read_timeline`` — frontend -> post service -> post cache/DB, then
+  the media service for embedded media.
+
+``add_social_operations`` registers these trees with a social-network
+world's dispatcher under their request types and returns a
+:class:`~repro.workload.RequestMix` with a plausible operation mix.
+"""
+
+from __future__ import annotations
+
+from ..topology import NodeOp, PathNode, PathTree
+from ..workload import RequestMix, RequestType
+from . import memcached as mc
+from . import thrift
+from .base import World
+
+#: Default operation mix: browsing dominates, writes are rare — the
+#: usual read-heavy social workload.
+DEFAULT_MIX = {
+    "read_post": 0.60,
+    "read_timeline": 0.25,
+    "compose_post": 0.10,
+    "follow": 0.05,
+}
+
+
+def _frontend_entry(tree: PathTree) -> None:
+    tree.add_node(
+        PathNode(
+            "frontend", "frontend",
+            path_name=thrift.RPC_PATH, on_enter=NodeOp.block(),
+        )
+    )
+
+
+def _frontend_exit(tree: PathTree, parent: str) -> None:
+    tree.add_node(
+        PathNode(
+            "frontend_respond", "frontend",
+            path_name=thrift.RPC_PATH,
+            same_instance_as="frontend",
+            on_leave=NodeOp.unblock("frontend"),
+        )
+    )
+    tree.add_edge(parent, "frontend_respond")
+
+
+def compose_post_tree() -> PathTree:
+    """Write path: validate the author (user service) in parallel with
+    storing the post (post service -> MongoDB, write-through cache),
+    then register any media."""
+    tree = PathTree("compose_post")
+    _frontend_entry(tree)
+    # Author validation branch.
+    tree.add_node(
+        PathNode("user_svc", "user_service", path_name=thrift.LOGIC_PATH)
+    )
+    tree.add_node(PathNode("user_mc", "user_memcached", path_name=mc.READ_PATH))
+    tree.add_edge("frontend", "user_svc")
+    tree.add_edge("user_svc", "user_mc")
+    # Post storage branch.
+    tree.add_node(
+        PathNode("post_svc", "post_service", path_name=thrift.LOGIC_PATH)
+    )
+    tree.add_node(PathNode("post_db", "post_mongodb"))
+    tree.add_node(
+        PathNode("post_cache_fill", "post_memcached", path_name=mc.WRITE_PATH)
+    )
+    tree.add_edge("frontend", "post_svc")
+    tree.add_edge("post_svc", "post_db")
+    tree.add_edge("post_db", "post_cache_fill")
+    # Join the branches at the frontend, then media registration.
+    tree.add_node(
+        PathNode(
+            "frontend_join", "frontend",
+            path_name=thrift.RESPOND_PATH, same_instance_as="frontend",
+        )
+    )
+    tree.add_edge("user_mc", "frontend_join")
+    tree.add_edge("post_cache_fill", "frontend_join")
+    tree.add_node(
+        PathNode("media_svc", "media_service", path_name=thrift.LOGIC_PATH)
+    )
+    tree.add_node(
+        PathNode("media_db", "media_mongodb")
+    )
+    tree.add_edge("frontend_join", "media_svc")
+    tree.add_edge("media_svc", "media_db")
+    _frontend_exit(tree, "media_db")
+    return tree
+
+
+def follow_tree() -> PathTree:
+    """Follow a user: a small write against the user store."""
+    tree = PathTree("follow")
+    _frontend_entry(tree)
+    tree.add_node(
+        PathNode("user_svc", "user_service", path_name=thrift.LOGIC_PATH)
+    )
+    tree.add_node(PathNode("user_db", "user_mongodb"))
+    tree.add_node(
+        PathNode("user_cache_fill", "user_memcached", path_name=mc.WRITE_PATH)
+    )
+    tree.add_edge("frontend", "user_svc")
+    tree.add_edge("user_svc", "user_db")
+    tree.add_edge("user_db", "user_cache_fill")
+    _frontend_exit(tree, "user_cache_fill")
+    return tree
+
+
+def read_timeline_tree() -> PathTree:
+    """Browse recent posts: post store then media for embeds."""
+    tree = PathTree("read_timeline")
+    _frontend_entry(tree)
+    tree.add_node(
+        PathNode("post_svc", "post_service", path_name=thrift.LOGIC_PATH)
+    )
+    tree.add_node(PathNode("post_mc", "post_memcached", path_name=mc.READ_PATH))
+    tree.add_node(PathNode("post_db", "post_mongodb"))
+    tree.add_edge("frontend", "post_svc")
+    tree.add_edge("post_svc", "post_mc")
+    tree.add_edge("post_mc", "post_db")
+    tree.add_node(
+        PathNode("media_svc", "media_service", path_name=thrift.LOGIC_PATH)
+    )
+    tree.add_node(PathNode("media_mc", "media_memcached", path_name=mc.READ_PATH))
+    tree.add_edge("post_db", "media_svc")
+    tree.add_edge("media_svc", "media_mc")
+    _frontend_exit(tree, "media_mc")
+    return tree
+
+
+def add_social_operations(world: World) -> RequestMix:
+    """Register compose_post / follow / read_timeline trees on a
+    social-network world and return the default typed request mix.
+
+    The world must come from :func:`repro.apps.social_network`, whose
+    read-post tree is registered as the untyped default; the new trees
+    are routed by request type, so untyped requests keep the paper's
+    behaviour.
+    """
+    dispatcher = world.dispatcher
+    dispatcher.add_tree(compose_post_tree(), request_type="compose_post")
+    dispatcher.add_tree(follow_tree(), request_type="follow")
+    dispatcher.add_tree(read_timeline_tree(), request_type="read_timeline")
+    return RequestMix(
+        [
+            RequestType("read_post", DEFAULT_MIX["read_post"], 256),
+            RequestType("read_timeline", DEFAULT_MIX["read_timeline"], 1024),
+            RequestType("compose_post", DEFAULT_MIX["compose_post"], 512),
+            RequestType("follow", DEFAULT_MIX["follow"], 64),
+        ]
+    )

@@ -1,0 +1,179 @@
+"""Synthetic microservice-graph generation.
+
+The paper motivates simulation with production dependency graphs of
+hundreds of microservices (Fig 1: Netflix, Twitter, Amazon) — far
+beyond what the evaluation's hand-built applications exercise. This
+module generates random-but-plausible graphs at that scale: layered
+DAGs with configurable width, depth, fan-out, and service-time
+heterogeneity, deployed over a cluster with shared interrupt
+processing. Used by the scalability study and available to users who
+want "an application shaped like production" without hand-writing
+hundreds of path nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..engine import RandomStreams
+from ..errors import ConfigError
+from ..hardware import Machine, NetworkFabric
+from ..service import (
+    ExecutionPath,
+    Microservice,
+    MultiThreadedModel,
+    PathSelector,
+    SingleQueue,
+    Stage,
+)
+from ..testbed import RealismConfig
+from ..topology import PathNode, PathTree
+from .base import World, add_client_machine, make_netproc, new_world, stage_time
+
+
+@dataclass
+class GraphShape:
+    """Knobs of the generated application graph.
+
+    *layers* tiers deep, each layer *width* services wide; every service
+    calls *fanout* services of the next layer (chosen randomly but
+    fixed at build time, like static service dependencies). Mean
+    per-service processing time is log-uniform between *min_service*
+    and *max_service* — production graphs mix microsecond caches with
+    millisecond logic tiers.
+    """
+
+    layers: int = 4
+    width: int = 4
+    fanout: int = 2
+    min_service: float = 50e-6
+    max_service: float = 500e-6
+    threads_per_service: int = 2
+    machines: int = 4
+
+    def validate(self) -> None:
+        if self.layers < 1 or self.width < 1:
+            raise ConfigError("graph needs layers >= 1 and width >= 1")
+        if not 1 <= self.fanout <= self.width:
+            raise ConfigError(
+                f"fanout must be in [1, width={self.width}], got {self.fanout}"
+            )
+        if not 0 < self.min_service <= self.max_service:
+            raise ConfigError("need 0 < min_service <= max_service")
+        if self.machines < 1:
+            raise ConfigError("need >= 1 machine")
+
+    @property
+    def total_services(self) -> int:
+        return self.layers * self.width + 1  # + frontend
+
+
+def synthetic_graph(
+    shape: Optional[GraphShape] = None,
+    seed: int = 0,
+    realism: Optional[RealismConfig] = None,
+    network: Optional[NetworkFabric] = None,
+    graph_seed: Optional[int] = None,
+) -> World:
+    """Build a random layered microservice application.
+
+    The request enters a frontend, which fans out into layer 0; every
+    visited service fans out to its dependencies in the next layer;
+    responses synchronise back at the frontend (full fan-in), matching
+    the paper's observation that "typical dependency graphs ... involve
+    several hundred microservices" with deep fan-out chains.
+
+    *seed* drives the simulation's stochastics; *graph_seed* (default:
+    same as *seed*) drives the generated topology and service-time
+    assignment. Fix *graph_seed* and vary *seed* to take independent
+    measurements of ONE application rather than of a fresh random graph
+    per run.
+    """
+    shape = shape or GraphShape()
+    shape.validate()
+    streams = RandomStreams(seed if graph_seed is None else graph_seed)
+    rng = streams.stream("synthetic-graph")
+
+    world = new_world(network, seed, realism)
+    add_client_machine(world)
+    cores_needed = shape.total_services * shape.threads_per_service + 4
+    per_machine = int(np.ceil(cores_needed / shape.machines))
+    for m in range(shape.machines):
+        world.cluster.add_machine(Machine(f"node{m}", per_machine + 4))
+
+    def make_service(name: str, machine: str, mean: float) -> Microservice:
+        cores = world.cluster.machine(machine).allocate(
+            name, shape.threads_per_service
+        )
+        stages = [
+            Stage(
+                "process", 0, SingleQueue(),
+                base=stage_time(mean, 4, world.realism),
+            ),
+        ]
+        selector = PathSelector([ExecutionPath(0, "only", [0])])
+        instance = Microservice(
+            name, world.sim, stages, selector, cores,
+            model=MultiThreadedModel(shape.threads_per_service),
+            machine_name=machine, tier=name,
+        )
+        world.deployment.add_instance(instance)
+        return instance
+
+    def sample_mean() -> float:
+        log_lo, log_hi = np.log(shape.min_service), np.log(shape.max_service)
+        return float(np.exp(rng.uniform(log_lo, log_hi)))
+
+    # Frontend plus layers x width services, round-robined over machines.
+    machine_of = lambda i: f"node{i % shape.machines}"
+    make_service("frontend", machine_of(0), 100e-6)
+    names: List[List[str]] = []
+    idx = 1
+    for layer in range(shape.layers):
+        row = []
+        for w in range(shape.width):
+            name = f"svc_l{layer}_{w}"
+            make_service(name, machine_of(idx), sample_mean())
+            row.append(name)
+            idx += 1
+        names.append(row)
+    for m in range(shape.machines):
+        make_netproc(world, f"node{m}")
+
+    # Static dependency edges: each service calls `fanout` services of
+    # the next layer.
+    tree = PathTree("synthetic")
+    tree.add_node(PathNode("frontend", "frontend"))
+
+    def add_call_nodes(parent_node: str, layer: int) -> List[str]:
+        """Recursively materialise the call tree below *parent_node*."""
+        if layer >= shape.layers:
+            return [parent_node]
+        targets = rng.choice(shape.width, size=shape.fanout, replace=False)
+        leaves: List[str] = []
+        for t in targets:
+            service = names[layer][int(t)]
+            node_name = f"{parent_node}->{service}"
+            tree.add_node(PathNode(node_name, service))
+            tree.add_edge(parent_node, node_name)
+            leaves.extend(add_call_nodes(node_name, layer + 1))
+        return leaves
+
+    leaves = add_call_nodes("frontend", 0)
+    tree.add_node(
+        PathNode("frontend_join", "frontend", same_instance_as="frontend")
+    )
+    for leaf in leaves:
+        tree.add_edge(leaf, "frontend_join")
+    world.dispatcher.add_tree(tree)
+    world.labels.update(
+        scenario="synthetic",
+        config=(
+            f"layers={shape.layers} width={shape.width} "
+            f"fanout={shape.fanout} nodes={len(tree)}"
+        ),
+    )
+    return world

@@ -1,0 +1,99 @@
+"""Apache Thrift RPC server models (paper SSIV-C / SSIV-D).
+
+Two flavours share the stage skeleton (epoll -> processing -> send):
+
+* the **echo server** of the RPC validation — "the server responds with
+  a 'Hello World' message to each request. Given the lack of
+  application logic in this case, all time goes towards processing the
+  RPC request";
+* the **logic service** used by the social network's business tiers
+  (frontend, user/post/media services), with heavier processing and a
+  light ``respond`` path for composing answers from upstream replies.
+"""
+
+from __future__ import annotations
+
+from ..service import (
+    EpollQueue,
+    ExecutionPath,
+    Microservice,
+    MultiThreadedModel,
+    PathSelector,
+    SingleQueue,
+    Stage,
+)
+from . import calibration as cal
+from .base import World, det_time, stage_time
+
+EPOLL, RPC, LOGIC, SEND = range(4)
+
+RPC_PATH = "rpc"
+LOGIC_PATH = "logic"
+RESPOND_PATH = "respond"
+
+
+def make_thrift(
+    world: World,
+    machine_name: str,
+    name: str = "thrift0",
+    threads: int = 1,
+    tier: str = "thrift",
+    logic_mean: float = cal.THRIFT_LOGIC_PROCESSING,
+) -> Microservice:
+    """Build and register a Thrift server instance.
+
+    Paths: ``rpc`` (echo handling), ``logic`` (business-logic
+    processing for social-network tiers), ``respond`` (forward an
+    upstream reply onward with minimal work).
+    """
+    realism = world.realism
+    machine = world.cluster.machine(machine_name)
+    cores = machine.allocate(name, threads)
+
+    stages = [
+        Stage(
+            "epoll",
+            EPOLL,
+            EpollQueue(per_connection_limit=16),
+            base=det_time(cal.THRIFT_EPOLL_BASE, realism),
+            per_job=det_time(cal.THRIFT_EPOLL_PER_EVENT, realism),
+            batching=True,
+        ),
+        Stage(
+            "rpc_processing",
+            RPC,
+            SingleQueue(),
+            base=stage_time(cal.THRIFT_PROCESSING, 4, realism),
+        ),
+        Stage(
+            "logic_processing",
+            LOGIC,
+            SingleQueue(),
+            base=stage_time(logic_mean, 4, realism),
+        ),
+        Stage(
+            "socket_send",
+            SEND,
+            SingleQueue(),
+            base=det_time(cal.THRIFT_SOCKET_SEND, realism),
+        ),
+    ]
+    selector = PathSelector(
+        [
+            ExecutionPath(0, RPC_PATH, [EPOLL, RPC, SEND]),
+            ExecutionPath(1, LOGIC_PATH, [EPOLL, LOGIC, SEND]),
+            ExecutionPath(2, RESPOND_PATH, [EPOLL, SEND]),
+        ]
+    )
+    instance = Microservice(
+        name,
+        world.sim,
+        stages,
+        selector,
+        cores,
+        model=MultiThreadedModel(threads, context_switch=2e-6),
+        machine_name=machine_name,
+        tier=tier,
+    )
+    world.deployment.add_instance(instance)
+    return instance

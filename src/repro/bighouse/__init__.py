@@ -1,0 +1,11 @@
+"""BigHouse baseline simulator (paper SSII, compared in Fig 13)."""
+
+from .folding import FoldedServiceTime
+from .simulator import BigHouseResult, BigHouseSimulator, simulate_ggk_instance
+
+__all__ = [
+    "BigHouseResult",
+    "BigHouseSimulator",
+    "FoldedServiceTime",
+    "simulate_ggk_instance",
+]

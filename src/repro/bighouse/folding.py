@@ -1,0 +1,96 @@
+"""Folding a uqSim microservice model into a BigHouse service
+distribution.
+
+BigHouse sees an application as ONE queue, so the multi-stage model
+must be collapsed into a single per-request service time. The honest
+collapse — the one the paper attributes to BigHouse — charges the full
+cost of every stage to every request: "each application is modeled as a
+single stage so the entire processing time of epoll is accounted for in
+every request" (SSIV-E). Batch amortisation is structurally
+unrepresentable, and that is precisely why BigHouse saturates early in
+Fig 13.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..distributions import Distribution
+from ..errors import ConfigError
+from ..service import Microservice
+from ..service.paths import ExecutionPath
+
+
+class FoldedServiceTime(Distribution):
+    """Per-request service time of a microservice, single-queue style.
+
+    Sampling walks one execution path and sums, for every stage, the
+    full base cost + one per-job cost + per-byte cost for the mean
+    request size — no amortisation across batched requests.
+    """
+
+    def __init__(
+        self,
+        service: Microservice,
+        mean_request_bytes: float = 0.0,
+        path_name: Optional[str] = None,
+    ) -> None:
+        self.service = service
+        self.mean_request_bytes = float(mean_request_bytes)
+        self._paths = service.selector.paths
+        if path_name is not None:
+            self._paths = [service.selector.get_by_name(path_name)]
+        if not self._paths:
+            raise ConfigError(f"{service.name!r} has no execution paths")
+        self._frequency = service.frequency
+
+    def _sample_path(
+        self, path: ExecutionPath, rng: np.random.Generator
+    ) -> float:
+        total = 0.0
+        for stage_id in path.stage_ids:
+            stage = self.service.stage(stage_id)
+            if stage.base is not None:
+                total += stage.base.sample(rng, self._frequency)
+            if stage.per_job is not None:
+                total += stage.per_job.sample(rng, self._frequency)
+            if stage.per_byte is not None:
+                total += (
+                    stage.per_byte.sample(rng, self._frequency)
+                    * self.mean_request_bytes
+                )
+            if stage.io is not None:
+                total += stage.io.sample(rng)
+        return total
+
+    def sample(self, rng: np.random.Generator) -> float:
+        # Use the first path for deterministic-path services; pick
+        # uniformly among multiple paths otherwise (BigHouse has no
+        # notion of per-request control flow).
+        if len(self._paths) == 1:
+            path = self._paths[0]
+        else:
+            path = self._paths[int(rng.integers(len(self._paths)))]
+        return self._sample_path(path, rng)
+
+    def mean(self) -> float:
+        means = []
+        for path in self._paths:
+            total = 0.0
+            for stage_id in path.stage_ids:
+                stage = self.service.stage(stage_id)
+                total += stage.mean_cost(
+                    batch_size=1, mean_bytes=self.mean_request_bytes
+                )
+                if stage.io is not None:
+                    total += stage.io.mean()
+            means.append(total)
+        return float(np.mean(means))
+
+    def __repr__(self) -> str:
+        return (
+            f"FoldedServiceTime({self.service.name}, "
+            f"bytes={self.mean_request_bytes:g})"
+        )

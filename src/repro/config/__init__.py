@@ -1,0 +1,25 @@
+"""The JSON configuration surface of paper Table I: service.json,
+graph.json, path.json, machines.json, client.json, histograms."""
+
+from .client_config import build_client, parse_arrivals, parse_mix, parse_pattern
+from .distributions import parse_distribution
+from .graph_config import build_deployment
+from .loader import SimulationSpec
+from .machine_config import parse_machines, table2_payload
+from .path_config import parse_tree, register_trees
+from .service_config import ServiceTemplate
+
+__all__ = [
+    "ServiceTemplate",
+    "SimulationSpec",
+    "build_client",
+    "build_deployment",
+    "parse_arrivals",
+    "parse_distribution",
+    "parse_machines",
+    "parse_mix",
+    "parse_pattern",
+    "parse_tree",
+    "register_trees",
+    "table2_payload",
+]

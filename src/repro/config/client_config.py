@@ -1,0 +1,126 @@
+"""client.json — input load pattern (Table I).
+
+::
+
+    {
+      "name": "client", "machine": "client",
+      "arrivals": {"process": "poisson",
+                   "pattern": {"type": "constant", "qps": 10000}},
+      "mix": [
+        {"name": "read", "weight": 0.9,
+         "size": {"dist": "exponential", "mean_bytes": 256}},
+        {"name": "write", "weight": 0.1, "size_bytes": 512}
+      ],
+      "stop_at": 1.0,
+      "max_requests": null
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..distributions import Deterministic, Exponential
+from ..engine import Simulator
+from ..errors import ConfigError
+from ..topology import Dispatcher
+from ..workload import (
+    ConstantLoad,
+    DeterministicArrivals,
+    DiurnalPattern,
+    OpenLoopClient,
+    PoissonArrivals,
+    RequestMix,
+    RequestType,
+    StepPattern,
+)
+
+
+def parse_pattern(payload: dict, source: str):
+    """Parse a load-pattern object (constant/diurnal/steps)."""
+    kind = payload.get("type", "constant")
+    if kind == "constant":
+        return ConstantLoad(float(payload["qps"]))
+    if kind == "diurnal":
+        return DiurnalPattern(
+            low=float(payload["low_qps"]),
+            high=float(payload["high_qps"]),
+            period=float(payload["period_s"]),
+            phase=float(payload.get("phase_s", 0.0)),
+        )
+    if kind == "steps":
+        return StepPattern(
+            [(float(t), float(q)) for t, q in payload["steps"]]
+        )
+    raise ConfigError(f"unknown load pattern {kind!r}", source=source)
+
+
+def parse_arrivals(payload: dict, source: str):
+    """Parse the arrivals object: a pattern plus the point process."""
+    pattern = parse_pattern(payload.get("pattern", payload), source)
+    process = payload.get("process", "poisson")
+    if process == "poisson":
+        return PoissonArrivals(pattern)
+    if process == "deterministic":
+        return DeterministicArrivals(pattern)
+    raise ConfigError(f"unknown arrival process {process!r}", source=source)
+
+
+def _parse_size(spec: dict, source: str):
+    if "size_bytes" in spec:
+        return Deterministic(float(spec["size_bytes"]))
+    size = spec.get("size")
+    if size is None:
+        return None
+    if size.get("dist") == "exponential" and "mean_bytes" in size:
+        return Exponential(float(size["mean_bytes"]))
+    raise ConfigError(
+        f"unsupported size spec {size!r} (use size_bytes or "
+        f"exponential mean_bytes)",
+        source=source,
+    )
+
+
+def parse_mix(payload: list, source: str) -> RequestMix:
+    """Parse the request-type mix list."""
+    types = []
+    for spec in payload:
+        if "name" not in spec or "weight" not in spec:
+            raise ConfigError(
+                f"mix entries need 'name' and 'weight': {spec!r}", source=source
+            )
+        types.append(
+            RequestType(spec["name"], float(spec["weight"]), _parse_size(spec, source))
+        )
+    return RequestMix(types)
+
+
+def build_client(
+    payload: dict,
+    sim: Simulator,
+    dispatcher: Dispatcher,
+    source: str = "client.json",
+    realism=None,
+) -> OpenLoopClient:
+    """Build (but don't start) the open-loop client of client.json."""
+    if not isinstance(payload, dict):
+        raise ConfigError("client config must be an object", source=source)
+    arrivals_spec = payload.get("arrivals")
+    if arrivals_spec is None:
+        raise ConfigError("client needs 'arrivals'", source=source)
+    mix: Optional[RequestMix] = None
+    if "mix" in payload:
+        mix = parse_mix(payload["mix"], source)
+    stop_at = payload.get("stop_at")
+    max_requests = payload.get("max_requests")
+    return OpenLoopClient(
+        sim,
+        dispatcher,
+        arrivals=parse_arrivals(arrivals_spec, source),
+        mix=mix,
+        name=payload.get("name", "client"),
+        machine=payload.get("machine", "client"),
+        stop_at=stop_at,
+        max_requests=max_requests,
+        realism=realism,
+    )

@@ -1,0 +1,155 @@
+"""JSON codec for processing-time distributions.
+
+The ``histograms`` input of paper Table I, generalised: a stage cost in
+any config file is either an inline histogram, a reference to a
+profiling histogram file, a parametric distribution, or a per-frequency
+table of any of those. Times are given in microseconds (``_us`` keys)
+to keep configs readable.
+
+Examples::
+
+    {"dist": "exponential", "mean_us": 1000}
+    {"dist": "deterministic", "value_us": 8}
+    {"dist": "erlang", "k": 4, "mean_us": 105}
+    {"dist": "histogram", "file": "profiles/nginx_handler.json"}
+    {"dist": "histogram", "unit": "us", "edges": [0, 10, 20], "counts": [3, 1]}
+    {"dist": "frequency_table", "compute_fraction": 0.8,
+     "entries": [{"frequency_ghz": 2.6, "dist": {...}},
+                 {"frequency_ghz": 1.2, "dist": {...}}]}
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    FrequencyTable,
+    Histogram,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+from ..errors import ConfigError
+
+US = 1e-6
+GHZ = 1e9
+
+
+def _us(payload: dict, key: str, source: str) -> float:
+    try:
+        return float(payload[key]) * US
+    except KeyError:
+        raise ConfigError(f"missing {key!r} in distribution", source=source)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{key!r} must be a number", source=source)
+
+
+def parse_distribution(
+    payload: dict,
+    source: str = "config",
+    base_dir: Optional[Path] = None,
+) -> Union[Distribution, FrequencyTable]:
+    """Parse one distribution (or frequency table) JSON object."""
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            f"distribution must be an object, got {payload!r}", source=source
+        )
+    kind = payload.get("dist")
+    if kind is None:
+        raise ConfigError("distribution needs a 'dist' field", source=source)
+
+    if kind == "deterministic":
+        return Deterministic(_us(payload, "value_us", source))
+    if kind == "exponential":
+        return Exponential(_us(payload, "mean_us", source))
+    if kind == "uniform":
+        return Uniform(_us(payload, "low_us", source), _us(payload, "high_us", source))
+    if kind == "erlang":
+        k = payload.get("k")
+        if not isinstance(k, int):
+            raise ConfigError("erlang needs integer 'k'", source=source)
+        return Erlang(k, _us(payload, "mean_us", source))
+    if kind == "lognormal":
+        cv = payload.get("cv")
+        if cv is None:
+            raise ConfigError("lognormal needs 'cv'", source=source)
+        return LogNormal.from_mean_cv(_us(payload, "mean_us", source), float(cv))
+    if kind == "pareto":
+        shape = payload.get("shape")
+        if shape is None:
+            raise ConfigError("pareto needs 'shape'", source=source)
+        return Pareto(_us(payload, "scale_us", source), float(shape))
+    if kind == "weibull":
+        shape = payload.get("shape")
+        if shape is None:
+            raise ConfigError("weibull needs 'shape'", source=source)
+        return Weibull(float(shape), _us(payload, "scale_us", source))
+    if kind == "mixture":
+        comps = payload.get("components")
+        if not isinstance(comps, list) or not comps:
+            raise ConfigError("mixture needs 'components' list", source=source)
+        dists = []
+        weights = []
+        for comp in comps:
+            weight = comp.get("weight")
+            if weight is None:
+                raise ConfigError(
+                    "each mixture component needs 'weight'", source=source
+                )
+            inner = comp.get("dist")
+            if inner is None:
+                raise ConfigError(
+                    "each mixture component needs 'dist'", source=source
+                )
+            parsed = parse_distribution(inner, source, base_dir)
+            if isinstance(parsed, FrequencyTable):
+                raise ConfigError(
+                    "frequency tables cannot nest inside mixtures",
+                    source=source,
+                )
+            dists.append(parsed)
+            weights.append(float(weight))
+        return Mixture(dists, weights)
+    if kind == "histogram":
+        if "file" in payload:
+            path = Path(payload["file"])
+            if base_dir is not None and not path.is_absolute():
+                path = base_dir / path
+            try:
+                return Histogram.load(path)
+            except OSError as exc:
+                raise ConfigError(
+                    f"cannot read histogram file {path}: {exc}", source=source
+                ) from exc
+        return Histogram.from_dict(payload)
+    if kind == "frequency_table":
+        entries = payload.get("entries")
+        if not isinstance(entries, list) or not entries:
+            raise ConfigError(
+                "frequency_table needs non-empty 'entries'", source=source
+            )
+        table = {}
+        for entry in entries:
+            freq = entry.get("frequency_ghz")
+            if freq is None:
+                raise ConfigError(
+                    "each entry needs 'frequency_ghz'", source=source
+                )
+            inner = parse_distribution(entry.get("dist"), source, base_dir)
+            if isinstance(inner, FrequencyTable):
+                raise ConfigError(
+                    "frequency tables cannot nest", source=source
+                )
+            table[float(freq) * GHZ] = inner
+        return FrequencyTable(
+            table, compute_fraction=float(payload.get("compute_fraction", 1.0))
+        )
+
+    raise ConfigError(f"unknown distribution kind {kind!r}", source=source)

@@ -1,0 +1,142 @@
+"""graph.json — microservice deployment (Table I).
+
+::
+
+    {
+      "instances": [
+        {"name": "nginx0", "service": "nginx", "machine": "server0",
+         "cores": 8, "tier": "nginx",
+         "model": {"type": "multithreaded", "threads": 8,
+                   "context_switch_us": 1},
+         "io": {"channels": 4}},
+        ...
+      ],
+      "netproc": [
+        {"machine": "server0", "cores": 4,
+         "per_message_us": 13, "per_byte_ns": 12}
+      ],
+      "pools": {"nginx": 320, "memcached": 16},
+      "balancers": {"webserver": "round_robin"}
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..distributions import Deterministic
+from ..engine import Simulator
+from ..errors import ConfigError
+from ..hardware import Cluster
+from ..service import (
+    ExecutionPath,
+    IoDevice,
+    Microservice,
+    MultiThreadedModel,
+    PathSelector,
+    SimpleModel,
+    SingleQueue,
+    Stage,
+)
+from ..topology import Deployment
+from .service_config import ServiceTemplate
+
+
+def _parse_model(spec: dict, source: str):
+    kind = spec.get("type", "simple")
+    if kind == "simple":
+        return SimpleModel()
+    if kind == "multithreaded":
+        threads = spec.get("threads")
+        if not isinstance(threads, int):
+            raise ConfigError(
+                "multithreaded model needs integer 'threads'", source=source
+            )
+        return MultiThreadedModel(
+            threads,
+            context_switch=float(spec.get("context_switch_us", 2.0)) * 1e-6,
+            dynamic=bool(spec.get("dynamic", False)),
+            max_threads=spec.get("max_threads"),
+        )
+    raise ConfigError(f"unknown execution model {kind!r}", source=source)
+
+
+def build_deployment(
+    payload: dict,
+    sim: Simulator,
+    cluster: Cluster,
+    templates: Dict[str, ServiceTemplate],
+    source: str = "graph.json",
+) -> Deployment:
+    """Instantiate every microservice of graph.json onto the cluster."""
+    if not isinstance(payload, dict):
+        raise ConfigError("graph config must be an object", source=source)
+    instances = payload.get("instances")
+    if not isinstance(instances, list) or not instances:
+        raise ConfigError("'instances' must be a non-empty list", source=source)
+
+    deployment = Deployment()
+    for spec in instances:
+        for key in ("name", "service", "machine", "cores"):
+            if key not in spec:
+                raise ConfigError(
+                    f"instance missing {key!r}: {spec!r}", source=source
+                )
+        service = spec["service"]
+        template = templates.get(service)
+        if template is None:
+            raise ConfigError(
+                f"instance {spec['name']!r} references unknown service "
+                f"{service!r}; known: {sorted(templates)}",
+                source=source,
+            )
+        machine = cluster.machine(spec["machine"])
+        cores = machine.allocate(spec["name"], int(spec["cores"]))
+        io_device = None
+        if "io" in spec:
+            io_device = IoDevice(
+                f"{spec['name']}/io", sim,
+                channels=int(spec["io"].get("channels", 1)),
+            )
+        instance = Microservice(
+            spec["name"],
+            sim,
+            template.build_stages(),
+            template.build_selector(),
+            cores,
+            model=_parse_model(spec.get("model", {}), source),
+            machine_name=spec["machine"],
+            tier=spec.get("tier", service),
+            io_device=io_device,
+        )
+        deployment.add_instance(instance)
+
+    for spec in payload.get("netproc", []):
+        machine_name = spec.get("machine")
+        if machine_name is None:
+            raise ConfigError("netproc entry needs 'machine'", source=source)
+        machine = cluster.machine(machine_name)
+        name = f"netproc@{machine_name}"
+        cores = machine.allocate(name, int(spec.get("cores", 4)))
+        stage = Stage(
+            "soft_irq",
+            0,
+            SingleQueue(batch_limit=4),
+            per_job=Deterministic(float(spec.get("per_message_us", 13)) * 1e-6),
+            per_byte=Deterministic(float(spec.get("per_byte_ns", 12)) * 1e-9),
+            batching=True,
+        )
+        selector = PathSelector([ExecutionPath(0, "irq", [0])])
+        deployment.set_netproc(
+            machine_name,
+            Microservice(
+                name, sim, [stage], selector, cores,
+                model=SimpleModel(), machine_name=machine_name, tier="netproc",
+            ),
+        )
+
+    for service, size in payload.get("pools", {}).items():
+        deployment.set_pool(service, int(size))
+    for service, policy in payload.get("balancers", {}).items():
+        deployment.set_balancer(service, policy)
+    return deployment

@@ -1,0 +1,118 @@
+"""Assembling a full simulation from the five JSON inputs of Table I.
+
+A spec directory (or in-memory dict) provides::
+
+    machines.json     server machines & network
+    services/*.json   one service.json per microservice model
+    graph.json        deployment of instances onto machines
+    path.json         inter-microservice path trees
+    client.json       input load pattern
+
+:func:`SimulationSpec.load` parses and cross-validates everything;
+:meth:`SimulationSpec.build` returns a ready-to-run
+(:class:`~repro.apps.base.World`, client) pair.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..apps.base import World
+from ..engine import Simulator
+from ..errors import ConfigError
+from ..topology import Dispatcher
+from ..workload import OpenLoopClient
+from .client_config import build_client
+from .graph_config import build_deployment
+from .machine_config import parse_machines
+from .path_config import register_trees
+from .service_config import ServiceTemplate
+
+
+def _read_json(path: Path) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as exc:
+        raise ConfigError(f"cannot read {path}: {exc}", source=str(path)) from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid JSON: {exc}", source=str(path)) from exc
+
+
+class SimulationSpec:
+    """Parsed and validated Table I inputs."""
+
+    def __init__(
+        self,
+        machines: dict,
+        services: Dict[str, dict],
+        graph: dict,
+        paths: dict,
+        client: Optional[dict] = None,
+        base_dir: Optional[Path] = None,
+    ) -> None:
+        self.machines_payload = machines
+        self.graph_payload = graph
+        self.paths_payload = paths
+        self.client_payload = client
+        self.base_dir = base_dir
+        self.templates = {
+            name: ServiceTemplate(payload, f"services/{name}", base_dir)
+            for name, payload in services.items()
+        }
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "SimulationSpec":
+        """Load a spec directory (see module docstring for layout)."""
+        base = Path(directory)
+        if not base.is_dir():
+            raise ConfigError(f"spec directory {base} does not exist")
+        services_dir = base / "services"
+        if not services_dir.is_dir():
+            raise ConfigError(
+                f"{base} has no services/ directory", source=str(base)
+            )
+        services = {}
+        for path in sorted(services_dir.glob("*.json")):
+            payload = _read_json(path)
+            name = payload.get("service_name", path.stem)
+            services[name] = payload
+        if not services:
+            raise ConfigError(f"no service configs in {services_dir}")
+        client_path = base / "client.json"
+        return cls(
+            machines=_read_json(base / "machines.json"),
+            services=services,
+            graph=_read_json(base / "graph.json"),
+            paths=_read_json(base / "path.json"),
+            client=_read_json(client_path) if client_path.exists() else None,
+            base_dir=base,
+        )
+
+    def build(
+        self, seed: int = 0, realism=None
+    ) -> "tuple[World, Optional[OpenLoopClient]]":
+        """Materialise the spec into a runnable world (+ client if
+        client.json was provided)."""
+        sim = Simulator(seed=seed)
+        cluster = parse_machines(self.machines_payload)
+        deployment = build_deployment(
+            self.graph_payload, sim, cluster, self.templates
+        )
+        dispatcher = Dispatcher(sim, deployment, cluster.network)
+        register_trees(self.paths_payload, dispatcher)
+        world = World(sim, cluster, deployment, dispatcher, realism)
+        client = None
+        if self.client_payload is not None:
+            client = build_client(
+                self.client_payload, sim, dispatcher, realism=realism
+            )
+        return world, client
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimulationSpec services={sorted(self.templates)} "
+            f"machines={len(self.machines_payload.get('machines', []))}>"
+        )

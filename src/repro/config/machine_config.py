@@ -1,0 +1,79 @@
+"""machines.json — server machines & available resources (Table I).
+
+::
+
+    {
+      "machines": [
+        {"name": "server0", "cores": 40,
+         "dvfs": {"min_ghz": 1.2, "max_ghz": 2.6, "step_ghz": 0.1}},
+        {"name": "client", "cores": 16}
+      ],
+      "network": {"propagation_us": 20, "loopback_us": 5,
+                  "bandwidth_gbps": 1}
+    }
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..distributions import Deterministic, Exponential
+from ..errors import ConfigError
+from ..hardware import Cluster, DvfsLadder, GHZ, Machine, NetworkFabric
+
+
+def parse_dvfs(payload: dict, source: str) -> DvfsLadder:
+    """Parse a dvfs object (min/max/step in GHz) into a ladder."""
+    try:
+        lo = float(payload["min_ghz"])
+        hi = float(payload["max_ghz"])
+    except KeyError as exc:
+        raise ConfigError(f"dvfs needs {exc.args[0]!r}", source=source)
+    step = float(payload.get("step_ghz", 0.1))
+    if step <= 0:
+        raise ConfigError(f"step_ghz must be > 0, got {step!r}", source=source)
+    if hi < lo:
+        raise ConfigError("max_ghz must be >= min_ghz", source=source)
+    count = int(math.floor((hi - lo) / step + 1e-9)) + 1
+    return DvfsLadder([round(lo + i * step, 6) * GHZ for i in range(count)])
+
+
+def parse_network(payload: dict, source: str) -> NetworkFabric:
+    """Parse the network object (propagation/loopback/bandwidth)."""
+    propagation = Exponential(float(payload.get("propagation_us", 20)) * 1e-6)
+    loopback = Deterministic(float(payload.get("loopback_us", 5)) * 1e-6)
+    bandwidth = float(payload.get("bandwidth_gbps", 1.0)) * 125_000_000.0
+    return NetworkFabric(propagation, loopback, bandwidth)
+
+
+def parse_machines(payload: dict, source: str = "machines.json") -> Cluster:
+    """Build the Cluster described by machines.json."""
+    if not isinstance(payload, dict):
+        raise ConfigError("machines config must be an object", source=source)
+    machines = payload.get("machines")
+    if not isinstance(machines, list) or not machines:
+        raise ConfigError("'machines' must be a non-empty list", source=source)
+    network = parse_network(payload.get("network", {}), source)
+    cluster = Cluster(network)
+    for spec in machines:
+        try:
+            name = spec["name"]
+            cores = int(spec["cores"])
+        except KeyError as exc:
+            raise ConfigError(
+                f"machine missing {exc.args[0]!r}: {spec!r}", source=source
+            )
+        ladder = None
+        if "dvfs" in spec:
+            ladder = parse_dvfs(spec["dvfs"], source)
+        cluster.add_machine(Machine(name, cores, ladder))
+    return cluster
+
+
+def table2_payload() -> dict:
+    """The paper's Table II server as a machines.json fragment."""
+    return {
+        "name": "server0",
+        "cores": 40,
+        "dvfs": {"min_ghz": 1.2, "max_ghz": 2.6, "step_ghz": 0.1},
+    }

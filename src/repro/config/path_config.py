@@ -1,0 +1,101 @@
+"""path.json — inter-microservice paths (Table I).
+
+::
+
+    {
+      "trees": [
+        {"name": "two_tier", "probability": 1.0, "response_bytes": 612,
+         "request_type": null,
+         "nodes": [
+           {"name": "nginx", "service": "nginx", "path_name": "serve",
+            "on_enter": {"action": "block"},
+            "request_bytes": 128},
+           {"name": "memcached", "service": "memcached",
+            "path_name": "memcached_read"},
+           {"name": "nginx_resp", "service": "nginx",
+            "path_name": "respond", "same_instance_as": "nginx",
+            "on_leave": {"action": "unblock", "connection_of": "nginx"}}
+         ],
+         "edges": [["nginx", "memcached"], ["memcached", "nginx_resp"]]}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigError
+from ..topology import Dispatcher, NodeOp, PathNode, PathTree
+
+
+def _parse_op(payload: Optional[dict], source: str) -> Optional[NodeOp]:
+    if payload is None:
+        return None
+    action = payload.get("action")
+    if action is None:
+        raise ConfigError("op needs an 'action'", source=source)
+    return NodeOp(action, payload.get("connection_of"))
+
+
+def parse_tree(spec: dict, source: str = "path.json") -> PathTree:
+    """Build one PathTree from its JSON spec."""
+    name = spec.get("name", "default")
+    tree = PathTree(name, response_bytes=spec.get("response_bytes"))
+    nodes = spec.get("nodes")
+    if not isinstance(nodes, list) or not nodes:
+        raise ConfigError(
+            f"tree {name!r}: 'nodes' must be a non-empty list", source=source
+        )
+    for node_spec in nodes:
+        for key in ("name", "service"):
+            if key not in node_spec:
+                raise ConfigError(
+                    f"tree {name!r}: node missing {key!r}: {node_spec!r}",
+                    source=source,
+                )
+        tree.add_node(
+            PathNode(
+                node_spec["name"],
+                node_spec["service"],
+                path_id=node_spec.get("path_id"),
+                path_name=node_spec.get("path_name"),
+                same_instance_as=node_spec.get("same_instance_as"),
+                on_enter=_parse_op(node_spec.get("on_enter"), source),
+                on_leave=_parse_op(node_spec.get("on_leave"), source),
+                request_bytes=node_spec.get("request_bytes"),
+            )
+        )
+    for edge in spec.get("edges", []):
+        if not isinstance(edge, (list, tuple)) or len(edge) != 2:
+            raise ConfigError(
+                f"tree {name!r}: edges must be [parent, child] pairs, "
+                f"got {edge!r}",
+                source=source,
+            )
+        tree.add_edge(edge[0], edge[1])
+    tree.validate()
+    return tree
+
+
+def register_trees(
+    payload: dict,
+    dispatcher: Dispatcher,
+    source: str = "path.json",
+) -> List[PathTree]:
+    """Parse path.json and register every tree with the dispatcher."""
+    if not isinstance(payload, dict):
+        raise ConfigError("path config must be an object", source=source)
+    specs = payload.get("trees")
+    if not isinstance(specs, list) or not specs:
+        raise ConfigError("'trees' must be a non-empty list", source=source)
+    trees = []
+    for spec in specs:
+        tree = parse_tree(spec, source)
+        dispatcher.add_tree(
+            tree,
+            probability=spec.get("probability"),
+            request_type=spec.get("request_type"),
+        )
+        trees.append(tree)
+    return trees

@@ -1,0 +1,145 @@
+"""service.json — a microservice's internal architecture (Listing 1).
+
+The format extends the paper's Listing 1 with explicit cost terms
+(the paper keeps them in separate histogram files keyed by stage)::
+
+    {
+      "service_name": "memcached",
+      "stages": [
+        {"stage_name": "epoll", "stage_id": 0,
+         "queue_type": "epoll", "batching": true,
+         "queue_parameter": [null, 16],
+         "cost": {"base": {"dist": "deterministic", "value_us": 5},
+                  "per_job": {"dist": "deterministic", "value_us": 1}}},
+        ...
+      ],
+      "paths": [
+        {"path_id": 0, "path_name": "memcached_read",
+         "stages": [0, 1, 2, 3], "probability": 0.9},
+        ...
+      ]
+    }
+
+Path ``probability`` fields are optional; when present they must cover
+every path and sum to 1 (the SSIII-B state machine).
+
+A :class:`ServiceTemplate` is instantiated once per deployed instance —
+stage queues are stateful, so each instance gets fresh ones, while the
+(stateless) distributions are shared.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+from ..service import ExecutionPath, PathSelector, Stage, make_queue
+from .distributions import parse_distribution
+
+_COST_KEYS = ("base", "per_job", "per_byte", "io")
+
+
+class ServiceTemplate:
+    """Parsed service.json, ready to stamp out instances."""
+
+    def __init__(self, payload: dict, source: str = "service.json",
+                 base_dir: Optional[Path] = None) -> None:
+        if not isinstance(payload, dict):
+            raise ConfigError("service config must be an object", source=source)
+        self.source = source
+        self._base_dir = base_dir
+        try:
+            self.service_name = payload["service_name"]
+        except KeyError:
+            raise ConfigError("missing 'service_name'", source=source)
+        stages = payload.get("stages")
+        if not isinstance(stages, list) or not stages:
+            raise ConfigError("'stages' must be a non-empty list", source=source)
+        paths = payload.get("paths")
+        if not isinstance(paths, list) or not paths:
+            raise ConfigError("'paths' must be a non-empty list", source=source)
+        self._stage_specs = [self._check_stage(s) for s in stages]
+        self._path_specs = [self._check_path(p) for p in paths]
+
+    def _check_stage(self, spec: dict) -> dict:
+        for key in ("stage_name", "stage_id", "queue_type"):
+            if key not in spec:
+                raise ConfigError(
+                    f"stage missing {key!r}: {spec!r}", source=self.source
+                )
+        cost = spec.get("cost")
+        if not isinstance(cost, dict) or not any(k in cost for k in _COST_KEYS):
+            raise ConfigError(
+                f"stage {spec['stage_name']!r} needs a 'cost' object with at "
+                f"least one of {_COST_KEYS}",
+                source=self.source,
+            )
+        unknown = set(cost) - set(_COST_KEYS)
+        if unknown:
+            raise ConfigError(
+                f"stage {spec['stage_name']!r}: unknown cost keys {sorted(unknown)}",
+                source=self.source,
+            )
+        return spec
+
+    def _check_path(self, spec: dict) -> dict:
+        for key in ("path_id", "path_name", "stages"):
+            if key not in spec:
+                raise ConfigError(
+                    f"path missing {key!r}: {spec!r}", source=self.source
+                )
+        return spec
+
+    # Instantiation -------------------------------------------------------
+
+    def build_stages(self) -> List[Stage]:
+        """Fresh Stage objects (with fresh queues) for one instance."""
+        stages = []
+        for spec in self._stage_specs:
+            cost = spec["cost"]
+            kwargs: Dict[str, object] = {}
+            for key in _COST_KEYS:
+                if key in cost:
+                    kwargs[key] = parse_distribution(
+                        cost[key],
+                        f"{self.source}:{spec['stage_name']}",
+                        self._base_dir,
+                    )
+            io_dist = kwargs.pop("io", None)
+            stages.append(
+                Stage(
+                    spec["stage_name"],
+                    int(spec["stage_id"]),
+                    make_queue(spec["queue_type"], spec.get("queue_parameter")),
+                    batching=bool(spec.get("batching", False)),
+                    io=io_dist,  # type: ignore[arg-type]
+                    **kwargs,  # type: ignore[arg-type]
+                )
+            )
+        return stages
+
+    def build_selector(self) -> PathSelector:
+        paths = [
+            ExecutionPath(int(p["path_id"]), p["path_name"], p["stages"])
+            for p in self._path_specs
+        ]
+        probabilities = None
+        with_prob = [p for p in self._path_specs if "probability" in p]
+        if with_prob:
+            if len(with_prob) != len(self._path_specs):
+                raise ConfigError(
+                    "either all paths or none must carry 'probability'",
+                    source=self.source,
+                )
+            probabilities = {
+                int(p["path_id"]): float(p["probability"])
+                for p in self._path_specs
+            }
+        return PathSelector(paths, probabilities)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServiceTemplate {self.service_name} "
+            f"stages={len(self._stage_specs)} paths={len(self._path_specs)}>"
+        )

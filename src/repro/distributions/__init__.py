@@ -1,0 +1,46 @@
+"""Processing-time distributions (paper Table I "histograms" input).
+
+Two families, one interface (:class:`Distribution`):
+
+* parametric — :class:`Exponential`, :class:`Deterministic`,
+  :class:`Uniform`, :class:`LogNormal`, :class:`Pareto`,
+  :class:`Erlang`, :class:`Weibull`, plus :class:`Mixture`,
+  :class:`Scaled` and :class:`Shifted` combinators;
+* empirical — :class:`Histogram`, the profiling format the paper's users
+  collect by instrumenting stage boundaries.
+
+:class:`FrequencyTable` layers DVFS on top: one distribution per
+profiled frequency, frequency-ratio scaling in between.
+"""
+
+from .base import Distribution
+from .frequency import FrequencyTable
+from .histogram import Histogram
+from .standard import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Scaled,
+    Shifted,
+    Uniform,
+    Weibull,
+)
+
+__all__ = [
+    "Distribution",
+    "Deterministic",
+    "Exponential",
+    "Uniform",
+    "LogNormal",
+    "Pareto",
+    "Erlang",
+    "Weibull",
+    "Mixture",
+    "Scaled",
+    "Shifted",
+    "Histogram",
+    "FrequencyTable",
+]

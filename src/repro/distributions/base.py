@@ -1,0 +1,70 @@
+"""Distribution interface.
+
+Processing times in uqSim are described either by standard parametric
+distributions (paper SSIII-B: "processing time expressed using regular
+distributions, such as exponential") or by empirical histograms
+collected through profiling. Both implement this interface.
+
+Distributions are **stateless**: sampling takes the caller's
+:class:`numpy.random.Generator`, so one distribution object can safely
+be shared by many stages/instances while each consumer keeps its own
+reproducible stream (see :class:`repro.engine.RandomStreams`).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import DistributionError
+
+
+class Distribution(abc.ABC):
+    """A non-negative real-valued distribution (times in seconds)."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected value (used for calibration and BigHouse folding)."""
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw *n* values; subclasses override with vectorised versions."""
+        return np.array([self.sample(rng) for _ in range(n)])
+
+    # Combinators -------------------------------------------------------
+
+    def scaled(self, factor: float) -> "Distribution":
+        """This distribution with every draw multiplied by *factor*.
+
+        The canonical use is DVFS: halving the clock frequency scales
+        compute-bound stage times by ~2x.
+        """
+        from .standard import Scaled
+
+        return Scaled(self, factor)
+
+    def shifted(self, offset: float) -> "Distribution":
+        """This distribution with a constant *offset* added to every draw."""
+        from .standard import Shifted
+
+        return Shifted(self, offset)
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate that a distribution parameter is strictly positive."""
+    value = float(value)
+    if not value > 0:
+        raise DistributionError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Validate that a distribution parameter is >= 0."""
+    value = float(value)
+    if value < 0:
+        raise DistributionError(f"{name} must be >= 0, got {value!r}")
+    return value

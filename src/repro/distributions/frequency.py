@@ -1,0 +1,111 @@
+"""Frequency-dependent processing-time tables.
+
+Paper SSIII-B: a stage "is assigned to one or more execution time
+distributions that describe the stage's processing time under different
+settings, like different DVFS configurations"; and SSV-B: "we adjust the
+processing time of each execution stage as frequency changes by
+providing histograms corresponding to different frequencies".
+
+:class:`FrequencyTable` holds one distribution per DVFS frequency. When
+a frequency with no explicit entry is requested, the nearest profiled
+frequency's distribution is scaled by the frequency ratio — the standard
+first-order model of a compute-bound stage (cycles constant, time
+inversely proportional to clock).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import DistributionError
+from .base import Distribution
+
+
+class FrequencyTable:
+    """Maps CPU frequency (Hz) to a processing-time distribution."""
+
+    def __init__(
+        self,
+        table: Dict[float, Distribution],
+        compute_fraction: float = 1.0,
+    ) -> None:
+        """
+        *table* maps frequency in Hz to the profiled distribution at that
+        frequency. *compute_fraction* in [0, 1] is the share of the stage
+        time that scales with frequency (the rest — memory/IO-bound work
+        — does not); 1.0 is pure compute.
+        """
+        if not table:
+            raise DistributionError("FrequencyTable needs at least one entry")
+        for freq in table:
+            if freq <= 0:
+                raise DistributionError(f"frequency must be > 0 Hz, got {freq!r}")
+        if not 0.0 <= compute_fraction <= 1.0:
+            raise DistributionError(
+                f"compute_fraction must be in [0,1], got {compute_fraction!r}"
+            )
+        self._table = dict(sorted(table.items()))
+        self.compute_fraction = float(compute_fraction)
+
+    @classmethod
+    def single(
+        cls,
+        dist: Distribution,
+        frequency: float,
+        compute_fraction: float = 1.0,
+    ) -> "FrequencyTable":
+        """A table profiled at just one frequency; other points scale."""
+        return cls({float(frequency): dist}, compute_fraction)
+
+    @property
+    def frequencies(self) -> list:
+        """Profiled frequencies, ascending (Hz)."""
+        return list(self._table)
+
+    def _nearest(self, frequency: float) -> float:
+        freqs = np.asarray(list(self._table), dtype=float)
+        return float(freqs[np.argmin(np.abs(freqs - frequency))])
+
+    def scale_factor(self, frequency: float) -> float:
+        """Slowdown factor applied when running at *frequency* instead of
+        the nearest profiled frequency."""
+        base = self._nearest(frequency)
+        ratio = base / float(frequency)
+        # Amdahl-style: only the compute fraction stretches/shrinks.
+        return self.compute_fraction * ratio + (1.0 - self.compute_fraction)
+
+    def at(self, frequency: float) -> Distribution:
+        """Distribution for the stage when the core runs at *frequency* Hz."""
+        if frequency <= 0:
+            raise DistributionError(f"frequency must be > 0 Hz, got {frequency!r}")
+        exact = self._table.get(float(frequency))
+        if exact is not None:
+            return exact
+        base = self._nearest(frequency)
+        factor = self.scale_factor(frequency)
+        if factor == 1.0:
+            return self._table[base]
+        return self._table[base].scaled(factor)
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        frequency: Optional[float] = None,
+    ) -> float:
+        """Draw one processing time, at the highest profiled frequency by
+        default (the nominal operating point)."""
+        if frequency is None:
+            frequency = max(self._table)
+        return self.at(frequency).sample(rng)
+
+    def mean(self, frequency: Optional[float] = None) -> float:
+        """Mean processing time at *frequency* (nominal if omitted)."""
+        if frequency is None:
+            frequency = max(self._table)
+        return self.at(frequency).mean()
+
+    def __repr__(self) -> str:
+        ghz = ", ".join(f"{f/1e9:.2f}GHz" for f in self._table)
+        return f"FrequencyTable([{ghz}], compute={self.compute_fraction})"

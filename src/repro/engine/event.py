@@ -1,0 +1,84 @@
+"""Simulation events.
+
+uqSim is a discrete-event simulator (paper SSIII-A): every state change
+is an :class:`Event` with a timestamp, kept in a priority queue and
+executed in increasing time order. An event may represent the arrival
+or completion of a job in a microservice, as well as cluster
+administration operations such as a DVFS change or a power-management
+decision tick.
+
+Events here are callback-based: the payload is a callable plus
+positional arguments. Higher layers (services, dispatchers, clients)
+define named helpers that schedule the right callbacks; keeping the
+engine payload-agnostic is what makes the models modular.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+
+class Event:
+    """A single scheduled occurrence.
+
+    Events order by ``(time, priority, seq)``. ``priority`` breaks ties
+    between events scheduled for the same instant (lower runs first) and
+    ``seq`` is a global monotonically increasing counter that makes the
+    order of equal-time, equal-priority events deterministic (FIFO in
+    scheduling order) — a property the validation tests rely on.
+
+    Cancellation is lazy: :meth:`cancel` marks the event and the event
+    loop discards it when popped, which keeps the heap operations
+    O(log n) without requiring heap surgery.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    _seq_counter = itertools.count()
+
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        priority: int = 0,
+    ) -> None:
+        self.time = float(time)
+        self.priority = priority
+        self.seq = next(Event._seq_counter)
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when it is popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Run the event's callback."""
+        self.fn(*self.args)
+
+    # Ordering ---------------------------------------------------------
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.9f} p={self.priority} {name}{flag}>"
+
+
+# Priority bands. Lower value runs earlier at equal timestamps. The
+# bands encode causality at an instant: a completion must be processed
+# before the arrival it may unblock, and administrative changes (DVFS)
+# apply before any work scheduled at the same instant.
+PRIORITY_ADMIN = -10
+PRIORITY_COMPLETION = 0
+PRIORITY_ARRIVAL = 10
+PRIORITY_MONITOR = 20

@@ -1,0 +1,85 @@
+"""The simulator's central priority queue of pending events.
+
+Paper SSIII-A: "all events are stored in increasing time order in a
+priority queue. In every simulation cycle, the simulation queue manager
+queries the priority queue for the earliest event."
+
+Implemented as a binary heap (:mod:`heapq`) of :class:`~repro.engine.event.Event`
+objects with lazy deletion for cancelled events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator, Optional
+
+from .event import Event
+
+
+class EventQueue:
+    """Min-heap of events ordered by ``(time, priority, seq)``."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._live = 0  # number of non-cancelled events in the heap
+
+    def push(self, event: Event) -> Event:
+        """Insert *event* and return it (handy for chaining/cancelling)."""
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Cancelled events encountered on the way are discarded silently —
+        this is the lazy-deletion half of :meth:`Event.cancel`.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def cancel(self, event: Event) -> None:
+        """Cancel *event* (it stays in the heap until popped)."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debug aid
+        return iter(sorted(e for e in self._heap if not e.cancelled))
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def drain_until(self, time: float, sink: Callable[[Event], None]) -> None:
+        """Pop every live event with ``event.time <= time`` into *sink*.
+
+        Used by batch post-processing utilities and tests; the main loop
+        in :class:`~repro.engine.simulator.Simulator` pops one event at a
+        time so handlers may schedule new earlier work.
+        """
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                return
+            event = self.pop()
+            assert event is not None
+            sink(event)

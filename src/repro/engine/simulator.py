@@ -1,0 +1,131 @@
+"""The discrete-event simulation loop.
+
+Paper SSIII-A / Fig. 2: the queue manager repeatedly pops the earliest
+event, advances the clock to its timestamp, and fires its handler; the
+handler computes execution times via the microservice models and inserts
+causally dependent events back into the queue. Simulation completes when
+there are no more outstanding events (or an explicit horizon/stop
+condition is reached).
+
+Time is measured in **seconds** as a float throughout the library;
+helpers in :mod:`repro.telemetry` convert to ms/us for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+from .event import Event
+from .event_queue import EventQueue
+from .random import RandomStreams
+
+
+class Simulator:
+    """Owns the clock, the event queue, and the random streams.
+
+    All model components hold a reference to their simulator and use
+    :meth:`schedule` / :meth:`schedule_at` to insert future work.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.events = EventQueue()
+        self.random = RandomStreams(seed)
+        self.events_processed: int = 0
+        self._running = False
+        self._stop_requested = False
+
+    # Scheduling -------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run *delay* seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
+        return self.events.push(Event(self.now + delay, fn, args, priority))
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation *time*."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, clock already at {self.now!r}"
+            )
+        return self.events.push(Event(time, fn, args, priority))
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self.events.cancel(event)
+
+    # Main loop --------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Process events until the queue drains or a bound is hit.
+
+        ``until`` is an inclusive time horizon: events with timestamp
+        exactly equal to ``until`` still run, later ones stay queued and
+        the clock is left at ``until``. Returns the final clock value.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stop_requested = False
+        processed_this_run = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+                next_time = self.events.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = max(self.now, until)
+                    break
+                event = self.events.pop()
+                assert event is not None
+                if event.time < self.now:
+                    raise SimulationError(
+                        f"event queue yielded a past event: {event!r} at t={self.now}"
+                    )
+                self.now = event.time
+                event.fire()
+                self.events_processed += 1
+                processed_this_run += 1
+            else:  # pragma: no cover - loop exits via break only
+                pass
+        finally:
+            self._running = False
+        if until is not None and not self.events:
+            self.now = max(self.now, until)
+        return self.now
+
+    def stop(self) -> None:
+        """Request the main loop to exit after the current event.
+
+        Safe to call from inside an event handler (e.g. a telemetry
+        monitor that detected convergence).
+        """
+        self._stop_requested = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Simulator t={self.now:.6f}s pending={len(self.events)} "
+            f"processed={self.events_processed}>"
+        )

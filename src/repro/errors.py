@@ -1,0 +1,62 @@
+"""Exception hierarchy for the uqSim reproduction.
+
+All errors raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class. Sub-classes mark the subsystem
+that detected the problem; configuration errors additionally carry the
+offending file/section where available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistent state.
+
+    Examples: scheduling an event in the past, running a simulator that
+    was already stopped, or an event handler corrupting the clock.
+    """
+
+
+class ConfigError(ReproError):
+    """A configuration input (JSON spec or programmatic builder) is invalid.
+
+    Carries an optional ``source`` describing the file or section the
+    error came from, so that multi-file specs (service.json, graph.json,
+    path.json, machines.json, client.json) produce actionable messages.
+    """
+
+    def __init__(self, message: str, *, source: str | None = None) -> None:
+        self.source = source
+        if source is not None:
+            message = f"{source}: {message}"
+        super().__init__(message)
+
+
+class ResourceError(ReproError):
+    """A hardware resource request cannot be satisfied.
+
+    Raised when a deployment pins more threads than a machine has cores,
+    references an unknown machine, or double-books a dedicated core.
+    """
+
+
+class TopologyError(ReproError):
+    """The inter-microservice graph or path tree is malformed.
+
+    Examples: a path node referencing an unknown microservice or
+    execution path, a cyclic blocking dependency, or fan-in that can
+    never be satisfied.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload definition cannot be realised (bad rate, empty mix...)."""
+
+
+class DistributionError(ReproError):
+    """A processing-time distribution is invalid (negative scale, empty
+    histogram, probabilities that do not sum to one...)."""

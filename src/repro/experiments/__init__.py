@@ -1,0 +1,26 @@
+"""Experiment harness: load sweeps, validation experiment definitions,
+the tail-at-scale and power-management studies, the BigHouse
+comparison, and the figure/table registry."""
+
+from . import comparison, power_mgmt, registry, tail_at_scale, validation
+from .replication import ReplicatedPoint, replicate_at_load
+from .loadsweep import (
+    SweepPoint,
+    load_latency_sweep,
+    measure_at_load,
+    saturation_load,
+)
+
+__all__ = [
+    "ReplicatedPoint",
+    "SweepPoint",
+    "comparison",
+    "load_latency_sweep",
+    "measure_at_load",
+    "power_mgmt",
+    "registry",
+    "replicate_at_load",
+    "saturation_load",
+    "tail_at_scale",
+    "validation",
+]

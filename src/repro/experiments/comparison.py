@@ -1,0 +1,119 @@
+"""uqSim vs BigHouse comparison (paper SSIV-E / Fig 13).
+
+Single-process NGINX and 4-thread memcached, each simulated three ways:
+
+* "real"   — the testbed surrogate (full model + realism effects);
+* uqSim    — the full multi-stage model;
+* BigHouse — the application folded into one G/G/k queue, charging the
+  entire epoll cost to every request (no batch amortisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..apps import calibration as cal
+from ..apps import single_memcached, single_nginx
+from ..bighouse import BigHouseSimulator, FoldedServiceTime
+from ..distributions import Exponential
+from ..testbed import RealismConfig
+from .loadsweep import SweepPoint, load_latency_sweep
+
+
+@dataclass
+class ComparisonPoint:
+    """One load level measured by all three methodologies (seconds)."""
+
+    offered_qps: float
+    uqsim_p99: float
+    bighouse_p99: float
+    real_p99: Optional[float] = None
+
+
+def bighouse_single_tier(
+    build_world: Callable[..., object],
+    qps: float,
+    servers: int,
+    mean_request_bytes: float = 0.0,
+    seed: int = 0,
+    path_name: Optional[str] = None,
+) -> float:
+    """BigHouse's p99 for a single-tier app at *qps* offered load.
+
+    *path_name* selects the execution path the workload exercises —
+    BigHouse's profiled service distribution would reflect the actual
+    request mix, so the folding must too.
+    """
+    world = build_world(seed=seed)
+    tier = world.deployment.services[0]
+    instance = world.deployment.instances(tier)[0]
+    folded = FoldedServiceTime(instance, mean_request_bytes, path_name)
+    sim = BigHouseSimulator(
+        interarrival=Exponential(1.0 / qps),
+        service=folded,
+        servers=servers,
+        seed=seed,
+    )
+    return sim.run().p99
+
+
+def compare_single_tier(
+    build_world: Callable[..., object],
+    loads: Sequence[float],
+    servers: int,
+    duration: float = 0.4,
+    warmup: float = 0.1,
+    with_real: bool = True,
+    mean_request_bytes: float = 0.0,
+    seed: int = 1,
+    path_name: Optional[str] = None,
+    **world_kwargs,
+) -> List[ComparisonPoint]:
+    """The three curves of one Fig 13 panel."""
+    uq_points = load_latency_sweep(
+        build_world, loads, duration, warmup, seed=seed, **world_kwargs
+    )
+    real_points: List[Optional[SweepPoint]] = [None] * len(uq_points)
+    if with_real:
+        real_points = load_latency_sweep(  # type: ignore[assignment]
+            build_world, loads, duration, warmup, seed=seed + 1,
+            realism=RealismConfig(), **world_kwargs,
+        )
+    results = []
+    for uq, real in zip(uq_points, real_points):
+        bh_p99 = bighouse_single_tier(
+            build_world,
+            uq.offered_qps,
+            servers,
+            mean_request_bytes,
+            seed=seed,
+            path_name=path_name,
+        )
+        results.append(
+            ComparisonPoint(
+                offered_qps=uq.offered_qps,
+                uqsim_p99=uq.p99,
+                bighouse_p99=bh_p99,
+                real_p99=real.p99 if real is not None else None,
+            )
+        )
+    return results
+
+
+def nginx_panel(loads=(2000, 4000, 6000, 8000, 8800), **kwargs):
+    """Fig 13 left: single-process NGINX (serving static pages)."""
+    return compare_single_tier(
+        single_nginx, loads, servers=1,
+        mean_request_bytes=cal.FANOUT_PAGE_BYTES,
+        path_name="serve", **kwargs,
+    )
+
+
+def memcached_panel(loads=(20_000, 80_000, 140_000, 180_000, 210_000), **kwargs):
+    """Fig 13 right: 4-thread memcached (read workload)."""
+    return compare_single_tier(
+        single_memcached, loads, servers=4,
+        mean_request_bytes=cal.DEFAULT_VALUE_BYTES,
+        path_name="memcached_read", **kwargs,
+    )

@@ -1,0 +1,135 @@
+"""Load-latency sweeps: the measurement harness behind every
+validation figure.
+
+The paper's methodology (SSIV): drive the application with an open-loop
+client at a fixed offered load, measure mean and tail (p99) latency,
+repeat across loads up to and past saturation, and compare the
+simulated curve against the real system's. Here both curves come from
+:func:`load_latency_sweep` — the "real" one from a world built with a
+:class:`~repro.testbed.RealismConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..apps.base import World
+from ..errors import ReproError
+from ..workload import OpenLoopClient, RequestMix
+
+
+@dataclass
+class SweepPoint:
+    """Measurements at one offered load."""
+
+    offered_qps: float
+    throughput: float  # completed per second in the window
+    mean: float  # seconds
+    p50: float
+    p95: float
+    p99: float
+    completed: int
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic: completions fell >10% short of the offered load."""
+        return self.throughput < 0.9 * self.offered_qps
+
+    def row(self) -> list:
+        """Table row: load, throughput, mean/p99 in ms."""
+        return [
+            self.offered_qps,
+            round(self.throughput, 1),
+            self.mean * 1e3,
+            self.p99 * 1e3,
+        ]
+
+
+def measure_at_load(
+    build_world: Callable[..., World],
+    qps: float,
+    duration: float = 1.0,
+    warmup: float = 0.25,
+    mix: Optional[RequestMix] = None,
+    seed: int = 1,
+    **world_kwargs,
+) -> SweepPoint:
+    """Build a fresh world, drive it at *qps* for *duration* seconds,
+    and report statistics over the post-warmup window.
+
+    The world is rebuilt per point so measurements are independent; the
+    seed varies with the load so repeated points are decorrelated while
+    the whole sweep stays reproducible.
+    """
+    if warmup >= duration:
+        raise ReproError(
+            f"warmup ({warmup}) must be shorter than duration ({duration})"
+        )
+    world = build_world(seed=seed + int(qps) % 1_000_003, **world_kwargs)
+    client = OpenLoopClient(
+        world.sim,
+        world.dispatcher,
+        arrivals=qps,
+        mix=mix,
+        stop_at=duration,
+        realism=world.realism,
+    )
+    client.start()
+    world.sim.run(until=duration)
+
+    recorder = client.latencies
+    completed = recorder.count(since=warmup, until=duration)
+    if completed == 0:
+        # Fully wedged system: report the offered load with infinite-ish
+        # latency markers rather than crashing the sweep.
+        return SweepPoint(qps, 0.0, float("inf"), float("inf"), float("inf"),
+                          float("inf"), 0)
+    window = (warmup, duration)
+    return SweepPoint(
+        offered_qps=qps,
+        throughput=recorder.throughput(*window),
+        mean=recorder.mean(since=warmup, until=duration),
+        p50=recorder.percentile(50, since=warmup, until=duration),
+        p95=recorder.percentile(95, since=warmup, until=duration),
+        p99=recorder.percentile(99, since=warmup, until=duration),
+        completed=completed,
+    )
+
+
+def load_latency_sweep(
+    build_world: Callable[..., World],
+    loads: Sequence[float],
+    duration: float = 1.0,
+    warmup: float = 0.25,
+    mix: Optional[RequestMix] = None,
+    seed: int = 1,
+    **world_kwargs,
+) -> List[SweepPoint]:
+    """One :func:`measure_at_load` per offered load, ascending."""
+    return [
+        measure_at_load(
+            build_world, qps, duration, warmup, mix, seed, **world_kwargs
+        )
+        for qps in sorted(loads)
+    ]
+
+
+def saturation_load(
+    points: Sequence[SweepPoint],
+    p99_limit: Optional[float] = None,
+) -> float:
+    """The highest offered load the system sustained.
+
+    A point counts as sustained when throughput kept up with the
+    offered load and (optionally) p99 stayed under *p99_limit* seconds.
+    Returns 0.0 when even the lightest load saturated.
+    """
+    sustained = 0.0
+    for point in sorted(points, key=lambda p: p.offered_qps):
+        if point.saturated:
+            break
+        if p99_limit is not None and point.p99 > p99_limit:
+            break
+        sustained = point.offered_qps
+    return sustained

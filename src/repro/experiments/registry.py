@@ -1,0 +1,105 @@
+"""Registry mapping paper experiment ids to their runners.
+
+The per-experiment index of DESIGN.md SS3 in executable form: each
+entry knows which figure/table it regenerates and which callable runs
+it. ``benchmarks/`` drives these; users can too::
+
+    from repro.experiments import registry
+    result = registry.get("fig8").run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from . import comparison, power_mgmt, tail_at_scale, validation
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible evaluation artifact."""
+
+    exp_id: str
+    paper_ref: str
+    title: str
+    runner: Callable[..., Any]
+
+    def run(self, **kwargs: Any) -> Any:
+        return self.runner(**kwargs)
+
+
+_SPECS: List[ExperimentSpec] = [
+    ExperimentSpec(
+        "fig5", "Figure 5",
+        "2-tier NGINX-memcached validation across concurrency configs",
+        validation.fig5_two_tier,
+    ),
+    ExperimentSpec(
+        "fig6", "Figure 6",
+        "3-tier NGINX-memcached-MongoDB validation",
+        validation.fig6_three_tier,
+    ),
+    ExperimentSpec(
+        "fig8", "Figure 8",
+        "Load balancing validation (scale-out 4/8/16)",
+        validation.fig8_load_balancing,
+    ),
+    ExperimentSpec(
+        "fig10", "Figure 10",
+        "Request fanout validation (fanout 4..16)",
+        validation.fig10_fanout,
+    ),
+    ExperimentSpec(
+        "fig12a", "Figure 12(a)",
+        "Apache Thrift echo RPC validation",
+        validation.fig12a_thrift,
+    ),
+    ExperimentSpec(
+        "fig12b", "Figure 12(b)",
+        "Social Network end-to-end validation",
+        validation.fig12b_social_network,
+    ),
+    ExperimentSpec(
+        "fig13_nginx", "Figure 13 (left)",
+        "uqSim vs BigHouse: single-process NGINX",
+        comparison.nginx_panel,
+    ),
+    ExperimentSpec(
+        "fig13_memcached", "Figure 13 (right)",
+        "uqSim vs BigHouse: 4-thread memcached",
+        comparison.memcached_panel,
+    ),
+    ExperimentSpec(
+        "fig14", "Figure 14",
+        "Tail at scale: fanout with slow servers",
+        tail_at_scale.tail_at_scale_sweep,
+    ),
+    ExperimentSpec(
+        "fig16", "Figure 16",
+        "Power management timeline under diurnal load",
+        power_mgmt.run_power_experiment,
+    ),
+    ExperimentSpec(
+        "table3", "Table III",
+        "Power management QoS violation rates vs decision interval",
+        power_mgmt.violation_table,
+    ),
+]
+
+_BY_ID: Dict[str, ExperimentSpec] = {spec.exp_id: spec for spec in _SPECS}
+
+
+def get(exp_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (e.g. ``"fig8"``)."""
+    try:
+        return _BY_ID[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {sorted(_BY_ID)}"
+        ) from None
+
+
+def all_experiments() -> List[ExperimentSpec]:
+    """Every registered experiment, in paper order."""
+    return list(_SPECS)

@@ -1,0 +1,95 @@
+"""Replicated measurements with convergence control.
+
+BigHouse's methodology — run independent instances "until performance
+metrics converge" — applied to full uqSim experiments: repeat a sweep
+point with decorrelated seeds until the tail-latency estimate's
+relative standard error drops below a tolerance, and report the
+estimate with its confidence half-width. Use this when a single
+measurement window is too noisy (short windows, high percentiles,
+heavy-tailed services).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..apps.base import World
+from ..errors import ReproError
+from ..workload import RequestMix
+from .loadsweep import SweepPoint, measure_at_load
+
+
+@dataclass
+class ReplicatedPoint:
+    """Converged estimate for one offered load."""
+
+    offered_qps: float
+    p99_mean: float
+    p99_stderr: float
+    mean_mean: float
+    throughput_mean: float
+    replications: int
+    converged: bool
+    points: List[SweepPoint]
+
+    @property
+    def p99_ci95(self) -> float:
+        """95% confidence half-width of the p99 estimate."""
+        return 1.96 * self.p99_stderr
+
+
+def replicate_at_load(
+    build_world: Callable[..., World],
+    qps: float,
+    duration: float = 0.4,
+    warmup: float = 0.1,
+    mix: Optional[RequestMix] = None,
+    min_replications: int = 3,
+    max_replications: int = 12,
+    tolerance: float = 0.1,
+    seed: int = 1,
+    **world_kwargs,
+) -> ReplicatedPoint:
+    """Repeat a measurement until the p99 estimate converges.
+
+    Convergence: relative standard error of the per-replication p99
+    values under *tolerance* (after *min_replications*). Replications
+    use seeds ``seed + 10_007 * k`` so they are decorrelated but the
+    whole call is reproducible.
+    """
+    if min_replications < 2:
+        raise ReproError("need >= 2 replications to estimate spread")
+    if max_replications < min_replications:
+        raise ReproError("max_replications < min_replications")
+    if not 0 < tolerance < 1:
+        raise ReproError(f"tolerance must be in (0,1), got {tolerance!r}")
+
+    points: List[SweepPoint] = []
+    converged = False
+    for k in range(max_replications):
+        point = measure_at_load(
+            build_world, qps, duration, warmup, mix,
+            seed=seed + 10_007 * k, **world_kwargs,
+        )
+        points.append(point)
+        if len(points) >= min_replications:
+            p99s = np.array([p.p99 for p in points])
+            mean = p99s.mean()
+            stderr = p99s.std(ddof=1) / np.sqrt(len(p99s))
+            if mean > 0 and stderr / mean < tolerance:
+                converged = True
+                break
+    p99s = np.array([p.p99 for p in points])
+    return ReplicatedPoint(
+        offered_qps=qps,
+        p99_mean=float(p99s.mean()),
+        p99_stderr=float(p99s.std(ddof=1) / np.sqrt(len(p99s))),
+        mean_mean=float(np.mean([p.mean for p in points])),
+        throughput_mean=float(np.mean([p.throughput for p in points])),
+        replications=len(points),
+        converged=converged,
+        points=points,
+    )

@@ -1,0 +1,157 @@
+"""Tail@scale study (paper SSV-A / Fig 14).
+
+"we simulate clusters of different sizes, ranging from 5 servers to
+1000 servers ... a user request fans out to all servers in the cluster,
+and only returns to the user after the last server responds. ... the
+application is a simple one-stage queueing system with exponentially
+distributed processing time, around a 1ms mean. To emulate slow
+servers, we increase the average processing time of a configurable
+fraction of randomly-selected servers by 10x."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..apps.base import World, add_client_machine, new_world
+from ..distributions import Deterministic, Exponential
+from ..errors import ConfigError
+from ..hardware import Machine, NetworkFabric
+from ..service import (
+    ExecutionPath,
+    Microservice,
+    PathSelector,
+    SimpleModel,
+    SingleQueue,
+    Stage,
+)
+from ..topology import PathNode, PathTree
+from ..workload import OpenLoopClient
+
+
+def build_fanout_cluster(
+    cluster_size: int,
+    slow_fraction: float,
+    slow_factor: float = 10.0,
+    mean_service: float = 1e-3,
+    seed: int = 0,
+    network: Optional[NetworkFabric] = None,
+) -> World:
+    """A cluster of *cluster_size* one-stage leaf servers plus a cheap
+    aggregator; every request visits every leaf and synchronises at the
+    aggregator before returning."""
+    if cluster_size < 1:
+        raise ConfigError(f"cluster_size must be >= 1, got {cluster_size}")
+    if not 0.0 <= slow_fraction <= 1.0:
+        raise ConfigError(f"slow_fraction must be in [0,1], got {slow_fraction!r}")
+    if slow_factor < 1.0:
+        raise ConfigError(f"slow_factor must be >= 1, got {slow_factor!r}")
+
+    world = new_world(network, seed)
+    add_client_machine(world)
+    placement_rng = world.sim.random.stream("tail-at-scale/placement")
+    slow_mask = placement_rng.random(cluster_size) < slow_fraction
+
+    tree = PathTree("tail_at_scale")
+    agg_machine = world.cluster.add_machine(Machine("aggregator", 4))
+    aggregator = _one_stage_service(
+        world, "aggregator", "agg", Deterministic(5e-6), cores=4
+    )
+    tree.add_node(PathNode("root", "agg"))
+    for i in range(cluster_size):
+        machine_name = f"leaf-node{i}"
+        world.cluster.add_machine(Machine(machine_name, 1))
+        mean = mean_service * (slow_factor if slow_mask[i] else 1.0)
+        _one_stage_service(
+            world, machine_name, f"leaf{i}", Exponential(mean), cores=1
+        )
+        tree.add_node(PathNode(f"leaf{i}", f"leaf{i}"))
+        tree.add_edge("root", f"leaf{i}")
+    tree.add_node(PathNode("join", "agg", same_instance_as="root"))
+    for i in range(cluster_size):
+        tree.add_edge(f"leaf{i}", "join")
+    world.dispatcher.add_tree(tree)
+    world.labels.update(
+        scenario="tail_at_scale",
+        config=(
+            f"size={cluster_size} slow={slow_fraction:.0%} "
+            f"({int(slow_mask.sum())} slow servers)"
+        ),
+    )
+    return world
+
+
+def _one_stage_service(world, machine_name, tier, dist, cores):
+    machine = world.cluster.machine(machine_name)
+    core_set = machine.allocate(tier, cores)
+    stage = Stage("process", 0, SingleQueue(), base=dist)
+    selector = PathSelector([ExecutionPath(0, "only", [0])])
+    instance = Microservice(
+        tier,
+        world.sim,
+        [stage],
+        selector,
+        core_set,
+        model=SimpleModel(),
+        machine_name=machine_name,
+        tier=tier,
+    )
+    world.deployment.add_instance(instance)
+    return instance
+
+
+@dataclass
+class TailAtScalePoint:
+    """One (cluster size, slow fraction) measurement of Fig 14."""
+
+    cluster_size: int
+    slow_fraction: float
+    p50: float
+    p99: float
+    requests: int
+
+
+def measure_tail_at_scale(
+    cluster_size: int,
+    slow_fraction: float,
+    qps: float = 30.0,
+    num_requests: int = 300,
+    slow_factor: float = 10.0,
+    seed: int = 0,
+) -> TailAtScalePoint:
+    """Drive one (cluster size, slow fraction) configuration and report
+    the p50/p99 of the fan-in-synchronised end-to-end latency."""
+    world = build_fanout_cluster(
+        cluster_size, slow_fraction, slow_factor, seed=seed
+    )
+    client = OpenLoopClient(
+        world.sim, world.dispatcher, arrivals=qps, max_requests=num_requests
+    )
+    client.start()
+    world.sim.run()
+    recorder = client.latencies
+    return TailAtScalePoint(
+        cluster_size=cluster_size,
+        slow_fraction=slow_fraction,
+        p50=recorder.p50(),
+        p99=recorder.p99(),
+        requests=len(recorder),
+    )
+
+
+def tail_at_scale_sweep(
+    cluster_sizes: Sequence[int] = (5, 10, 50, 100, 500, 1000),
+    slow_fractions: Sequence[float] = (0.0, 0.01, 0.05, 0.10),
+    qps: float = 30.0,
+    num_requests: int = 300,
+    seed: int = 0,
+):
+    """The full Fig 14 grid."""
+    return [
+        measure_tail_at_scale(
+            size, frac, qps=qps, num_requests=num_requests, seed=seed
+        )
+        for frac in slow_fractions
+        for size in cluster_sizes
+    ]

@@ -1,0 +1,22 @@
+"""Hardware model: machines, cores, DVFS, and the network fabric.
+
+This is the substrate ``machines.json`` (paper Table I) describes:
+per-server core counts and frequency ranges, core pinning for
+microservice instances, and the latency of the wires between servers.
+"""
+
+from .cluster import Cluster
+from .core import CoreSet, CpuCore
+from .dvfs import GHZ, DvfsLadder
+from .machine import Machine
+from .network import NetworkFabric
+
+__all__ = [
+    "Cluster",
+    "CoreSet",
+    "CpuCore",
+    "DvfsLadder",
+    "GHZ",
+    "Machine",
+    "NetworkFabric",
+]

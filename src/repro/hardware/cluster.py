@@ -1,0 +1,85 @@
+"""Clusters: named machines plus the fabric connecting them."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..errors import ResourceError
+from .dvfs import DvfsLadder
+from .machine import Machine
+from .network import NetworkFabric
+
+
+class Cluster:
+    """The hardware side of a simulation: machines + network."""
+
+    def __init__(self, network: Optional[NetworkFabric] = None) -> None:
+        self._machines: Dict[str, Machine] = {}
+        self.network = network or NetworkFabric()
+
+    # Construction -------------------------------------------------------
+
+    def add_machine(self, machine: Machine) -> Machine:
+        if machine.name in self._machines:
+            raise ResourceError(f"duplicate machine name {machine.name!r}")
+        self._machines[machine.name] = machine
+        return machine
+
+    @classmethod
+    def homogeneous(
+        cls,
+        count: int,
+        cores_per_machine: int,
+        ladder: Optional[DvfsLadder] = None,
+        network: Optional[NetworkFabric] = None,
+        name_prefix: str = "node",
+    ) -> "Cluster":
+        """*count* identical machines named ``node0..node{count-1}``."""
+        if count < 1:
+            raise ResourceError(f"cluster needs >= 1 machine, got {count}")
+        cluster = cls(network)
+        for i in range(count):
+            cluster.add_machine(
+                Machine(f"{name_prefix}{i}", cores_per_machine, ladder)
+            )
+        return cluster
+
+    # Lookup -------------------------------------------------------------
+
+    def machine(self, name: str) -> Machine:
+        try:
+            return self._machines[name]
+        except KeyError:
+            raise ResourceError(
+                f"unknown machine {name!r}; cluster has {sorted(self._machines)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._machines
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self._machines.values())
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    @property
+    def machine_names(self) -> list:
+        return list(self._machines)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(m.num_cores for m in self._machines.values())
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        """Core-weighted mean utilisation across the cluster."""
+        total = self.total_cores
+        if total == 0:
+            return 0.0
+        busy = sum(
+            m.utilization(now, since) * m.num_cores for m in self._machines.values()
+        )
+        return busy / total
+
+    def __repr__(self) -> str:
+        return f"<Cluster machines={len(self)} cores={self.total_cores}>"

@@ -1,0 +1,81 @@
+"""DVFS frequency ladders.
+
+Paper Table II: the validation server scales between 1.2 GHz and
+2.6 GHz. DVFS exposes *discrete* frequency/voltage steps — the paper's
+power-management study (SSV-B) explicitly attributes the ~2 ms latency
+floor to this coarse granularity — so the ladder is a sorted tuple of
+allowed operating points, and every request to change frequency snaps
+to one of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..errors import ResourceError
+
+GHZ = 1e9
+
+
+class DvfsLadder:
+    """An ordered set of permitted core frequencies (Hz)."""
+
+    def __init__(self, frequencies: Iterable[float]) -> None:
+        freqs: Tuple[float, ...] = tuple(sorted(set(float(f) for f in frequencies)))
+        if not freqs:
+            raise ResourceError("DVFS ladder needs at least one frequency")
+        if freqs[0] <= 0:
+            raise ResourceError("frequencies must be positive")
+        self.frequencies = freqs
+
+    @classmethod
+    def xeon_e5_2660_v3(cls) -> "DvfsLadder":
+        """The Table II server: 1.2-2.6 GHz in 0.1 GHz steps."""
+        steps = [round(1.2 + 0.1 * i, 1) * GHZ for i in range(15)]
+        return cls(steps)
+
+    @classmethod
+    def fixed(cls, frequency: float) -> "DvfsLadder":
+        """A ladder with a single operating point (no DVFS)."""
+        return cls([frequency])
+
+    # Queries -----------------------------------------------------------
+
+    @property
+    def min(self) -> float:
+        return self.frequencies[0]
+
+    @property
+    def max(self) -> float:
+        return self.frequencies[-1]
+
+    def __len__(self) -> int:
+        return len(self.frequencies)
+
+    def __contains__(self, frequency: float) -> bool:
+        return float(frequency) in self.frequencies
+
+    def clamp(self, frequency: float) -> float:
+        """Snap an arbitrary frequency to the nearest ladder step."""
+        frequency = float(frequency)
+        return min(self.frequencies, key=lambda f: abs(f - frequency))
+
+    def index_of(self, frequency: float) -> int:
+        """Ladder index of *frequency* (after clamping)."""
+        return self.frequencies.index(self.clamp(frequency))
+
+    def step_down(self, frequency: float, steps: int = 1) -> float:
+        """The frequency *steps* ladder positions below (floors at min)."""
+        idx = max(0, self.index_of(frequency) - steps)
+        return self.frequencies[idx]
+
+    def step_up(self, frequency: float, steps: int = 1) -> float:
+        """The frequency *steps* ladder positions above (caps at max)."""
+        idx = min(len(self.frequencies) - 1, self.index_of(frequency) + steps)
+        return self.frequencies[idx]
+
+    def __repr__(self) -> str:
+        return (
+            f"DvfsLadder({self.min/GHZ:.1f}-{self.max/GHZ:.1f}GHz, "
+            f"{len(self)} steps)"
+        )

@@ -1,0 +1,112 @@
+"""Server machines.
+
+``machines.json`` (paper Table I) "records the available resources on
+each server". A :class:`Machine` owns a pool of cores; deployments
+carve dedicated :class:`~repro.hardware.core.CoreSet`s out of it, one
+per pinned microservice instance plus one for the machine's shared
+network-processing (soft_irq) service.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ResourceError
+from .core import CoreSet, CpuCore
+from .dvfs import DvfsLadder, GHZ
+
+
+class Machine:
+    """A server with a fixed number of cores and a DVFS ladder."""
+
+    def __init__(
+        self,
+        name: str,
+        num_cores: int,
+        ladder: Optional[DvfsLadder] = None,
+        frequency: Optional[float] = None,
+    ) -> None:
+        if num_cores < 1:
+            raise ResourceError(f"machine {name!r} needs >= 1 core, got {num_cores}")
+        self.name = name
+        self.ladder = ladder or DvfsLadder.fixed(2.6 * GHZ)
+        self.cores: List[CpuCore] = [
+            CpuCore(f"{name}/cpu{i}", self.ladder, frequency)
+            for i in range(num_cores)
+        ]
+        self._next_unallocated = 0
+        self._allocations: Dict[str, CoreSet] = {}
+
+    @classmethod
+    def table2(cls, name: str) -> "Machine":
+        """The paper's validation server (Table II): 2 sockets x 10
+        cores x 2 threads, 1.2-2.6 GHz DVFS. We expose the 40 hardware
+        threads as schedulable cores."""
+        return cls(name, num_cores=40, ladder=DvfsLadder.xeon_e5_2660_v3())
+
+    # Allocation ---------------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def unallocated_cores(self) -> int:
+        return self.num_cores - self._next_unallocated
+
+    def allocate(self, owner: str, num_cores: int) -> CoreSet:
+        """Pin *num_cores* dedicated cores to *owner*.
+
+        Allocation is first-fit over the remaining cores; the paper pins
+        each thread to a dedicated physical core, so cores are never
+        shared between owners.
+        """
+        if owner in self._allocations:
+            raise ResourceError(
+                f"machine {self.name!r}: owner {owner!r} already has cores"
+            )
+        if num_cores < 1:
+            raise ResourceError(f"cannot allocate {num_cores} cores")
+        if num_cores > self.unallocated_cores:
+            raise ResourceError(
+                f"machine {self.name!r}: requested {num_cores} cores for "
+                f"{owner!r} but only {self.unallocated_cores} remain "
+                f"unallocated of {self.num_cores}"
+            )
+        start = self._next_unallocated
+        self._next_unallocated += num_cores
+        core_set = CoreSet(owner, self.cores[start : start + num_cores])
+        self._allocations[owner] = core_set
+        return core_set
+
+    def allocation(self, owner: str) -> CoreSet:
+        """The core set previously pinned to *owner*."""
+        try:
+            return self._allocations[owner]
+        except KeyError:
+            raise ResourceError(
+                f"machine {self.name!r} has no allocation for {owner!r}"
+            ) from None
+
+    @property
+    def allocations(self) -> Dict[str, CoreSet]:
+        return dict(self._allocations)
+
+    # DVFS ---------------------------------------------------------------
+
+    def set_frequency(self, frequency: float) -> float:
+        """DVFS every core on the machine."""
+        snapped = self.ladder.clamp(frequency)
+        for core in self.cores:
+            core.set_frequency(snapped)
+        return snapped
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        """Mean utilisation across all the machine's cores."""
+        return sum(c.utilization(now, since) for c in self.cores) / self.num_cores
+
+    def __repr__(self) -> str:
+        return (
+            f"<Machine {self.name} cores={self.num_cores} "
+            f"allocated={self._next_unallocated}>"
+        )

@@ -1,0 +1,69 @@
+"""Network fabric: wire latency between machines.
+
+uqSim models *network processing* (TCP/IP rx/tx, interrupt handling) as
+a standalone per-machine service that colocated microservices share
+(paper SSIII-B) — that part lives in the service layer, built by the
+deployment. What belongs to the hardware layer is the propagation and
+serialisation delay between two machines, which this module provides.
+
+The default parameters approximate the paper's testbed: a 1 Gbps
+switched network where an intra-rack RTT is a few tens of microseconds
+and same-machine communication short-circuits through loopback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..distributions import Deterministic, Distribution, Exponential
+from ..errors import ResourceError
+
+BYTES_PER_SECOND_1GBPS = 125_000_000.0
+
+
+class NetworkFabric:
+    """Latency model for machine-to-machine message transfer."""
+
+    def __init__(
+        self,
+        propagation: Optional[Distribution] = None,
+        loopback: Optional[Distribution] = None,
+        bandwidth_bytes_per_s: float = BYTES_PER_SECOND_1GBPS,
+    ) -> None:
+        """
+        *propagation* is the one-way wire+switch delay between distinct
+        machines; *loopback* the kernel loopback delay for colocated
+        services. Serialisation time (message bytes / bandwidth) is added
+        on top for cross-machine messages.
+        """
+        if bandwidth_bytes_per_s <= 0:
+            raise ResourceError(
+                f"bandwidth must be positive, got {bandwidth_bytes_per_s!r}"
+            )
+        # ~20us mean switched-path delay; ~5us loopback.
+        self.propagation = propagation or Exponential(20e-6)
+        self.loopback = loopback or Deterministic(5e-6)
+        self.bandwidth = float(bandwidth_bytes_per_s)
+
+    def delay(
+        self,
+        src_machine: str,
+        dst_machine: str,
+        message_bytes: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """One-way latency for a *message_bytes* message src -> dst."""
+        if message_bytes < 0:
+            raise ResourceError(f"negative message size: {message_bytes!r}")
+        if src_machine == dst_machine:
+            return self.loopback.sample(rng)
+        return self.propagation.sample(rng) + message_bytes / self.bandwidth
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkFabric(prop~{self.propagation.mean()*1e6:.1f}us, "
+            f"lo~{self.loopback.mean()*1e6:.1f}us, "
+            f"{self.bandwidth*8/1e9:.1f}Gbps)"
+        )

@@ -1,0 +1,17 @@
+"""QoS-aware power management for microservices (paper SSV-B,
+Algorithm 1)."""
+
+from .buckets import Bucket, LatencyBuckets, no_more_relaxed
+from .energy import CorePowerModel, EnergyReport, energy_report, tier_energy
+from .manager import PowerManager
+
+__all__ = [
+    "Bucket",
+    "CorePowerModel",
+    "EnergyReport",
+    "LatencyBuckets",
+    "PowerManager",
+    "energy_report",
+    "no_more_relaxed",
+    "tier_energy",
+]

@@ -1,0 +1,156 @@
+"""Latency buckets for the power-management algorithm.
+
+Paper SSV-B: "our algorithm divides the tail latency space into a
+number of buckets, with each bucket corresponding to a given end-to-end
+QoS range, and classifies the observed per-tier latencies into the
+corresponding buckets. ... Different buckets are equally likely to be
+visited initially, and as the application execution progresses, the
+scheduler learns which buckets are more likely to meet the end-to-end
+tail latency requirement, and adjusts the weights accordingly. To
+refine the recorded per-tier latencies, every bucket also keeps a list
+of previous per-tier tuples that fail to meet QoS when used as the
+latency target, and a new per-tier tuple is only inserted if it is no
+more relaxed than any of the failing tuples."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+TierTuple = Tuple[float, ...]
+
+#: Multiplicative preference updates (learning rate of the scheduler).
+PREFERENCE_BOOST = 1.25
+PREFERENCE_PENALTY = 0.6
+MIN_PREFERENCE = 0.05
+MAX_STORED_TUPLES = 64
+MAX_FAILING_TUPLES = 64
+
+
+def no_more_relaxed(candidate: TierTuple, failing: TierTuple) -> bool:
+    """True when *candidate* is NOT element-wise looser than *failing*.
+
+    A candidate that is >= a known-failing tuple in every tier (i.e. at
+    least as relaxed everywhere) would fail for the same reason; any
+    tier where the candidate is strictly tighter makes it admissible.
+    """
+    if len(candidate) != len(failing):
+        raise ConfigError(
+            f"tier count mismatch: {len(candidate)} vs {len(failing)}"
+        )
+    return any(c < f for c, f in zip(candidate, failing))
+
+
+class Bucket:
+    """One end-to-end latency range and its per-tier knowledge."""
+
+    def __init__(self, index: int, lower: float, upper: float) -> None:
+        self.index = index
+        self.lower = lower
+        self.upper = upper
+        self.preference = 1.0
+        self.tuples: List[TierTuple] = []
+        self.failing: List[TierTuple] = []
+
+    def try_insert(self, stats: TierTuple) -> bool:
+        """Record an observed per-tier tuple unless a failing tuple
+        proves it hopeless."""
+        if any(not no_more_relaxed(stats, f) for f in self.failing):
+            return False
+        self.tuples.append(stats)
+        if len(self.tuples) > MAX_STORED_TUPLES:
+            self.tuples.pop(0)
+        return True
+
+    def record_failure(self, target: TierTuple) -> None:
+        """The per-tier target drawn from this bucket missed QoS."""
+        self.failing.append(target)
+        if len(self.failing) > MAX_FAILING_TUPLES:
+            self.failing.pop(0)
+        # Purge stored tuples the new failure invalidates.
+        self.tuples = [t for t in self.tuples if no_more_relaxed(t, target)]
+
+    def boost(self) -> None:
+        self.preference *= PREFERENCE_BOOST
+
+    def penalise(self) -> None:
+        self.preference = max(MIN_PREFERENCE, self.preference * PREFERENCE_PENALTY)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Bucket {self.index} [{self.lower*1e3:.1f},{self.upper*1e3:.1f})ms "
+            f"pref={self.preference:.2f} tuples={len(self.tuples)} "
+            f"failing={len(self.failing)}>"
+        )
+
+
+class LatencyBuckets:
+    """The set of buckets spanning [0, span) seconds of tail latency."""
+
+    def __init__(
+        self,
+        num_buckets: int,
+        span: float,
+        num_tiers: int,
+    ) -> None:
+        if num_buckets < 1:
+            raise ConfigError(f"need >= 1 bucket, got {num_buckets}")
+        if span <= 0:
+            raise ConfigError(f"span must be > 0, got {span!r}")
+        if num_tiers < 1:
+            raise ConfigError(f"need >= 1 tier, got {num_tiers}")
+        self.span = float(span)
+        self.num_tiers = num_tiers
+        width = self.span / num_buckets
+        self.buckets = [
+            Bucket(i, i * width, (i + 1) * width) for i in range(num_buckets)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    def bucket_for(self, e2e_latency: float) -> Bucket:
+        """The bucket whose range contains *e2e_latency* (clamped)."""
+        if e2e_latency < 0:
+            raise ConfigError(f"negative latency {e2e_latency!r}")
+        idx = min(
+            int(e2e_latency / self.span * len(self.buckets)),
+            len(self.buckets) - 1,
+        )
+        return self.buckets[idx]
+
+    def observe(self, e2e_latency: float, stats: TierTuple) -> Optional[Bucket]:
+        """Classify a QoS-meeting observation (Algorithm 1 lines 5-9)."""
+        if len(stats) != self.num_tiers:
+            raise ConfigError(
+                f"expected {self.num_tiers} tiers, got {len(stats)}"
+            )
+        bucket = self.bucket_for(e2e_latency)
+        bucket.try_insert(stats)
+        bucket.boost()
+        return bucket
+
+    def choose_target(
+        self, rng: np.random.Generator
+    ) -> Tuple[Optional[Bucket], Optional[TierTuple]]:
+        """Preference-weighted draw of a bucket and one of its stored
+        per-tier tuples (Algorithm 1 lines 11-12, 18-19).
+
+        Returns (None, None) before anything has been learned.
+        """
+        candidates = [b for b in self.buckets if b.tuples]
+        if not candidates:
+            return None, None
+        weights = np.array([b.preference for b in candidates])
+        weights = weights / weights.sum()
+        bucket = candidates[int(rng.choice(len(candidates), p=weights))]
+        tuple_idx = int(rng.integers(len(bucket.tuples)))
+        return bucket, bucket.tuples[tuple_idx]
+
+    def __repr__(self) -> str:
+        learned = sum(1 for b in self.buckets if b.tuples)
+        return f"<LatencyBuckets {len(self)} buckets, {learned} populated>"

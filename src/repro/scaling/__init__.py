@@ -1,0 +1,6 @@
+"""Horizontal autoscaling use case (library extension; see
+DESIGN.md)."""
+
+from .autoscaler import ActiveSetBalancer, AutoScaler
+
+__all__ = ["ActiveSetBalancer", "AutoScaler"]

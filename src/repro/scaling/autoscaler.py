@@ -1,0 +1,168 @@
+"""Utilisation-driven horizontal autoscaling.
+
+A use case in the spirit of the paper's SSV studies: the intro
+motivates uqSim with cluster management ("the scheduler must now
+determine the impact of dependencies between any two microservices in
+order to guarantee end-to-end QoS"). This module provides the simplest
+such manager: replicas of a tier are activated/deactivated to keep
+utilisation inside a band, trading provisioned capacity (core-hours)
+against latency under time-varying load.
+
+Mechanics: the tier is deployed at its maximum replica count (cores are
+pinned up front, as everywhere in uqSim); an :class:`ActiveSetBalancer`
+routes requests only to the first *active_count* replicas, and the
+:class:`AutoScaler` adjusts that count each decision interval from
+measured utilisation. Deactivated replicas finish their queued work and
+then sit idle — their cores count as reclaimed capacity in the
+:meth:`AutoScaler.core_seconds_active` accounting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..engine import PRIORITY_MONITOR, Simulator
+from ..errors import ConfigError
+from ..service import Microservice
+from ..telemetry import TimeSeries
+from ..topology.load_balancer import LoadBalancer
+
+
+class ActiveSetBalancer(LoadBalancer):
+    """Round-robin over the first ``active_count`` replicas."""
+
+    def __init__(self, total: int, initial_active: int = 1) -> None:
+        if total < 1:
+            raise ConfigError(f"need >= 1 replica, got {total}")
+        if not 1 <= initial_active <= total:
+            raise ConfigError(
+                f"initial_active must be in [1, {total}], got {initial_active}"
+            )
+        self.total = total
+        self.active_count = initial_active
+        self._next = 0
+
+    def pick(
+        self,
+        instances: Sequence[Microservice],
+        rng: np.random.Generator,
+    ) -> Microservice:
+        self._require_instances(instances)
+        active = min(self.active_count, len(instances))
+        chosen = instances[self._next % active]
+        self._next += 1
+        return chosen
+
+    def set_active(self, count: int) -> int:
+        self.active_count = max(1, min(self.total, count))
+        return self.active_count
+
+
+class AutoScaler:
+    """Keeps a tier's per-active-replica utilisation inside a band.
+
+    Each *decision_interval*, measure the mean utilisation of the
+    active replicas over the last interval; above *high_watermark*
+    activate one more replica, below *low_watermark* deactivate one.
+    One step at a time — the same damping rationale as Algorithm 1's
+    one-tier-at-a-time slowdowns.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        replicas: Sequence[Microservice],
+        balancer: ActiveSetBalancer,
+        decision_interval: float = 0.5,
+        low_watermark: float = 0.3,
+        high_watermark: float = 0.7,
+    ) -> None:
+        if not replicas:
+            raise ConfigError("autoscaler needs at least one replica")
+        if not 0.0 <= low_watermark < high_watermark <= 1.0:
+            raise ConfigError(
+                f"need 0 <= low < high <= 1, got "
+                f"({low_watermark!r}, {high_watermark!r})"
+            )
+        if decision_interval <= 0:
+            raise ConfigError(
+                f"decision_interval must be > 0, got {decision_interval!r}"
+            )
+        self.sim = sim
+        self.replicas: List[Microservice] = list(replicas)
+        self.balancer = balancer
+        self.decision_interval = float(decision_interval)
+        self.low_watermark = low_watermark
+        self.high_watermark = high_watermark
+
+        self._last_busy = [0.0] * len(self.replicas)
+        self._last_time = 0.0
+        self.decisions = 0
+        self.active_series = TimeSeries("active_replicas")
+        self.utilization_series = TimeSeries("active_utilization")
+        self._core_seconds = 0.0
+
+    def start(self) -> "AutoScaler":
+        self._last_time = self.sim.now
+        self._last_busy = [self._busy_of(r) for r in self.replicas]
+        self.sim.schedule(
+            self.decision_interval, self._cycle, priority=PRIORITY_MONITOR
+        )
+        return self
+
+    @staticmethod
+    def _busy_of(replica: Microservice) -> float:
+        now = replica.sim.now
+        busy = 0.0
+        for core in replica.cores.cores:
+            busy += core.busy_time
+            if core.busy and core._busy_since is not None:
+                busy += now - core._busy_since
+        return busy
+
+    def _cycle(self) -> None:
+        self.sim.schedule(
+            self.decision_interval, self._cycle, priority=PRIORITY_MONITOR
+        )
+        now = self.sim.now
+        window = now - self._last_time
+        active = self.balancer.active_count
+        # Provisioned capacity accounting: active replicas' cores.
+        self._core_seconds += window * sum(
+            len(self.replicas[i].cores) for i in range(active)
+        )
+        utils = []
+        for i, replica in enumerate(self.replicas):
+            busy = self._busy_of(replica)
+            if i < active and window > 0:
+                utils.append(
+                    (busy - self._last_busy[i]) / (window * len(replica.cores))
+                )
+            self._last_busy[i] = busy
+        self._last_time = now
+        mean_util = float(np.mean(utils)) if utils else 0.0
+        self.decisions += 1
+        self.utilization_series.append(now, mean_util)
+
+        if mean_util > self.high_watermark:
+            self.balancer.set_active(active + 1)
+        elif mean_util < self.low_watermark and active > 1:
+            self.balancer.set_active(active - 1)
+        self.active_series.append(now, self.balancer.active_count)
+
+    @property
+    def active(self) -> int:
+        return self.balancer.active_count
+
+    def core_seconds_active(self) -> float:
+        """Provisioned core-seconds so far (the cost side of scaling)."""
+        return self._core_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"<AutoScaler replicas={len(self.replicas)} "
+            f"active={self.active} band=({self.low_watermark},"
+            f"{self.high_watermark})>"
+        )

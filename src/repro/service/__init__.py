@@ -1,0 +1,53 @@
+"""Intra-microservice model (paper SSIII-B) — the first half of uqSim's
+core contribution.
+
+A microservice is application logic (stages with single/socket/epoll
+queues, assembled into probabilistically selected execution paths) plus
+an execution model (simple or multi-threaded), pinned to a core set and
+optionally backed by an I/O device. Jobs flow through the stages fully
+event-driven, with batching amortisation, per-connection blocking, and
+runtime-dependent stage costs.
+"""
+
+from .connections import Connection, ConnectionPool
+from .execution_models import (
+    ExecutionModel,
+    MultiThreadedModel,
+    SimpleModel,
+    Worker,
+)
+from .io import IoDevice
+from .job import Job, Request
+from .microservice import Microservice
+from .paths import ExecutionPath, PathSelector
+from .queues import (
+    EpollQueue,
+    SingleQueue,
+    SocketQueue,
+    StageQueue,
+    make_queue,
+)
+from .stage import NOMINAL_FREQUENCY, Stage, as_frequency_table
+
+__all__ = [
+    "Connection",
+    "ConnectionPool",
+    "EpollQueue",
+    "ExecutionModel",
+    "ExecutionPath",
+    "IoDevice",
+    "Job",
+    "Microservice",
+    "MultiThreadedModel",
+    "NOMINAL_FREQUENCY",
+    "PathSelector",
+    "Request",
+    "SimpleModel",
+    "SingleQueue",
+    "SocketQueue",
+    "Stage",
+    "StageQueue",
+    "Worker",
+    "as_frequency_table",
+    "make_queue",
+]

@@ -1,0 +1,87 @@
+"""I/O devices (disks).
+
+The paper's 3-tier validation is "primarily bottlenecked by the disk
+I/O bandwidth of MongoDB" (SSIV-A), and blocking behaviour between
+microservices includes "I/O accessing" (SSIII-C). An :class:`IoDevice`
+is a k-channel FIFO server: operations queue when all channels are
+busy, which is what makes the disk a saturating resource rather than a
+fixed latency.
+
+While a stage's batch is in I/O, the executing thread stays occupied
+but the CPU core is released — see
+:mod:`repro.service.execution_models`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+from ..engine import PRIORITY_COMPLETION, Simulator
+from ..errors import ConfigError
+
+
+class IoDevice:
+    """A shared device with *channels* parallel operations in flight."""
+
+    def __init__(self, name: str, sim: Simulator, channels: int = 1) -> None:
+        if channels < 1:
+            raise ConfigError(f"io device {name!r} needs >= 1 channel")
+        self.name = name
+        self.sim = sim
+        self.channels = channels
+        self._busy = 0
+        self._waiting: Deque[Tuple[float, Callable[[], None]]] = deque()
+        # Telemetry.
+        self.ops_completed = 0
+        self.busy_time = 0.0
+
+    @property
+    def queue_depth(self) -> int:
+        """Operations waiting for a channel."""
+        return len(self._waiting)
+
+    @property
+    def in_flight(self) -> int:
+        return self._busy
+
+    def submit(self, duration: float, on_done: Callable[[], None]) -> None:
+        """Request *duration* seconds of device time, then call *on_done*.
+
+        Zero-duration submissions complete via the event queue too, so
+        callers observe a consistent (asynchronous) completion order.
+        """
+        if duration < 0:
+            raise ConfigError(f"negative io duration {duration!r}")
+        self._waiting.append((duration, on_done))
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._busy < self.channels and self._waiting:
+            duration, on_done = self._waiting.popleft()
+            self._busy += 1
+            self.busy_time += duration
+            self.sim.schedule(
+                duration,
+                self._complete,
+                on_done,
+                priority=PRIORITY_COMPLETION,
+            )
+
+    def _complete(self, on_done: Callable[[], None]) -> None:
+        self._busy -= 1
+        self.ops_completed += 1
+        on_done()
+        self._pump()
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        """Approximate device utilisation over ``[since, now]``."""
+        if now <= since:
+            return 0.0
+        return min(1.0, self.busy_time / ((now - since) * self.channels))
+
+    def __repr__(self) -> str:
+        return (
+            f"<IoDevice {self.name} busy={self._busy}/{self.channels} "
+            f"waiting={self.queue_depth}>"
+        )

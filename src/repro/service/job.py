@@ -1,0 +1,132 @@
+"""Requests and jobs.
+
+The paper's terminology (SSIII-A): an end-to-end *request* enters the
+system at the client and traverses a tree of inter-microservice path
+nodes; inside each microservice the unit of work is a *job* ("a request
+in a microservice"). When a path node fans out, uqSim "makes a copy of
+the job for each child node" — here, each copy is a fresh :class:`Job`
+belonging to the same :class:`Request`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .connections import Connection
+    from .microservice import Microservice
+    from .paths import ExecutionPath
+
+
+class Request:
+    """One end-to-end user request.
+
+    Latency is measured from :attr:`created_at` (client send) to
+    :attr:`completed_at` (response received by the client), the quantity
+    the paper's load-latency validation curves report.
+    """
+
+    __slots__ = (
+        "request_id",
+        "request_type",
+        "created_at",
+        "completed_at",
+        "size_bytes",
+        "metadata",
+    )
+
+    _id_counter = itertools.count()
+
+    def __init__(
+        self,
+        created_at: float,
+        request_type: str = "default",
+        size_bytes: float = 0.0,
+    ) -> None:
+        self.request_id = next(Request._id_counter)
+        self.request_type = request_type
+        self.created_at = created_at
+        self.completed_at: Optional[float] = None
+        self.size_bytes = size_bytes
+        self.metadata: dict = {}
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end latency in seconds, or ``None`` while in flight."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.created_at
+
+    def __repr__(self) -> str:
+        state = (
+            f"done@{self.completed_at:.6f}" if self.completed_at is not None
+            else "in-flight"
+        )
+        return f"<Request {self.request_id} {self.request_type} {state}>"
+
+
+class Job:
+    """One microservice's share of a request.
+
+    A job is born when the dispatcher sends the request into a path
+    node's microservice, walks that service's execution path stage by
+    stage, and fires :attr:`on_complete` after its last stage, at which
+    point the dispatcher advances the request through the path tree.
+    """
+
+    __slots__ = (
+        "job_id",
+        "request",
+        "size_bytes",
+        "connection",
+        "service",
+        "path",
+        "stage_pos",
+        "on_complete",
+        "created_at",
+        "first_dispatch_at",
+        "completed_at",
+    )
+
+    _id_counter = itertools.count()
+
+    def __init__(
+        self,
+        request: Request,
+        size_bytes: float = 0.0,
+        connection: Optional["Connection"] = None,
+    ) -> None:
+        self.job_id = next(Job._id_counter)
+        self.request = request
+        self.size_bytes = size_bytes
+        self.connection = connection
+        self.service: Optional["Microservice"] = None
+        self.path: Optional["ExecutionPath"] = None
+        self.stage_pos = 0
+        self.on_complete: Optional[Callable[["Job"], None]] = None
+        self.created_at: Optional[float] = None
+        self.first_dispatch_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+
+    @property
+    def current_stage_id(self) -> int:
+        """The stage id this job is queued at / executing in."""
+        assert self.path is not None, "job has not been accepted by a service"
+        return self.path.stage_ids[self.stage_pos]
+
+    @property
+    def remaining_stages(self) -> int:
+        assert self.path is not None
+        return len(self.path.stage_ids) - self.stage_pos
+
+    @property
+    def service_latency(self) -> Optional[float]:
+        """Time spent inside the owning microservice (queueing + service)."""
+        if self.completed_at is None or self.created_at is None:
+            return None
+        return self.completed_at - self.created_at
+
+    def __repr__(self) -> str:
+        where = self.service.name if self.service is not None else "?"
+        return f"<Job {self.job_id} req={self.request.request_id} at {where}>"

@@ -1,0 +1,270 @@
+"""The microservice instance: application logic + execution model.
+
+Paper SSIII-B: "uqSim models each individual microservice with two
+orthogonal components: application logic and execution model." Here
+they meet: a :class:`Microservice` owns the stages/paths (application
+logic), an :class:`~repro.service.execution_models.ExecutionModel`
+(threads), a pinned :class:`~repro.hardware.core.CoreSet`, and an
+optional :class:`~repro.service.io.IoDevice`.
+
+Dispatch is fully event-driven. Work starts when
+
+* a job is accepted,
+* a core is released,
+* a worker finishes a stage (or returns from I/O), or
+* a blocked connection is unblocked,
+
+and each dispatch round greedily starts every (worker, core, batch)
+triple it can find, draining later pipeline stages before earlier ones
+so in-flight requests complete before new ones are admitted — the same
+run-to-completion bias real event-driven servers exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..engine import PRIORITY_COMPLETION, Simulator
+from ..errors import ConfigError
+from ..hardware.core import CoreSet, CpuCore
+from .connections import Connection
+from .execution_models import ExecutionModel, SimpleModel, Worker
+from .io import IoDevice
+from .job import Job
+from .paths import ExecutionPath, PathSelector
+from .stage import Stage
+
+
+class Microservice:
+    """One deployed instance of a microservice model."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        stages: Sequence[Stage],
+        selector: PathSelector,
+        cores: CoreSet,
+        model: Optional[ExecutionModel] = None,
+        machine_name: str = "",
+        tier: str = "",
+        io_device: Optional[IoDevice] = None,
+    ) -> None:
+        if not stages:
+            raise ConfigError(f"microservice {name!r} needs at least one stage")
+        self.name = name
+        self.sim = sim
+        self.selector = selector
+        self.cores = cores
+        self.model = model or SimpleModel()
+        self.machine_name = machine_name
+        self.tier = tier or name
+        self.io_device = io_device
+
+        self._stages: Dict[int, Stage] = {}
+        for stage in stages:
+            if stage.stage_id in self._stages:
+                raise ConfigError(
+                    f"microservice {name!r}: duplicate stage_id {stage.stage_id}"
+                )
+            self._stages[stage.stage_id] = stage
+        for path in selector.paths:
+            missing = [s for s in path.stage_ids if s not in self._stages]
+            if missing:
+                raise ConfigError(
+                    f"microservice {name!r}: path {path.name!r} references "
+                    f"unknown stages {missing}"
+                )
+        # Dispatch scan order: later pipeline stages first (descending
+        # stage id — stage ids are pipeline-ordered by convention).
+        self._scan_order: List[Stage] = [
+            self._stages[sid] for sid in sorted(self._stages, reverse=True)
+        ]
+
+        self._rng = sim.random.stream(f"service/{name}")
+        self._subscribed_conns: Set[int] = set()
+        self._in_dispatch = False
+        self.cores.on_release(self._kick)
+
+        # Telemetry.
+        self.jobs_accepted = 0
+        self.jobs_completed = 0
+        # In-flight node visits from the dispatcher's point of view:
+        # incremented at instance selection (before the network hop),
+        # decremented when the node's job completes. This is what
+        # least-outstanding balancing must consult — accepted-minus-
+        # completed lags by the network delay.
+        self.pending_dispatch = 0
+        self.latency_listeners: List[Callable[[Job], None]] = []
+
+    # Introspection ------------------------------------------------------
+
+    @property
+    def stages(self) -> List[Stage]:
+        return [self._stages[sid] for sid in sorted(self._stages)]
+
+    def stage(self, stage_id: int) -> Stage:
+        try:
+            return self._stages[stage_id]
+        except KeyError:
+            raise ConfigError(
+                f"microservice {self.name!r} has no stage {stage_id}"
+            ) from None
+
+    @property
+    def queued_jobs(self) -> int:
+        """Jobs waiting in any stage queue (not executing)."""
+        return sum(len(stage.queue) for stage in self._stages.values())
+
+    @property
+    def frequency(self) -> float:
+        return self.cores.frequency
+
+    def set_frequency(self, frequency: float) -> float:
+        """DVFS this instance's cores (power-management actuation)."""
+        return self.cores.set_frequency(frequency)
+
+    # Job intake ---------------------------------------------------------
+
+    def accept(
+        self,
+        job: Job,
+        path_id: Optional[int] = None,
+        path_name: Optional[str] = None,
+    ) -> None:
+        """Admit *job*: select its execution path and queue stage 0."""
+        job.service = self
+        job.path = self.selector.select(self._rng, path_id, path_name)
+        job.stage_pos = 0
+        job.created_at = self.sim.now
+        self.jobs_accepted += 1
+        if job.connection is not None and job.connection.conn_id not in self._subscribed_conns:
+            self._subscribed_conns.add(job.connection.conn_id)
+            job.connection.on_unblock(self._kick)
+        self._enqueue(job)
+        self._kick()
+
+    def _enqueue(self, job: Job) -> None:
+        self._stages[job.current_stage_id].queue.push(job)
+
+    # Dispatch loop ------------------------------------------------------
+
+    def _kick(self) -> None:
+        """(Re)enter the dispatch loop unless already inside it."""
+        if self._in_dispatch:
+            return
+        self._in_dispatch = True
+        try:
+            self._dispatch_all()
+        finally:
+            self._in_dispatch = False
+
+    def _dispatch_all(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for stage in self._scan_order:
+                if not stage.queue.has_ready():
+                    continue
+                if self._start_execution(stage):
+                    progress = True
+                    break  # rescan from the deepest stage
+
+    def _start_execution(self, stage: Stage) -> bool:
+        """Try to start one batch on *stage*; True if work began."""
+        worker = self.model.acquire_worker()
+        if worker is None:
+            return False
+        core = self.cores.try_acquire(self.sim.now)
+        if core is None:
+            self.model.release_worker(worker)
+            return False
+        batch = stage.queue.next_batch()
+        if not batch:
+            self.cores.release(core, self.sim.now)
+            self.model.release_worker(worker)
+            return False
+        for job in batch:
+            if job.first_dispatch_at is None:
+                job.first_dispatch_at = self.sim.now
+        cost = stage.compute_cost(batch, core.frequency, self._rng)
+        cost += self.model.dispatch_overhead(worker, core)
+        stage.record(len(batch), cost)
+        self.sim.schedule(
+            cost,
+            self._on_cpu_done,
+            stage,
+            batch,
+            worker,
+            core,
+            priority=PRIORITY_COMPLETION,
+        )
+        return True
+
+    def _on_cpu_done(
+        self,
+        stage: Stage,
+        batch: List[Job],
+        worker: Worker,
+        core: CpuCore,
+    ) -> None:
+        if stage.io is not None:
+            if self.io_device is None:
+                raise ConfigError(
+                    f"stage {stage.name!r} of {self.name!r} has an io cost "
+                    f"but the instance has no io_device"
+                )
+            # The core frees during I/O while the worker stays blocked.
+            worker.blocked = True
+            io_time = stage.io_cost(batch, self._rng)
+            self.cores.release(core, self.sim.now)
+            self.io_device.submit(
+                io_time, lambda: self._finish_stage(stage, batch, worker)
+            )
+            return
+        self._finish_stage(stage, batch, worker, core)
+
+    def _finish_stage(
+        self,
+        stage: Stage,
+        batch: List[Job],
+        worker: Worker,
+        core: Optional[CpuCore] = None,
+    ) -> None:
+        # Advance jobs BEFORE releasing the core: the release callback
+        # re-enters dispatch, and the freshly finished jobs must already
+        # sit in their next stage queue so the scan's later-stage-first
+        # preference sees them (run-to-completion bias).
+        self.model.release_worker(worker)
+        for job in batch:
+            job.stage_pos += 1
+            if job.stage_pos < len(job.path.stage_ids):
+                self._enqueue(job)
+            else:
+                self._complete_job(job)
+        if core is not None:
+            self.cores.release(core, self.sim.now)
+        self._kick()
+
+    def _complete_job(self, job: Job) -> None:
+        job.completed_at = self.sim.now
+        self.jobs_completed += 1
+        for listener in self.latency_listeners:
+            listener(job)
+        if job.on_complete is not None:
+            job.on_complete(job)
+
+    # Telemetry ----------------------------------------------------------
+
+    def on_job_complete(self, listener: Callable[[Job], None]) -> None:
+        """Register a per-job completion listener (latency recorders)."""
+        self.latency_listeners.append(listener)
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        return self.cores.utilization(now, since)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Microservice {self.name} stages={len(self._stages)} "
+            f"cores={len(self.cores)} model={self.model!r}>"
+        )

@@ -1,0 +1,145 @@
+"""Execution stages: the queue-consumer pairs of the paper.
+
+SSIII-B: "The basic element of the application logic is a stage, which
+represents an execution phase within the microservice, and is
+essentially a queue-consumer pair". A stage's processing time is
+runtime-dependent: "epoll's execution time increases linearly with the
+number of active events that are returned, and socket_read's
+processing time is also proportional to the number of bytes read from
+socket". This module captures that with a three-term cost model::
+
+    cost(batch) = base + per_job * len(batch) + per_byte * sum(bytes)
+
+each term sampled from a frequency-aware table, so DVFS slows all the
+compute terms coherently. An optional *io* term models time the stage
+spends blocked on a device (disk, for MongoDB misses): the CPU core is
+released during I/O and the operation occupies the instance's
+:class:`~repro.service.io.IoDevice`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..distributions import Distribution, FrequencyTable
+from ..errors import ConfigError
+from ..hardware.dvfs import GHZ
+from .job import Job
+from .queues import StageQueue
+
+NOMINAL_FREQUENCY = 2.6 * GHZ
+
+CostInput = Union[Distribution, FrequencyTable, None]
+
+
+def as_frequency_table(
+    cost: CostInput, nominal: float = NOMINAL_FREQUENCY
+) -> Optional[FrequencyTable]:
+    """Coerce a plain distribution into a single-point frequency table.
+
+    A bare :class:`Distribution` is taken to be profiled at the nominal
+    frequency and fully compute-bound (pure frequency-ratio scaling
+    under DVFS); pass a :class:`FrequencyTable` for anything richer.
+    """
+    if cost is None:
+        return None
+    if isinstance(cost, FrequencyTable):
+        return cost
+    if isinstance(cost, Distribution):
+        return FrequencyTable.single(cost, nominal)
+    raise ConfigError(f"expected Distribution/FrequencyTable, got {cost!r}")
+
+
+class Stage:
+    """One execution phase of a microservice."""
+
+    def __init__(
+        self,
+        name: str,
+        stage_id: int,
+        queue: StageQueue,
+        base: CostInput = None,
+        per_job: CostInput = None,
+        per_byte: CostInput = None,
+        io: Optional[Distribution] = None,
+        batching: bool = False,
+    ) -> None:
+        if stage_id < 0:
+            raise ConfigError(f"stage_id must be >= 0, got {stage_id}")
+        if base is None and per_job is None and per_byte is None and io is None:
+            raise ConfigError(
+                f"stage {name!r} has no cost terms; give at least one of "
+                f"base/per_job/per_byte/io"
+            )
+        self.name = name
+        self.stage_id = stage_id
+        self.queue = queue
+        self.base = as_frequency_table(base)
+        self.per_job = as_frequency_table(per_job)
+        self.per_byte = as_frequency_table(per_byte)
+        self.io = io
+        self.batching = batching
+        # Telemetry.
+        self.invocations = 0
+        self.jobs_processed = 0
+        self.busy_time = 0.0
+
+    def compute_cost(
+        self,
+        batch: List[Job],
+        frequency: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """CPU time (seconds) for executing *batch* at *frequency*."""
+        if not batch:
+            raise ConfigError(f"stage {self.name!r} asked to cost an empty batch")
+        cost = 0.0
+        if self.base is not None:
+            cost += self.base.sample(rng, frequency)
+        if self.per_job is not None:
+            cost += sum(
+                self.per_job.sample(rng, frequency) for _ in batch
+            )
+        if self.per_byte is not None:
+            total_bytes = sum(job.size_bytes for job in batch)
+            if total_bytes > 0:
+                cost += self.per_byte.sample(rng, frequency) * total_bytes
+        return cost
+
+    def io_cost(self, batch: List[Job], rng: np.random.Generator) -> float:
+        """Device time the batch spends in I/O (0 when the stage has none)."""
+        if self.io is None:
+            return 0.0
+        return sum(self.io.sample(rng) for _ in batch)
+
+    def mean_cost(
+        self,
+        batch_size: int = 1,
+        mean_bytes: float = 0.0,
+        frequency: Optional[float] = None,
+    ) -> float:
+        """Expected per-invocation CPU cost — used by calibration and by
+        the BigHouse folding (which charges the full, un-amortised stage
+        cost to every request)."""
+        cost = 0.0
+        if self.base is not None:
+            cost += self.base.mean(frequency)
+        if self.per_job is not None:
+            cost += batch_size * self.per_job.mean(frequency)
+        if self.per_byte is not None:
+            cost += batch_size * mean_bytes * self.per_byte.mean(frequency)
+        return cost
+
+    def record(self, batch_size: int, busy: float) -> None:
+        """Telemetry hook called by the execution model."""
+        self.invocations += 1
+        self.jobs_processed += batch_size
+        self.busy_time += busy
+
+    def __repr__(self) -> str:
+        return (
+            f"<Stage {self.stage_id}:{self.name} queue={self.queue!r} "
+            f"batching={self.batching}>"
+        )

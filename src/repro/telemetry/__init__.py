@@ -1,0 +1,17 @@
+"""Telemetry: latency recording, time series, and report formatting."""
+
+from .latency import LatencyRecorder, WindowedLatency
+from .monitor import ServiceMonitor
+from .report import format_series, format_table, ms, us
+from .timeseries import TimeSeries
+
+__all__ = [
+    "LatencyRecorder",
+    "ServiceMonitor",
+    "TimeSeries",
+    "WindowedLatency",
+    "format_series",
+    "format_table",
+    "ms",
+    "us",
+]

@@ -1,0 +1,143 @@
+"""Latency recording and percentile statistics.
+
+The paper reports load-latency curves of mean and tail (99th
+percentile) latency with the pre-saturation region measured after
+discarding warmup. :class:`LatencyRecorder` stores (completion time,
+latency) pairs and answers exact (sample) percentile queries over any
+time window; :class:`WindowedLatency` keeps only a trailing window —
+what the power manager's decision loop consumes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+class LatencyRecorder:
+    """Append-only record of request latencies."""
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, completed_at: float, latency: float) -> None:
+        if latency < 0:
+            raise ReproError(f"negative latency {latency!r}")
+        if self._times and completed_at < self._times[-1]:
+            # Completions arrive in event order, but keep the recorder
+            # robust to merged streams by inserting in place.
+            idx = bisect.bisect_right(self._times, completed_at)
+            self._times.insert(idx, completed_at)
+            self._values.insert(idx, latency)
+            return
+        self._times.append(completed_at)
+        self._values.append(latency)
+
+    # Queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _window(self, since: float, until: Optional[float]) -> np.ndarray:
+        lo = bisect.bisect_left(self._times, since)
+        hi = len(self._times) if until is None else bisect.bisect_right(
+            self._times, until
+        )
+        return np.asarray(self._values[lo:hi])
+
+    def count(self, since: float = 0.0, until: Optional[float] = None) -> int:
+        return int(self._window(since, until).size)
+
+    def mean(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        window = self._window(since, until)
+        if window.size == 0:
+            raise ReproError(f"{self.name}: no samples in window")
+        return float(window.mean())
+
+    def percentile(
+        self, q: float, since: float = 0.0, until: Optional[float] = None
+    ) -> float:
+        """Sample percentile; *q* in percent (99 = p99)."""
+        if not 0 <= q <= 100:
+            raise ReproError(f"percentile must be in [0,100], got {q!r}")
+        window = self._window(since, until)
+        if window.size == 0:
+            raise ReproError(f"{self.name}: no samples in window")
+        return float(np.percentile(window, q))
+
+    def p50(self, since: float = 0.0) -> float:
+        return self.percentile(50, since)
+
+    def p95(self, since: float = 0.0) -> float:
+        return self.percentile(95, since)
+
+    def p99(self, since: float = 0.0) -> float:
+        return self.percentile(99, since)
+
+    def max(self, since: float = 0.0) -> float:
+        window = self._window(since, None)
+        if window.size == 0:
+            raise ReproError(f"{self.name}: no samples in window")
+        return float(window.max())
+
+    def throughput(self, since: float, until: float) -> float:
+        """Completions per second over ``[since, until]``."""
+        if until <= since:
+            raise ReproError("throughput window must have positive length")
+        return self.count(since, until) / (until - since)
+
+    def samples(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(completion_times, latencies) copies, for plotting/analysis."""
+        return np.asarray(self._times), np.asarray(self._values)
+
+    def __repr__(self) -> str:
+        return f"<LatencyRecorder {self.name} n={len(self)}>"
+
+
+class WindowedLatency:
+    """Trailing-window latency view (the power manager's sensor).
+
+    Keeps only samples newer than ``window`` seconds behind the latest
+    insertion, in O(1) amortised per record.
+    """
+
+    def __init__(self, window: float, name: str = "windowed") -> None:
+        if window <= 0:
+            raise ReproError(f"window must be > 0, got {window!r}")
+        self.window = float(window)
+        self.name = name
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def record(self, completed_at: float, latency: float) -> None:
+        self._samples.append((completed_at, latency))
+        horizon = completed_at - self.window
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Trailing-window percentile, or ``None`` with no samples."""
+        if not self._samples:
+            return None
+        values = np.fromiter((v for _, v in self._samples), dtype=float)
+        return float(np.percentile(values, q))
+
+    def mean(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        return float(np.mean([v for _, v in self._samples]))
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+    def __repr__(self) -> str:
+        return f"<WindowedLatency {self.name} window={self.window}s n={len(self)}>"

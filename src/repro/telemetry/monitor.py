@@ -1,0 +1,102 @@
+"""Periodic in-simulation monitoring of microservice instances.
+
+A :class:`ServiceMonitor` samples queue depth and core utilisation of a
+set of instances at a fixed interval — the observability layer one
+needs to locate backpressure in a multi-tier graph (which tier's queues
+grow first as load approaches saturation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..engine import PRIORITY_MONITOR, Simulator
+from ..errors import ReproError
+from ..service import Microservice
+from .timeseries import TimeSeries
+
+
+class ServiceMonitor:
+    """Samples per-instance queue depth and utilisation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        instances: Iterable[Microservice],
+        interval: float = 0.01,
+        stop_at: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ReproError(f"interval must be > 0, got {interval!r}")
+        self.sim = sim
+        self.instances: List[Microservice] = list(instances)
+        if not self.instances:
+            raise ReproError("monitor needs at least one instance")
+        self.interval = float(interval)
+        self.stop_at = stop_at
+        self.queue_depth: Dict[str, TimeSeries] = {
+            inst.name: TimeSeries(f"depth/{inst.name}") for inst in self.instances
+        }
+        self.utilization: Dict[str, TimeSeries] = {
+            inst.name: TimeSeries(f"util/{inst.name}") for inst in self.instances
+        }
+        self._last_busy: Dict[str, float] = {
+            inst.name: 0.0 for inst in self.instances
+        }
+        self._last_time = 0.0
+        self._started = False
+
+    def start(self) -> "ServiceMonitor":
+        if self._started:
+            raise ReproError("monitor started twice")
+        self._started = True
+        self._last_time = self.sim.now
+        for inst in self.instances:
+            self._last_busy[inst.name] = self._total_busy(inst)
+        self.sim.schedule(self.interval, self._sample, priority=PRIORITY_MONITOR)
+        return self
+
+    @staticmethod
+    def _total_busy(instance: Microservice) -> float:
+        now = instance.sim.now
+        busy = 0.0
+        for core in instance.cores.cores:
+            busy += core.busy_time
+            if core.busy and core._busy_since is not None:
+                busy += now - core._busy_since
+        return busy
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        window = now - self._last_time
+        for inst in self.instances:
+            self.queue_depth[inst.name].append(now, inst.queued_jobs)
+            busy = self._total_busy(inst)
+            delta = busy - self._last_busy[inst.name]
+            util = delta / (window * len(inst.cores)) if window > 0 else 0.0
+            self.utilization[inst.name].append(now, min(1.0, util))
+            self._last_busy[inst.name] = busy
+        self._last_time = now
+        if self.stop_at is None or now + self.interval <= self.stop_at:
+            self.sim.schedule(
+                self.interval, self._sample, priority=PRIORITY_MONITOR
+            )
+
+    def peak_depth(self, name: str) -> float:
+        series = self.queue_depth[name]
+        return float(series.values.max()) if len(series) else 0.0
+
+    def bottleneck(self) -> str:
+        """Instance with the highest mean windowed utilisation — the
+        first place to look when latency grows."""
+        def mean_util(name: str) -> float:
+            series = self.utilization[name]
+            return float(series.values.mean()) if len(series) else 0.0
+
+        return max(self.utilization, key=mean_util)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServiceMonitor {len(self.instances)} instances "
+            f"every {self.interval}s>"
+        )

@@ -1,0 +1,88 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+Every bench prints the rows/series of its paper figure or table with
+these formatters, so outputs are uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(cell: Cell, precision: int = 3) -> str:
+    """Render one table cell: numbers compactly, None as a dash."""
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, int):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{cell:.{precision}g}"
+        return f"{cell:.{precision}f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [
+        [format_cell(c, precision) for c in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    precision: int = 4,
+) -> str:
+    """Render one figure series as labelled (x, y) pairs."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+    pairs = "  ".join(
+        f"({format_cell(float(x), precision)},{format_cell(float(y), precision)})"
+        for x, y in zip(xs, ys)
+    )
+    return f"{name} [{x_label} vs {y_label}]: {pairs}"
+
+
+def ms(seconds: float) -> float:
+    """Seconds -> milliseconds (reporting convenience)."""
+    return seconds * 1e3
+
+
+def us(seconds: float) -> float:
+    """Seconds -> microseconds (reporting convenience)."""
+    return seconds * 1e6

@@ -1,0 +1,83 @@
+"""Simple time series: (time, value) pairs with windowed reduction.
+
+Used to record offered load (Fig 15), tail latency over time, and
+per-tier frequency settings (Fig 16) for the benchmark harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+class TimeSeries:
+    """Append-only (t, v) series."""
+
+    def __init__(self, name: str = "series") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        if self._times and t < self._times[-1]:
+            raise ReproError(
+                f"{self.name}: non-monotonic time {t!r} after {self._times[-1]!r}"
+            )
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    def last(self) -> Tuple[float, float]:
+        if not self._times:
+            raise ReproError(f"{self.name}: empty series")
+        return self._times[-1], self._values[-1]
+
+    def resample(
+        self,
+        bin_width: float,
+        reducer: Callable[[np.ndarray], float] = np.mean,
+        t_start: Optional[float] = None,
+        t_end: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Reduce into fixed-width bins; empty bins are dropped.
+
+        Returns (bin_centres, reduced_values).
+        """
+        if bin_width <= 0:
+            raise ReproError(f"bin_width must be > 0, got {bin_width!r}")
+        if not self._times:
+            return np.array([]), np.array([])
+        times = self.times
+        values = self.values
+        lo = times[0] if t_start is None else t_start
+        hi = times[-1] if t_end is None else t_end
+        if hi <= lo:
+            raise ReproError("resample window must have positive length")
+        # One extra bin when hi lands exactly on an edge, so every bin is
+        # uniformly right-exclusive and the last sample still lands.
+        n_bins = int(np.floor((hi - lo) / bin_width + 1e-12)) + 1
+        edges = lo + np.arange(n_bins + 1) * bin_width
+        centres: List[float] = []
+        reduced: List[float] = []
+        for left, right in zip(edges[:-1], edges[1:]):
+            mask = (times >= left) & (times < right)
+            if mask.any():
+                centres.append((left + right) / 2.0)
+                reduced.append(float(reducer(values[mask])))
+        return np.asarray(centres), np.asarray(reduced)
+
+    def __repr__(self) -> str:
+        return f"<TimeSeries {self.name} n={len(self)}>"

@@ -1,0 +1,6 @@
+"""Real-system surrogate: the substituted "real" side of the paper's
+validation figures (see DESIGN.md SS1)."""
+
+from .realism import Interfered, Jittered, RealismConfig
+
+__all__ = ["Interfered", "Jittered", "RealismConfig"]

@@ -1,0 +1,34 @@
+"""Inter-microservice model (paper SSIII-C) — the second half of
+uqSim's core contribution.
+
+A :class:`PathTree` is the DAG of :class:`PathNode` visits a request
+makes (fan-out copies, fan-in synchronisation, blocking ops); a
+:class:`Deployment` maps tiers to deployed instances, balancers,
+netprocs, and connection pools; the :class:`Dispatcher` is the central
+scheduler walking requests through both.
+"""
+
+from .deployment import DEFAULT_POOL_SIZE, Deployment
+from .dispatcher import Dispatcher
+from .load_balancer import (
+    LeastOutstanding,
+    LoadBalancer,
+    RandomChoice,
+    RoundRobin,
+    make_load_balancer,
+)
+from .path_tree import NodeOp, PathNode, PathTree
+
+__all__ = [
+    "DEFAULT_POOL_SIZE",
+    "Deployment",
+    "Dispatcher",
+    "LeastOutstanding",
+    "LoadBalancer",
+    "NodeOp",
+    "PathNode",
+    "PathTree",
+    "RandomChoice",
+    "RoundRobin",
+    "make_load_balancer",
+]

@@ -1,0 +1,369 @@
+"""The central dispatcher.
+
+Paper SSIII-A: "uqSim is an event-driven simulator, and uses a
+centralized scheduler to dispatch requests to the appropriate
+microservices instances."
+
+The dispatcher walks each request through its path tree:
+
+1. pick the tree for the request (by request type, or probabilistically
+   when the application "exhibits control flow variability");
+2. enter each root node: choose an instance (load balancer or
+   ``same_instance_as`` affinity), check out a connection, apply
+   enter-ops (http1.1-style blocking), route the message over the
+   network — through the per-machine network-processing services for
+   cross-machine hops — and hand the job to the instance;
+3. on job completion apply leave-ops, then fan out copies to children,
+   entering each child only once all of its parents completed (fan-in
+   synchronisation);
+4. when every sink node has completed, send the response back to the
+   client and fire the completion callback.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..engine import PRIORITY_ARRIVAL, Simulator
+from ..errors import TopologyError
+from ..hardware import NetworkFabric
+from ..service import Connection, Job, Microservice, Request
+from .deployment import Deployment
+from .path_tree import NodeOp, PathNode, PathTree
+
+
+class _RequestState:
+    """Book-keeping for one in-flight request."""
+
+    __slots__ = (
+        "request",
+        "tree",
+        "on_complete",
+        "client_name",
+        "client_machine",
+        "node_instance",
+        "node_conn",
+        "arrivals",
+        "pending_sinks",
+        "used_conns",
+    )
+
+    def __init__(
+        self,
+        request: Request,
+        tree: PathTree,
+        on_complete: Optional[Callable[[Request], None]],
+        client_name: str,
+        client_machine: str,
+    ) -> None:
+        self.request = request
+        self.tree = tree
+        self.on_complete = on_complete
+        self.client_name = client_name
+        self.client_machine = client_machine
+        self.node_instance: Dict[str, Microservice] = {}
+        self.node_conn: Dict[str, Optional[Connection]] = {}
+        self.arrivals: Dict[str, int] = {}
+        self.pending_sinks = len(tree.sinks)
+        self.used_conns: List[Connection] = []
+
+
+class Dispatcher:
+    """Routes requests through path trees over a deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        deployment: Deployment,
+        network: Optional[NetworkFabric] = None,
+        trace: bool = False,
+    ) -> None:
+        """With ``trace=True`` every request carries a per-node timeline
+        in ``request.metadata["trace"]``: (node, instance, enter, leave)
+        tuples, in completion order — the raw material for critical-path
+        analysis of multi-tier latency."""
+        self.sim = sim
+        self.deployment = deployment
+        self.network = network or NetworkFabric()
+        self.trace = trace
+        self._rng = sim.random.stream("dispatcher")
+        self._trees: List[Tuple[PathTree, float]] = []
+        self._trees_by_type: Dict[str, PathTree] = {}
+        # Telemetry.
+        self.requests_submitted = 0
+        self.requests_completed = 0
+
+    # Tree registration ---------------------------------------------------
+
+    def add_tree(
+        self,
+        tree: PathTree,
+        probability: Optional[float] = None,
+        request_type: Optional[str] = None,
+    ) -> PathTree:
+        """Register a path tree.
+
+        With *request_type*, requests of that type always use this tree.
+        With *probability*, untyped requests draw among the weighted
+        trees. A single tree registered with neither serves everything.
+        """
+        tree.validate()
+        if request_type is not None:
+            if request_type in self._trees_by_type:
+                raise TopologyError(
+                    f"request type {request_type!r} already has a tree"
+                )
+            self._trees_by_type[request_type] = tree
+        else:
+            self._trees.append((tree, 1.0 if probability is None else probability))
+        return tree
+
+    def _pick_tree(self, request: Request) -> PathTree:
+        by_type = self._trees_by_type.get(request.request_type)
+        if by_type is not None:
+            return by_type
+        if not self._trees:
+            raise TopologyError(
+                f"no path tree for request type {request.request_type!r} "
+                f"and no default trees registered"
+            )
+        if len(self._trees) == 1:
+            return self._trees[0][0]
+        weights = np.array([w for _, w in self._trees], dtype=float)
+        total = weights.sum()
+        if not math.isclose(total, 1.0, rel_tol=1e-9):
+            raise TopologyError(
+                f"tree probabilities must sum to 1, got {total!r}"
+            )
+        idx = int(self._rng.choice(len(self._trees), p=weights))
+        return self._trees[idx][0]
+
+    # Request lifecycle ----------------------------------------------------
+
+    def submit(
+        self,
+        request: Request,
+        on_complete: Optional[Callable[[Request], None]] = None,
+        client_name: str = "client",
+        client_machine: str = "client",
+    ) -> None:
+        """Inject *request* from a client located on *client_machine*."""
+        tree = self._pick_tree(request)
+        state = _RequestState(request, tree, on_complete, client_name, client_machine)
+        self.requests_submitted += 1
+        for root in tree.roots:
+            self._enter_node(
+                state,
+                root,
+                src_instance=None,
+                parent_conn=None,
+            )
+
+    def _resolve_instance(
+        self, state: _RequestState, node: PathNode
+    ) -> Microservice:
+        if node.same_instance_as is not None:
+            instance = state.node_instance.get(node.same_instance_as)
+            if instance is None:
+                raise TopologyError(
+                    f"node {node.name!r}: same_instance_as "
+                    f"{node.same_instance_as!r} has not been visited yet"
+                )
+            return instance
+        replicas = self.deployment.instances(node.service)
+        return self.deployment.balancer(node.service).pick(replicas, self._rng)
+
+    def _resolve_connection(
+        self,
+        state: _RequestState,
+        node: PathNode,
+        instance: Microservice,
+        src_instance: Optional[Microservice],
+        parent_conn: Optional[Connection],
+    ) -> Optional[Connection]:
+        if node.same_instance_as is not None:
+            # A continuation: the message is a *response* riding back on
+            # the connection the request went out on (the triggering
+            # parent's incoming connection).
+            return parent_conn
+        upstream_key = (
+            src_instance.name if src_instance is not None else state.client_name
+        )
+        conn = self.deployment.pool_between(upstream_key, instance).checkout()
+        conn.outstanding += 1
+        state.used_conns.append(conn)
+        return conn
+
+    def _apply_op(
+        self,
+        op: Optional[NodeOp],
+        state: _RequestState,
+        job: Job,
+        node: PathNode,
+    ) -> None:
+        if op is None:
+            return
+        if op.connection_of is not None:
+            target = state.node_conn.get(op.connection_of)
+        else:
+            target = job.connection
+        if target is None:
+            return  # nothing to (un)block: node had no connection
+        if op.action == NodeOp.BLOCK:
+            target.block(state.request.request_id)
+        else:
+            target.unblock(state.request.request_id)
+
+    def _enter_node(
+        self,
+        state: _RequestState,
+        node: PathNode,
+        src_instance: Optional[Microservice],
+        parent_conn: Optional[Connection],
+    ) -> None:
+        instance = self._resolve_instance(state, node)
+        instance.pending_dispatch += 1
+        conn = self._resolve_connection(
+            state, node, instance, src_instance, parent_conn
+        )
+        state.node_instance[node.name] = instance
+        state.node_conn[node.name] = conn
+
+        size = node.message_bytes(state.request.size_bytes, self._rng)
+        job = Job(state.request, size_bytes=size, connection=conn)
+        job.on_complete = lambda j, _s=state, _n=node: self._leave_node(_s, _n, j)
+        self._apply_op(node.on_enter, state, job, node)
+        if self.trace:
+            state.request.metadata.setdefault("trace_enter", {})[
+                node.name
+            ] = self.sim.now
+
+        src_machine = (
+            src_instance.machine_name
+            if src_instance is not None
+            else state.client_machine
+        )
+        accept = lambda: instance.accept(job, node.path_id, node.path_name)
+        if conn is not None:
+            # Same-connection messages towards the same receiver are
+            # delivered in send order (TCP semantics) even if the
+            # simulated network completes their hops out of order.
+            seq = conn.next_seq(instance.name)
+            deliver = lambda: conn.deliver_in_order(instance.name, seq, accept)
+        else:
+            deliver = accept
+        self._hop(
+            src_machine,
+            instance.machine_name,
+            size,
+            state.request,
+            deliver,
+        )
+
+    def _leave_node(self, state: _RequestState, node: PathNode, job: Job) -> None:
+        state.node_instance[node.name].pending_dispatch -= 1
+        self._apply_op(node.on_leave, state, job, node)
+        if self.trace:
+            enter = state.request.metadata.get("trace_enter", {}).get(node.name)
+            state.request.metadata.setdefault("trace", []).append(
+                (
+                    node.name,
+                    state.node_instance[node.name].name,
+                    enter,
+                    self.sim.now,
+                )
+            )
+        children = state.tree.children(node.name)
+        if not children:
+            state.pending_sinks -= 1
+            if state.pending_sinks == 0:
+                self._complete_request(state, node)
+            return
+        instance = state.node_instance[node.name]
+        parent_conn = state.node_conn[node.name]
+        for child in children:
+            arrived = state.arrivals.get(child.name, 0) + 1
+            state.arrivals[child.name] = arrived
+            if arrived == state.tree.fan_in(child.name):
+                # Fan-in satisfied: the last arriving parent carries the
+                # job onward (fan-out makes one copy per child).
+                self._enter_node(
+                    state,
+                    child,
+                    src_instance=instance,
+                    parent_conn=parent_conn,
+                )
+
+    def _complete_request(self, state: _RequestState, last_node: PathNode) -> None:
+        last_instance = state.node_instance[last_node.name]
+        response_size = state.tree.response_size(
+            state.request.size_bytes, self._rng
+        )
+
+        def finish() -> None:
+            state.request.completed_at = self.sim.now
+            self.requests_completed += 1
+            for conn in state.used_conns:
+                conn.outstanding -= 1
+            if state.on_complete is not None:
+                state.on_complete(state.request)
+
+        self._hop(
+            last_instance.machine_name,
+            state.client_machine,
+            response_size,
+            state.request,
+            finish,
+        )
+
+    # Network routing -------------------------------------------------------
+
+    def _hop(
+        self,
+        src_machine: str,
+        dst_machine: str,
+        size_bytes: float,
+        request: Request,
+        deliver: Callable[[], None],
+    ) -> None:
+        """Route one message src -> dst.
+
+        Cross-machine messages pass through the sender's and receiver's
+        network-processing services (when deployed) around the wire
+        delay; same-machine messages short-circuit through loopback.
+        """
+        if src_machine == dst_machine:
+            delay = self.network.delay(src_machine, dst_machine, size_bytes, self._rng)
+            self.sim.schedule(delay, deliver, priority=PRIORITY_ARRIVAL)
+            return
+
+        rx_proc = self.deployment.netproc(dst_machine)
+        tx_proc = self.deployment.netproc(src_machine)
+
+        def after_wire() -> None:
+            if rx_proc is None:
+                deliver()
+                return
+            rx_job = Job(request, size_bytes=size_bytes)
+            rx_job.on_complete = lambda _j: deliver()
+            rx_proc.accept(rx_job)
+
+        def over_wire() -> None:
+            delay = self.network.delay(src_machine, dst_machine, size_bytes, self._rng)
+            self.sim.schedule(delay, after_wire, priority=PRIORITY_ARRIVAL)
+
+        if tx_proc is None:
+            over_wire()
+            return
+        tx_job = Job(request, size_bytes=size_bytes)
+        tx_job.on_complete = lambda _j: over_wire()
+        tx_proc.accept(tx_job)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Dispatcher trees={len(self._trees) + len(self._trees_by_type)} "
+            f"in-flight={self.requests_submitted - self.requests_completed}>"
+        )

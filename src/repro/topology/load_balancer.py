@@ -1,0 +1,105 @@
+"""Load-balancing policies for picking among instances of a tier.
+
+Paper SSIV-B constructs load balancing with an NGINX proxy that picks a
+webserver "in a round-robin fashion"; the same policy object is used by
+the dispatcher whenever a path node names a service with multiple
+deployed instances.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import TopologyError
+from ..service import Microservice
+
+
+class LoadBalancer(abc.ABC):
+    """Chooses which instance of a tier serves the next request."""
+
+    @abc.abstractmethod
+    def pick(
+        self,
+        instances: Sequence[Microservice],
+        rng: np.random.Generator,
+    ) -> Microservice:
+        """Select one instance from a non-empty list."""
+
+    def _require_instances(self, instances: Sequence[Microservice]) -> None:
+        if not instances:
+            raise TopologyError("load balancer asked to pick from no instances")
+
+
+class RoundRobin(LoadBalancer):
+    """Strict rotation, the policy of the paper's LB validation."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(
+        self,
+        instances: Sequence[Microservice],
+        rng: np.random.Generator,
+    ) -> Microservice:
+        self._require_instances(instances)
+        chosen = instances[self._next % len(instances)]
+        self._next += 1
+        return chosen
+
+
+class RandomChoice(LoadBalancer):
+    """Uniform random selection."""
+
+    def pick(
+        self,
+        instances: Sequence[Microservice],
+        rng: np.random.Generator,
+    ) -> Microservice:
+        self._require_instances(instances)
+        return instances[int(rng.integers(len(instances)))]
+
+
+class LeastOutstanding(LoadBalancer):
+    """Pick the instance with the fewest in-flight node visits (ties
+    broken by deployment order for determinism).
+
+    Uses the dispatcher-maintained ``pending_dispatch`` counter, which
+    counts from instance *selection* — the accepted-minus-completed
+    difference lags by the network delay and would let a burst pile
+    onto one replica.
+    """
+
+    def pick(
+        self,
+        instances: Sequence[Microservice],
+        rng: np.random.Generator,
+    ) -> Microservice:
+        self._require_instances(instances)
+        return min(
+            instances,
+            key=lambda inst: getattr(
+                inst,
+                "pending_dispatch",
+                inst.jobs_accepted - inst.jobs_completed,
+            ),
+        )
+
+
+POLICIES = {
+    "round_robin": RoundRobin,
+    "random": RandomChoice,
+    "least_outstanding": LeastOutstanding,
+}
+
+
+def make_load_balancer(policy: str) -> LoadBalancer:
+    """Factory used by graph.json's per-service ``lb_policy`` field."""
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise TopologyError(
+            f"unknown lb policy {policy!r}; expected one of {sorted(POLICIES)}"
+        ) from None

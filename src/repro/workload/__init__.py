@@ -1,0 +1,30 @@
+"""Workload generation: clients, arrival processes, load patterns,
+request mixes (the ``client.json`` surface of paper Table I)."""
+
+from .arrival import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from .client import OpenLoopClient
+from .closed_loop import ClosedLoopClient
+from .patterns import ConstantLoad, DiurnalPattern, LoadPattern, StepPattern
+from .request_mix import RequestMix, RequestType
+
+__all__ = [
+    "ArrivalProcess",
+    "ClosedLoopClient",
+    "ConstantLoad",
+    "DeterministicArrivals",
+    "DiurnalPattern",
+    "LoadPattern",
+    "MMPPArrivals",
+    "OpenLoopClient",
+    "PoissonArrivals",
+    "RequestMix",
+    "RequestType",
+    "StepPattern",
+    "TraceArrivals",
+]

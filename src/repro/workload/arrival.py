@@ -1,0 +1,157 @@
+"""Arrival processes.
+
+The paper's validation uses an open-loop generator (modified wrk2) with
+exponentially distributed inter-arrival times — a Poisson process. The
+non-homogeneous variant follows a :class:`~repro.workload.patterns.LoadPattern`
+(diurnal load for the power-management study) via per-step rate
+resampling, which is accurate when the pattern varies slowly relative
+to the arrival rate (hours vs milliseconds here).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .patterns import ConstantLoad, LoadPattern
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates the gap to the next arrival."""
+
+    @abc.abstractmethod
+    def next_interarrival(self, now: float, rng: np.random.Generator) -> float:
+        """Seconds until the next request, given the current time."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """(Non-)homogeneous Poisson arrivals driven by a load pattern."""
+
+    def __init__(self, pattern: LoadPattern) -> None:
+        self.pattern = pattern
+
+    @classmethod
+    def at_rate(cls, qps: float) -> "PoissonArrivals":
+        return cls(ConstantLoad(qps))
+
+    def next_interarrival(self, now: float, rng: np.random.Generator) -> float:
+        rate = self.pattern.rate(now)
+        if rate <= 0:
+            raise WorkloadError(f"pattern returned rate {rate!r} at t={now!r}")
+        return float(rng.exponential(1.0 / rate))
+
+    def __repr__(self) -> str:
+        return f"PoissonArrivals({self.pattern!r})"
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Perfectly paced arrivals (closed-form 1/rate gaps).
+
+    Useful to isolate queueing effects caused by service-time variance
+    from those caused by arrival burstiness.
+    """
+
+    def __init__(self, pattern: LoadPattern) -> None:
+        self.pattern = pattern
+
+    @classmethod
+    def at_rate(cls, qps: float) -> "DeterministicArrivals":
+        return cls(ConstantLoad(qps))
+
+    def next_interarrival(self, now: float, rng: np.random.Generator) -> float:
+        rate = self.pattern.rate(now)
+        if rate <= 0:
+            raise WorkloadError(f"pattern returned rate {rate!r} at t={now!r}")
+        return 1.0 / rate
+
+    def __repr__(self) -> str:
+        return f"DeterministicArrivals({self.pattern!r})"
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay recorded arrival timestamps.
+
+    The substitution hook for production traces (which this repository
+    cannot ship): feed absolute arrival times — from a CSV, a prior
+    simulation, or a generator — and the client reproduces them
+    exactly. Raises when the trace is exhausted unless *cycle* is set,
+    in which case the trace repeats, shifted to stay monotonic.
+    """
+
+    def __init__(self, timestamps, cycle: bool = False) -> None:
+        times = [float(t) for t in timestamps]
+        if not times:
+            raise WorkloadError("trace needs at least one timestamp")
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise WorkloadError("trace timestamps must be non-decreasing")
+        if times[0] < 0:
+            raise WorkloadError("trace timestamps must be >= 0")
+        self._times = times
+        self.cycle = cycle
+        self._idx = 0
+        self._offset = 0.0
+
+    def next_interarrival(self, now: float, rng: np.random.Generator) -> float:
+        if self._idx >= len(self._times):
+            if not self.cycle:
+                raise WorkloadError(
+                    f"trace exhausted after {len(self._times)} arrivals; "
+                    f"set cycle=True to repeat"
+                )
+            # Shift the next cycle so it continues after the last event.
+            self._offset += self._times[-1]
+            self._idx = 0
+        target = self._offset + self._times[self._idx]
+        self._idx += 1
+        return max(0.0, target - now)
+
+    @property
+    def remaining(self) -> int:
+        """Arrivals left in the current cycle."""
+        return len(self._times) - self._idx
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceArrivals(n={len(self._times)}, cycle={self.cycle})"
+        )
+
+
+class MMPPArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursty arrivals).
+
+    Alternates between a low-rate and a high-rate state with
+    exponentially distributed dwell times; a simple model of bursty
+    front-end traffic for stress experiments beyond the paper's
+    exponential baseline.
+    """
+
+    def __init__(
+        self,
+        low_qps: float,
+        high_qps: float,
+        mean_dwell: float,
+    ) -> None:
+        if low_qps <= 0 or high_qps <= 0:
+            raise WorkloadError("MMPP rates must be positive")
+        if mean_dwell <= 0:
+            raise WorkloadError(f"mean_dwell must be > 0, got {mean_dwell!r}")
+        self.low_qps = float(low_qps)
+        self.high_qps = float(high_qps)
+        self.mean_dwell = float(mean_dwell)
+        self._in_high = False
+        self._state_until = 0.0
+
+    def next_interarrival(self, now: float, rng: np.random.Generator) -> float:
+        while now >= self._state_until:
+            self._in_high = not self._in_high
+            self._state_until = now + float(rng.exponential(self.mean_dwell))
+        rate = self.high_qps if self._in_high else self.low_qps
+        return float(rng.exponential(1.0 / rate))
+
+    def __repr__(self) -> str:
+        return (
+            f"MMPPArrivals({self.low_qps:g}/{self.high_qps:g} QPS, "
+            f"dwell={self.mean_dwell:g}s)"
+        )

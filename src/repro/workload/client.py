@@ -1,0 +1,137 @@
+"""The open-loop workload generator.
+
+Models the paper's modified wrk2 client (SSIV-A): open-loop arrivals
+(the next request is sent on schedule regardless of outstanding
+responses — the correct way to measure tail latency), a configurable
+connection count, request-type mix, and payload-size distribution. The
+client records end-to-end latencies into a
+:class:`~repro.telemetry.latency.LatencyRecorder`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from ..engine import PRIORITY_ARRIVAL, Simulator
+from ..errors import WorkloadError
+from ..service import Request
+from ..telemetry import LatencyRecorder
+from ..topology import Dispatcher
+from .arrival import ArrivalProcess, PoissonArrivals
+from .patterns import LoadPattern
+from .request_mix import RequestMix
+
+
+class OpenLoopClient:
+    """Generates requests into a dispatcher at a scheduled rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dispatcher: Dispatcher,
+        arrivals: Union[ArrivalProcess, LoadPattern, float],
+        mix: Optional[RequestMix] = None,
+        name: str = "client",
+        machine: str = "client",
+        max_requests: Optional[int] = None,
+        stop_at: Optional[float] = None,
+        on_complete: Optional[Callable[[Request], None]] = None,
+        realism=None,
+    ) -> None:
+        """
+        *arrivals* may be an :class:`ArrivalProcess`, a
+        :class:`LoadPattern` (wrapped in Poisson arrivals — the wrk2
+        behaviour), or a plain QPS number. Generation stops after
+        *max_requests* and/or at time *stop_at*, whichever comes first.
+
+        *realism* (a :class:`~repro.testbed.RealismConfig`) makes the
+        client record *observed* latencies — including the real-system
+        timeout/reconnection overhead past saturation — instead of raw
+        simulated latencies.
+        """
+        if isinstance(arrivals, (int, float)):
+            arrivals = PoissonArrivals.at_rate(float(arrivals))
+        elif isinstance(arrivals, LoadPattern):
+            arrivals = PoissonArrivals(arrivals)
+        if max_requests is None and stop_at is None:
+            raise WorkloadError(
+                "open-loop client needs max_requests and/or stop_at, "
+                "otherwise generation never terminates"
+            )
+        if max_requests is not None and max_requests < 1:
+            raise WorkloadError(f"max_requests must be >= 1, got {max_requests}")
+        self.sim = sim
+        self.dispatcher = dispatcher
+        self.arrivals = arrivals
+        self.mix = mix or RequestMix.single()
+        self.name = name
+        self.machine = machine
+        self.max_requests = max_requests
+        self.stop_at = stop_at
+        self._extra_on_complete = on_complete
+        self.realism = realism
+        self._rng = sim.random.stream(f"client/{name}")
+        self._started = False
+
+        self.latencies = LatencyRecorder(f"{name}/e2e")
+        self.requests_sent = 0
+        self.requests_completed = 0
+        self.completed_requests: List[Request] = []
+
+    # Lifecycle ----------------------------------------------------------
+
+    def start(self, at: Optional[float] = None) -> "OpenLoopClient":
+        """Schedule the first arrival (defaults to one gap from now)."""
+        if self._started:
+            raise WorkloadError(f"client {self.name!r} started twice")
+        self._started = True
+        start_time = self.sim.now if at is None else at
+        gap = self.arrivals.next_interarrival(start_time, self._rng)
+        self.sim.schedule_at(
+            start_time + gap, self._fire, priority=PRIORITY_ARRIVAL
+        )
+        return self
+
+    def _fire(self) -> None:
+        now = self.sim.now
+        if self.stop_at is not None and now > self.stop_at:
+            return
+        rtype, size = self.mix.sample(self._rng)
+        request = Request(created_at=now, request_type=rtype, size_bytes=size)
+        self.requests_sent += 1
+        self.dispatcher.submit(
+            request,
+            on_complete=self._on_complete,
+            client_name=self.name,
+            client_machine=self.machine,
+        )
+        if self.max_requests is not None and self.requests_sent >= self.max_requests:
+            return
+        gap = self.arrivals.next_interarrival(now, self._rng)
+        self.sim.schedule(gap, self._fire, priority=PRIORITY_ARRIVAL)
+
+    def _on_complete(self, request: Request) -> None:
+        self.requests_completed += 1
+        self.completed_requests.append(request)
+        assert request.latency is not None
+        latency = request.latency
+        if self.realism is not None:
+            latency = self.realism.observed_latency(latency, self._rng)
+        self.latencies.record(request.completed_at, latency)
+        if self._extra_on_complete is not None:
+            self._extra_on_complete(request)
+
+    # Reporting ----------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return self.requests_sent - self.requests_completed
+
+    def throughput(self, since: float, until: float) -> float:
+        return self.latencies.throughput(since, until)
+
+    def __repr__(self) -> str:
+        return (
+            f"<OpenLoopClient {self.name} sent={self.requests_sent} "
+            f"done={self.requests_completed}>"
+        )

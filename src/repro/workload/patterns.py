@@ -1,0 +1,117 @@
+"""Load patterns: offered load (QPS) as a function of time.
+
+``client.json`` (paper Table I) describes the "input load pattern". The
+power-management study drives the 2-tier application "with a diurnal
+input load" (Fig 15) — :class:`DiurnalPattern` reproduces that shape;
+:class:`ConstantLoad` serves the load-latency sweeps, and
+:class:`StepPattern` expresses arbitrary piecewise-constant traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..errors import WorkloadError
+
+
+class LoadPattern:
+    """Interface: offered load in requests/second at time *t*."""
+
+    def rate(self, t: float) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def max_rate(self) -> float:  # pragma: no cover - interface
+        """Upper bound on the rate (used to size warmup and buffers)."""
+        raise NotImplementedError
+
+
+class ConstantLoad(LoadPattern):
+    """Fixed offered load — the paper's load-latency sweep points."""
+
+    def __init__(self, qps: float) -> None:
+        if qps <= 0:
+            raise WorkloadError(f"load must be > 0 QPS, got {qps!r}")
+        self.qps = float(qps)
+
+    def rate(self, t: float) -> float:
+        return self.qps
+
+    def max_rate(self) -> float:
+        return self.qps
+
+    def __repr__(self) -> str:
+        return f"ConstantLoad({self.qps:g} QPS)"
+
+
+class DiurnalPattern(LoadPattern):
+    """Smooth day/night fluctuation (paper Fig 15).
+
+    A raised-cosine between *low* and *high* QPS with the given
+    *period*: rate(0) = low, rate(period/2) = high. *phase* shifts the
+    trough (seconds).
+    """
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        period: float,
+        phase: float = 0.0,
+    ) -> None:
+        if low <= 0 or high <= 0:
+            raise WorkloadError("diurnal rates must be positive")
+        if high < low:
+            raise WorkloadError(f"high ({high!r}) must be >= low ({low!r})")
+        if period <= 0:
+            raise WorkloadError(f"period must be > 0, got {period!r}")
+        self.low = float(low)
+        self.high = float(high)
+        self.period = float(period)
+        self.phase = float(phase)
+
+    def rate(self, t: float) -> float:
+        cycle = 2.0 * math.pi * (t - self.phase) / self.period
+        return self.low + (self.high - self.low) * 0.5 * (1.0 - math.cos(cycle))
+
+    def max_rate(self) -> float:
+        return self.high
+
+    def __repr__(self) -> str:
+        return (
+            f"DiurnalPattern({self.low:g}-{self.high:g} QPS, "
+            f"period={self.period:g}s)"
+        )
+
+
+class StepPattern(LoadPattern):
+    """Piecewise-constant load from (start_time, qps) breakpoints."""
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]) -> None:
+        if not steps:
+            raise WorkloadError("StepPattern needs at least one step")
+        ordered: List[Tuple[float, float]] = sorted(
+            (float(t), float(q)) for t, q in steps
+        )
+        if ordered[0][0] > 0:
+            raise WorkloadError(
+                f"first step must start at t<=0, got {ordered[0][0]!r}"
+            )
+        if any(q <= 0 for _, q in ordered):
+            raise WorkloadError("step rates must be positive")
+        self.steps = ordered
+
+    def rate(self, t: float) -> float:
+        current = self.steps[0][1]
+        for start, qps in self.steps:
+            if t >= start:
+                current = qps
+            else:
+                break
+        return current
+
+    def max_rate(self) -> float:
+        return max(q for _, q in self.steps)
+
+    def __repr__(self) -> str:
+        return f"StepPattern({len(self.steps)} steps, peak={self.max_rate():g})"

@@ -1,0 +1,70 @@
+"""Tests for backpressure onset detection."""
+
+import pytest
+
+from repro.analysis import cascade_report, culprit, detect_onsets
+from repro.apps import two_tier
+from repro.errors import ReproError
+from repro.telemetry import ServiceMonitor
+from repro.workload import OpenLoopClient, StepPattern
+
+
+def overloaded_two_tier(qps_late=90_000, duration=0.4):
+    """Calm start, then an overload that saturates NGINX (the 2-tier
+    bottleneck) so its queues must light up first."""
+    world = two_tier(seed=21)
+    instances = [world.instance("nginx"), world.instance("memcached")]
+    monitor = ServiceMonitor(
+        world.sim, instances, interval=0.01, stop_at=duration
+    )
+    pattern = StepPattern([(0.0, 2_000), (0.15, qps_late)])
+    client = OpenLoopClient(
+        world.sim, world.dispatcher, arrivals=pattern, stop_at=duration
+    )
+    monitor.start()
+    client.start()
+    world.sim.run(until=duration)
+    return monitor
+
+
+class TestDetection:
+    def test_overload_names_the_bottleneck_tier(self):
+        monitor = overloaded_two_tier()
+        assert culprit(monitor) == "nginx0"
+
+    def test_onset_happens_after_the_load_step(self):
+        monitor = overloaded_two_tier()
+        onsets = detect_onsets(monitor)
+        assert onsets
+        assert onsets[0].onset_time >= 0.15
+        assert onsets[0].peak_depth > onsets[0].baseline_depth * 4
+
+    def test_calm_system_reports_nothing(self):
+        world = two_tier(seed=21)
+        monitor = ServiceMonitor(
+            world.sim,
+            [world.instance("nginx"), world.instance("memcached")],
+            interval=0.01, stop_at=0.3,
+        )
+        client = OpenLoopClient(
+            world.sim, world.dispatcher, arrivals=5_000, stop_at=0.3
+        )
+        monitor.start()
+        client.start()
+        world.sim.run(until=0.3)
+        assert culprit(monitor) is None
+        assert detect_onsets(monitor) == []
+        assert cascade_report(monitor) == {}
+
+    def test_cascade_report_maps_instances_to_times(self):
+        monitor = overloaded_two_tier()
+        report = cascade_report(monitor)
+        assert "nginx0" in report
+        assert report["nginx0"] >= 0.15
+
+    def test_validation(self):
+        monitor = overloaded_two_tier(duration=0.2)
+        with pytest.raises(ReproError):
+            detect_onsets(monitor, threshold_factor=1.0)
+        with pytest.raises(ReproError):
+            detect_onsets(monitor, baseline_fraction=0.0)

@@ -1,0 +1,130 @@
+"""Tests for critical-path analysis over traced requests."""
+
+import pytest
+
+from repro.analysis import analyze, critical_path, slowest_nodes, spans_of
+from repro.errors import ReproError
+from repro.service import Request
+
+
+def traced_request(spans):
+    """Build a request carrying a synthetic trace."""
+    req = Request(0.0)
+    req.completed_at = max(leave for *_rest, leave in spans)
+    req.metadata["trace"] = spans
+    return req
+
+
+class TestSpans:
+    def test_spans_extracted(self):
+        req = traced_request([("a", "a0", 0.0, 1.0), ("b", "b0", 1.0, 3.0)])
+        spans = spans_of(req)
+        assert [s.node for s in spans] == ["a", "b"]
+        assert spans[1].duration == pytest.approx(2.0)
+
+    def test_untraced_request_rejected(self):
+        with pytest.raises(ReproError):
+            spans_of(Request(0.0))
+
+
+class TestCriticalPath:
+    def test_linear_chain_is_whole_path(self):
+        req = traced_request(
+            [("a", "a0", 0.0, 1.0), ("b", "b0", 1.0, 2.0), ("c", "c0", 2.0, 4.0)]
+        )
+        assert [s.node for s in critical_path(req)] == ["a", "b", "c"]
+
+    def test_fanout_picks_slowest_branch(self):
+        # proxy -> {fast, slow} -> join: the slow branch defines latency.
+        req = traced_request([
+            ("proxy", "p0", 0.0, 0.5),
+            ("fast", "f0", 0.5, 1.0),
+            ("slow", "s0", 0.5, 3.0),
+            ("join", "p0", 3.0, 3.5),
+        ])
+        path = [s.node for s in critical_path(req)]
+        assert path == ["proxy", "slow", "join"]
+        assert "fast" not in path
+
+    def test_empty_trace_rejected(self):
+        req = Request(0.0)
+        req.metadata["trace"] = []
+        with pytest.raises(ReproError):
+            critical_path(req)
+
+
+class TestAggregation:
+    def make_requests(self):
+        # Two requests: 'slow' on the path both times, 'fast' never.
+        return [
+            traced_request([
+                ("proxy", "p0", 0.0, 0.5),
+                ("fast", "f0", 0.5, 1.0),
+                ("slow", "s0", 0.5, 3.0),
+                ("join", "p0", 3.0, 3.5),
+            ]),
+            traced_request([
+                ("proxy", "p0", 0.0, 0.4),
+                ("fast", "f0", 0.4, 0.8),
+                ("slow", "s0", 0.4, 2.0),
+                ("join", "p0", 2.0, 2.2),
+            ]),
+        ]
+
+    def test_analyze_contributions(self):
+        contributions = analyze(self.make_requests())
+        assert contributions["slow"].critical_fraction == 1.0
+        assert contributions["fast"].critical_fraction == 0.0
+        assert contributions["slow"].visits == 2
+        assert contributions["slow"].mean_span == pytest.approx(2.05)
+
+    def test_slowest_nodes_ranking(self):
+        ranked = slowest_nodes(self.make_requests(), top=2)
+        assert ranked[0][0] == "slow"
+
+    def test_analyze_empty_rejected(self):
+        with pytest.raises(ReproError):
+            analyze([])
+
+
+class TestEndToEndWithDispatcher:
+    def test_real_traced_run_blames_the_slow_tier(self):
+        from repro.distributions import Deterministic
+        from repro.engine import Simulator
+        from repro.hardware import NetworkFabric
+        from repro.topology import Dispatcher, PathNode, PathTree
+
+        from ..topology.conftest import build_instance, build_world
+
+        sim = Simulator(seed=0)
+        network = NetworkFabric(
+            propagation=Deterministic(1e-6), loopback=Deterministic(1e-6)
+        )
+        cluster, deployment, _ = build_world(sim, network)
+        deployment.add_instance(
+            build_instance(sim, cluster, "fast0", "node0",
+                           service_time=1e-4, tier="fast")
+        )
+        deployment.add_instance(
+            build_instance(sim, cluster, "slow0", "node1",
+                           service_time=5e-3, tier="slow")
+        )
+        dispatcher = Dispatcher(sim, deployment, network, trace=True)
+        tree = PathTree()
+        tree.add_node(PathNode("root", "fast"))
+        tree.add_node(PathNode("fastleaf", "fast", same_instance_as="root"))
+        tree.add_node(PathNode("slowleaf", "slow"))
+        tree.add_edge("root", "fastleaf")
+        tree.add_edge("root", "slowleaf")
+        tree.add_node(PathNode("join", "fast", same_instance_as="root"))
+        tree.add_edge("fastleaf", "join")
+        tree.add_edge("slowleaf", "join")
+        dispatcher.add_tree(tree)
+
+        done = []
+        for i in range(20):
+            req = Request(created_at=i * 1e-3)
+            sim.schedule_at(req.created_at, dispatcher.submit, req, done.append)
+        sim.run()
+        ranked = slowest_nodes(done, top=1)
+        assert ranked[0][0] == "slowleaf"

@@ -1,0 +1,113 @@
+"""Tests for the closed-form queueing module — including cross-checks
+of the simulator against theory (the strongest correctness evidence the
+library offers)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    erlang_c,
+    fanout_percentile_amplification,
+    mg1_mean_sojourn,
+    mm1_mean_sojourn,
+    mm1_sojourn_percentile,
+    mmc_mean_sojourn,
+    required_leaf_quantile,
+)
+from repro.bighouse import simulate_ggk_instance
+from repro.distributions import Deterministic, Exponential
+from repro.errors import ReproError
+
+
+class TestClosedForms:
+    def test_mm1_mean(self):
+        # lambda=500, mu=1000 -> E[T] = 1/500 = 2ms.
+        assert mm1_mean_sojourn(500, 1000) == pytest.approx(2e-3)
+
+    def test_mm1_percentile_median(self):
+        mean = mm1_mean_sojourn(500, 1000)
+        median = mm1_sojourn_percentile(500, 1000, 50)
+        assert median == pytest.approx(mean * np.log(2))
+
+    def test_mm1_instability_rejected(self):
+        with pytest.raises(ReproError):
+            mm1_mean_sojourn(1000, 1000)
+
+    def test_erlang_c_single_server_equals_rho(self):
+        # For c=1, P(wait) = rho.
+        assert erlang_c(1, 0.7) == pytest.approx(0.7)
+
+    def test_erlang_c_known_value(self):
+        # Classic table value: c=2, a=1 -> P(wait) = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_mmc_reduces_to_mm1(self):
+        assert mmc_mean_sojourn(500, 1000, 1) == pytest.approx(
+            mm1_mean_sojourn(500, 1000)
+        )
+
+    def test_mg1_deterministic_halves_waiting(self):
+        # P-K: E[W] for M/D/1 is half of M/M/1's.
+        md1 = mg1_mean_sojourn(500, 1e-3, service_scv=0.0) - 1e-3
+        mm1 = mg1_mean_sojourn(500, 1e-3, service_scv=1.0) - 1e-3
+        assert md1 == pytest.approx(mm1 / 2.0)
+
+    def test_fanout_amplification(self):
+        # Dean & Barroso: 99th-percentile leaves, fanout 100 -> only
+        # ~37% of requests see all leaves fast.
+        p = fanout_percentile_amplification(100, 0.99)
+        assert p == pytest.approx(0.366, abs=0.005)
+
+    def test_required_leaf_quantile_inverts(self):
+        q = required_leaf_quantile(100, 0.99)
+        assert fanout_percentile_amplification(100, q) == pytest.approx(0.99)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ReproError):
+            fanout_percentile_amplification(0, 0.5)
+        with pytest.raises(ReproError):
+            required_leaf_quantile(4, 1.5)
+        with pytest.raises(ReproError):
+            mm1_sojourn_percentile(1, 2, 100)
+
+
+class TestSimulatorAgreesWithTheory:
+    """G/G/k kernel vs closed forms (the full-stack M/M/1 check lives
+    in tests/integration)."""
+
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+    def test_mm1_kernel(self, rho):
+        rng = np.random.default_rng(0)
+        mu = 1000.0
+        lam = rho * mu
+        latencies = simulate_ggk_instance(
+            Exponential(1.0 / lam), Exponential(1.0 / mu),
+            servers=1, num_requests=300_000, rng=rng,
+        )
+        assert latencies.mean() == pytest.approx(
+            mm1_mean_sojourn(lam, mu), rel=0.06
+        )
+
+    def test_mmc_kernel(self):
+        rng = np.random.default_rng(1)
+        lam, mu, servers = 2500.0, 1000.0, 4
+        latencies = simulate_ggk_instance(
+            Exponential(1.0 / lam), Exponential(1.0 / mu),
+            servers=servers, num_requests=300_000, rng=rng,
+        )
+        assert latencies.mean() == pytest.approx(
+            mmc_mean_sojourn(lam, mu, servers), rel=0.06
+        )
+
+    def test_md1_kernel(self):
+        rng = np.random.default_rng(2)
+        lam, service = 600.0, 1e-3
+        latencies = simulate_ggk_instance(
+            Exponential(1.0 / lam), Deterministic(service),
+            servers=1, num_requests=300_000, rng=rng,
+        )
+        assert latencies.mean() == pytest.approx(
+            mg1_mean_sojourn(lam, service, 0.0), rel=0.06
+        )

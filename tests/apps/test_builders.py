@@ -1,0 +1,194 @@
+"""Integration tests for the application world builders (low load,
+fast)."""
+
+import pytest
+
+from repro.apps import (
+    fanout,
+    load_balanced,
+    single_memcached,
+    single_nginx,
+    social_network,
+    three_tier,
+    thrift_echo,
+    two_tier,
+)
+from repro.workload import OpenLoopClient
+
+
+def drive(world, qps=500, n=50):
+    client = OpenLoopClient(
+        world.sim, world.dispatcher, arrivals=qps, max_requests=n,
+        realism=world.realism,
+    )
+    client.start()
+    world.sim.run()
+    return client
+
+
+class TestTwoTier:
+    def test_requests_complete(self):
+        world = two_tier()
+        client = drive(world)
+        assert client.requests_completed == 50
+        assert client.latencies.mean() < 2e-3
+
+    def test_both_tiers_process_every_request(self):
+        world = two_tier()
+        drive(world, n=20)
+        nginx = world.instance("nginx")
+        memcached = world.instance("memcached")
+        # NGINX serves the request and composes the response: 2 jobs.
+        assert nginx.jobs_completed == 40
+        assert memcached.jobs_completed == 20
+
+    def test_netproc_handles_client_traffic(self):
+        world = two_tier()
+        drive(world, n=10)
+        irq = world.deployment.netproc("server0")
+        # rx of the request + tx of the response per request.
+        assert irq.jobs_completed == 20
+
+    def test_thread_configs_allocate_cores(self):
+        world = two_tier(nginx_processes=4, memcached_threads=1)
+        assert len(world.instance("nginx").cores) == 4
+        assert len(world.instance("memcached").cores) == 1
+
+    def test_low_load_latency_scale(self):
+        world = two_tier()
+        client = drive(world, qps=200, n=40)
+        # ~40us network + ~135us NGINX + ~16us memcached + irq costs.
+        assert 100e-6 < client.latencies.p50() < 1e-3
+
+
+class TestThreeTier:
+    def test_mongo_visited_only_on_misses(self):
+        world = three_tier(cache_hit=1.0)
+        drive(world, n=30)
+        assert world.instance("mongodb").jobs_completed == 0
+
+    def test_write_allocate_on_miss(self):
+        world = three_tier(cache_hit=0.0)
+        drive(world, n=20)
+        # read + write-allocate per request.
+        assert world.instance("memcached").jobs_completed == 40
+        assert world.instance("mongodb").jobs_completed == 20
+
+    def test_disk_used_on_mongo_misses(self):
+        world = three_tier(cache_hit=0.0, mongo_miss=1.0)
+        drive(world, n=20)
+        disk = world.instance("mongodb").io_device
+        assert disk.ops_completed == 20
+
+    def test_miss_latency_exceeds_hit_latency(self):
+        hits = drive(three_tier(cache_hit=1.0, seed=3), n=40)
+        misses = drive(three_tier(cache_hit=0.0, mongo_miss=1.0, seed=3), n=40)
+        assert misses.latencies.mean() > 4 * hits.latencies.mean()
+
+    def test_invalid_cache_hit_rejected(self):
+        with pytest.raises(ValueError):
+            three_tier(cache_hit=1.5)
+
+
+class TestLoadBalanced:
+    def test_round_robin_spreads_requests(self):
+        world = load_balanced(scale_out=4)
+        drive(world, n=40)
+        counts = [w.jobs_completed for w in world.instances("webserver")]
+        assert counts == [10, 10, 10, 10]
+
+    def test_proxy_handles_request_and_response(self):
+        world = load_balanced(scale_out=2)
+        drive(world, n=10)
+        assert world.instance("nginx").jobs_completed == 20
+
+    def test_invalid_scale_out(self):
+        with pytest.raises(ValueError):
+            load_balanced(scale_out=0)
+
+
+class TestFanout:
+    def test_every_leaf_serves_every_request(self):
+        world = fanout(fanout_factor=5)
+        drive(world, n=12)
+        for i in range(5):
+            assert world.instance(f"leaf{i}").jobs_completed == 12
+
+    def test_latency_grows_with_fanout(self):
+        small = drive(fanout(fanout_factor=2, seed=5), qps=200, n=60)
+        large = drive(fanout(fanout_factor=16, seed=5), qps=200, n=60)
+        # Fan-in over more leaves pushes the tail up.
+        assert large.latencies.p99() > small.latencies.p99()
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            fanout(fanout_factor=0)
+
+
+class TestThriftEcho:
+    def test_low_load_latency_under_100us(self):
+        world = thrift_echo()
+        client = drive(world, qps=1000, n=200)
+        # Paper SSIV-C: low-load latency does not exceed 100us.
+        assert client.latencies.p50() < 100e-6
+
+    def test_single_thread_default(self):
+        world = thrift_echo()
+        assert len(world.instance("thrift").cores) == 1
+
+
+class TestSocialNetwork:
+    def test_every_service_participates(self):
+        world = social_network()
+        drive(world, qps=300, n=15)
+        for tier in (
+            "frontend",
+            "user_service", "post_service", "media_service",
+            "user_memcached", "post_memcached", "media_memcached",
+            "user_mongodb", "post_mongodb", "media_mongodb",
+        ):
+            assert world.instance(tier).jobs_completed > 0, tier
+
+    def test_frontend_runs_three_times_per_request(self):
+        world = social_network()
+        drive(world, qps=300, n=10)
+        # entry + join + final respond.
+        assert world.instance("frontend").jobs_completed == 30
+
+    def test_media_branch_strictly_after_user_post_join(self):
+        world = social_network()
+        client = drive(world, qps=100, n=10)
+        assert client.requests_completed == 10
+
+
+class TestSingleTierWorlds:
+    def test_single_nginx(self):
+        client = drive(single_nginx(), qps=500, n=30)
+        assert client.requests_completed == 30
+
+    def test_single_memcached(self):
+        client = drive(single_memcached(), qps=2000, n=50)
+        assert client.requests_completed == 50
+        assert client.latencies.p50() < 150e-6
+
+
+class TestRealismBuilds:
+    def test_worlds_build_with_realism(self):
+        from repro.testbed import RealismConfig
+
+        realism = RealismConfig()
+        client = drive(two_tier(realism=realism), n=20)
+        assert client.requests_completed == 20
+
+    def test_realism_adds_noise(self):
+        base = drive(two_tier(seed=11), qps=500, n=200)
+        from repro.testbed import RealismConfig
+
+        noisy = drive(
+            two_tier(seed=11, realism=RealismConfig(jitter_cv=0.5)),
+            qps=500, n=200,
+        )
+        # Same workload, higher dispersion with realism on.
+        base_spread = base.latencies.p99() / base.latencies.p50()
+        noisy_spread = noisy.latencies.p99() / noisy.latencies.p50()
+        assert noisy_spread > base_spread

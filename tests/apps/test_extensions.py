@@ -1,0 +1,73 @@
+"""Tests for library extensions beyond the paper's evaluation:
+kernel-bypass networking (the paper's deferred future work) and the
+shipped example spec directory."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps import load_balanced, make_netproc, new_world
+from repro.config import SimulationSpec
+from repro.hardware import Machine
+from repro.workload import OpenLoopClient
+
+SPEC_DIR = Path(__file__).resolve().parents[2] / "specs" / "two_tier"
+
+
+class TestKernelBypass:
+    def test_dpdk_netproc_is_cheaper(self):
+        world = new_world(seed=0)
+        world.cluster.add_machine(Machine("a", 8))
+        world.cluster.add_machine(Machine("b", 8))
+        irq = make_netproc(world, "a", cores=2)
+        dpdk = make_netproc(world, "b", cores=2, kernel_bypass=True)
+        irq_cost = irq.stage(0).mean_cost(batch_size=1, mean_bytes=612)
+        dpdk_cost = dpdk.stage(0).mean_cost(batch_size=1, mean_bytes=612)
+        assert dpdk_cost < irq_cost / 5
+
+    def test_kernel_bypass_removes_lb16_ceiling(self):
+        """The Fig 8 sub-linear knee at scale-out 16 is the interrupt
+        cores; DPDK lifts it and the webservers become the bound."""
+        def throughput(kernel_bypass):
+            world = load_balanced(
+                scale_out=16, seed=3, kernel_bypass=kernel_bypass
+            )
+            client = OpenLoopClient(
+                world.sim, world.dispatcher, arrivals=132_000, stop_at=0.15
+            )
+            client.start()
+            world.sim.run(until=0.15)
+            return client.latencies.throughput(0.05, 0.15)
+
+        assert throughput(True) > throughput(False) * 1.05
+
+    def test_stage_name_reflects_mode(self):
+        world = new_world(seed=0)
+        world.cluster.add_machine(Machine("a", 4))
+        dpdk = make_netproc(world, "a", kernel_bypass=True)
+        assert dpdk.stage(0).name == "dpdk_poll"
+
+
+class TestShippedSpec:
+    def test_spec_directory_loads_and_runs(self):
+        spec = SimulationSpec.load(SPEC_DIR)
+        world, client = spec.build(seed=5)
+        assert client is not None
+        client.start()
+        world.sim.run(until=0.1)
+        assert client.requests_completed > 1000
+
+    def test_spec_matches_programmatic_builder(self):
+        """The JSON spec mirrors apps.two_tier: same low-load latency
+        ballpark at 30k QPS."""
+        from repro.apps import two_tier
+        from repro.experiments import measure_at_load
+
+        spec = SimulationSpec.load(SPEC_DIR)
+        world, client = spec.build(seed=5)
+        client.start()
+        world.sim.run(until=0.4)
+        json_mean = client.latencies.mean(since=0.1)
+
+        point = measure_at_load(two_tier, 30_000, duration=0.4, warmup=0.1)
+        assert json_mean == pytest.approx(point.mean, rel=0.25)

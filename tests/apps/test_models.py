@@ -1,0 +1,164 @@
+"""Tests for the individual application models (structure and
+calibration invariants)."""
+
+import pytest
+
+from repro.apps import calibration as cal
+from repro.apps import (
+    make_memcached,
+    make_mongodb,
+    make_netproc,
+    make_nginx,
+    make_thrift,
+    new_world,
+)
+from repro.apps import memcached as mc_mod
+from repro.apps import nginx as nginx_mod
+from repro.apps import thrift as thrift_mod
+from repro.hardware import Machine
+from repro.service import EpollQueue, SingleQueue, SocketQueue
+
+
+@pytest.fixture
+def world():
+    w = new_world(seed=0)
+    w.cluster.add_machine(Machine("server0", 32))
+    return w
+
+
+class TestMemcachedModel:
+    """The Listing 1 structure."""
+
+    def test_stage_queue_types(self, world):
+        inst = make_memcached(world, "server0")
+        assert isinstance(inst.stage(mc_mod.EPOLL).queue, EpollQueue)
+        assert isinstance(inst.stage(mc_mod.SOCKET_READ).queue, SocketQueue)
+        assert isinstance(inst.stage(mc_mod.PROCESSING_READ).queue, SingleQueue)
+        assert isinstance(inst.stage(mc_mod.SOCKET_SEND).queue, SingleQueue)
+
+    def test_batching_flags_match_listing1(self, world):
+        inst = make_memcached(world, "server0")
+        assert inst.stage(mc_mod.EPOLL).batching
+        assert inst.stage(mc_mod.SOCKET_READ).batching
+        assert not inst.stage(mc_mod.PROCESSING_READ).batching
+        assert not inst.stage(mc_mod.SOCKET_SEND).batching
+
+    def test_read_and_write_paths_same_shape(self, world):
+        inst = make_memcached(world, "server0")
+        read = inst.selector.get_by_name(mc_mod.READ_PATH)
+        write = inst.selector.get_by_name(mc_mod.WRITE_PATH)
+        assert len(read) == len(write) == 4
+        # Same order, different processing stage distributions only.
+        assert read.stage_ids[0] == write.stage_ids[0] == mc_mod.EPOLL
+
+    def test_write_costs_more_than_read(self, world):
+        inst = make_memcached(world, "server0")
+        read_cost = inst.stage(mc_mod.PROCESSING_READ).mean_cost()
+        write_cost = inst.stage(mc_mod.PROCESSING_WRITE).mean_cost()
+        assert write_cost > read_cost
+
+    def test_socket_read_cost_scales_with_bytes(self, world):
+        inst = make_memcached(world, "server0")
+        stage = inst.stage(mc_mod.SOCKET_READ)
+        small = stage.mean_cost(batch_size=1, mean_bytes=64)
+        large = stage.mean_cost(batch_size=1, mean_bytes=4096)
+        assert large > small
+
+    def test_threads_pin_cores(self, world):
+        inst = make_memcached(world, "server0", threads=3)
+        assert len(inst.cores) == 3
+        assert inst.model.concurrency == 3
+
+
+class TestNginxModel:
+    def test_three_roles(self, world):
+        inst = make_nginx(world, "server0")
+        for path in (nginx_mod.SERVE_PATH, nginx_mod.PROXY_PATH,
+                     nginx_mod.RESPOND_PATH):
+            assert inst.selector.get_by_name(path)
+
+    def test_serve_is_heavier_than_proxy(self, world):
+        inst = make_nginx(world, "server0")
+        serve = inst.stage(nginx_mod.SERVE).mean_cost()
+        proxy = inst.stage(nginx_mod.PROXY).mean_cost()
+        assert serve > 3 * proxy
+
+    def test_per_worker_capacity_matches_fig8(self, world):
+        """Fig 8 calibration: a 1-core worker sustains ~8.75 kQPS, so
+        four of them saturate near 35 kQPS."""
+        inst = make_nginx(world, "server0", processes=1)
+        per_request = (
+            inst.stage(nginx_mod.EPOLL).mean_cost(batch_size=8) / 8
+            + inst.stage(nginx_mod.SERVE).mean_cost()
+        )
+        capacity = 1.0 / per_request
+        assert 8_000 < capacity < 10_500
+
+
+class TestThriftModel:
+    def test_echo_capacity_exceeds_50k(self, world):
+        """Fig 12a: the echo server saturates past 50 kQPS."""
+        inst = make_thrift(world, "server0")
+        per_request = (
+            inst.stage(thrift_mod.EPOLL).mean_cost(batch_size=8) / 8
+            + inst.stage(thrift_mod.RPC).mean_cost()
+            + inst.stage(thrift_mod.SEND).mean_cost()
+        )
+        assert 1.0 / per_request > 50_000
+
+    def test_logic_path_heavier_than_rpc(self, world):
+        inst = make_thrift(world, "server0")
+        assert (
+            inst.stage(thrift_mod.LOGIC).mean_cost()
+            > inst.stage(thrift_mod.RPC).mean_cost()
+        )
+
+    def test_custom_tier_name(self, world):
+        inst = make_thrift(world, "server0", tier="frontend")
+        assert inst.tier == "frontend"
+        assert world.instances("frontend") == [inst]
+
+
+class TestMongoDbModel:
+    def test_miss_probability_configurable(self, world):
+        import numpy as np
+
+        inst = make_mongodb(world, "server0", miss_probability=0.25)
+        rng = np.random.default_rng(0)
+        names = [inst.selector.select(rng).name for _ in range(8000)]
+        miss_rate = names.count("mongo_miss") / len(names)
+        assert miss_rate == pytest.approx(0.25, abs=0.02)
+
+    def test_disk_device_attached(self, world):
+        inst = make_mongodb(world, "server0", disk_channels=2)
+        assert inst.io_device is not None
+        assert inst.io_device.channels == 2
+
+    def test_miss_path_has_io_hit_path_does_not(self, world):
+        inst = make_mongodb(world, "server0")
+        hit = inst.selector.get_by_name("mongo_hit")
+        miss = inst.selector.get_by_name("mongo_miss")
+        hit_io = any(inst.stage(s).io is not None for s in hit.stage_ids)
+        miss_io = any(inst.stage(s).io is not None for s in miss.stage_ids)
+        assert not hit_io
+        assert miss_io
+
+    def test_thread_oversubscription(self, world):
+        inst = make_mongodb(world, "server0", threads=8, cores=2)
+        assert len(inst.cores) == 2
+        assert inst.model.concurrency == 8
+
+
+class TestNetprocModel:
+    def test_netproc_capacity_matches_fig8_ceiling(self, world):
+        """Fig 8 calibration: 4 interrupt cores cap rx+tx of 612-byte
+        responses near 120 kQPS."""
+        inst = make_netproc(world, "server0")
+        per_message_small = cal.NETPROC_PER_MESSAGE + 128 * cal.NETPROC_PER_BYTE
+        per_message_page = cal.NETPROC_PER_MESSAGE + 612 * cal.NETPROC_PER_BYTE
+        capacity = 4.0 / (per_message_small + per_message_page)
+        assert 110_000 < capacity < 130_000
+
+    def test_registered_as_machine_netproc(self, world):
+        inst = make_netproc(world, "server0")
+        assert world.deployment.netproc("server0") is inst

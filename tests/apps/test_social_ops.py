@@ -1,0 +1,88 @@
+"""Tests for the extended social-network operations."""
+
+import pytest
+
+from repro.apps import add_social_operations, social_network
+from repro.workload import OpenLoopClient, RequestMix
+
+
+def drive_typed(world, request_type, n=10, qps=300):
+    mix = RequestMix.single(request_type)
+    client = OpenLoopClient(
+        world.sim, world.dispatcher, arrivals=qps, mix=mix, max_requests=n
+    )
+    client.start()
+    world.sim.run()
+    return client
+
+
+class TestComposePost:
+    def test_writes_hit_post_db_and_cache(self):
+        world = social_network(seed=1)
+        add_social_operations(world)
+        drive_typed(world, "compose_post", n=10)
+        assert world.instance("post_mongodb").jobs_completed == 10
+        assert world.instance("post_memcached").jobs_completed == 10
+        assert world.instance("media_mongodb").jobs_completed == 10
+
+    def test_author_validated_in_parallel(self):
+        world = social_network(seed=1)
+        add_social_operations(world)
+        drive_typed(world, "compose_post", n=10)
+        assert world.instance("user_memcached").jobs_completed == 10
+
+
+class TestFollow:
+    def test_touches_only_user_stack(self):
+        world = social_network(seed=1)
+        add_social_operations(world)
+        drive_typed(world, "follow", n=10)
+        assert world.instance("user_mongodb").jobs_completed == 10
+        assert world.instance("post_mongodb").jobs_completed == 0
+        assert world.instance("media_mongodb").jobs_completed == 0
+
+
+class TestReadTimeline:
+    def test_flows_through_post_and_media(self):
+        world = social_network(seed=1)
+        add_social_operations(world)
+        drive_typed(world, "read_timeline", n=10)
+        assert world.instance("post_memcached").jobs_completed == 10
+        assert world.instance("media_memcached").jobs_completed == 10
+        assert world.instance("user_mongodb").jobs_completed == 0
+
+
+class TestMixedWorkload:
+    def test_default_mix_routes_all_types(self):
+        world = social_network(seed=1)
+        mix = add_social_operations(world)
+        client = OpenLoopClient(
+            world.sim, world.dispatcher, arrivals=500, mix=mix,
+            max_requests=300,
+        )
+        client.start()
+        world.sim.run()
+        assert client.requests_completed == 300
+        types = {r.request_type for r in client.completed_requests}
+        assert types == {
+            "read_post", "read_timeline", "compose_post", "follow"
+        }
+
+    def test_untyped_requests_keep_paper_behaviour(self):
+        world = social_network(seed=1)
+        add_social_operations(world)
+        client = drive_typed(world, "default", n=5)
+        # "default" has no typed tree: the untyped read_post tree runs.
+        assert client.requests_completed == 5
+        assert world.instance("user_mongodb").jobs_completed == 5
+
+    def test_follow_is_the_cheapest_operation(self):
+        # follow touches a single storage stack; read_post traverses
+        # three MongoDB-backed branches with a synchronisation point.
+        world = social_network(seed=2)
+        add_social_operations(world)
+        reads = drive_typed(world, "read_post", n=40)
+        world2 = social_network(seed=2)
+        add_social_operations(world2)
+        follows = drive_typed(world2, "follow", n=40)
+        assert follows.latencies.mean() < reads.latencies.mean()

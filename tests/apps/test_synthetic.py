@@ -1,0 +1,144 @@
+"""Tests for the synthetic microservice-graph generator."""
+
+import pytest
+
+from repro.apps import GraphShape, synthetic_graph
+from repro.errors import ConfigError
+from repro.workload import OpenLoopClient
+
+
+def drive(world, n=10, qps=200):
+    client = OpenLoopClient(
+        world.sim, world.dispatcher, arrivals=qps, max_requests=n
+    )
+    client.start()
+    world.sim.run()
+    return client
+
+
+class TestGraphShape:
+    def test_total_services(self):
+        shape = GraphShape(layers=3, width=4)
+        assert shape.total_services == 13
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GraphShape(layers=0).validate()
+        with pytest.raises(ConfigError):
+            GraphShape(width=2, fanout=3).validate()
+        with pytest.raises(ConfigError):
+            GraphShape(min_service=0).validate()
+        with pytest.raises(ConfigError):
+            GraphShape(machines=0).validate()
+
+
+class TestSyntheticGraph:
+    def test_builds_and_completes_requests(self):
+        world = synthetic_graph(GraphShape(layers=3, width=3, fanout=2), seed=4)
+        client = drive(world, n=10)
+        assert client.requests_completed == 10
+
+    def test_all_layers_participate(self):
+        world = synthetic_graph(GraphShape(layers=2, width=2, fanout=2), seed=4)
+        drive(world, n=5)
+        # fanout=width=2: every service of every layer is called.
+        for tier in world.deployment.services:
+            if tier.startswith("svc_"):
+                assert world.instance(tier).jobs_completed > 0, tier
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            world = synthetic_graph(GraphShape(layers=2, width=3), seed=seed)
+            client = drive(world, n=20)
+            return client.latencies.samples()[1].tolist()
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)
+
+    def test_depth_increases_latency(self):
+        shallow = drive(
+            synthetic_graph(GraphShape(layers=1, width=2, fanout=1), seed=3),
+            n=30,
+        )
+        deep = drive(
+            synthetic_graph(GraphShape(layers=5, width=2, fanout=1), seed=3),
+            n=30,
+        )
+        assert deep.latencies.mean() > shallow.latencies.mean()
+
+    def test_frontend_joins_after_all_leaves(self):
+        world = synthetic_graph(GraphShape(layers=2, width=3, fanout=2), seed=4)
+        drive(world, n=4)
+        frontend = world.instance("frontend")
+        # entry + join per request.
+        assert frontend.jobs_completed == 8
+
+    def test_labels_record_shape(self):
+        world = synthetic_graph(GraphShape(layers=2, width=2), seed=0)
+        assert "layers=2" in world.labels["config"]
+
+
+class TestReplication:
+    def test_replicate_reports_convergence(self):
+        from repro.apps import thrift_echo
+        from repro.experiments import replicate_at_load
+
+        result = replicate_at_load(
+            thrift_echo, 10_000, duration=0.2, warmup=0.05,
+            min_replications=3, max_replications=6, tolerance=0.2,
+        )
+        assert result.replications >= 3
+        assert result.p99_mean > 0
+        assert result.p99_ci95 >= 0
+        assert len(result.points) == result.replications
+
+    def test_replications_are_decorrelated(self):
+        from repro.apps import thrift_echo
+        from repro.experiments import replicate_at_load
+
+        result = replicate_at_load(
+            thrift_echo, 10_000, duration=0.15, warmup=0.05,
+            min_replications=3, max_replications=3, tolerance=0.001,
+        )
+        p99s = [p.p99 for p in result.points]
+        assert len(set(p99s)) == len(p99s)  # all different seeds
+
+    def test_validation(self):
+        from repro.apps import thrift_echo
+        from repro.errors import ReproError
+        from repro.experiments import replicate_at_load
+
+        with pytest.raises(ReproError):
+            replicate_at_load(thrift_echo, 100, min_replications=1)
+        with pytest.raises(ReproError):
+            replicate_at_load(
+                thrift_echo, 100, min_replications=4, max_replications=2
+            )
+        with pytest.raises(ReproError):
+            replicate_at_load(thrift_echo, 100, tolerance=2.0)
+
+
+class TestGraphSeedSeparation:
+    def test_same_graph_different_runs(self):
+        from repro.apps import GraphShape, synthetic_graph
+        from repro.workload import OpenLoopClient
+
+        def run(seed):
+            world = synthetic_graph(
+                GraphShape(layers=2, width=3), seed=seed, graph_seed=7
+            )
+            client = OpenLoopClient(
+                world.sim, world.dispatcher, arrivals=300, max_requests=20
+            )
+            client.start()
+            world.sim.run()
+            return world, client
+
+        world_a, client_a = run(1)
+        world_b, client_b = run(2)
+        # Same topology (same tier names)...
+        assert world_a.deployment.services == world_b.deployment.services
+        # ...but independent stochastic runs.
+        lat_a = client_a.latencies.samples()[1].tolist()
+        lat_b = client_b.latencies.samples()[1].tolist()
+        assert lat_a != lat_b

@@ -1,0 +1,147 @@
+"""Tests for the BigHouse baseline: G/G/k correctness and model folding."""
+
+import numpy as np
+import pytest
+
+from repro.apps import single_memcached
+from repro.bighouse import (
+    BigHouseSimulator,
+    FoldedServiceTime,
+    simulate_ggk_instance,
+)
+from repro.distributions import Deterministic, Exponential
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestGGkInstance:
+    def test_mm1_mean_sojourn_matches_theory(self, rng):
+        # M/M/1 at rho=0.5: E[T] = 1/(mu - lambda) = 2 * E[S].
+        service_mean = 1e-3
+        arrival_mean = 2e-3
+        latencies = simulate_ggk_instance(
+            Exponential(arrival_mean), Exponential(service_mean),
+            servers=1, num_requests=200_000, rng=rng,
+        )
+        assert latencies.mean() == pytest.approx(2e-3, rel=0.05)
+
+    def test_md1_light_load_is_service_time(self, rng):
+        latencies = simulate_ggk_instance(
+            Exponential(1.0), Deterministic(1e-3),
+            servers=1, num_requests=5_000, rng=rng,
+        )
+        # Essentially no queueing at rho=0.001.
+        assert latencies.mean() == pytest.approx(1e-3, rel=0.01)
+
+    def test_more_servers_reduce_latency(self, rng):
+        kwargs = dict(
+            interarrival=Exponential(0.5e-3),
+            service=Exponential(1e-3),
+            num_requests=100_000,
+        )
+        one = simulate_ggk_instance(
+            servers=4, rng=np.random.default_rng(1), **kwargs
+        )
+        many = simulate_ggk_instance(
+            servers=8, rng=np.random.default_rng(1), **kwargs
+        )
+        assert many.mean() < one.mean()
+
+    def test_latencies_at_least_service_floor(self, rng):
+        latencies = simulate_ggk_instance(
+            Exponential(1e-3), Deterministic(5e-4),
+            servers=2, num_requests=10_000, rng=rng,
+        )
+        assert latencies.min() >= 5e-4 - 1e-12
+
+    def test_validation(self, rng):
+        with pytest.raises(SimulationError):
+            simulate_ggk_instance(
+                Exponential(1.0), Exponential(1.0), 0, 100, rng
+            )
+        with pytest.raises(SimulationError):
+            simulate_ggk_instance(
+                Exponential(1.0), Exponential(1.0), 1, 5, rng
+            )
+
+
+class TestBigHouseSimulator:
+    def test_converges_on_easy_system(self):
+        sim = BigHouseSimulator(
+            Exponential(2e-3), Exponential(1e-3), servers=1,
+            requests_per_instance=20_000,
+        )
+        result = sim.run()
+        assert result.converged
+        assert result.instances >= 4
+        assert result.mean == pytest.approx(2e-3, rel=0.1)
+        assert result.p99 > result.p50
+
+    def test_reproducible(self):
+        def run():
+            return BigHouseSimulator(
+                Exponential(2e-3), Exponential(1e-3), seed=42,
+                requests_per_instance=5_000,
+            ).run()
+
+        assert run().p99 == run().p99
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            BigHouseSimulator(
+                Exponential(1.0), Exponential(1.0), min_instances=1
+            )
+        with pytest.raises(SimulationError):
+            BigHouseSimulator(
+                Exponential(1.0), Exponential(1.0),
+                min_instances=4, max_instances=2,
+            )
+        with pytest.raises(SimulationError):
+            BigHouseSimulator(
+                Exponential(1.0), Exponential(1.0), tolerance=2.0
+            )
+
+
+class TestFolding:
+    def test_folded_mean_sums_all_stages(self, rng):
+        world = single_memcached()
+        instance = world.instance("memcached")
+        folded = FoldedServiceTime(instance, mean_request_bytes=256)
+        # Full epoll base + per-event + socket read + processing + send.
+        expected = sum(
+            stage.mean_cost(batch_size=1, mean_bytes=256)
+            for stage in instance.stages
+            if stage.stage_id in instance.selector.get_by_name(
+                "memcached_read"
+            ).stage_ids
+        )
+        samples = np.array([folded.sample(rng) for _ in range(20_000)])
+        # Read/write paths differ slightly; allow that spread.
+        assert samples.mean() == pytest.approx(expected, rel=0.2)
+
+    def test_folding_overcharges_vs_amortised(self):
+        """The Fig 13 effect: the folded per-request cost exceeds the
+        batching-amortised cost, so BigHouse saturates earlier."""
+        world = single_memcached()
+        instance = world.instance("memcached")
+        folded = FoldedServiceTime(instance, mean_request_bytes=256)
+        # Amortised: epoll/socket_read base costs shared by (say) 8
+        # batched requests.
+        amortised = 0.0
+        path = instance.selector.get_by_name("memcached_read")
+        for stage_id in path.stage_ids:
+            stage = instance.stage(stage_id)
+            batch = 8 if stage.batching else 1
+            amortised += stage.mean_cost(batch_size=batch, mean_bytes=256) / batch
+        assert folded.mean() > amortised * 1.2
+
+    def test_explicit_path_selection(self, rng):
+        world = single_memcached()
+        instance = world.instance("memcached")
+        read = FoldedServiceTime(instance, 0.0, path_name="memcached_read")
+        write = FoldedServiceTime(instance, 0.0, path_name="memcached_write")
+        assert write.mean() > read.mean()

@@ -1,0 +1,51 @@
+"""Edge paths of the BigHouse convergence loop."""
+
+import pytest
+
+from repro.bighouse import BigHouseSimulator
+from repro.distributions import Deterministic, Exponential
+
+
+class TestConvergenceEdges:
+    def test_unconverged_run_reports_flag(self):
+        # An unstable queue (rho > 1): per-instance p99 keeps drifting,
+        # so a tight tolerance cannot be met within max_instances.
+        sim = BigHouseSimulator(
+            Exponential(0.9e-3), Exponential(1e-3), servers=1,
+            requests_per_instance=2_000,
+            min_instances=2, max_instances=3, tolerance=0.0001,
+        )
+        result = sim.run()
+        assert not result.converged
+        assert result.instances == 3
+        assert result.samples > 0
+
+    def test_deterministic_system_converges_immediately(self):
+        # D/D/1 at low load: every instance measures the same p99, so
+        # the spread is zero after min_instances.
+        sim = BigHouseSimulator(
+            Deterministic(1e-2), Deterministic(1e-3), servers=1,
+            requests_per_instance=1_000,
+            min_instances=2, max_instances=10, tolerance=0.01,
+        )
+        result = sim.run()
+        assert result.converged
+        assert result.instances == 2
+        assert result.p99 == pytest.approx(1e-3, rel=1e-6)
+
+    def test_percentiles_are_ordered(self):
+        result = BigHouseSimulator(
+            Exponential(2e-3), Exponential(1e-3), servers=2,
+            requests_per_instance=5_000,
+        ).run()
+        assert result.p50 <= result.p95 <= result.p99
+        assert result.mean > 0
+
+    def test_more_servers_same_offered_load_is_faster(self):
+        def run(servers):
+            return BigHouseSimulator(
+                Exponential(0.4e-3), Exponential(1e-3), servers=servers,
+                requests_per_instance=10_000, seed=5,
+            ).run().mean
+
+        assert run(8) < run(4)

@@ -1,0 +1,141 @@
+"""A complete on-disk spec directory used by the config-layer tests:
+a minimal 2-tier (frontend -> cache) application in the Table I format."""
+
+import json
+
+import pytest
+
+FRONTEND_SERVICE = {
+    "service_name": "frontend",
+    "stages": [
+        {
+            "stage_name": "epoll", "stage_id": 0,
+            "queue_type": "epoll", "batching": True,
+            "queue_parameter": [None, 16],
+            "cost": {
+                "base": {"dist": "deterministic", "value_us": 8},
+                "per_job": {"dist": "deterministic", "value_us": 1.5},
+            },
+        },
+        {
+            "stage_name": "handler", "stage_id": 1,
+            "queue_type": "single", "batching": False,
+            "cost": {"base": {"dist": "erlang", "k": 4, "mean_us": 100}},
+        },
+        {
+            "stage_name": "respond", "stage_id": 2,
+            "queue_type": "single", "batching": False,
+            "cost": {"base": {"dist": "deterministic", "value_us": 10}},
+        },
+    ],
+    "paths": [
+        {"path_id": 0, "path_name": "handle", "stages": [0, 1]},
+        {"path_id": 1, "path_name": "respond", "stages": [0, 2]},
+    ],
+}
+
+CACHE_SERVICE = {
+    "service_name": "cache",
+    "stages": [
+        {
+            "stage_name": "epoll", "stage_id": 0,
+            "queue_type": "epoll", "batching": True,
+            "queue_parameter": [None, 16],
+            "cost": {
+                "base": {"dist": "deterministic", "value_us": 5},
+                "per_job": {"dist": "deterministic", "value_us": 1},
+            },
+        },
+        {
+            "stage_name": "read", "stage_id": 1,
+            "queue_type": "socket", "batching": True,
+            "queue_parameter": [16],
+            "cost": {
+                "base": {"dist": "deterministic", "value_us": 2},
+                "per_byte": {"dist": "deterministic", "value_us": 0.008},
+            },
+        },
+        {
+            "stage_name": "process", "stage_id": 2,
+            "queue_type": "single",
+            "cost": {"base": {"dist": "deterministic", "value_us": 8}},
+        },
+    ],
+    "paths": [
+        {"path_id": 0, "path_name": "get", "stages": [0, 1, 2],
+         "probability": 0.9},
+        {"path_id": 1, "path_name": "set", "stages": [0, 1, 2],
+         "probability": 0.1},
+    ],
+}
+
+MACHINES = {
+    "machines": [
+        {"name": "server0", "cores": 16,
+         "dvfs": {"min_ghz": 1.2, "max_ghz": 2.6, "step_ghz": 0.1}},
+        {"name": "client", "cores": 4},
+    ],
+    "network": {"propagation_us": 20, "loopback_us": 5, "bandwidth_gbps": 1},
+}
+
+GRAPH = {
+    "instances": [
+        {"name": "frontend0", "service": "frontend", "machine": "server0",
+         "cores": 4, "tier": "frontend",
+         "model": {"type": "multithreaded", "threads": 4,
+                   "context_switch_us": 1}},
+        {"name": "cache0", "service": "cache", "machine": "server0",
+         "cores": 2, "tier": "cache",
+         "model": {"type": "multithreaded", "threads": 2}},
+    ],
+    "netproc": [{"machine": "server0", "cores": 2}],
+    "pools": {"frontend": 32, "cache": 8},
+    "balancers": {"frontend": "round_robin"},
+}
+
+PATHS = {
+    "trees": [
+        {
+            "name": "get_flow",
+            "nodes": [
+                {"name": "frontend", "service": "frontend",
+                 "path_name": "handle",
+                 "on_enter": {"action": "block"}},
+                {"name": "cache", "service": "cache", "path_name": "get"},
+                {"name": "frontend_resp", "service": "frontend",
+                 "path_name": "respond",
+                 "same_instance_as": "frontend",
+                 "on_leave": {"action": "unblock",
+                              "connection_of": "frontend"}},
+            ],
+            "edges": [["frontend", "cache"], ["cache", "frontend_resp"]],
+        }
+    ]
+}
+
+CLIENT = {
+    "name": "client",
+    "machine": "client",
+    "arrivals": {"process": "poisson",
+                 "pattern": {"type": "constant", "qps": 500}},
+    "mix": [
+        {"name": "read", "weight": 0.9,
+         "size": {"dist": "exponential", "mean_bytes": 256}},
+        {"name": "write", "weight": 0.1, "size_bytes": 512},
+    ],
+    "max_requests": 50,
+}
+
+
+@pytest.fixture
+def spec_dir(tmp_path):
+    """Write the full spec to disk and return its directory."""
+    services = tmp_path / "services"
+    services.mkdir()
+    (services / "frontend.json").write_text(json.dumps(FRONTEND_SERVICE))
+    (services / "cache.json").write_text(json.dumps(CACHE_SERVICE))
+    (tmp_path / "machines.json").write_text(json.dumps(MACHINES))
+    (tmp_path / "graph.json").write_text(json.dumps(GRAPH))
+    (tmp_path / "path.json").write_text(json.dumps(PATHS))
+    (tmp_path / "client.json").write_text(json.dumps(CLIENT))
+    return tmp_path

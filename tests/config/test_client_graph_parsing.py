@@ -1,0 +1,127 @@
+"""Tests for client.json arrival/pattern parsing and graph.json
+execution-model parsing paths not covered by the spec round-trip."""
+
+import pytest
+
+from repro.config.client_config import parse_arrivals, parse_mix, parse_pattern
+from repro.config.graph_config import _parse_model
+from repro.errors import ConfigError
+from repro.service import MultiThreadedModel, SimpleModel
+from repro.workload import (
+    ConstantLoad,
+    DeterministicArrivals,
+    DiurnalPattern,
+    PoissonArrivals,
+    StepPattern,
+)
+
+
+class TestPatternParsing:
+    def test_constant(self):
+        pattern = parse_pattern({"type": "constant", "qps": 500}, "t")
+        assert isinstance(pattern, ConstantLoad)
+        assert pattern.qps == 500
+
+    def test_diurnal(self):
+        pattern = parse_pattern(
+            {"type": "diurnal", "low_qps": 100, "high_qps": 400,
+             "period_s": 60, "phase_s": 5},
+            "t",
+        )
+        assert isinstance(pattern, DiurnalPattern)
+        assert pattern.rate(5) == pytest.approx(100)
+
+    def test_steps(self):
+        pattern = parse_pattern(
+            {"type": "steps", "steps": [[0, 100], [10, 300]]}, "t"
+        )
+        assert isinstance(pattern, StepPattern)
+        assert pattern.rate(11) == 300
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ConfigError):
+            parse_pattern({"type": "lunar"}, "t")
+
+
+class TestArrivalParsing:
+    def test_poisson_default(self):
+        arrivals = parse_arrivals(
+            {"pattern": {"type": "constant", "qps": 100}}, "t"
+        )
+        assert isinstance(arrivals, PoissonArrivals)
+
+    def test_deterministic_process(self):
+        arrivals = parse_arrivals(
+            {"process": "deterministic",
+             "pattern": {"type": "constant", "qps": 100}},
+            "t",
+        )
+        assert isinstance(arrivals, DeterministicArrivals)
+
+    def test_unknown_process(self):
+        with pytest.raises(ConfigError):
+            parse_arrivals(
+                {"process": "psychic",
+                 "pattern": {"type": "constant", "qps": 1}},
+                "t",
+            )
+
+
+class TestMixParsing:
+    def test_exponential_and_fixed_sizes(self):
+        import numpy as np
+
+        mix = parse_mix(
+            [
+                {"name": "read", "weight": 0.9,
+                 "size": {"dist": "exponential", "mean_bytes": 100}},
+                {"name": "write", "weight": 0.1, "size_bytes": 64},
+            ],
+            "t",
+        )
+        rng = np.random.default_rng(0)
+        names = {mix.sample(rng)[0] for _ in range(200)}
+        assert names == {"read", "write"}
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_mix([{"name": "read"}], "t")
+
+    def test_unsupported_size_spec(self):
+        with pytest.raises(ConfigError):
+            parse_mix(
+                [{"name": "a", "weight": 1.0,
+                  "size": {"dist": "pareto", "scale_us": 1}}],
+                "t",
+            )
+
+
+class TestModelParsing:
+    def test_simple_default(self):
+        assert isinstance(_parse_model({}, "t"), SimpleModel)
+
+    def test_multithreaded(self):
+        model = _parse_model(
+            {"type": "multithreaded", "threads": 4, "context_switch_us": 3},
+            "t",
+        )
+        assert isinstance(model, MultiThreadedModel)
+        assert model.num_threads == 4
+        assert model.context_switch == pytest.approx(3e-6)
+
+    def test_dynamic_spawning(self):
+        model = _parse_model(
+            {"type": "multithreaded", "threads": 2, "dynamic": True,
+             "max_threads": 8},
+            "t",
+        )
+        assert model.dynamic
+        assert model.max_threads == 8
+
+    def test_threads_required(self):
+        with pytest.raises(ConfigError):
+            _parse_model({"type": "multithreaded"}, "t")
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigError):
+            _parse_model({"type": "quantum"}, "t")

@@ -1,0 +1,152 @@
+"""Tests for the distribution JSON codec."""
+
+import numpy as np
+import pytest
+
+from repro.config import parse_distribution
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    FrequencyTable,
+    Histogram,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestParametricKinds:
+    def test_deterministic_microseconds(self, rng):
+        dist = parse_distribution({"dist": "deterministic", "value_us": 8})
+        assert isinstance(dist, Deterministic)
+        assert dist.sample(rng) == pytest.approx(8e-6)
+
+    def test_exponential(self):
+        dist = parse_distribution({"dist": "exponential", "mean_us": 1000})
+        assert isinstance(dist, Exponential)
+        assert dist.mean() == pytest.approx(1e-3)
+
+    def test_uniform(self):
+        dist = parse_distribution(
+            {"dist": "uniform", "low_us": 1, "high_us": 3}
+        )
+        assert isinstance(dist, Uniform)
+        assert dist.mean() == pytest.approx(2e-6)
+
+    def test_erlang(self):
+        dist = parse_distribution({"dist": "erlang", "k": 4, "mean_us": 105})
+        assert isinstance(dist, Erlang)
+        assert dist.mean() == pytest.approx(105e-6)
+
+    def test_lognormal(self):
+        dist = parse_distribution(
+            {"dist": "lognormal", "mean_us": 100, "cv": 0.5}
+        )
+        assert isinstance(dist, LogNormal)
+        assert dist.mean() == pytest.approx(100e-6)
+
+    def test_pareto(self):
+        dist = parse_distribution(
+            {"dist": "pareto", "scale_us": 10, "shape": 2.0}
+        )
+        assert isinstance(dist, Pareto)
+
+    def test_weibull(self):
+        dist = parse_distribution(
+            {"dist": "weibull", "shape": 2.0, "scale_us": 10}
+        )
+        assert isinstance(dist, Weibull)
+
+    def test_mixture(self):
+        dist = parse_distribution(
+            {
+                "dist": "mixture",
+                "components": [
+                    {"weight": 0.5, "dist": {"dist": "deterministic", "value_us": 1}},
+                    {"weight": 0.5, "dist": {"dist": "deterministic", "value_us": 3}},
+                ],
+            }
+        )
+        assert isinstance(dist, Mixture)
+        assert dist.mean() == pytest.approx(2e-6)
+
+
+class TestHistogramKind:
+    def test_inline_histogram(self):
+        dist = parse_distribution(
+            {"dist": "histogram", "unit": "us", "edges": [0, 10], "counts": [1]}
+        )
+        assert isinstance(dist, Histogram)
+
+    def test_file_histogram(self, tmp_path):
+        Histogram([0.0, 1e-5], [1]).dump(tmp_path / "h.json", unit="us")
+        dist = parse_distribution(
+            {"dist": "histogram", "file": "h.json"}, base_dir=tmp_path
+        )
+        assert isinstance(dist, Histogram)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            parse_distribution(
+                {"dist": "histogram", "file": "nope.json"}, base_dir=tmp_path
+            )
+
+
+class TestFrequencyTableKind:
+    def test_per_frequency_entries(self, rng):
+        table = parse_distribution(
+            {
+                "dist": "frequency_table",
+                "entries": [
+                    {"frequency_ghz": 2.6,
+                     "dist": {"dist": "deterministic", "value_us": 10}},
+                    {"frequency_ghz": 1.3,
+                     "dist": {"dist": "deterministic", "value_us": 20}},
+                ],
+            }
+        )
+        assert isinstance(table, FrequencyTable)
+        assert table.at(1.3e9).sample(rng) == pytest.approx(20e-6)
+
+    def test_nested_tables_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_distribution(
+                {
+                    "dist": "frequency_table",
+                    "entries": [
+                        {"frequency_ghz": 2.6,
+                         "dist": {"dist": "frequency_table", "entries": []}},
+                    ],
+                }
+            )
+
+
+class TestErrors:
+    def test_missing_dist_field(self):
+        with pytest.raises(ConfigError):
+            parse_distribution({"mean_us": 1})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            parse_distribution({"dist": "magic"})
+
+    def test_missing_parameter(self):
+        with pytest.raises(ConfigError):
+            parse_distribution({"dist": "exponential"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_distribution("exponential")
+
+    def test_source_in_message(self):
+        with pytest.raises(ConfigError, match="svc.json"):
+            parse_distribution({"dist": "nope"}, source="svc.json")

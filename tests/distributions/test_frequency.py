@@ -1,0 +1,79 @@
+"""Tests for frequency-dependent processing-time tables (DVFS model)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Exponential, FrequencyTable
+from repro.errors import DistributionError
+
+GHZ = 1e9
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestExactEntries:
+    def test_exact_frequency_uses_table_entry(self, rng):
+        table = FrequencyTable(
+            {2.6 * GHZ: Deterministic(1.0), 1.2 * GHZ: Deterministic(3.0)}
+        )
+        assert table.at(2.6 * GHZ).sample(rng) == 1.0
+        assert table.at(1.2 * GHZ).sample(rng) == 3.0
+
+    def test_nominal_is_highest_frequency(self, rng):
+        table = FrequencyTable(
+            {2.6 * GHZ: Deterministic(1.0), 1.2 * GHZ: Deterministic(3.0)}
+        )
+        assert table.sample(rng) == 1.0
+        assert table.mean() == 1.0
+
+
+class TestScaling:
+    def test_half_frequency_doubles_compute_time(self, rng):
+        table = FrequencyTable.single(Deterministic(1.0), 2.0 * GHZ)
+        assert table.at(1.0 * GHZ).sample(rng) == pytest.approx(2.0)
+
+    def test_compute_fraction_limits_scaling(self, rng):
+        # 50% memory-bound: halving frequency adds only 50% to the time.
+        table = FrequencyTable.single(
+            Deterministic(1.0), 2.0 * GHZ, compute_fraction=0.5
+        )
+        assert table.at(1.0 * GHZ).sample(rng) == pytest.approx(1.5)
+
+    def test_scaling_uses_nearest_profiled_point(self, rng):
+        table = FrequencyTable(
+            {2.0 * GHZ: Deterministic(1.0), 1.0 * GHZ: Deterministic(2.2)}
+        )
+        # 1.1 GHz is nearest to the 1.0 GHz profile; expect 2.2 * (1.0/1.1).
+        assert table.at(1.1 * GHZ).sample(rng) == pytest.approx(2.2 / 1.1)
+
+    def test_scale_factor_identity_at_profiled_point(self):
+        table = FrequencyTable.single(Exponential(0.01), 2.6 * GHZ)
+        assert table.scale_factor(2.6 * GHZ) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_empty_table_rejected(self):
+        with pytest.raises(DistributionError):
+            FrequencyTable({})
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(DistributionError):
+            FrequencyTable({0.0: Deterministic(1.0)})
+
+    def test_bad_compute_fraction_rejected(self):
+        with pytest.raises(DistributionError):
+            FrequencyTable.single(Deterministic(1.0), GHZ, compute_fraction=1.5)
+
+    def test_query_nonpositive_frequency_rejected(self):
+        table = FrequencyTable.single(Deterministic(1.0), GHZ)
+        with pytest.raises(DistributionError):
+            table.at(0.0)
+
+    def test_frequencies_sorted(self):
+        table = FrequencyTable(
+            {2.6 * GHZ: Deterministic(1.0), 1.2 * GHZ: Deterministic(2.0)}
+        )
+        assert table.frequencies == [1.2 * GHZ, 2.6 * GHZ]

@@ -1,0 +1,174 @@
+"""Unit tests for parametric distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Uniform,
+    Weibull,
+)
+from repro.errors import DistributionError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestDeterministic:
+    def test_sample_is_constant(self, rng):
+        d = Deterministic(0.5)
+        assert d.sample(rng) == 0.5
+        assert d.mean() == 0.5
+
+    def test_sample_many(self, rng):
+        assert Deterministic(2.0).sample_many(rng, 4).tolist() == [2.0] * 4
+
+    def test_zero_allowed(self, rng):
+        assert Deterministic(0.0).sample(rng) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            Deterministic(-1.0)
+
+
+class TestExponential:
+    def test_mean_parameterisation(self, rng):
+        d = Exponential(mean=0.001)
+        samples = d.sample_many(rng, 200_000)
+        assert np.mean(samples) == pytest.approx(0.001, rel=0.02)
+
+    def test_mean_accessor(self):
+        assert Exponential(3.0).mean() == 3.0
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(DistributionError):
+            Exponential(0.0)
+
+    def test_samples_nonnegative(self, rng):
+        assert np.all(Exponential(1.0).sample_many(rng, 1000) >= 0)
+
+
+class TestUniform:
+    def test_bounds(self, rng):
+        d = Uniform(0.2, 0.4)
+        samples = d.sample_many(rng, 10_000)
+        assert samples.min() >= 0.2 and samples.max() <= 0.4
+
+    def test_mean(self):
+        assert Uniform(1.0, 3.0).mean() == 2.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(DistributionError):
+            Uniform(2.0, 1.0)
+
+    def test_degenerate_interval(self, rng):
+        assert Uniform(1.0, 1.0).sample(rng) == 1.0
+
+
+class TestLogNormal:
+    def test_from_mean_cv_recovers_mean(self, rng):
+        d = LogNormal.from_mean_cv(mean=0.01, cv=0.5)
+        assert d.mean() == pytest.approx(0.01, rel=1e-9)
+        samples = d.sample_many(rng, 200_000)
+        assert np.mean(samples) == pytest.approx(0.01, rel=0.02)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(DistributionError):
+            LogNormal(0.0, 0.0)
+
+
+class TestPareto:
+    def test_mean_formula(self):
+        d = Pareto(scale=1.0, shape=2.0)
+        assert d.mean() == 2.0
+
+    def test_empirical_mean(self, rng):
+        d = Pareto(scale=0.001, shape=3.0)
+        samples = d.sample_many(rng, 400_000)
+        assert np.mean(samples) == pytest.approx(d.mean(), rel=0.05)
+
+    def test_heavy_tail_shape_rejected(self):
+        with pytest.raises(DistributionError):
+            Pareto(1.0, 1.0)
+
+    def test_samples_at_least_scale(self, rng):
+        samples = Pareto(0.5, 2.5).sample_many(rng, 1000)
+        assert np.all(samples >= 0.5)
+
+
+class TestErlang:
+    def test_mean(self, rng):
+        d = Erlang(k=4, mean=0.02)
+        samples = d.sample_many(rng, 100_000)
+        assert np.mean(samples) == pytest.approx(0.02, rel=0.02)
+
+    def test_variance_shrinks_with_k(self, rng):
+        loose = Erlang(k=1, mean=1.0).sample_many(rng, 50_000)
+        tight = Erlang(k=16, mean=1.0).sample_many(rng, 50_000)
+        assert np.var(tight) < np.var(loose)
+
+    def test_k_validation(self):
+        with pytest.raises(DistributionError):
+            Erlang(k=0, mean=1.0)
+
+
+class TestWeibull:
+    def test_mean_formula(self, rng):
+        d = Weibull(shape=2.0, scale=0.01)
+        expected = 0.01 * math.gamma(1.5)
+        samples = d.sample_many(rng, 200_000)
+        assert np.mean(samples) == pytest.approx(expected, rel=0.02)
+        assert d.mean() == pytest.approx(expected)
+
+
+class TestMixture:
+    def test_mean_is_weighted(self):
+        d = Mixture([Deterministic(1.0), Deterministic(3.0)], [0.25, 0.75])
+        assert d.mean() == pytest.approx(2.5)
+
+    def test_empirical_split(self, rng):
+        d = Mixture([Deterministic(0.0), Deterministic(1.0)], [0.3, 0.7])
+        samples = np.array([d.sample(rng) for _ in range(20_000)])
+        assert np.mean(samples) == pytest.approx(0.7, abs=0.02)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(DistributionError):
+            Mixture([Deterministic(1.0)], [0.5])
+
+    def test_length_mismatch(self):
+        with pytest.raises(DistributionError):
+            Mixture([Deterministic(1.0)], [0.5, 0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            Mixture([], [])
+
+
+class TestCombinators:
+    def test_scaled(self, rng):
+        d = Deterministic(2.0).scaled(1.5)
+        assert d.sample(rng) == 3.0
+        assert d.mean() == 3.0
+
+    def test_shifted(self, rng):
+        d = Deterministic(2.0).shifted(0.5)
+        assert d.sample(rng) == 2.5
+        assert d.mean() == 2.5
+
+    def test_scaled_vectorised(self, rng):
+        d = Exponential(1.0).scaled(2.0)
+        samples = d.sample_many(rng, 100_000)
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.03)
+
+    def test_chained_combinators(self, rng):
+        d = Deterministic(1.0).scaled(3.0).shifted(1.0)
+        assert d.sample(rng) == 4.0

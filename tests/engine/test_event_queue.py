@@ -1,0 +1,92 @@
+"""Unit tests for the event heap: ordering, tie-breaking, cancellation."""
+
+import pytest
+
+from repro.engine import Event, EventQueue
+
+
+def make(time, priority=0, tag=None):
+    return Event(time, lambda: tag, priority=priority)
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        for t in [3.0, 1.0, 2.0]:
+            q.push(make(t))
+        assert [q.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        low = q.push(make(1.0, priority=10))
+        high = q.push(make(1.0, priority=-10))
+        assert q.pop() is high
+        assert q.pop() is low
+
+    def test_fifo_among_equal_time_and_priority(self):
+        q = EventQueue()
+        events = [q.push(make(5.0)) for _ in range(20)]
+        popped = [q.pop() for _ in range(20)]
+        assert popped == events
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        first = q.push(make(1.0))
+        second = q.push(make(2.0))
+        q.cancel(first)
+        assert q.pop() is second
+
+    def test_cancel_updates_len(self):
+        q = EventQueue()
+        e = q.push(make(1.0))
+        assert len(q) == 1
+        q.cancel(e)
+        assert len(q) == 0
+        assert not q
+
+    def test_double_cancel_is_idempotent(self):
+        q = EventQueue()
+        e = q.push(make(1.0))
+        q.cancel(e)
+        q.cancel(e)
+        assert len(q) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(make(1.0))
+        q.push(make(2.0))
+        q.cancel(first)
+        assert q.peek_time() == 2.0
+
+
+class TestDrain:
+    def test_drain_until_respects_bound(self):
+        q = EventQueue()
+        for t in [1.0, 2.0, 3.0]:
+            q.push(make(t))
+        seen = []
+        q.drain_until(2.0, seen.append)
+        assert [e.time for e in seen] == [1.0, 2.0]
+        assert len(q) == 1
+
+    def test_clear_empties_queue(self):
+        q = EventQueue()
+        q.push(make(1.0))
+        q.clear()
+        assert q.pop() is None
+
+
+class TestPeek:
+    def test_peek_time_none_when_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(make(4.0))
+        assert q.peek_time() == 4.0
+        assert len(q) == 1

@@ -1,0 +1,57 @@
+"""Tests for seeded random streams: reproducibility and independence."""
+
+from repro.engine import RandomStreams
+
+
+class TestReproducibility:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(7).stream("arrivals")
+        b = RandomStreams(7).stream("arrivals")
+        assert a.random(5).tolist() == b.random(5).tolist()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("arrivals")
+        b = RandomStreams(2).stream("arrivals")
+        assert a.random(5).tolist() != b.random(5).tolist()
+
+    def test_named_streams_are_independent_of_creation_order(self):
+        fwd = RandomStreams(3)
+        x1 = fwd.stream("x").random(3).tolist()
+        y1 = fwd.stream("y").random(3).tolist()
+
+        rev = RandomStreams(3)
+        y2 = rev.stream("y").random(3).tolist()
+        x2 = rev.stream("x").random(3).tolist()
+
+        assert x1 == x2
+        assert y1 == y2
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("a") is streams.stream("a")
+        assert "a" in streams
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(0)
+        a = streams.stream("a").random(5).tolist()
+        b = streams.stream("b").random(5).tolist()
+        assert a != b
+
+
+class TestFork:
+    def test_fork_is_reproducible(self):
+        a = RandomStreams(5).fork("rep-1").stream("svc")
+        b = RandomStreams(5).fork("rep-1").stream("svc")
+        assert a.random(4).tolist() == b.random(4).tolist()
+
+    def test_fork_decorrelates(self):
+        base = RandomStreams(5)
+        a = base.fork("rep-1").stream("svc").random(4).tolist()
+        b = base.fork("rep-2").stream("svc").random(4).tolist()
+        assert a != b
+
+    def test_fork_differs_from_parent(self):
+        base = RandomStreams(5)
+        parent = base.stream("svc").random(4).tolist()
+        child = base.fork("rep-1").stream("svc").random(4).tolist()
+        assert parent != child

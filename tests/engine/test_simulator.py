@@ -1,0 +1,128 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5]
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_handler_can_schedule_more_events(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_args_passed_to_callback(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(0.0, got.append, 42)
+        sim.run()
+        assert got == [42]
+
+
+class TestRunBounds:
+    def test_until_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run(until=1.0)
+        assert fired == [1]
+        assert sim.now == 1.0
+        assert len(sim.events) == 1
+
+    def test_run_resumes_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run(until=1.5)
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_until_advances_clock_with_no_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+        assert len(sim.events) == 2
+
+    def test_stop_from_handler(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        assert len(sim.events) == 1
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            sim.run()
+
+        sim.schedule(0.0, bad)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestDeterminism:
+    def test_equal_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, order.append, i)
+        sim.run()
+        assert order == list(range(10))
+
+    def test_priority_orders_same_instant(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "arrival", priority=10)
+        sim.schedule(1.0, order.append, "completion", priority=0)
+        sim.schedule(1.0, order.append, "admin", priority=-10)
+        sim.run()
+        assert order == ["admin", "completion", "arrival"]
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, 1)
+        sim.cancel(event)
+        sim.run()
+        assert fired == []

@@ -1,0 +1,84 @@
+"""Tests for cores and core sets: occupancy, accounting, callbacks."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hardware import CoreSet, CpuCore, DvfsLadder, GHZ
+
+
+def make_core(core_id="m/cpu0"):
+    return CpuCore(core_id, DvfsLadder([1.2 * GHZ, 2.6 * GHZ]))
+
+
+class TestCpuCore:
+    def test_acquire_release_cycle(self):
+        core = make_core()
+        core.acquire(1.0)
+        assert core.busy
+        core.release(3.0)
+        assert not core.busy
+        assert core.busy_time == pytest.approx(2.0)
+
+    def test_double_acquire_rejected(self):
+        core = make_core()
+        core.acquire(0.0)
+        with pytest.raises(ResourceError):
+            core.acquire(1.0)
+
+    def test_release_when_free_rejected(self):
+        with pytest.raises(ResourceError):
+            make_core().release(1.0)
+
+    def test_utilization_includes_open_interval(self):
+        core = make_core()
+        core.acquire(0.0)
+        assert core.utilization(now=2.0) == pytest.approx(1.0)
+        core.release(2.0)
+        assert core.utilization(now=4.0) == pytest.approx(0.5)
+
+    def test_frequency_snaps_to_ladder(self):
+        core = make_core()
+        assert core.set_frequency(1.3 * GHZ) == 1.2 * GHZ
+        assert core.frequency == 1.2 * GHZ
+
+    def test_default_frequency_is_max(self):
+        assert make_core().frequency == 2.6 * GHZ
+
+
+class TestCoreSet:
+    def make_set(self, n=2):
+        ladder = DvfsLadder([1.2 * GHZ, 2.6 * GHZ])
+        return CoreSet("svc", [CpuCore(f"m/cpu{i}", ladder) for i in range(n)])
+
+    def test_acquire_until_exhausted(self):
+        cores = self.make_set(2)
+        a = cores.try_acquire(0.0)
+        b = cores.try_acquire(0.0)
+        assert a is not None and b is not None and a is not b
+        assert cores.try_acquire(0.0) is None
+        assert cores.free_count == 0
+
+    def test_release_wakes_subscribers(self):
+        cores = self.make_set(1)
+        woken = []
+        cores.on_release(lambda: woken.append(True))
+        core = cores.try_acquire(0.0)
+        cores.release(core, 1.0)
+        assert woken == [True]
+        assert cores.free_count == 1
+
+    def test_set_frequency_applies_to_all(self):
+        cores = self.make_set(3)
+        cores.set_frequency(1.2 * GHZ)
+        assert all(c.frequency == 1.2 * GHZ for c in cores.cores)
+        assert cores.frequency == 1.2 * GHZ
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ResourceError):
+            CoreSet("svc", [])
+
+    def test_utilization_averages(self):
+        cores = self.make_set(2)
+        core = cores.try_acquire(0.0)
+        cores.release(core, 1.0)
+        assert cores.utilization(now=1.0) == pytest.approx(0.5)

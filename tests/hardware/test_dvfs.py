@@ -1,0 +1,57 @@
+"""Tests for the DVFS ladder."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hardware import GHZ, DvfsLadder
+
+
+class TestConstruction:
+    def test_xeon_ladder_matches_table2(self):
+        ladder = DvfsLadder.xeon_e5_2660_v3()
+        assert ladder.min == pytest.approx(1.2 * GHZ)
+        assert ladder.max == pytest.approx(2.6 * GHZ)
+        assert len(ladder) == 15
+
+    def test_duplicates_collapse(self):
+        ladder = DvfsLadder([1e9, 1e9, 2e9])
+        assert len(ladder) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ResourceError):
+            DvfsLadder([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ResourceError):
+            DvfsLadder([0.0, 1e9])
+
+    def test_fixed_single_point(self):
+        ladder = DvfsLadder.fixed(2.0 * GHZ)
+        assert ladder.min == ladder.max == 2.0 * GHZ
+
+
+class TestStepping:
+    @pytest.fixture
+    def ladder(self):
+        return DvfsLadder([1.0 * GHZ, 1.5 * GHZ, 2.0 * GHZ])
+
+    def test_clamp_snaps_to_nearest(self, ladder):
+        assert ladder.clamp(1.6 * GHZ) == 1.5 * GHZ
+        assert ladder.clamp(1.8 * GHZ) == 2.0 * GHZ
+
+    def test_step_down_floors_at_min(self, ladder):
+        assert ladder.step_down(1.0 * GHZ) == 1.0 * GHZ
+        assert ladder.step_down(2.0 * GHZ) == 1.5 * GHZ
+        assert ladder.step_down(2.0 * GHZ, steps=5) == 1.0 * GHZ
+
+    def test_step_up_caps_at_max(self, ladder):
+        assert ladder.step_up(2.0 * GHZ) == 2.0 * GHZ
+        assert ladder.step_up(1.0 * GHZ) == 1.5 * GHZ
+        assert ladder.step_up(1.0 * GHZ, steps=9) == 2.0 * GHZ
+
+    def test_contains(self, ladder):
+        assert 1.5 * GHZ in ladder
+        assert 1.7 * GHZ not in ladder
+
+    def test_index_of_clamps(self, ladder):
+        assert ladder.index_of(1.4 * GHZ) == 1

@@ -1,0 +1,137 @@
+"""Cross-layer integration tests: conservation, determinism, and
+agreement with queueing theory."""
+
+import pytest
+
+from repro.apps import social_network, three_tier, two_tier
+from repro.distributions import Deterministic, Exponential
+from repro.engine import Simulator
+from repro.hardware import Cluster, Machine, NetworkFabric
+from repro.service import (
+    ExecutionPath,
+    Microservice,
+    PathSelector,
+    SimpleModel,
+    SingleQueue,
+    Stage,
+)
+from repro.topology import Deployment, Dispatcher, PathNode, PathTree
+from repro.workload import OpenLoopClient
+
+
+def mm1_world(service_mean, seed=0):
+    """A pure M/M/1 through the full stack with a zero-cost network."""
+    sim = Simulator(seed=seed)
+    network = NetworkFabric(
+        propagation=Deterministic(0.0), loopback=Deterministic(0.0)
+    )
+    cluster = Cluster(network)
+    machine = cluster.add_machine(Machine("node0", 1))
+    cores = machine.allocate("svc", 1)
+    stage = Stage("s", 0, SingleQueue(), base=Exponential(service_mean))
+    selector = PathSelector([ExecutionPath(0, "p", [0])])
+    svc = Microservice(
+        "svc", sim, [stage], selector, cores,
+        model=SimpleModel(), machine_name="node0", tier="svc",
+    )
+    deployment = Deployment()
+    deployment.add_instance(svc)
+    dispatcher = Dispatcher(sim, deployment, network)
+    dispatcher.add_tree(PathTree().chain(PathNode("svc", "svc")))
+    return sim, dispatcher
+
+
+class TestQueueingTheoryAgreement:
+    @pytest.mark.parametrize("rho", [0.3, 0.5, 0.7])
+    def test_mm1_mean_sojourn(self, rho):
+        """The full stack must reproduce E[T] = E[S]/(1-rho) for M/M/1."""
+        service_mean = 1e-3
+        sim, dispatcher = mm1_world(service_mean, seed=17)
+        qps = rho / service_mean
+        client = OpenLoopClient(
+            sim, dispatcher, arrivals=qps, max_requests=40_000
+        )
+        client.start()
+        sim.run()
+        expected = service_mean / (1.0 - rho)
+        measured = client.latencies.mean(since=2.0)  # drop warmup
+        assert measured == pytest.approx(expected, rel=0.08)
+
+
+class TestConservation:
+    @pytest.mark.parametrize(
+        "build", [two_tier, three_tier, social_network]
+    )
+    def test_every_request_completes_after_drain(self, build):
+        world = build(seed=4)
+        client = OpenLoopClient(
+            world.sim, world.dispatcher, arrivals=400, max_requests=60
+        )
+        client.start()
+        world.sim.run()
+        assert client.requests_completed == client.requests_sent == 60
+        assert world.dispatcher.requests_completed == 60
+        # No job is stuck in any stage queue.
+        for instance in world.deployment.all_instances:
+            assert instance.queued_jobs == 0
+        for netproc in world.deployment.netprocs.values():
+            assert netproc.queued_jobs == 0
+
+    def test_no_connection_left_blocked(self):
+        world = two_tier(seed=4)
+        client = OpenLoopClient(
+            world.sim, world.dispatcher, arrivals=2000, max_requests=200
+        )
+        client.start()
+        world.sim.run()
+        pools = world.deployment._pools.values()
+        assert pools
+        for pool in pools:
+            for conn in pool.connections:
+                assert not conn.blocked
+                assert conn.outstanding == 0
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        def run(seed):
+            world = two_tier(seed=seed)
+            client = OpenLoopClient(
+                world.sim, world.dispatcher, arrivals=3000, max_requests=150
+            )
+            client.start()
+            world.sim.run()
+            return client.latencies.samples()[1].tolist()
+
+        assert run(21) == run(21)
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            world = two_tier(seed=seed)
+            client = OpenLoopClient(
+                world.sim, world.dispatcher, arrivals=3000, max_requests=50
+            )
+            client.start()
+            world.sim.run()
+            return client.latencies.samples()[1].tolist()
+
+        assert run(1) != run(2)
+
+
+class TestUtilisationAccounting:
+    def test_busy_cores_track_offered_work(self):
+        world = two_tier(seed=6)
+        client = OpenLoopClient(
+            world.sim, world.dispatcher, arrivals=20_000, stop_at=0.2
+        )
+        client.start()
+        world.sim.run(until=0.2)
+        nginx = world.instance("nginx")
+        util = nginx.utilization(now=0.2)
+        # ~20k x ~135us over 8 cores ~ 0.33 utilisation.
+        assert 0.15 < util < 0.6
+
+    def test_idle_world_has_zero_utilisation(self):
+        world = two_tier(seed=6)
+        world.sim.run(until=0.1)
+        assert world.instance("nginx").utilization(now=0.1) == 0.0

@@ -1,0 +1,158 @@
+"""Failure-injection tests: degraded components must produce the
+degradations queueing theory predicts — and nothing must wedge."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Exponential, Pareto
+from repro.engine import Simulator
+from repro.hardware import NetworkFabric
+from repro.service import (
+    ExecutionPath,
+    Microservice,
+    PathSelector,
+    SimpleModel,
+    SingleQueue,
+    Stage,
+)
+from repro.topology import PathNode, PathTree
+from repro.workload import OpenLoopClient
+
+from ..topology.conftest import build_instance, build_world
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+@pytest.fixture
+def network():
+    return NetworkFabric(
+        propagation=Deterministic(10e-6), loopback=Deterministic(1e-6)
+    )
+
+
+class TestStragglerReplica:
+    def build_lb(self, sim, network, policy):
+        cluster, deployment, dispatcher = build_world(sim, network, machines=3)
+        # One replica is 20x slower than the other two.
+        for i, service_time in enumerate([1e-4, 1e-4, 2e-3]):
+            deployment.add_instance(
+                build_instance(
+                    sim, cluster, f"web{i}", f"node{i}",
+                    service_time=service_time, tier="web",
+                )
+            )
+        deployment.set_balancer("web", policy)
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        client = OpenLoopClient(sim, dispatcher, arrivals=2000, stop_at=0.5)
+        client.start()
+        sim.run(until=1.5)
+        return client, deployment
+
+    def test_round_robin_feeds_the_straggler(self, sim, network):
+        client, deployment = self.build_lb(sim, network, "round_robin")
+        straggler = deployment.instances("web")[2]
+        # RR keeps sending 1/3 of traffic to the slow replica; at 666
+        # QPS x 2ms it is saturated and drags p99 up.
+        assert straggler.jobs_accepted > 250
+        assert client.latencies.p99(since=0.2) > 2e-3
+
+    def test_least_outstanding_routes_around_it(self, sim, network):
+        rr_client, _ = self.build_lb(sim, network, "round_robin")
+        sim2, net2 = Simulator(seed=0), NetworkFabric(
+            propagation=Deterministic(10e-6), loopback=Deterministic(1e-6)
+        )
+        lo_client, lo_deployment = TestStragglerReplica.build_lb(
+            self, sim2, net2, "least_outstanding"
+        )
+        # The adaptive policy sheds load off the straggler...
+        straggler = lo_deployment.instances("web")[2]
+        healthy = lo_deployment.instances("web")[0]
+        assert straggler.jobs_accepted < healthy.jobs_accepted
+        # ...and achieves a better tail than round-robin.
+        assert lo_client.latencies.p99(since=0.2) < rr_client.latencies.p99(
+            since=0.2
+        )
+
+
+class TestHeavyTailedService:
+    def test_pareto_service_separates_tail_from_median(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        cores = cluster.machine("node0").allocate("svc0", 4)
+        stage = Stage(
+            "work", 0, SingleQueue(), base=Pareto(scale=50e-6, shape=1.5)
+        )
+        svc = Microservice(
+            "svc0", sim, [stage],
+            PathSelector([ExecutionPath(0, "p", [0])]),
+            cores, model=SimpleModel(), machine_name="node0", tier="svc",
+        )
+        deployment.add_instance(svc)
+        dispatcher.add_tree(PathTree().chain(PathNode("svc", "svc")))
+        client = OpenLoopClient(sim, dispatcher, arrivals=2000, stop_at=1.0)
+        client.start()
+        sim.run(until=3.0)
+        lat = client.latencies
+        assert lat.p99(since=0.2) > 5 * lat.p50(since=0.2)
+
+
+class TestBurstRecovery:
+    def test_backlog_drains_after_burst(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        deployment.add_instance(
+            build_instance(sim, cluster, "web0", "node0",
+                           service_time=1e-4, cores=1, tier="web")
+        )
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        # Burst at 3x capacity for 0.1s, then silence.
+        burst = OpenLoopClient(
+            sim, dispatcher, arrivals=30_000, stop_at=0.1, name="burst"
+        )
+        burst.start()
+        sim.run()
+        assert burst.requests_completed == burst.requests_sent
+        web = deployment.instances("web")[0]
+        assert web.queued_jobs == 0
+        # Recovery time ~ backlog x service time beyond the burst end.
+        assert sim.now > 0.15
+
+    def test_latency_recovers_to_baseline_after_burst(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        deployment.add_instance(
+            build_instance(sim, cluster, "web0", "node0",
+                           service_time=1e-4, cores=1, tier="web")
+        )
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        from repro.workload import StepPattern
+
+        pattern = StepPattern([(0.0, 30_000), (0.1, 500)])
+        client = OpenLoopClient(sim, dispatcher, arrivals=pattern, stop_at=2.0)
+        client.start()
+        sim.run(until=2.5)
+        late = client.latencies.mean(since=1.5)
+        assert late < 5e-4  # back to ~service time + network
+
+
+class TestPartialConnectionOutage:
+    def test_stuck_connection_does_not_block_the_rest(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        deployment.add_instance(
+            build_instance(sim, cluster, "web0", "node0",
+                           service_time=1e-4, tier="web")
+        )
+        deployment.set_pool("web", 4)
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        # Wedge one pool connection with a foreign block that nothing
+        # will ever release (a hung peer).
+        web = deployment.instances("web")[0]
+        pool = deployment.pool_between("client", web)
+        pool.connections[0].block(request_id=10**9)
+        client = OpenLoopClient(sim, dispatcher, arrivals=1000, stop_at=0.2)
+        client.start()
+        sim.run(until=5.0)
+        # Requests routed to the wedged connection stall; the other 3/4
+        # complete normally.
+        assert client.requests_completed >= client.requests_sent * 0.7
+        assert client.requests_completed < client.requests_sent

@@ -1,0 +1,82 @@
+"""Regression locks on the paper's text-stated anchors.
+
+These are the quantities the paper commits to in prose (not just in
+plot pixels); a calibration change that silently moves one of them
+should fail loudly here. Windows are kept short, so thresholds carry
+slack around the nominal anchor.
+"""
+
+import pytest
+
+from repro.apps import load_balanced, three_tier, thrift_echo, two_tier
+from repro.experiments import measure_at_load
+
+
+def point(build, qps, **kw):
+    return measure_at_load(build, qps, duration=0.25, warmup=0.07, **kw)
+
+
+class TestLoadBalancingAnchors:
+    """SSIV-B: saturation 35k/70k/~120k for scale-out 4/8/16."""
+
+    def test_lb4_sustains_35k(self):
+        p = point(load_balanced, 35_000, scale_out=4)
+        assert not p.saturated
+        assert p.p99 < 10e-3
+
+    def test_lb4_fails_past_40k(self):
+        p = point(load_balanced, 41_000, scale_out=4)
+        assert p.saturated or p.p99 > 10e-3
+
+    def test_lb8_sustains_70k(self):
+        p = point(load_balanced, 70_000, scale_out=8)
+        assert not p.saturated
+        assert p.p99 < 10e-3
+
+    def test_lb16_sublinear_ceiling(self):
+        ok = point(load_balanced, 115_000, scale_out=16)
+        assert not ok.saturated and ok.p99 < 10e-3
+        over = point(load_balanced, 132_000, scale_out=16)
+        assert over.saturated or over.p99 > 10e-3
+
+
+class TestThriftAnchors:
+    """SSIV-C: saturates beyond 50 kQPS; low-load latency < 100 us."""
+
+    def test_sustains_50k(self):
+        p = point(thrift_echo, 50_000)
+        assert not p.saturated
+        assert p.p99 < 5e-3
+
+    def test_low_load_under_100us(self):
+        p = point(thrift_echo, 5_000)
+        assert p.p50 < 100e-6
+
+    def test_fails_by_65k(self):
+        p = point(thrift_echo, 65_000)
+        assert p.saturated or p.p99 > 5e-3
+
+
+class TestTierScalingAnchors:
+    """SSIV-A: 2-tier saturation follows NGINX processes; the 3-tier
+    app is disk-bound far below the 2-tier."""
+
+    def test_two_tier_8p_roughly_doubles_4p(self):
+        p8 = point(two_tier, 58_000, nginx_processes=8, memcached_threads=2)
+        p4 = point(two_tier, 29_000, nginx_processes=4, memcached_threads=2)
+        assert not p8.saturated and p8.p99 < 5e-3
+        assert not p4.saturated and p4.p99 < 5e-3
+
+    def test_memcached_threads_do_not_move_saturation(self):
+        plenty = point(two_tier, 55_000, nginx_processes=8, memcached_threads=4)
+        scarce = point(two_tier, 55_000, nginx_processes=8, memcached_threads=1)
+        assert not plenty.saturated
+        assert not scarce.saturated
+        # Both pre-knee; the thread count costs at most tail, not capacity.
+        assert scarce.throughput == pytest.approx(plenty.throughput, rel=0.05)
+
+    def test_three_tier_disk_bound(self):
+        ok = point(three_tier, 9_000)
+        assert not ok.saturated and ok.p99 < 40e-3
+        over = point(three_tier, 16_000)
+        assert over.saturated or over.p99 > 40e-3

@@ -1,0 +1,111 @@
+"""Tests for the power manager's latency buckets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.power import LatencyBuckets, no_more_relaxed
+from repro.power.buckets import MIN_PREFERENCE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestNoMoreRelaxed:
+    def test_strictly_tighter_is_admissible(self):
+        assert no_more_relaxed((1.0, 1.0), (2.0, 2.0))
+
+    def test_tighter_in_one_tier_is_admissible(self):
+        assert no_more_relaxed((1.0, 3.0), (2.0, 2.0))
+
+    def test_equal_is_inadmissible(self):
+        assert not no_more_relaxed((2.0, 2.0), (2.0, 2.0))
+
+    def test_looser_everywhere_is_inadmissible(self):
+        assert not no_more_relaxed((3.0, 3.0), (2.0, 2.0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            no_more_relaxed((1.0,), (1.0, 2.0))
+
+
+class TestBucketClassification:
+    def test_bucket_for_ranges(self):
+        buckets = LatencyBuckets(num_buckets=10, span=10e-3, num_tiers=2)
+        assert buckets.bucket_for(0.5e-3).index == 0
+        assert buckets.bucket_for(9.5e-3).index == 9
+        assert buckets.bucket_for(50e-3).index == 9  # clamped
+
+    def test_negative_latency_rejected(self):
+        buckets = LatencyBuckets(10, 10e-3, 2)
+        with pytest.raises(ConfigError):
+            buckets.bucket_for(-1.0)
+
+    def test_observe_inserts_and_boosts(self):
+        buckets = LatencyBuckets(10, 10e-3, 2)
+        bucket = buckets.observe(2.5e-3, (1e-3, 1.5e-3))
+        assert bucket.index == 2
+        assert bucket.tuples == [(1e-3, 1.5e-3)]
+        assert bucket.preference > 1.0
+
+    def test_tier_count_enforced(self):
+        buckets = LatencyBuckets(10, 10e-3, 2)
+        with pytest.raises(ConfigError):
+            buckets.observe(1e-3, (1e-3,))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyBuckets(0, 1.0, 1)
+        with pytest.raises(ConfigError):
+            LatencyBuckets(1, 0.0, 1)
+        with pytest.raises(ConfigError):
+            LatencyBuckets(1, 1.0, 0)
+
+
+class TestFailingList:
+    def test_failure_blocks_more_relaxed_inserts(self):
+        buckets = LatencyBuckets(4, 8e-3, 2)
+        bucket = buckets.bucket_for(1e-3)
+        bucket.record_failure((1e-3, 1e-3))
+        assert not bucket.try_insert((2e-3, 2e-3))  # looser everywhere
+        assert bucket.try_insert((0.5e-3, 2e-3))  # tighter in tier 0
+
+    def test_failure_purges_invalidated_tuples(self):
+        buckets = LatencyBuckets(4, 8e-3, 2)
+        bucket = buckets.bucket_for(1e-3)
+        bucket.try_insert((2e-3, 2e-3))
+        bucket.try_insert((0.5e-3, 0.5e-3))
+        bucket.record_failure((1e-3, 1e-3))
+        assert bucket.tuples == [(0.5e-3, 0.5e-3)]
+
+    def test_penalise_floors_preference(self):
+        buckets = LatencyBuckets(4, 8e-3, 2)
+        bucket = buckets.bucket_for(1e-3)
+        for _ in range(100):
+            bucket.penalise()
+        assert bucket.preference == MIN_PREFERENCE
+
+
+class TestChooseTarget:
+    def test_empty_returns_none(self, rng):
+        buckets = LatencyBuckets(4, 8e-3, 2)
+        assert buckets.choose_target(rng) == (None, None)
+
+    def test_choice_comes_from_populated_bucket(self, rng):
+        buckets = LatencyBuckets(4, 8e-3, 2)
+        buckets.observe(1e-3, (0.5e-3, 0.5e-3))
+        bucket, target = buckets.choose_target(rng)
+        assert bucket.index == 0
+        assert target == (0.5e-3, 0.5e-3)
+
+    def test_preference_weights_bias_choice(self, rng):
+        buckets = LatencyBuckets(4, 8e-3, 1)
+        buckets.observe(1e-3, (1e-3,))
+        buckets.observe(5e-3, (5e-3,))
+        hot = buckets.bucket_for(5e-3)
+        for _ in range(20):
+            hot.boost()
+        picks = [buckets.choose_target(rng)[0].index for _ in range(200)]
+        assert picks.count(hot.index) > 150

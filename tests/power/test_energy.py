@@ -1,0 +1,89 @@
+"""Tests for the core energy model and run accounting."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.power import CorePowerModel, energy_report, tier_energy
+from repro.telemetry import TimeSeries
+
+GHZ = 1e9
+
+
+class TestCorePowerModel:
+    def test_power_at_max_frequency(self):
+        model = CorePowerModel(static_w=5.0, dynamic_max_w=15.0, f_max=2.6 * GHZ)
+        assert model.power(2.6 * GHZ) == pytest.approx(20.0)
+
+    def test_cubic_dynamic_scaling(self):
+        model = CorePowerModel(static_w=5.0, dynamic_max_w=16.0, f_max=2.0 * GHZ)
+        # Half frequency: dynamic power drops 8x.
+        assert model.power(1.0 * GHZ) == pytest.approx(5.0 + 2.0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ReproError):
+            CorePowerModel().power(0.0)
+
+
+class TestTierEnergy:
+    def make_series(self, samples):
+        series = TimeSeries("freq")
+        for t, f in samples:
+            series.append(t, f)
+        return series
+
+    def test_constant_frequency_integrates(self):
+        model = CorePowerModel(static_w=5.0, dynamic_max_w=15.0, f_max=2.6 * GHZ)
+        series = self.make_series([(0.0, 2.6 * GHZ)])
+        # 20 W x 10 s x 2 cores = 400 J.
+        assert tier_energy(series, 2, model, t_end=10.0) == pytest.approx(400.0)
+
+    def test_piecewise_frequency(self):
+        model = CorePowerModel(static_w=0.0, dynamic_max_w=8.0, f_max=2.0 * GHZ)
+        series = self.make_series([(0.0, 2.0 * GHZ), (5.0, 1.0 * GHZ)])
+        # 5s at 8W + 5s at 1W, one core.
+        assert tier_energy(series, 1, model, t_end=10.0) == pytest.approx(45.0)
+
+    def test_validation(self):
+        model = CorePowerModel()
+        series = self.make_series([(0.0, 2.6 * GHZ)])
+        with pytest.raises(ReproError):
+            tier_energy(series, 0, model, t_end=1.0)
+        with pytest.raises(ReproError):
+            tier_energy(TimeSeries("empty"), 1, model, t_end=1.0)
+        late = self.make_series([(5.0, 2.6 * GHZ)])
+        with pytest.raises(ReproError):
+            tier_energy(late, 1, model, t_end=1.0)
+
+
+class TestEnergyReport:
+    def test_savings_fraction(self):
+        model = CorePowerModel(static_w=5.0, dynamic_max_w=15.0, f_max=2.6 * GHZ)
+        low = TimeSeries("f")
+        low.append(0.0, 1.2 * GHZ)
+        report = energy_report(
+            {"tier": low}, {"tier": 4}, t_end=10.0, model=model
+        )
+        assert 0.0 < report.savings_fraction < 1.0
+        assert report.baseline_joules == pytest.approx(20.0 * 4 * 10.0)
+
+    def test_running_at_max_saves_nothing(self):
+        model = CorePowerModel()
+        series = TimeSeries("f")
+        series.append(0.0, model.f_max)
+        report = energy_report(
+            {"tier": series}, {"tier": 2}, t_end=5.0, model=model
+        )
+        assert report.savings_fraction == pytest.approx(0.0)
+
+    def test_power_managed_run_saves_energy(self):
+        """End to end: a short Algorithm 1 run must consume less than
+        the run-at-max baseline."""
+        from repro.experiments.power_mgmt import run_power_experiment
+
+        result = run_power_experiment(decision_interval=0.2, duration=6.0)
+        report = energy_report(
+            result.frequency_series,
+            {"nginx": 2, "memcached": 1},
+            t_end=6.0,
+        )
+        assert report.savings_fraction > 0.0

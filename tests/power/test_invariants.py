@@ -1,0 +1,98 @@
+"""Controller invariants: whatever the traffic does, actuators stay
+within their physical ranges."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import GHZ
+from repro.power import PowerManager
+from repro.scaling import ActiveSetBalancer, AutoScaler
+from repro.telemetry import WindowedLatency
+from repro.topology import PathNode, PathTree
+from repro.workload import MMPPArrivals, OpenLoopClient
+
+from ..topology.conftest import build_instance, build_world, network, sim  # noqa: F401
+
+
+class TestPowerManagerInvariants:
+    def test_frequencies_always_on_ladder(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        svc = build_instance(
+            sim, cluster, "web0", "node0", service_time=3e-4, tier="web"
+        )
+        deployment.add_instance(svc)
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        window = WindowedLatency(0.05)
+        # Bursty arrivals to force both speed-ups and slow-downs.
+        client = OpenLoopClient(
+            sim, dispatcher,
+            arrivals=MMPPArrivals(low_qps=200, high_qps=3000, mean_dwell=0.2),
+            stop_at=3.0,
+            on_complete=lambda r: window.record(r.completed_at, r.latency),
+        )
+        manager = PowerManager(
+            sim, {"web": [svc]}, window, qos_target=2e-3,
+            decision_interval=0.05, min_samples=5,
+        )
+        client.start()
+        manager.start()
+        sim.run(until=3.0)
+        ladder = svc.cores.cores[0].ladder
+        freqs = manager.frequency_series["web"].values
+        assert manager.decisions > 30
+        assert (freqs >= ladder.min - 1e-6).all()
+        assert (freqs <= ladder.max + 1e-6).all()
+        for f in np.unique(freqs):
+            assert float(f) in ladder
+
+    def test_decision_count_matches_series_lengths(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        svc = build_instance(sim, cluster, "web0", "node0", tier="web")
+        deployment.add_instance(svc)
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        window = WindowedLatency(0.05)
+        client = OpenLoopClient(
+            sim, dispatcher, arrivals=500, stop_at=1.0,
+            on_complete=lambda r: window.record(r.completed_at, r.latency),
+        )
+        manager = PowerManager(
+            sim, {"web": [svc]}, window, qos_target=5e-3,
+            decision_interval=0.1, min_samples=5,
+        )
+        client.start()
+        manager.start()
+        sim.run(until=1.0)
+        assert len(manager.p99_series) == manager.decisions
+        assert manager.violations <= manager.decisions
+
+
+class TestAutoScalerInvariants:
+    def test_active_count_always_in_range(self, sim, network):
+        cluster, deployment, dispatcher = build_world(
+            sim, network, machines=4, cores=4
+        )
+        instances = [
+            build_instance(sim, cluster, f"web{i}", f"node{i}",
+                           service_time=5e-4, cores=1, tier="web")
+            for i in range(4)
+        ]
+        for inst in instances:
+            deployment.add_instance(inst)
+        balancer = ActiveSetBalancer(4, initial_active=2)
+        deployment._balancers["web"] = balancer
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        scaler = AutoScaler(sim, instances, balancer, decision_interval=0.05)
+        client = OpenLoopClient(
+            sim, dispatcher,
+            arrivals=MMPPArrivals(low_qps=100, high_qps=6000, mean_dwell=0.3),
+            stop_at=3.0,
+        )
+        scaler.start()
+        client.start()
+        sim.run(until=3.0)
+        active = scaler.active_series.values
+        assert (active >= 1).all()
+        assert (active <= 4).all()
+        utils = scaler.utilization_series.values
+        assert (utils >= 0).all()
+        assert (utils <= 1.0 + 1e-9).all()

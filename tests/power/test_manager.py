@@ -1,0 +1,94 @@
+"""Behavioural tests for the power manager against a controllable
+single-tier world."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware import GHZ
+from repro.power import PowerManager
+from repro.telemetry import WindowedLatency
+from repro.topology import PathNode, PathTree
+from repro.workload import OpenLoopClient
+
+from ..topology.conftest import build_instance, build_world, network, sim  # noqa: F401
+
+
+def make_managed_world(sim, network, qps, service_time=1e-3, qos=20e-3,
+                       interval=0.05, cores=1):
+    cluster, deployment, dispatcher = build_world(sim, network)
+    svc = build_instance(
+        sim, cluster, "web0", "node0", service_time=service_time,
+        cores=cores, tier="web",
+    )
+    deployment.add_instance(svc)
+    dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+    window = WindowedLatency(window=interval * 4)
+    client = OpenLoopClient(
+        sim, dispatcher, arrivals=qps, stop_at=2.0,
+        on_complete=lambda r: window.record(r.completed_at, r.latency),
+    )
+    manager = PowerManager(
+        sim, {"web": [svc]}, window, qos_target=qos,
+        decision_interval=interval, min_samples=5,
+    )
+    return svc, client, manager
+
+
+class TestPowerManagerBehaviour:
+    def test_ample_slack_slows_the_tier_down(self, sim, network):
+        # Load far below capacity and QoS far above latency: the manager
+        # should walk the frequency down toward the floor.
+        svc, client, manager = make_managed_world(
+            sim, network, qps=50, service_time=1e-4, qos=50e-3
+        )
+        client.start()
+        manager.start()
+        sim.run(until=2.0)
+        assert svc.frequency < 2.6 * GHZ
+        assert manager.violation_rate == 0.0
+        assert manager.decisions > 20
+
+    def test_violations_force_speed_up(self, sim, network):
+        # QoS of 1.5x the service time: at min frequency the service
+        # time alone (2.6/1.2 ~ 2.2x) violates, so the manager must
+        # keep frequency high.
+        svc, client, manager = make_managed_world(
+            sim, network, qps=100, service_time=1e-3, qos=1.5e-3
+        )
+        svc.set_frequency(1.2 * GHZ)
+        client.start()
+        manager.start()
+        sim.run(until=2.0)
+        assert svc.frequency == 2.6 * GHZ
+        assert manager.violations > 0
+
+    def test_decision_telemetry_recorded(self, sim, network):
+        svc, client, manager = make_managed_world(sim, network, qps=100)
+        client.start()
+        manager.start()
+        sim.run(until=1.0)
+        assert len(manager.p99_series) == manager.decisions
+        assert len(manager.frequency_series["web"]) == manager.decisions
+
+    def test_no_decisions_without_traffic(self, sim, network):
+        svc, client, manager = make_managed_world(sim, network, qps=100)
+        manager.start()  # client never started
+        sim.run(until=1.0)
+        assert manager.decisions == 0
+        assert manager.violation_rate == 0.0
+
+
+class TestValidation:
+    def test_bad_parameters(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        svc = build_instance(sim, cluster, "web0", "node0", tier="web")
+        window = WindowedLatency(1.0)
+        with pytest.raises(ConfigError):
+            PowerManager(sim, {}, window, qos_target=1e-3)
+        with pytest.raises(ConfigError):
+            PowerManager(sim, {"web": [svc]}, window, qos_target=0.0)
+        with pytest.raises(ConfigError):
+            PowerManager(
+                sim, {"web": [svc]}, window, qos_target=1e-3,
+                decision_interval=0.0,
+            )

@@ -1,0 +1,125 @@
+"""Tests for the horizontal autoscaler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.scaling import ActiveSetBalancer, AutoScaler
+from repro.topology import PathNode, PathTree
+from repro.workload import OpenLoopClient, StepPattern
+
+from ..topology.conftest import build_instance, build_world, network, sim  # noqa: F401
+
+
+def scaled_world(sim, network, replicas=4, initial_active=1,
+                 service_time=1e-3, low=0.3, high=0.7, interval=0.05):
+    cluster, deployment, dispatcher = build_world(
+        sim, network, machines=replicas, cores=4
+    )
+    instances = [
+        build_instance(
+            sim, cluster, f"web{i}", f"node{i}",
+            service_time=service_time, cores=1, tier="web",
+        )
+        for i in range(replicas)
+    ]
+    for inst in instances:
+        deployment.add_instance(inst)
+    balancer = ActiveSetBalancer(replicas, initial_active)
+    deployment._balancers["web"] = balancer
+    dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+    scaler = AutoScaler(
+        sim, instances, balancer,
+        decision_interval=interval, low_watermark=low, high_watermark=high,
+    )
+    return dispatcher, scaler, instances
+
+
+class TestActiveSetBalancer:
+    def test_routes_only_to_active(self):
+        rng = np.random.default_rng(0)
+
+        class Fake:
+            def __init__(self, name):
+                self.name = name
+
+        balancer = ActiveSetBalancer(4, initial_active=2)
+        picks = {balancer.pick([Fake(f"i{k}") for k in range(4)], rng).name
+                 for _ in range(20)}
+        assert picks == {"i0", "i1"}
+
+    def test_set_active_clamps(self):
+        balancer = ActiveSetBalancer(4, initial_active=2)
+        assert balancer.set_active(10) == 4
+        assert balancer.set_active(0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ActiveSetBalancer(0)
+        with pytest.raises(ConfigError):
+            ActiveSetBalancer(2, initial_active=3)
+
+
+class TestAutoScaler:
+    def test_scales_up_under_load(self, sim, network):
+        # One active 1-core replica at 1ms/request cannot carry 2.5k
+        # QPS: the scaler must activate more replicas.
+        dispatcher, scaler, _ = scaled_world(sim, network)
+        client = OpenLoopClient(sim, dispatcher, arrivals=2500, stop_at=1.0)
+        scaler.start()
+        client.start()
+        sim.run(until=1.0)
+        assert scaler.active >= 3
+
+    def test_scales_down_when_idle(self, sim, network):
+        dispatcher, scaler, _ = scaled_world(
+            sim, network, initial_active=4
+        )
+        client = OpenLoopClient(sim, dispatcher, arrivals=100, stop_at=1.0)
+        scaler.start()
+        client.start()
+        sim.run(until=1.0)
+        assert scaler.active == 1
+
+    def test_tracks_step_load(self, sim, network):
+        pattern = StepPattern([(0.0, 200), (1.0, 2500), (2.0, 200)])
+        dispatcher, scaler, _ = scaled_world(sim, network)
+        client = OpenLoopClient(sim, dispatcher, arrivals=pattern, stop_at=3.0)
+        scaler.start()
+        client.start()
+        sim.run(until=3.0)
+        times = scaler.active_series.times
+        values = scaler.active_series.values
+        during_burst = values[(times > 1.5) & (times < 2.0)]
+        after_burst = values[times > 2.8]
+        assert during_burst.max() >= 3
+        assert after_burst[-1] <= 2
+
+    def test_saves_core_seconds_vs_static(self, sim, network):
+        dispatcher, scaler, _ = scaled_world(sim, network)
+        client = OpenLoopClient(sim, dispatcher, arrivals=300, stop_at=2.0)
+        scaler.start()
+        client.start()
+        sim.run(until=2.0)
+        static_core_seconds = 4 * 1 * 2.0  # 4 replicas x 1 core x 2s
+        assert scaler.core_seconds_active() < 0.6 * static_core_seconds
+
+    def test_latency_still_bounded_when_scaling(self, sim, network):
+        dispatcher, scaler, _ = scaled_world(sim, network)
+        client = OpenLoopClient(sim, dispatcher, arrivals=2500, stop_at=1.5)
+        scaler.start()
+        client.start()
+        sim.run(until=2.5)
+        # After scale-up converges, latency is back near service time.
+        assert client.latencies.p50(since=1.0) < 5e-3
+
+    def test_validation(self, sim, network):
+        _, _, instances = scaled_world(sim, network)
+        balancer = ActiveSetBalancer(4)
+        with pytest.raises(ConfigError):
+            AutoScaler(sim, [], balancer)
+        with pytest.raises(ConfigError):
+            AutoScaler(sim, instances, balancer, low_watermark=0.8,
+                       high_watermark=0.5)
+        with pytest.raises(ConfigError):
+            AutoScaler(sim, instances, balancer, decision_interval=0)

@@ -1,0 +1,45 @@
+"""Shared builders for service-layer tests."""
+
+import pytest
+
+from repro.distributions import Deterministic
+from repro.engine import Simulator
+from repro.hardware import CoreSet, CpuCore, DvfsLadder, GHZ
+from repro.service import (
+    ExecutionPath,
+    Microservice,
+    PathSelector,
+    SimpleModel,
+    SingleQueue,
+    Stage,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+def make_cores(n=1, name="svc", freq=2.6 * GHZ, ladder=None):
+    ladder = ladder or DvfsLadder([1.2 * GHZ, 2.6 * GHZ])
+    return CoreSet(name, [CpuCore(f"m/cpu{i}", ladder, freq) for i in range(n)])
+
+
+def single_stage_service(
+    sim,
+    service_time=1e-3,
+    cores=1,
+    name="svc",
+    model=None,
+):
+    """A one-stage microservice with deterministic service time."""
+    stage = Stage("proc", 0, SingleQueue(), base=Deterministic(service_time))
+    selector = PathSelector([ExecutionPath(0, "only", [0])])
+    return Microservice(
+        name,
+        sim,
+        [stage],
+        selector,
+        make_cores(cores, name),
+        model=model or SimpleModel(),
+    )

@@ -1,0 +1,62 @@
+"""Tests for the I/O device (disk) model."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import ConfigError
+from repro.service import IoDevice
+
+
+class TestIoDevice:
+    def test_single_channel_serialises(self):
+        sim = Simulator()
+        disk = IoDevice("disk", sim, channels=1)
+        done = []
+        disk.submit(1.0, lambda: done.append(sim.now))
+        disk.submit(1.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 2.0]
+
+    def test_multi_channel_parallelism(self):
+        sim = Simulator()
+        disk = IoDevice("disk", sim, channels=2)
+        done = []
+        disk.submit(1.0, lambda: done.append(sim.now))
+        disk.submit(1.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 1.0]
+
+    def test_queue_depth_visible(self):
+        sim = Simulator()
+        disk = IoDevice("disk", sim, channels=1)
+        disk.submit(1.0, lambda: None)
+        disk.submit(1.0, lambda: None)
+        assert disk.in_flight == 1
+        assert disk.queue_depth == 1
+
+    def test_zero_duration_completes_async(self):
+        sim = Simulator()
+        disk = IoDevice("disk", sim)
+        done = []
+        disk.submit(0.0, lambda: done.append(True))
+        assert done == []  # not synchronous
+        sim.run()
+        assert done == [True]
+
+    def test_ops_and_utilisation_accounting(self):
+        sim = Simulator()
+        disk = IoDevice("disk", sim, channels=1)
+        disk.submit(2.0, lambda: None)
+        disk.submit(2.0, lambda: None)
+        sim.run()
+        assert disk.ops_completed == 2
+        assert disk.utilization(now=4.0) == pytest.approx(1.0)
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ConfigError):
+            IoDevice("disk", sim).submit(-1.0, lambda: None)
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ConfigError):
+            IoDevice("disk", Simulator(), channels=0)

@@ -1,0 +1,160 @@
+"""Property-based tests on the intra-microservice layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Deterministic
+from repro.engine import Simulator
+from repro.service import (
+    Connection,
+    EpollQueue,
+    ExecutionPath,
+    Job,
+    Microservice,
+    MultiThreadedModel,
+    PathSelector,
+    Request,
+    SingleQueue,
+    SocketQueue,
+    Stage,
+)
+
+from .conftest import make_cores
+
+
+def fresh_jobs(conn_indices):
+    conns = {}
+    jobs = []
+    for idx in conn_indices:
+        if idx is not None and idx not in conns:
+            conns[idx] = Connection(f"c{idx}")
+        jobs.append(
+            Job(Request(0.0), connection=conns[idx] if idx is not None else None)
+        )
+    return jobs
+
+
+conn_lists = st.lists(
+    st.one_of(st.none(), st.integers(0, 5)), min_size=1, max_size=60
+)
+
+
+class TestQueueConservation:
+    @given(conn_lists, st.integers(1, 8))
+    def test_single_queue_conserves_jobs(self, conns, batch_limit):
+        q = SingleQueue(batch_limit=batch_limit)
+        jobs = fresh_jobs(conns)
+        for j in jobs:
+            q.push(j)
+        drained = []
+        while True:
+            batch = q.next_batch()
+            if not batch:
+                break
+            drained.extend(batch)
+        assert sorted(j.job_id for j in drained) == sorted(
+            j.job_id for j in jobs
+        )
+
+    @given(conn_lists, st.integers(1, 8))
+    def test_socket_queue_conserves_jobs(self, conns, batch_limit):
+        q = SocketQueue(batch_limit=batch_limit)
+        jobs = fresh_jobs(conns)
+        for j in jobs:
+            q.push(j)
+        drained = []
+        while q.has_ready():
+            drained.extend(q.next_batch())
+        assert len(drained) == len(jobs)
+
+    @given(conn_lists)
+    def test_epoll_queue_conserves_jobs(self, conns):
+        q = EpollQueue(per_connection_limit=4)
+        jobs = fresh_jobs(conns)
+        for j in jobs:
+            q.push(j)
+        drained = []
+        while q.has_ready():
+            drained.extend(q.next_batch())
+        assert len(drained) == len(jobs)
+
+    @given(conn_lists)
+    def test_socket_batches_are_single_connection(self, conns):
+        q = SocketQueue(batch_limit=16)
+        for j in fresh_jobs(conns):
+            q.push(j)
+        while q.has_ready():
+            batch = q.next_batch()
+            keys = {
+                j.connection.conn_id if j.connection else -1 for j in batch
+            }
+            assert len(keys) == 1
+
+    @given(conn_lists)
+    def test_fifo_within_each_connection(self, conns):
+        q = SocketQueue(batch_limit=3)
+        jobs = fresh_jobs(conns)
+        for j in jobs:
+            q.push(j)
+        seen_per_conn = {}
+        while q.has_ready():
+            for job in q.next_batch():
+                key = job.connection.conn_id if job.connection else -1
+                seen_per_conn.setdefault(key, []).append(job.job_id)
+        for key, ids in seen_per_conn.items():
+            expected = [
+                j.job_id for j in jobs
+                if (j.connection.conn_id if j.connection else -1) == key
+            ]
+            assert ids == expected
+
+
+class TestPipelineConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 30),   # jobs
+        st.integers(1, 3),    # stages
+        st.integers(1, 4),    # cores
+        st.integers(1, 4),    # threads
+    )
+    def test_every_job_completes_exactly_once(
+        self, n_jobs, n_stages, n_cores, n_threads
+    ):
+        sim = Simulator(seed=0)
+        stages = [
+            Stage(f"s{i}", i, SingleQueue(), base=Deterministic(1e-5))
+            for i in range(n_stages)
+        ]
+        selector = PathSelector(
+            [ExecutionPath(0, "p", list(range(n_stages)))]
+        )
+        svc = Microservice(
+            "svc", sim, stages, selector, make_cores(n_cores),
+            model=MultiThreadedModel(n_threads, context_switch=0.0),
+        )
+        completed = []
+        for _ in range(n_jobs):
+            job = Job(Request(0.0))
+            job.on_complete = lambda j: completed.append(j.job_id)
+            svc.accept(job)
+        sim.run()
+        assert len(completed) == n_jobs
+        assert len(set(completed)) == n_jobs
+        assert svc.queued_jobs == 0
+        assert svc.cores.free_count == n_cores
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 20), st.integers(1, 4))
+    def test_makespan_bounded_by_serial_and_ideal(self, n_jobs, n_cores):
+        service_time = 1e-4
+        sim = Simulator(seed=0)
+        stage = Stage("s", 0, SingleQueue(), base=Deterministic(service_time))
+        selector = PathSelector([ExecutionPath(0, "p", [0])])
+        svc = Microservice("svc", sim, [stage], selector, make_cores(n_cores))
+        for _ in range(n_jobs):
+            svc.accept(Job(Request(0.0)))
+        sim.run()
+        serial = n_jobs * service_time
+        ideal = np.ceil(n_jobs / n_cores) * service_time
+        assert ideal - 1e-12 <= sim.now <= serial + 1e-12

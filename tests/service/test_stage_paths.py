@@ -1,0 +1,228 @@
+"""Tests for stage cost model, execution paths, and path selection."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, FrequencyTable
+from repro.errors import ConfigError
+from repro.hardware import GHZ
+from repro.service import (
+    Connection,
+    ExecutionPath,
+    Job,
+    PathSelector,
+    Request,
+    SingleQueue,
+    Stage,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def jobs(n, size=0.0):
+    return [Job(Request(0.0), size_bytes=size) for _ in range(n)]
+
+
+class TestStageCost:
+    def test_base_cost_independent_of_batch(self, rng):
+        stage = Stage("epoll", 0, SingleQueue(), base=Deterministic(10e-6))
+        assert stage.compute_cost(jobs(1), 2.6 * GHZ, rng) == pytest.approx(10e-6)
+        assert stage.compute_cost(jobs(7), 2.6 * GHZ, rng) == pytest.approx(10e-6)
+
+    def test_per_job_cost_linear_in_batch(self, rng):
+        stage = Stage(
+            "epoll", 0, SingleQueue(),
+            base=Deterministic(10e-6), per_job=Deterministic(2e-6),
+        )
+        assert stage.compute_cost(jobs(5), 2.6 * GHZ, rng) == pytest.approx(
+            10e-6 + 5 * 2e-6
+        )
+
+    def test_per_byte_cost_proportional_to_bytes(self, rng):
+        stage = Stage(
+            "socket_read", 0, SingleQueue(), per_byte=Deterministic(1e-9)
+        )
+        batch = jobs(2, size=500)
+        assert stage.compute_cost(batch, 2.6 * GHZ, rng) == pytest.approx(1e-6)
+
+    def test_frequency_scaling(self, rng):
+        table = FrequencyTable.single(Deterministic(10e-6), 2.6 * GHZ)
+        stage = Stage("proc", 0, SingleQueue(), base=table)
+        slow = stage.compute_cost(jobs(1), 1.3 * GHZ, rng)
+        assert slow == pytest.approx(20e-6)
+
+    def test_io_cost_sums_over_batch(self, rng):
+        stage = Stage(
+            "disk", 0, SingleQueue(),
+            base=Deterministic(1e-6), io=Deterministic(5e-3),
+        )
+        assert stage.io_cost(jobs(3), rng) == pytest.approx(15e-3)
+
+    def test_io_cost_zero_without_io(self, rng):
+        stage = Stage("proc", 0, SingleQueue(), base=Deterministic(1e-6))
+        assert stage.io_cost(jobs(3), rng) == 0.0
+
+    def test_mean_cost_folds_terms(self):
+        stage = Stage(
+            "s", 0, SingleQueue(),
+            base=Deterministic(10e-6),
+            per_job=Deterministic(1e-6),
+            per_byte=Deterministic(1e-9),
+        )
+        mean = stage.mean_cost(batch_size=4, mean_bytes=1000)
+        assert mean == pytest.approx(10e-6 + 4e-6 + 4e-6)
+
+    def test_empty_batch_rejected(self, rng):
+        stage = Stage("s", 0, SingleQueue(), base=Deterministic(1e-6))
+        with pytest.raises(ConfigError):
+            stage.compute_cost([], 2.6 * GHZ, rng)
+
+    def test_stage_without_costs_rejected(self):
+        with pytest.raises(ConfigError):
+            Stage("empty", 0, SingleQueue())
+
+    def test_record_accumulates_telemetry(self):
+        stage = Stage("s", 0, SingleQueue(), base=Deterministic(1e-6))
+        stage.record(4, 2e-6)
+        stage.record(1, 1e-6)
+        assert stage.invocations == 2
+        assert stage.jobs_processed == 5
+        assert stage.busy_time == pytest.approx(3e-6)
+
+
+class TestExecutionPath:
+    def test_basic(self):
+        path = ExecutionPath(0, "read", [0, 1, 2, 3])
+        assert len(path) == 4
+        assert path.stage_ids == [0, 1, 2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            ExecutionPath(0, "empty", [])
+
+
+class TestPathSelector:
+    def test_single_path_needs_no_probabilities(self, rng):
+        selector = PathSelector([ExecutionPath(0, "only", [0])])
+        assert selector.select(rng).name == "only"
+
+    def test_explicit_path_id(self, rng):
+        selector = PathSelector(
+            [ExecutionPath(0, "read", [0]), ExecutionPath(1, "write", [0])],
+            probabilities={0: 0.5, 1: 0.5},
+        )
+        assert selector.select(rng, path_id=1).name == "write"
+
+    def test_explicit_path_name(self, rng):
+        selector = PathSelector(
+            [ExecutionPath(0, "read", [0]), ExecutionPath(1, "write", [0])],
+            probabilities={0: 1.0, 1: 0.0},
+        )
+        assert selector.select(rng, path_name="write").name == "write"
+
+    def test_probabilistic_split(self, rng):
+        # MongoDB-style hit/miss state machine.
+        selector = PathSelector(
+            [ExecutionPath(0, "hit", [0]), ExecutionPath(1, "miss", [0])],
+            probabilities={0: 0.8, 1: 0.2},
+        )
+        names = [selector.select(rng).name for _ in range(10_000)]
+        miss_rate = names.count("miss") / len(names)
+        assert miss_rate == pytest.approx(0.2, abs=0.02)
+
+    def test_multiple_paths_without_probabilities_rejected(self, rng):
+        selector = PathSelector(
+            [ExecutionPath(0, "a", [0]), ExecutionPath(1, "b", [0])]
+        )
+        with pytest.raises(ConfigError):
+            selector.select(rng)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            PathSelector(
+                [ExecutionPath(0, "a", [0])], probabilities={0: 0.9}
+            )
+
+    def test_unknown_path_in_probabilities(self):
+        with pytest.raises(ConfigError):
+            PathSelector(
+                [ExecutionPath(0, "a", [0])], probabilities={5: 1.0}
+            )
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigError):
+            PathSelector(
+                [ExecutionPath(0, "a", [0]), ExecutionPath(0, "b", [0])]
+            )
+
+    def test_unknown_lookup_rejected(self):
+        selector = PathSelector([ExecutionPath(0, "a", [0])])
+        with pytest.raises(ConfigError):
+            selector.get(4)
+        with pytest.raises(ConfigError):
+            selector.get_by_name("zzz")
+
+
+class TestConnectionBlocking:
+    def test_block_unblock_by_owner(self):
+        conn = Connection()
+        conn.block(request_id=1)
+        assert conn.blocked
+        assert conn.holder == 1
+        conn.unblock(request_id=2)  # not the owner: ignored
+        assert conn.blocked
+        conn.unblock(request_id=1)
+        assert not conn.blocked
+        assert conn.holder is None
+
+    def test_blocks_queue_in_fifo_order(self):
+        conn = Connection()
+        conn.block(1)
+        conn.block(2)  # queues behind request 1
+        conn.block(3)
+        assert conn.holder == 1
+        conn.unblock(1)
+        assert conn.holder == 2
+        conn.unblock(2)
+        assert conn.holder == 3
+        conn.unblock(3)
+        assert not conn.blocked
+
+    def test_same_request_blocking_twice_rejected(self):
+        from repro.errors import TopologyError
+
+        conn = Connection()
+        conn.block(1)
+        with pytest.raises(TopologyError):
+            conn.block(1)
+        conn.block(2)
+        with pytest.raises(TopologyError):
+            conn.block(2)  # already waiting
+
+    def test_unblock_fires_callbacks(self):
+        conn = Connection()
+        calls = []
+        conn.on_unblock(lambda: calls.append(1))
+        conn.block(1)
+        conn.unblock(1)
+        assert calls == [1]
+
+    def test_handover_to_waiter_fires_callbacks(self):
+        conn = Connection()
+        calls = []
+        conn.on_unblock(lambda: calls.append(1))
+        conn.block(1)
+        conn.block(2)
+        conn.unblock(1)  # still blocked (by 2) but visibility changed
+        assert conn.blocked
+        assert calls == [1]
+
+    def test_unblock_when_open_is_noop(self):
+        conn = Connection()
+        calls = []
+        conn.on_unblock(lambda: calls.append(1))
+        conn.unblock(1)
+        assert calls == []

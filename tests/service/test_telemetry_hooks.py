@@ -1,0 +1,79 @@
+"""Tests for service-level telemetry: utilisation, stage accounting,
+queue depths, and DVFS changes scheduled as simulation events."""
+
+import pytest
+
+from repro.distributions import Deterministic
+from repro.engine import PRIORITY_ADMIN, Simulator
+from repro.hardware import GHZ
+from repro.service import Job, Request
+
+from .conftest import make_cores, single_stage_service
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+def send_n(svc, sim, n):
+    done = []
+    for _ in range(n):
+        job = Job(Request(sim.now))
+        job.on_complete = lambda j: done.append(sim.now)
+        svc.accept(job)
+    return done
+
+
+class TestUtilisation:
+    def test_fully_busy_core_reports_one(self, sim):
+        svc = single_stage_service(sim, service_time=1e-3, cores=1)
+        send_n(svc, sim, 10)
+        sim.run()
+        assert svc.utilization(now=sim.now) == pytest.approx(1.0)
+
+    def test_half_busy(self, sim):
+        svc = single_stage_service(sim, service_time=1e-3, cores=1)
+        send_n(svc, sim, 5)
+        sim.run()
+        assert svc.utilization(now=10e-3) == pytest.approx(0.5)
+
+
+class TestStageAccounting:
+    def test_busy_time_matches_work_done(self, sim):
+        svc = single_stage_service(sim, service_time=2e-3, cores=2)
+        send_n(svc, sim, 6)
+        sim.run()
+        stage = svc.stage(0)
+        assert stage.jobs_processed == 6
+        assert stage.invocations == 6
+        assert stage.busy_time == pytest.approx(12e-3)
+
+    def test_queue_depth_while_backlogged(self, sim):
+        svc = single_stage_service(sim, service_time=1e-3, cores=1)
+        send_n(svc, sim, 5)
+        # One executing, four queued.
+        assert svc.queued_jobs == 4
+        sim.run()
+        assert svc.queued_jobs == 0
+
+
+class TestDvfsAsEvent:
+    def test_admin_event_changes_frequency_mid_run(self, sim):
+        """Paper SSIII-A: 'an event may represent ... cluster
+        administration operations, like changing a server's DVFS
+        setting'."""
+        svc = single_stage_service(sim, service_time=1e-3, cores=1)
+        done = send_n(svc, sim, 4)
+        # Halve the frequency after the second job completes.
+        sim.schedule(
+            2.5e-3, svc.set_frequency, 1.2 * GHZ, priority=PRIORITY_ADMIN
+        )
+        sim.run()
+        # Jobs 1-3 dispatch at full speed (job 3 starts at t=2ms, before
+        # the change, and keeps its sampled service time); only job 4
+        # dispatches at the lower frequency and runs 2.6/1.2 slower.
+        slow = 1e-3 * 2.6 / 1.2
+        assert done[1] == pytest.approx(2e-3)
+        assert done[2] == pytest.approx(3e-3)
+        assert done[3] == pytest.approx(3e-3 + slow, rel=1e-6)

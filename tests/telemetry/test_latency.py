@@ -1,0 +1,103 @@
+"""Tests for latency recorders and windowed views."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import LatencyRecorder, WindowedLatency
+
+
+class TestLatencyRecorder:
+    def test_mean_and_percentiles(self):
+        rec = LatencyRecorder()
+        for i, latency in enumerate([1.0, 2.0, 3.0, 4.0]):
+            rec.record(float(i), latency)
+        assert rec.mean() == pytest.approx(2.5)
+        assert rec.p50() == pytest.approx(2.5)
+        assert rec.max() == 4.0
+        assert len(rec) == 4
+
+    def test_warmup_trimming_via_since(self):
+        rec = LatencyRecorder()
+        rec.record(0.5, 100.0)  # warmup junk
+        rec.record(2.0, 1.0)
+        rec.record(3.0, 1.0)
+        assert rec.mean(since=1.0) == pytest.approx(1.0)
+        assert rec.count(since=1.0) == 2
+
+    def test_until_bound(self):
+        rec = LatencyRecorder()
+        rec.record(1.0, 1.0)
+        rec.record(2.0, 2.0)
+        rec.record(3.0, 3.0)
+        assert rec.mean(since=0.0, until=2.0) == pytest.approx(1.5)
+
+    def test_p99_matches_numpy(self):
+        rec = LatencyRecorder()
+        rng = np.random.default_rng(0)
+        values = rng.exponential(1.0, size=5000)
+        for i, v in enumerate(values):
+            rec.record(float(i), float(v))
+        assert rec.p99() == pytest.approx(np.percentile(values, 99))
+
+    def test_throughput(self):
+        rec = LatencyRecorder()
+        for i in range(100):
+            rec.record(i * 0.01, 1e-3)
+        assert rec.throughput(0.0, 1.0) == pytest.approx(100, rel=0.02)
+
+    def test_out_of_order_insert(self):
+        rec = LatencyRecorder()
+        rec.record(2.0, 2.0)
+        rec.record(1.0, 1.0)  # merged stream: earlier completion
+        times, values = rec.samples()
+        assert times.tolist() == [1.0, 2.0]
+        assert values.tolist() == [1.0, 2.0]
+
+    def test_empty_queries_raise(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ReproError):
+            rec.mean()
+        with pytest.raises(ReproError):
+            rec.percentile(99)
+
+    def test_invalid_inputs(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ReproError):
+            rec.record(0.0, -1.0)
+        rec.record(0.0, 1.0)
+        with pytest.raises(ReproError):
+            rec.percentile(101)
+        with pytest.raises(ReproError):
+            rec.throughput(1.0, 1.0)
+
+
+class TestWindowedLatency:
+    def test_window_evicts_old_samples(self):
+        win = WindowedLatency(window=1.0)
+        win.record(0.0, 10.0)
+        win.record(0.5, 20.0)
+        win.record(2.0, 30.0)  # evicts both older samples
+        assert len(win) == 1
+        assert win.mean() == pytest.approx(30.0)
+
+    def test_percentile_over_window(self):
+        win = WindowedLatency(window=10.0)
+        for i in range(100):
+            win.record(i * 0.01, float(i))
+        assert win.percentile(50) == pytest.approx(49.5)
+
+    def test_empty_returns_none(self):
+        win = WindowedLatency(window=1.0)
+        assert win.percentile(99) is None
+        assert win.mean() is None
+
+    def test_clear(self):
+        win = WindowedLatency(window=1.0)
+        win.record(0.0, 1.0)
+        win.clear()
+        assert len(win) == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ReproError):
+            WindowedLatency(window=0)

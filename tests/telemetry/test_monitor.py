@@ -1,0 +1,73 @@
+"""Tests for the in-simulation service monitor."""
+
+import pytest
+
+from repro.apps import two_tier
+from repro.errors import ReproError
+from repro.telemetry import ServiceMonitor
+from repro.workload import OpenLoopClient
+
+
+def monitored_run(qps, duration=0.2, interval=0.02):
+    world = two_tier(seed=8)
+    instances = [world.instance("nginx"), world.instance("memcached")]
+    monitor = ServiceMonitor(
+        world.sim, instances, interval=interval, stop_at=duration
+    )
+    client = OpenLoopClient(
+        world.sim, world.dispatcher, arrivals=qps, stop_at=duration
+    )
+    monitor.start()
+    client.start()
+    world.sim.run(until=duration)
+    return world, monitor
+
+
+class TestServiceMonitor:
+    def test_samples_recorded_at_interval(self):
+        _, monitor = monitored_run(qps=5000, duration=0.2, interval=0.02)
+        depth = monitor.queue_depth["nginx0"]
+        assert 8 <= len(depth) <= 11
+
+    def test_idle_system_shows_zero_utilisation(self):
+        world = two_tier(seed=8)
+        monitor = ServiceMonitor(
+            world.sim, [world.instance("nginx")], interval=0.05, stop_at=0.2
+        )
+        monitor.start()
+        world.sim.run(until=0.2)
+        assert monitor.utilization["nginx0"].values.max() == 0.0
+
+    def test_bottleneck_is_nginx_in_two_tier(self):
+        # NGINX binds the 2-tier app (paper SSIV-A): under load its
+        # utilisation must exceed memcached's.
+        _, monitor = monitored_run(qps=40_000)
+        assert monitor.bottleneck() == "nginx0"
+
+    def test_queues_grow_past_saturation(self):
+        _, light = monitored_run(qps=5_000)
+        _, heavy = monitored_run(qps=75_000)  # above ~62k capacity
+        assert heavy.peak_depth("nginx0") > 10 * max(
+            1.0, light.peak_depth("nginx0")
+        )
+
+    def test_utilisation_tracks_load(self):
+        _, monitor = monitored_run(qps=30_000)
+        util = monitor.utilization["nginx0"].values
+        # ~30k x ~135us / 8 cores ~ 0.5.
+        assert 0.3 < util[2:].mean() < 0.75
+
+    def test_validation(self):
+        world = two_tier(seed=8)
+        with pytest.raises(ReproError):
+            ServiceMonitor(world.sim, [], interval=0.01)
+        with pytest.raises(ReproError):
+            ServiceMonitor(
+                world.sim, [world.instance("nginx")], interval=0.0
+            )
+        monitor = ServiceMonitor(
+            world.sim, [world.instance("nginx")], interval=0.01
+        )
+        monitor.start()
+        with pytest.raises(ReproError):
+            monitor.start()

@@ -1,0 +1,87 @@
+"""Tests for time series and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import TimeSeries, format_series, format_table, ms, us
+
+
+class TestTimeSeries:
+    def test_append_and_access(self):
+        ts = TimeSeries("load")
+        ts.append(0.0, 100)
+        ts.append(1.0, 200)
+        assert len(ts) == 2
+        assert ts.times.tolist() == [0.0, 1.0]
+        assert ts.values.tolist() == [100.0, 200.0]
+        assert ts.last() == (1.0, 200.0)
+
+    def test_monotonic_time_enforced(self):
+        ts = TimeSeries()
+        ts.append(1.0, 1)
+        with pytest.raises(ReproError):
+            ts.append(0.5, 2)
+
+    def test_resample_means(self):
+        ts = TimeSeries()
+        for t in np.arange(0.0, 4.0, 0.5):
+            ts.append(float(t), float(t))
+        centres, means = ts.resample(bin_width=1.0)
+        assert len(centres) == 4
+        assert means[0] == pytest.approx(0.25)
+
+    def test_resample_custom_reducer(self):
+        ts = TimeSeries()
+        for t, v in [(0.1, 1.0), (0.2, 9.0), (1.1, 5.0)]:
+            ts.append(t, v)
+        _, maxes = ts.resample(1.0, reducer=np.max)
+        assert maxes.tolist() == [9.0, 5.0]
+
+    def test_resample_empty_series(self):
+        centres, values = TimeSeries().resample(1.0)
+        assert centres.size == 0 and values.size == 0
+
+    def test_last_on_empty_raises(self):
+        with pytest.raises(ReproError):
+            TimeSeries().last()
+
+    def test_bad_bin_width(self):
+        ts = TimeSeries()
+        ts.append(0.0, 1.0)
+        with pytest.raises(ReproError):
+            ts.resample(0.0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["load", "p99"],
+            [[1000, 1.234], [20000, 10.5]],
+            title="Fig X",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Fig X"
+        assert "load" in lines[1] and "p99" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_none_cells(self):
+        table = format_table(["a"], [[None]])
+        assert "-" in table.splitlines()[-1]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series(self):
+        s = format_series("sim", [1, 2], [0.1, 0.2], "qps", "ms")
+        assert s.startswith("sim [qps vs ms]:")
+        assert "(1," in s
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])
+
+    def test_unit_helpers(self):
+        assert ms(0.005) == pytest.approx(5.0)
+        assert us(0.005) == pytest.approx(5000.0)

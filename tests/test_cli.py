@@ -1,0 +1,59 @@
+"""Tests for the `python -m repro` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+
+from .config.conftest import spec_dir  # noqa: F401 (fixture reuse)
+
+
+class TestRunCommand:
+    def test_run_spec_directory(self, spec_dir, capsys):
+        code = main(["run", str(spec_dir), "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "requests completed" in out
+        assert "p99 (ms)" in out
+
+    def test_run_with_realism(self, spec_dir, capsys):
+        code = main(["run", str(spec_dir), "--real"])
+        assert code == 0
+        assert "real-system surrogate" in capsys.readouterr().out
+
+    def test_run_with_horizon(self, spec_dir, capsys):
+        code = main(["run", str(spec_dir), "--until", "0.5"])
+        assert code == 0
+
+    def test_missing_spec_dir_reports_error(self, tmp_path, capsys):
+        code = main(["run", str(tmp_path / "nope")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_spec_without_client_rejected(self, spec_dir, capsys):
+        (spec_dir / "client.json").unlink()
+        code = main(["run", str(spec_dir)])
+        assert code == 2
+
+
+class TestExperimentsCommand:
+    def test_list(self, capsys):
+        code = main(["experiments", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig8" in out
+        assert "Table III" in out
+
+    def test_run_dispatches_to_registry(self, capsys, monkeypatch):
+        from repro.experiments import registry
+        from repro.experiments.registry import ExperimentSpec
+
+        cheap = ExperimentSpec("figX", "Figure X", "stub", lambda: "ran")
+        monkeypatch.setitem(registry._BY_ID, "figX", cheap)
+        code = main(["experiments", "run", "figX"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ran" in out
+
+    def test_unknown_experiment_id(self, capsys):
+        with pytest.raises(KeyError):
+            main(["experiments", "run", "fig99"])

@@ -1,0 +1,95 @@
+"""Repository consistency checks: docs reference real artifacts, the
+public API surface imports, every example is syntactically valid."""
+
+import ast
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TestDocsReferenceRealFiles:
+    def test_readme_examples_exist(self):
+        readme = (REPO / "README.md").read_text()
+        for match in re.findall(r"`examples/(\w+\.py)`", readme):
+            assert (REPO / "examples" / match).exists(), match
+
+    def test_design_bench_targets_exist(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for match in re.findall(r"`benchmarks/(bench_\w+\.py)`", design):
+            assert (REPO / "benchmarks" / match).exists(), match
+
+    def test_docs_directory_files_exist(self):
+        for name in ("modeling_guide.md", "internals.md", "json_reference.md"):
+            assert (REPO / "docs" / name).exists()
+
+    def test_spec_directory_complete(self):
+        spec = REPO / "specs" / "two_tier"
+        for name in ("machines.json", "graph.json", "path.json", "client.json"):
+            assert (spec / name).exists(), name
+        assert list((spec / "services").glob("*.json"))
+
+
+class TestPublicApiSurface:
+    PACKAGES = [
+        "repro",
+        "repro.analysis",
+        "repro.apps",
+        "repro.bighouse",
+        "repro.config",
+        "repro.distributions",
+        "repro.engine",
+        "repro.experiments",
+        "repro.hardware",
+        "repro.power",
+        "repro.scaling",
+        "repro.service",
+        "repro.telemetry",
+        "repro.testbed",
+        "repro.topology",
+        "repro.workload",
+    ]
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports_and_all_resolves(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol}"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_has_docstring(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__ and module.__doc__.strip(), name
+
+
+class TestExamplesParse:
+    @pytest.mark.parametrize(
+        "path", sorted((REPO / "examples").glob("*.py")), ids=lambda p: p.name
+    )
+    def test_example_is_valid_python_with_main(self, path):
+        tree = ast.parse(path.read_text())
+        names = {
+            node.name for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in names, f"{path.name} has no main()"
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+
+class TestPublicClassesDocumented:
+    def test_every_public_class_and_function_has_docstring(self):
+        missing = []
+        for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+            tree = ast.parse(path.read_text())
+            for node in tree.body:  # top-level only
+                if isinstance(
+                    node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    if node.name.startswith("_"):
+                        continue
+                    if not ast.get_docstring(node):
+                        missing.append(f"{path.name}:{node.name}")
+        assert not missing, f"undocumented public items: {missing}"

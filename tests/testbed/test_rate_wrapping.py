@@ -1,0 +1,60 @@
+"""Regression tests for rate-vs-time realism wrapping.
+
+An additive interference stall applied to a per-byte *rate* would be
+multiplied by the message size downstream, inflating a 0.5 ms stall
+into hundreds of milliseconds of phantom work (the netproc blow-up bug
+this guards against).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import load_balanced
+from repro.distributions import Deterministic
+from repro.testbed import Interfered, Jittered, RealismConfig
+from repro.workload import OpenLoopClient
+
+
+class TestWrapRate:
+    def test_wrap_rate_never_adds_stalls(self):
+        config = RealismConfig(interference_prob=1.0)  # stall every draw
+        wrapped = config.wrap_rate(Deterministic(12e-9))
+        rng = np.random.default_rng(0)
+        samples = np.array([wrapped.sample(rng) for _ in range(1000)])
+        # Pure multiplicative jitter around 12 ns — no 0.5 ms stalls.
+        assert samples.max() < 100e-9
+
+    def test_wrap_time_does_add_stalls(self):
+        config = RealismConfig(interference_prob=1.0)
+        wrapped = config.wrap(Deterministic(12e-6))
+        rng = np.random.default_rng(0)
+        samples = np.array([wrapped.sample(rng) for _ in range(100)])
+        assert samples.min() > 50e-6  # every draw carries a stall
+
+    def test_wrap_rate_none_passthrough(self):
+        assert RealismConfig().wrap_rate(None) is None
+
+    def test_wrapped_rate_is_jittered_only(self):
+        config = RealismConfig()
+        wrapped = config.wrap_rate(Deterministic(1.0))
+        assert isinstance(wrapped, Jittered)
+        assert not isinstance(wrapped, Interfered)
+
+
+class TestLoadBalancedRealismRegression:
+    def test_real_series_tracks_sim_below_saturation(self):
+        """lb8 at half capacity: the 'real' system must sit within a
+        small factor of the simulated one, not tens of milliseconds."""
+        def run(realism):
+            world = load_balanced(scale_out=8, seed=100, realism=realism)
+            client = OpenLoopClient(
+                world.sim, world.dispatcher, arrivals=30_000, stop_at=0.2,
+                realism=world.realism,
+            )
+            client.start()
+            world.sim.run(until=0.2)
+            return client.latencies.mean(since=0.06)
+
+        sim_mean = run(None)
+        real_mean = run(RealismConfig())
+        assert real_mean < 3 * sim_mean

@@ -1,0 +1,76 @@
+"""Tests for the real-system surrogate layer."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic
+from repro.errors import ConfigError
+from repro.testbed import Interfered, Jittered, RealismConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestJittered:
+    def test_mean_preserved(self, rng):
+        dist = Jittered(Deterministic(1e-3), cv=0.2)
+        samples = np.array([dist.sample(rng) for _ in range(50_000)])
+        assert samples.mean() == pytest.approx(1e-3, rel=0.02)
+        assert dist.mean() == 1e-3
+
+    def test_adds_variance(self, rng):
+        dist = Jittered(Deterministic(1e-3), cv=0.2)
+        samples = np.array([dist.sample(rng) for _ in range(10_000)])
+        assert samples.std() > 0
+        assert np.std(samples) / np.mean(samples) == pytest.approx(0.2, rel=0.1)
+
+    def test_invalid_cv(self):
+        with pytest.raises(ConfigError):
+            Jittered(Deterministic(1.0), cv=0.0)
+
+
+class TestInterfered:
+    def test_stall_probability(self, rng):
+        dist = Interfered(Deterministic(1e-3), 0.1, Deterministic(1.0))
+        samples = np.array([dist.sample(rng) for _ in range(20_000)])
+        stalled = np.mean(samples > 0.5)
+        assert stalled == pytest.approx(0.1, abs=0.01)
+
+    def test_mean_accounts_for_stalls(self):
+        dist = Interfered(Deterministic(1e-3), 0.5, Deterministic(1e-3))
+        assert dist.mean() == pytest.approx(1.5e-3)
+
+    def test_zero_probability_is_transparent(self, rng):
+        dist = Interfered(Deterministic(1e-3), 0.0, Deterministic(1.0))
+        assert dist.sample(rng) == 1e-3
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigError):
+            Interfered(Deterministic(1.0), 1.5, Deterministic(1.0))
+
+
+class TestRealismConfig:
+    def test_wrap_preserves_mean_roughly(self, rng):
+        config = RealismConfig(jitter_cv=0.1, interference_prob=0.0)
+        wrapped = config.wrap(Deterministic(1e-3))
+        samples = np.array([wrapped.sample(rng) for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(1e-3, rel=0.05)
+
+    def test_wrap_none_passthrough(self):
+        assert RealismConfig().wrap(None) is None
+
+    def test_observed_latency_below_timeout_is_identity(self, rng):
+        config = RealismConfig(timeout=0.1)
+        assert config.observed_latency(0.05, rng) == 0.05
+
+    def test_observed_latency_above_timeout_pays_penalty(self, rng):
+        config = RealismConfig(
+            timeout=0.1, timeout_penalty=Deterministic(0.2)
+        )
+        assert config.observed_latency(0.15, rng) == pytest.approx(0.35)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ConfigError):
+            RealismConfig(timeout=0.0)

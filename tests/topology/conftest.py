@@ -1,0 +1,67 @@
+"""Shared builders for topology tests: tiny deterministic worlds."""
+
+import pytest
+
+from repro.distributions import Deterministic
+from repro.engine import Simulator
+from repro.hardware import Cluster, DvfsLadder, GHZ, Machine, NetworkFabric
+from repro.service import (
+    ExecutionPath,
+    Microservice,
+    PathSelector,
+    SingleQueue,
+    Stage,
+)
+from repro.topology import Deployment, Dispatcher
+
+LOOPBACK = 1e-6
+PROPAGATION = 10e-6
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+@pytest.fixture
+def network():
+    return NetworkFabric(
+        propagation=Deterministic(PROPAGATION),
+        loopback=Deterministic(LOOPBACK),
+        bandwidth_bytes_per_s=1e12,  # serialisation negligible
+    )
+
+
+def build_instance(
+    sim,
+    cluster,
+    name,
+    machine,
+    service_time=1e-3,
+    cores=1,
+    tier=None,
+):
+    """A one-stage instance pinned to dedicated cores on *machine*."""
+    core_set = cluster.machine(machine).allocate(name, cores)
+    stage = Stage("proc", 0, SingleQueue(), base=Deterministic(service_time))
+    selector = PathSelector([ExecutionPath(0, "only", [0])])
+    return Microservice(
+        name,
+        sim,
+        [stage],
+        selector,
+        core_set,
+        machine_name=machine,
+        tier=tier or name.rstrip("0123456789"),
+    )
+
+
+def build_world(sim, network, machines=2, cores=8):
+    """Cluster + empty deployment + dispatcher."""
+    ladder = DvfsLadder([1.2 * GHZ, 2.6 * GHZ])
+    cluster = Cluster(network)
+    for i in range(machines):
+        cluster.add_machine(Machine(f"node{i}", cores, ladder))
+    deployment = Deployment()
+    dispatcher = Dispatcher(sim, deployment, network)
+    return cluster, deployment, dispatcher

@@ -1,0 +1,130 @@
+"""Edge-case dispatcher tests: multiple roots, asymmetric netprocs,
+message sizing, pool policies under traffic."""
+
+import pytest
+
+from repro.service import Request
+from repro.topology import PathNode, PathTree
+
+from .conftest import LOOPBACK, PROPAGATION, build_instance, build_world
+
+
+class TestMultipleRoots:
+    def test_parallel_roots_with_shared_sink(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network, machines=3)
+        for i, tier in enumerate(("a", "b")):
+            deployment.add_instance(
+                build_instance(
+                    sim, cluster, f"{tier}0", f"node{i}",
+                    service_time=1e-3, tier=tier,
+                )
+            )
+        deployment.add_instance(
+            build_instance(sim, cluster, "sink0", "node2",
+                           service_time=1e-4, tier="sink")
+        )
+        tree = PathTree()
+        tree.add_node(PathNode("a", "a"))
+        tree.add_node(PathNode("b", "b"))
+        tree.add_node(PathNode("sink", "sink"))
+        tree.add_edge("a", "sink")
+        tree.add_edge("b", "sink")
+        dispatcher.add_tree(tree)
+        done = []
+        dispatcher.submit(Request(0.0), done.append)
+        sim.run()
+        assert len(done) == 1
+        # Both roots ran; the sink synchronised on them.
+        assert deployment.instances("a")[0].jobs_completed == 1
+        assert deployment.instances("b")[0].jobs_completed == 1
+
+
+class TestMessageSizing:
+    def test_request_size_drives_serialisation_delay(self, sim):
+        from repro.distributions import Deterministic
+        from repro.hardware import NetworkFabric
+
+        # 1 MB/s wire makes the size effect visible.
+        slow_net = NetworkFabric(
+            propagation=Deterministic(0.0),
+            loopback=Deterministic(0.0),
+            bandwidth_bytes_per_s=1e6,
+        )
+        cluster, deployment, dispatcher = build_world(sim, slow_net)
+        deployment.add_instance(
+            build_instance(sim, cluster, "web0", "node0",
+                           service_time=1e-6, tier="web")
+        )
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        small, big = [], []
+        dispatcher.submit(Request(0.0, size_bytes=100), small.append)
+        dispatcher.submit(Request(0.0, size_bytes=10_000), big.append)
+        sim.run()
+        assert big[0].latency > small[0].latency
+
+    def test_node_request_bytes_override_reaches_stage(self, sim, network):
+        from repro.distributions import Deterministic
+        from repro.service import (
+            ExecutionPath, Microservice, PathSelector, SingleQueue, Stage,
+        )
+
+        cluster, deployment, dispatcher = build_world(sim, network)
+        cores = cluster.machine("node0").allocate("svc0", 1)
+        stage = Stage(
+            "read", 0, SingleQueue(), per_byte=Deterministic(1e-6)
+        )
+        svc = Microservice(
+            "svc0", sim, [stage],
+            PathSelector([ExecutionPath(0, "p", [0])]),
+            cores, machine_name="node0", tier="svc",
+        )
+        deployment.add_instance(svc)
+        tree = PathTree()
+        tree.add_node(PathNode("svc", "svc", request_bytes=500))
+        dispatcher.add_tree(tree)
+        done = []
+        dispatcher.submit(Request(0.0, size_bytes=1), done.append)
+        sim.run()
+        # 500 bytes x 1us/byte = 0.5 ms of stage time, not 1 us.
+        assert done[0].latency > 0.5e-3
+
+
+class TestAsymmetricNetprocs:
+    def test_only_receiver_side_netproc(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        deployment.add_instance(
+            build_instance(sim, cluster, "web0", "node0",
+                           service_time=1e-3, tier="web")
+        )
+        irq = build_instance(
+            sim, cluster, "irq0", "node0", service_time=5e-6, tier="netproc"
+        )
+        deployment.set_netproc("node0", irq)
+        # node1 (unused) and the client machine have none: requests flow.
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        done = []
+        dispatcher.submit(Request(0.0), done.append)
+        sim.run()
+        assert len(done) == 1
+        assert irq.jobs_completed == 2  # rx + tx on node0
+
+
+class TestLeastOutstandingUnderTraffic:
+    def test_policy_prefers_idle_replica(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        slow = build_instance(sim, cluster, "web0", "node0",
+                              service_time=50e-3, tier="web")
+        fast = build_instance(sim, cluster, "web1", "node1",
+                              service_time=50e-3, tier="web")
+        deployment.add_instance(slow)
+        deployment.add_instance(fast)
+        deployment.set_balancer("web", "least_outstanding")
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        done = []
+        # Submit 4 requests back to back; least-outstanding must spread
+        # them 2/2 even without completions in between.
+        for _ in range(4):
+            dispatcher.submit(Request(sim.now), done.append)
+        sim.run()
+        assert slow.jobs_completed == 2
+        assert fast.jobs_completed == 2

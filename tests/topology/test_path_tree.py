@@ -1,0 +1,138 @@
+"""Tests for the path-node DAG."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import NodeOp, PathNode, PathTree
+
+
+def node(name, service="svc", **kwargs):
+    return PathNode(name, service, **kwargs)
+
+
+class TestConstruction:
+    def test_chain_builder(self):
+        tree = PathTree().chain(node("a"), node("b"), node("c"))
+        assert [n.name for n in tree.roots] == ["a"]
+        assert [n.name for n in tree.sinks] == ["c"]
+        assert [n.name for n in tree.children("a")] == ["b"]
+        assert [n.name for n in tree.parents("b")] == ["a"]
+
+    def test_duplicate_node_rejected(self):
+        tree = PathTree()
+        tree.add_node(node("a"))
+        with pytest.raises(TopologyError):
+            tree.add_node(node("a"))
+
+    def test_edge_to_unknown_node_rejected(self):
+        tree = PathTree()
+        tree.add_node(node("a"))
+        with pytest.raises(TopologyError):
+            tree.add_edge("a", "ghost")
+
+    def test_duplicate_edge_rejected(self):
+        tree = PathTree()
+        tree.add_node(node("a"))
+        tree.add_node(node("b"))
+        tree.add_edge("a", "b")
+        with pytest.raises(TopologyError):
+            tree.add_edge("a", "b")
+
+    def test_empty_node_name_rejected(self):
+        with pytest.raises(TopologyError):
+            PathNode("", "svc")
+
+    def test_missing_service_rejected(self):
+        with pytest.raises(TopologyError):
+            PathNode("a", "")
+
+
+class TestFanInOut:
+    def make_fanout(self, leaves=3):
+        tree = PathTree()
+        tree.add_node(node("proxy"))
+        for i in range(leaves):
+            tree.add_node(node(f"leaf{i}", service="leaf"))
+            tree.add_edge("proxy", f"leaf{i}")
+        tree.add_node(node("join", same_instance_as="proxy"))
+        for i in range(leaves):
+            tree.add_edge(f"leaf{i}", "join")
+        return tree
+
+    def test_fan_in_counts_parents(self):
+        tree = self.make_fanout(3)
+        assert tree.fan_in("join") == 3
+        assert tree.fan_in("leaf0") == 1
+        assert tree.fan_in("proxy") == 1  # roots still need one entry
+
+    def test_roots_and_sinks(self):
+        tree = self.make_fanout(3)
+        assert [n.name for n in tree.roots] == ["proxy"]
+        assert [n.name for n in tree.sinks] == ["join"]
+
+    def test_validate_accepts_dag(self):
+        self.make_fanout(4).validate()
+
+
+class TestValidation:
+    def test_empty_tree_rejected(self):
+        with pytest.raises(TopologyError):
+            PathTree().validate()
+
+    def test_cycle_rejected(self):
+        tree = PathTree()
+        tree.add_node(node("a"))
+        tree.add_node(node("b"))
+        tree.add_node(node("root"))
+        tree.add_edge("root", "a")
+        tree.add_edge("a", "b")
+        tree.add_edge("b", "a")
+        with pytest.raises(TopologyError):
+            tree.validate()
+
+    def test_unknown_affinity_rejected(self):
+        tree = PathTree()
+        tree.add_node(node("a", same_instance_as="ghost"))
+        with pytest.raises(TopologyError):
+            tree.validate()
+
+    def test_unknown_op_target_rejected(self):
+        tree = PathTree()
+        tree.add_node(node("a", on_leave=NodeOp.unblock("ghost")))
+        with pytest.raises(TopologyError):
+            tree.validate()
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(TopologyError):
+            PathTree().node("nope")
+
+
+class TestNodeOp:
+    def test_factories(self):
+        assert NodeOp.block().action == NodeOp.BLOCK
+        assert NodeOp.unblock("x").connection_of == "x"
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(TopologyError):
+            NodeOp("explode")
+
+
+class TestMessageBytes:
+    def test_inherits_request_size(self):
+        import numpy as np
+
+        n = node("a")
+        assert n.message_bytes(700.0, np.random.default_rng(0)) == 700.0
+
+    def test_static_override(self):
+        import numpy as np
+
+        n = node("a", request_bytes=612)
+        assert n.message_bytes(700.0, np.random.default_rng(0)) == 612.0
+
+    def test_distribution_override(self):
+        import numpy as np
+        from repro.distributions import Deterministic
+
+        n = node("a", request_bytes=Deterministic(128))
+        assert n.message_bytes(700.0, np.random.default_rng(0)) == 128.0

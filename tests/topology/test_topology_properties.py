@@ -1,0 +1,102 @@
+"""Property-based tests on the inter-microservice layer: random
+layered DAGs must conserve requests and visit counts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Deterministic
+from repro.engine import Simulator
+from repro.hardware import Cluster, Machine, NetworkFabric
+from repro.service import (
+    ExecutionPath,
+    Microservice,
+    PathSelector,
+    Request,
+    SimpleModel,
+    SingleQueue,
+    Stage,
+)
+from repro.topology import Deployment, Dispatcher, PathNode, PathTree
+
+
+def build_random_dag_world(layer_sizes, edge_choices):
+    """A world with one service per node of a layered DAG.
+
+    *edge_choices* drives which parents each node connects to (at least
+    one per node, from the previous layer).
+    """
+    sim = Simulator(seed=0)
+    network = NetworkFabric(
+        propagation=Deterministic(1e-6), loopback=Deterministic(1e-6)
+    )
+    cluster = Cluster(network)
+    machine = cluster.add_machine(
+        Machine("node0", sum(layer_sizes) + 1)
+    )
+    deployment = Deployment()
+
+    def make(tier):
+        cores = machine.allocate(tier, 1)
+        stage = Stage("s", 0, SingleQueue(), base=Deterministic(1e-6))
+        svc = Microservice(
+            tier, sim, [stage],
+            PathSelector([ExecutionPath(0, "p", [0])]),
+            cores, model=SimpleModel(), machine_name="node0", tier=tier,
+        )
+        deployment.add_instance(svc)
+        return svc
+
+    tree = PathTree("random")
+    make("root")
+    tree.add_node(PathNode("root", "root"))
+    previous_layer = ["root"]
+    counter = 0
+    edge_iter = iter(edge_choices)
+    for size in layer_sizes:
+        layer = []
+        for _ in range(size):
+            name = f"n{counter}"
+            counter += 1
+            make(name)
+            tree.add_node(PathNode(name, name))
+            # Connect to a nonempty subset of the previous layer.
+            n_parents = (next(edge_iter, 0) % len(previous_layer)) + 1
+            for p in range(n_parents):
+                tree.add_edge(previous_layer[p], name)
+            layer.append(name)
+        previous_layer = layer
+    tree.validate()
+    dispatcher = Dispatcher(sim, deployment, network)
+    dispatcher.add_tree(tree)
+    return sim, dispatcher, deployment, tree
+
+
+layer_shapes = st.lists(st.integers(1, 4), min_size=1, max_size=4)
+edges = st.lists(st.integers(0, 10), min_size=20, max_size=20)
+
+
+class TestRandomDagConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(layer_shapes, edges, st.integers(1, 5))
+    def test_every_request_completes_and_visits_match(
+        self, layers, edge_choices, n_requests
+    ):
+        sim, dispatcher, deployment, tree = build_random_dag_world(
+            layers, edge_choices
+        )
+        done = []
+        for i in range(n_requests):
+            req = Request(created_at=i * 1e-4)
+            sim.schedule_at(req.created_at, dispatcher.submit, req, done.append)
+        sim.run()
+        # Conservation: every request completes exactly once.
+        assert len(done) == n_requests
+        assert dispatcher.requests_completed == n_requests
+        # Visit counts: every path node runs exactly once per request
+        # (fan-in fires on the last parent; fan-out copies per child).
+        for node in tree.nodes:
+            instance = deployment.instances(node.service)[0]
+            assert instance.jobs_completed == n_requests, node.name
+        # Nothing left queued anywhere.
+        for instance in deployment.all_instances:
+            assert instance.queued_jobs == 0

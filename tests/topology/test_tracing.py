@@ -1,0 +1,72 @@
+"""Tests for per-request tracing in the dispatcher."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.hardware import NetworkFabric
+from repro.distributions import Deterministic
+from repro.topology import Dispatcher, PathNode, PathTree
+from repro.service import Request
+
+from .conftest import build_instance, build_world
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+@pytest.fixture
+def network():
+    return NetworkFabric(
+        propagation=Deterministic(10e-6), loopback=Deterministic(1e-6)
+    )
+
+
+def traced_world(sim, network):
+    cluster, deployment, _ = build_world(sim, network)
+    deployment.add_instance(
+        build_instance(sim, cluster, "web0", "node0", service_time=1e-3, tier="web")
+    )
+    deployment.add_instance(
+        build_instance(sim, cluster, "db0", "node1", service_time=2e-3, tier="db")
+    )
+    dispatcher = Dispatcher(sim, deployment, network, trace=True)
+    dispatcher.add_tree(
+        PathTree().chain(PathNode("web", "web"), PathNode("db", "db"))
+    )
+    return dispatcher
+
+
+class TestTracing:
+    def test_trace_records_every_node(self, sim, network):
+        dispatcher = traced_world(sim, network)
+        req = Request(0.0)
+        dispatcher.submit(req)
+        sim.run()
+        trace = req.metadata["trace"]
+        assert [t[0] for t in trace] == ["web", "db"]
+        assert [t[1] for t in trace] == ["web0", "db0"]
+
+    def test_trace_timings_are_causal(self, sim, network):
+        dispatcher = traced_world(sim, network)
+        req = Request(0.0)
+        dispatcher.submit(req)
+        sim.run()
+        (w_name, _, w_enter, w_leave), (d_name, _, d_enter, d_leave) = (
+            req.metadata["trace"]
+        )
+        assert w_enter <= w_leave <= d_enter <= d_leave
+        # web service time is 1ms; its span must cover it.
+        assert w_leave - w_enter >= 1e-3
+
+    def test_tracing_disabled_by_default(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        deployment.add_instance(
+            build_instance(sim, cluster, "web0", "node0", tier="web")
+        )
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        req = Request(0.0)
+        dispatcher.submit(req)
+        sim.run()
+        assert "trace" not in req.metadata

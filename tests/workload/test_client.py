@@ -1,0 +1,104 @@
+"""Integration tests for the open-loop client against a tiny service."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.topology import PathNode, PathTree
+from repro.workload import DiurnalPattern, OpenLoopClient, RequestMix
+
+from ..topology.conftest import build_instance, build_world
+
+
+@pytest.fixture
+def world(sim, network):
+    cluster, deployment, dispatcher = build_world(sim, network)
+    deployment.add_instance(
+        build_instance(
+            sim, cluster, "web0", "node0", service_time=100e-6, cores=4, tier="web"
+        )
+    )
+    dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+    return dispatcher
+
+
+# Reuse the topology fixtures.
+from ..topology.conftest import network, sim  # noqa: E402,F401
+
+
+class TestOpenLoopClient:
+    def test_generates_until_max_requests(self, sim, world):
+        client = OpenLoopClient(sim, world, arrivals=1000, max_requests=50)
+        client.start()
+        sim.run()
+        assert client.requests_sent == 50
+        assert client.requests_completed == 50
+        assert len(client.latencies) == 50
+
+    def test_stop_at_bounds_generation(self, sim, world):
+        client = OpenLoopClient(sim, world, arrivals=1000, stop_at=0.1)
+        client.start()
+        sim.run()
+        # ~100 arrivals expected in 0.1s at 1000 QPS.
+        assert 50 < client.requests_sent < 200
+        assert client.outstanding == 0
+
+    def test_open_loop_rate_independent_of_service(self, sim, network):
+        # A saturated server must not slow down arrivals (open loop).
+        cluster, deployment, dispatcher = build_world(sim, network)
+        deployment.add_instance(
+            build_instance(
+                sim, cluster, "slow0", "node0", service_time=0.05, cores=1,
+                tier="slow",
+            )
+        )
+        dispatcher.add_tree(PathTree().chain(PathNode("slow", "slow")))
+        client = OpenLoopClient(sim, dispatcher, arrivals=1000, stop_at=0.2)
+        client.start()
+        sim.run()
+        assert client.requests_sent > 150  # arrivals kept their schedule
+        # Draining ~200 x 50ms of queued work takes ~10s of simulated
+        # time: the backlog proves arrivals did not wait for responses.
+        assert sim.now > 5.0
+        assert client.latencies.max() > 1.0
+
+    def test_latencies_recorded_with_completion_times(self, sim, world):
+        client = OpenLoopClient(sim, world, arrivals=2000, max_requests=20)
+        client.start()
+        sim.run()
+        times, values = client.latencies.samples()
+        assert (values > 0).all()
+        assert (times[1:] >= times[:-1]).all()
+
+    def test_request_mix_propagates_types(self, sim, world):
+        mix = RequestMix.from_weights({"read": 0.5, "write": 0.5})
+        client = OpenLoopClient(sim, world, arrivals=1000, mix=mix, max_requests=40)
+        client.start()
+        sim.run()
+        types = {r.request_type for r in client.completed_requests}
+        assert types == {"read", "write"}
+
+    def test_pattern_arrivals(self, sim, world):
+        pattern = DiurnalPattern(low=500, high=2000, period=1.0)
+        client = OpenLoopClient(sim, world, arrivals=pattern, stop_at=1.0)
+        client.start()
+        sim.run()
+        assert client.requests_sent > 200
+
+    def test_extra_on_complete_callback(self, sim, world):
+        seen = []
+        client = OpenLoopClient(
+            sim, world, arrivals=1000, max_requests=5, on_complete=seen.append
+        )
+        client.start()
+        sim.run()
+        assert len(seen) == 5
+
+    def test_unbounded_client_rejected(self, sim, world):
+        with pytest.raises(WorkloadError):
+            OpenLoopClient(sim, world, arrivals=1000)
+
+    def test_double_start_rejected(self, sim, world):
+        client = OpenLoopClient(sim, world, arrivals=1000, max_requests=1)
+        client.start()
+        with pytest.raises(WorkloadError):
+            client.start()

@@ -1,0 +1,139 @@
+"""Tests for load patterns, arrival processes, and request mixes."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential
+from repro.errors import WorkloadError
+from repro.workload import (
+    ConstantLoad,
+    DeterministicArrivals,
+    DiurnalPattern,
+    MMPPArrivals,
+    PoissonArrivals,
+    RequestMix,
+    RequestType,
+    StepPattern,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestConstantLoad:
+    def test_rate_is_flat(self):
+        load = ConstantLoad(1000)
+        assert load.rate(0) == load.rate(100) == 1000
+        assert load.max_rate() == 1000
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(WorkloadError):
+            ConstantLoad(0)
+
+
+class TestDiurnalPattern:
+    def test_trough_and_peak(self):
+        p = DiurnalPattern(low=100, high=500, period=60.0)
+        assert p.rate(0) == pytest.approx(100)
+        assert p.rate(30) == pytest.approx(500)
+        assert p.rate(60) == pytest.approx(100)
+        assert p.max_rate() == 500
+
+    def test_phase_shifts_trough(self):
+        p = DiurnalPattern(low=100, high=500, period=60.0, phase=15.0)
+        assert p.rate(15) == pytest.approx(100)
+
+    def test_rate_stays_in_bounds(self):
+        p = DiurnalPattern(low=100, high=500, period=60.0)
+        rates = [p.rate(t) for t in np.linspace(0, 120, 500)]
+        assert min(rates) >= 100 - 1e-9
+        assert max(rates) <= 500 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            DiurnalPattern(low=500, high=100, period=60)
+        with pytest.raises(WorkloadError):
+            DiurnalPattern(low=1, high=2, period=0)
+
+
+class TestStepPattern:
+    def test_piecewise_rates(self):
+        p = StepPattern([(0, 100), (10, 300), (20, 50)])
+        assert p.rate(5) == 100
+        assert p.rate(10) == 300
+        assert p.rate(25) == 50
+        assert p.max_rate() == 300
+
+    def test_must_cover_time_zero(self):
+        with pytest.raises(WorkloadError):
+            StepPattern([(5, 100)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            StepPattern([])
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean_interarrival(self, rng):
+        arrivals = PoissonArrivals.at_rate(1000)
+        gaps = [arrivals.next_interarrival(0.0, rng) for _ in range(50_000)]
+        assert np.mean(gaps) == pytest.approx(1e-3, rel=0.03)
+
+    def test_deterministic_gap(self, rng):
+        arrivals = DeterministicArrivals.at_rate(100)
+        assert arrivals.next_interarrival(0.0, rng) == pytest.approx(0.01)
+
+    def test_nonhomogeneous_tracks_pattern(self, rng):
+        pattern = StepPattern([(0, 100), (10, 10_000)])
+        arrivals = PoissonArrivals(pattern)
+        early = np.mean([arrivals.next_interarrival(1.0, rng) for _ in range(5000)])
+        late = np.mean([arrivals.next_interarrival(11.0, rng) for _ in range(5000)])
+        assert early / late == pytest.approx(100, rel=0.1)
+
+    def test_mmpp_alternates_rates(self, rng):
+        arrivals = MMPPArrivals(low_qps=10, high_qps=10_000, mean_dwell=1.0)
+        gaps = [arrivals.next_interarrival(float(t), rng) for t in range(2000)]
+        # Mixture of two very different rates -> hugely dispersed gaps.
+        assert np.std(gaps) > np.mean(gaps)
+
+    def test_mmpp_validation(self):
+        with pytest.raises(WorkloadError):
+            MMPPArrivals(0, 10, 1)
+        with pytest.raises(WorkloadError):
+            MMPPArrivals(1, 10, 0)
+
+
+class TestRequestMix:
+    def test_single_helper(self, rng):
+        mix = RequestMix.single("read", size=100)
+        name, size = mix.sample(rng)
+        assert name == "read"
+        assert size == 100.0
+
+    def test_weighted_sampling(self, rng):
+        mix = RequestMix.from_weights({"read": 0.9, "write": 0.1})
+        names = [mix.sample(rng)[0] for _ in range(20_000)]
+        assert names.count("write") / len(names) == pytest.approx(0.1, abs=0.01)
+
+    def test_distribution_sizes(self, rng):
+        mix = RequestMix.single("read", size=Exponential(500))
+        sizes = [mix.sample(rng)[1] for _ in range(20_000)]
+        assert np.mean(sizes) == pytest.approx(500, rel=0.05)
+
+    def test_probabilities_property(self):
+        mix = RequestMix.from_weights({"a": 3, "b": 1})
+        assert mix.probabilities == {"a": 0.75, "b": 0.25}
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RequestMix([])
+        with pytest.raises(WorkloadError):
+            RequestMix([RequestType("a", 0.0)])
+        with pytest.raises(WorkloadError):
+            RequestMix([RequestType("a", 1.0), RequestType("a", 1.0)])
+        with pytest.raises(WorkloadError):
+            RequestType("", 1.0)
+        with pytest.raises(WorkloadError):
+            RequestType("a", -1.0)

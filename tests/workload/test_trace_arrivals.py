@@ -1,0 +1,73 @@
+"""Tests for trace-replay arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.topology import PathNode, PathTree
+from repro.workload import OpenLoopClient, TraceArrivals
+
+from ..topology.conftest import build_instance, build_world, network, sim  # noqa: F401
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestTraceArrivals:
+    def test_replays_exact_gaps(self, rng):
+        trace = TraceArrivals([0.1, 0.3, 0.35])
+        now = 0.0
+        arrivals = []
+        for _ in range(3):
+            gap = trace.next_interarrival(now, rng)
+            now += gap
+            arrivals.append(now)
+        assert arrivals == pytest.approx([0.1, 0.3, 0.35])
+
+    def test_exhaustion_raises_without_cycle(self, rng):
+        trace = TraceArrivals([0.1])
+        trace.next_interarrival(0.0, rng)
+        with pytest.raises(WorkloadError):
+            trace.next_interarrival(0.1, rng)
+
+    def test_cycling_repeats_shifted(self, rng):
+        trace = TraceArrivals([0.1, 0.2], cycle=True)
+        now = 0.0
+        arrivals = []
+        for _ in range(4):
+            now += trace.next_interarrival(now, rng)
+            arrivals.append(round(now, 6))
+        assert arrivals == pytest.approx([0.1, 0.2, 0.3, 0.4])
+
+    def test_remaining_counter(self, rng):
+        trace = TraceArrivals([0.1, 0.2, 0.3])
+        assert trace.remaining == 3
+        trace.next_interarrival(0.0, rng)
+        assert trace.remaining == 2
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceArrivals([])
+        with pytest.raises(WorkloadError):
+            TraceArrivals([0.2, 0.1])
+        with pytest.raises(WorkloadError):
+            TraceArrivals([-0.1, 0.2])
+
+    def test_client_replays_trace(self, sim, network):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        deployment.add_instance(
+            build_instance(sim, cluster, "web0", "node0",
+                           service_time=1e-5, tier="web")
+        )
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        timestamps = [0.001 * (i + 1) for i in range(20)]
+        client = OpenLoopClient(
+            sim, dispatcher, arrivals=TraceArrivals(timestamps),
+            max_requests=20,
+        )
+        client.start()
+        sim.run()
+        created = sorted(r.created_at for r in client.completed_requests)
+        assert created == pytest.approx(timestamps)
