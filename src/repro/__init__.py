@@ -15,6 +15,9 @@ Layers (bottom-up):
   paths, execution models, connections, I/O devices)
 * :mod:`repro.topology` -- inter-microservice model (path trees,
   deployment, dispatcher, load balancing)
+* :mod:`repro.faults` / :mod:`repro.resilience` -- fault injection
+  (crashes, stragglers, link faults) and the policies that absorb them
+  (timeouts, retries, hedging, circuit breaking, load shedding)
 * :mod:`repro.workload` / :mod:`repro.telemetry` -- clients and metrics
 * :mod:`repro.config` -- the JSON surface of paper Table I
 * :mod:`repro.apps` -- NGINX/memcached/MongoDB/Thrift/Social-Network
@@ -33,8 +36,10 @@ from . import (
     distributions,
     engine,
     experiments,
+    faults,
     hardware,
     power,
+    resilience,
     scaling,
     service,
     telemetry,
@@ -46,7 +51,12 @@ from .engine import Simulator
 from .errors import (
     ConfigError,
     DistributionError,
+    FaultError,
     ReproError,
+    RequestFailed,
+    RequestOutcomeError,
+    RequestShed,
+    RequestTimeout,
     ResourceError,
     SimulationError,
     TopologyError,
@@ -58,7 +68,12 @@ __version__ = "1.0.0"
 __all__ = [
     "ConfigError",
     "DistributionError",
+    "FaultError",
     "ReproError",
+    "RequestFailed",
+    "RequestOutcomeError",
+    "RequestShed",
+    "RequestTimeout",
     "ResourceError",
     "SimulationError",
     "Simulator",
@@ -71,8 +86,10 @@ __all__ = [
     "distributions",
     "engine",
     "experiments",
+    "faults",
     "hardware",
     "power",
+    "resilience",
     "scaling",
     "service",
     "telemetry",

@@ -4,12 +4,14 @@
 
     python -m repro run <spec-dir> [--seed N] [--until S] [--real]
     python -m repro experiments list
-    python -m repro experiments run <exp-id>
+    python -m repro experiments run <exp-id> [--seed N]
 
 ``run`` loads a Table I spec directory (machines.json, services/,
-graph.json, path.json, client.json), simulates it, and prints the
-end-to-end latency summary. ``experiments`` exposes the figure/table
-registry.
+graph.json, path.json, client.json, optional faults.json), simulates
+it, and prints the end-to-end latency summary. ``experiments`` exposes
+the figure/table registry. Configuration and simulation errors
+(:class:`~repro.errors.ReproError`) exit with code 2 and a one-line
+message.
 """
 
 from __future__ import annotations
@@ -33,23 +35,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     client.start()
     world.sim.run(until=args.until)
-    if client.requests_completed == 0:
-        print("no requests completed; raise --until or the client's "
+    if client.requests_ok == 0:
+        print("no requests completed ok; raise --until or the client's "
               "stop_at/max_requests", file=sys.stderr)
         return 1
     lat = client.latencies
+    rows = [
+        ["requests sent", client.requests_sent],
+        ["requests ok", client.requests_ok],
+    ]
+    # Only surface error rows when something actually went wrong (fault
+    # plans / resilience policies); fault-free runs keep the old shape.
+    for outcome in ("timeout", "shed", "failed"):
+        count = client.outcomes.get(outcome, 0)
+        if count:
+            rows.append([f"requests {outcome}", count])
+    rows += [
+        ["simulated time (s)", round(world.sim.now, 4)],
+        ["events processed", world.sim.events_processed],
+        ["mean latency (ms)", ms(lat.mean())],
+        ["p50 (ms)", ms(lat.p50())],
+        ["p95 (ms)", ms(lat.p95())],
+        ["p99 (ms)", ms(lat.p99())],
+    ]
     print(format_table(
         ["metric", "value"],
-        [
-            ["requests sent", client.requests_sent],
-            ["requests completed", client.requests_completed],
-            ["simulated time (s)", round(world.sim.now, 4)],
-            ["events processed", world.sim.events_processed],
-            ["mean latency (ms)", ms(lat.mean())],
-            ["p50 (ms)", ms(lat.p50())],
-            ["p95 (ms)", ms(lat.p95())],
-            ["p99 (ms)", ms(lat.p99())],
-        ],
+        rows,
         title=f"uqSim run of {args.spec_dir}"
               + (" [real-system surrogate]" if args.real else ""),
     ))
@@ -64,9 +75,14 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         ]
         print(format_table(["id", "paper", "title"], rows))
         return 0
-    spec = registry.get(args.exp_id)
+    try:
+        spec = registry.get(args.exp_id)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     print(f"running {spec.exp_id} ({spec.paper_ref}): {spec.title} ...")
-    result = spec.run()
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    result = spec.run(**kwargs)
     print(repr(result))
     return 0
 
@@ -96,6 +112,10 @@ def main(argv=None) -> int:
     exp_sub.add_parser("list", help="list experiment ids")
     exp_run = exp_sub.add_parser("run", help="run one experiment")
     exp_run.add_argument("exp_id")
+    exp_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the experiment's default RNG seed",
+    )
     exp_parser.set_defaults(func=_cmd_experiments)
 
     args = parser.parse_args(argv)
@@ -103,7 +123,7 @@ def main(argv=None) -> int:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":

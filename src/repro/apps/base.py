@@ -69,6 +69,7 @@ class World:
     dispatcher: Dispatcher
     realism: Optional[RealismConfig] = None
     labels: Dict[str, str] = field(default_factory=dict)
+    fault_injector: Optional[object] = None  # repro.faults.FaultInjector
 
     def instances(self, tier: str) -> List[Microservice]:
         return self.deployment.instances(tier)

@@ -12,8 +12,14 @@
         {"name": "write", "weight": 0.1, "size_bytes": 512}
       ],
       "stop_at": 1.0,
-      "max_requests": null
+      "max_requests": null,
+      "resilience": {"timeout": 0.05, "retry": {"max_attempts": 3}}
     }
+
+The optional ``resilience`` block (parsed by
+:mod:`repro.config.resilience_config`) attaches a
+:class:`~repro.resilience.ResiliencePolicy` to every request the
+client issues.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from ..workload import (
     RequestType,
     StepPattern,
 )
+from .resilience_config import parse_resilience
 
 
 def parse_pattern(payload: dict, source: str):
@@ -123,4 +130,5 @@ def build_client(
         stop_at=stop_at,
         max_requests=max_requests,
         realism=realism,
+        resilience=parse_resilience(payload.get("resilience"), source),
     )

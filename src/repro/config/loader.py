@@ -7,6 +7,8 @@ A spec directory (or in-memory dict) provides::
     graph.json        deployment of instances onto machines
     path.json         inter-microservice path trees
     client.json       input load pattern
+    faults.json       optional fault schedule (crashes, stragglers,
+                      link faults) armed automatically at build time
 
 :func:`SimulationSpec.load` parses and cross-validates everything;
 :meth:`SimulationSpec.build` returns a ready-to-run
@@ -22,6 +24,7 @@ from typing import Dict, Optional, Union
 from ..apps.base import World
 from ..engine import Simulator
 from ..errors import ConfigError
+from ..faults import FaultInjector, parse_fault_plan
 from ..topology import Dispatcher
 from ..workload import OpenLoopClient
 from .client_config import build_client
@@ -52,11 +55,13 @@ class SimulationSpec:
         paths: dict,
         client: Optional[dict] = None,
         base_dir: Optional[Path] = None,
+        faults: Optional[dict] = None,
     ) -> None:
         self.machines_payload = machines
         self.graph_payload = graph
         self.paths_payload = paths
         self.client_payload = client
+        self.faults_payload = faults
         self.base_dir = base_dir
         self.templates = {
             name: ServiceTemplate(payload, f"services/{name}", base_dir)
@@ -82,6 +87,7 @@ class SimulationSpec:
         if not services:
             raise ConfigError(f"no service configs in {services_dir}")
         client_path = base / "client.json"
+        faults_path = base / "faults.json"
         return cls(
             machines=_read_json(base / "machines.json"),
             services=services,
@@ -89,6 +95,7 @@ class SimulationSpec:
             paths=_read_json(base / "path.json"),
             client=_read_json(client_path) if client_path.exists() else None,
             base_dir=base,
+            faults=_read_json(faults_path) if faults_path.exists() else None,
         )
 
     def build(
@@ -104,6 +111,11 @@ class SimulationSpec:
         dispatcher = Dispatcher(sim, deployment, cluster.network)
         register_trees(self.paths_payload, dispatcher)
         world = World(sim, cluster, deployment, dispatcher, realism)
+        if self.faults_payload is not None:
+            plan = parse_fault_plan(self.faults_payload, "faults.json")
+            world.fault_injector = FaultInjector(
+                sim, deployment, cluster.network, plan
+            ).arm()
         client = None
         if self.client_payload is not None:
             client = build_client(

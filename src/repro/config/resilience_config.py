@@ -1,0 +1,140 @@
+"""The ``resilience`` block of client.json.
+
+::
+
+    "resilience": {
+      "timeout": 0.05,
+      "retry": {"max_attempts": 3, "backoff_base": 0.001,
+                "backoff_multiplier": 2.0, "backoff_cap": 0.1,
+                "jitter": 0.0001,
+                "budget": {"ratio": 0.1, "min_tokens": 10}},
+      "hedge": {"delay": 0.01, "max_hedges": 1},
+      "breaker": {"failure_threshold": 5, "reset_timeout": 1.0},
+      "admission": {"max_queue": 64, "fallback_tree": "cheap_path"}
+    }
+
+Every sub-block is optional; an empty/absent block yields no policy at
+all (the request path is untouched). See ``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigError
+from ..resilience import (
+    AdmissionPolicy,
+    BreakerPolicy,
+    HedgePolicy,
+    ResiliencePolicy,
+    RetryBudget,
+    RetryPolicy,
+)
+
+
+def _check_fields(payload: dict, allowed: tuple, source: str, block: str) -> None:
+    unknown = set(payload) - set(allowed)
+    if unknown:
+        raise ConfigError(
+            f"unknown {block} fields {sorted(unknown)}", source=source
+        )
+
+
+def _parse_retry(payload: dict, source: str) -> RetryPolicy:
+    _check_fields(
+        payload,
+        (
+            "max_attempts",
+            "backoff_base",
+            "backoff_multiplier",
+            "backoff_cap",
+            "jitter",
+            "budget",
+        ),
+        source,
+        "retry",
+    )
+    budget = None
+    budget_spec = payload.get("budget")
+    if budget_spec is not None:
+        _check_fields(budget_spec, ("ratio", "min_tokens"), source, "retry budget")
+        budget = RetryBudget(
+            ratio=float(budget_spec.get("ratio", 0.1)),
+            min_tokens=int(budget_spec.get("min_tokens", 10)),
+        )
+    return RetryPolicy(
+        max_attempts=int(payload.get("max_attempts", 3)),
+        backoff_base=float(payload.get("backoff_base", 1e-3)),
+        backoff_multiplier=float(payload.get("backoff_multiplier", 2.0)),
+        backoff_cap=float(payload.get("backoff_cap", 0.1)),
+        jitter=float(payload.get("jitter", 1e-4)),
+        budget=budget,
+    )
+
+
+def parse_resilience(
+    payload: Optional[dict], source: str = "client.json"
+) -> Optional[ResiliencePolicy]:
+    """Parse a ``resilience`` block; None/empty means no policy."""
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise ConfigError("resilience must be an object", source=source)
+    if not payload:
+        return None
+    _check_fields(
+        payload,
+        ("timeout", "retry", "hedge", "breaker", "admission"),
+        source,
+        "resilience",
+    )
+    retry = None
+    if payload.get("retry") is not None:
+        retry = _parse_retry(payload["retry"], source)
+    hedge = None
+    if payload.get("hedge") is not None:
+        spec = payload["hedge"]
+        _check_fields(spec, ("delay", "max_hedges"), source, "hedge")
+        hedge = HedgePolicy(
+            delay=float(spec.get("delay", 10e-3)),
+            max_hedges=int(spec.get("max_hedges", 1)),
+        )
+    breaker = None
+    if payload.get("breaker") is not None:
+        spec = payload["breaker"]
+        _check_fields(spec, ("failure_threshold", "reset_timeout"), source, "breaker")
+        breaker = BreakerPolicy(
+            failure_threshold=int(spec.get("failure_threshold", 5)),
+            reset_timeout=float(spec.get("reset_timeout", 1.0)),
+        )
+    admission = None
+    if payload.get("admission") is not None:
+        spec = payload["admission"]
+        _check_fields(
+            spec,
+            ("max_queue", "deadline", "service_time_estimate", "fallback_tree"),
+            source,
+            "admission",
+        )
+        admission = AdmissionPolicy(
+            max_queue=(
+                int(spec["max_queue"]) if spec.get("max_queue") is not None else None
+            ),
+            deadline=(
+                float(spec["deadline"]) if spec.get("deadline") is not None else None
+            ),
+            service_time_estimate=(
+                float(spec["service_time_estimate"])
+                if spec.get("service_time_estimate") is not None
+                else None
+            ),
+            fallback_tree=spec.get("fallback_tree"),
+        )
+    timeout = payload.get("timeout")
+    return ResiliencePolicy(
+        timeout=float(timeout) if timeout is not None else None,
+        retry=retry,
+        hedge=hedge,
+        breaker=breaker,
+        admission=admission,
+    )

@@ -60,3 +60,47 @@ class WorkloadError(ReproError):
 class DistributionError(ReproError):
     """A processing-time distribution is invalid (negative scale, empty
     histogram, probabilities that do not sum to one...)."""
+
+
+class FaultError(ReproError):
+    """A fault plan cannot be realised.
+
+    Examples: a fault event targeting an unknown instance or machine,
+    a negative injection time, a recovery scheduled before its crash,
+    or an unknown fault kind in faults.json.
+    """
+
+
+class RequestOutcomeError(ReproError):
+    """Base class for errors describing a request's terminal outcome.
+
+    Raised by :meth:`repro.service.Request.raise_for_outcome` (and
+    closed-loop drivers that want failures to be loud) when a request
+    resolved with a non-``ok`` outcome. Carries the offending request
+    as ``request``.
+    """
+
+    def __init__(self, request, message: str | None = None) -> None:
+        self.request = request
+        super().__init__(
+            message
+            or f"request {request.request_id} resolved {request.outcome!r}"
+        )
+
+
+class RequestTimeout(RequestOutcomeError):
+    """The request exceeded its resilience-policy timeout and was
+    cancelled (outcome ``timeout``): every queued job was withdrawn and
+    its connections reclaimed before the deadline response."""
+
+
+class RequestShed(RequestOutcomeError):
+    """Admission control refused the request up front (outcome
+    ``shed``): queue-length or deadline-based load shedding decided the
+    request could not meet its service objective."""
+
+
+class RequestFailed(RequestOutcomeError):
+    """The request failed mid-flight (outcome ``failed``): an instance
+    crashed while holding its job, a down instance refused it, or an
+    open circuit breaker rejected the hop."""

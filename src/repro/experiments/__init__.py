@@ -2,7 +2,14 @@
 the tail-at-scale and power-management studies, the BigHouse
 comparison, and the figure/table registry."""
 
-from . import comparison, power_mgmt, registry, tail_at_scale, validation
+from . import (
+    comparison,
+    power_mgmt,
+    registry,
+    resilience,
+    tail_at_scale,
+    validation,
+)
 from .replication import ReplicatedPoint, replicate_at_load
 from .loadsweep import (
     SweepPoint,
@@ -20,6 +27,7 @@ __all__ = [
     "power_mgmt",
     "registry",
     "replicate_at_load",
+    "resilience",
     "saturation_load",
     "tail_at_scale",
     "validation",

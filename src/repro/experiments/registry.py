@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
-from . import comparison, power_mgmt, tail_at_scale, validation
+from . import comparison, power_mgmt, resilience, tail_at_scale, validation
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,18 @@ _SPECS: List[ExperimentSpec] = [
         "fig14", "Figure 14",
         "Tail at scale: fanout with slow servers",
         tail_at_scale.tail_at_scale_sweep,
+    ),
+    ExperimentSpec(
+        "retry_storm", "beyond the paper",
+        "Retry-storm metastability: goodput under overload with "
+        "no/unbudgeted/budgeted retries",
+        resilience.retry_storm_sweep,
+    ),
+    ExperimentSpec(
+        "hedging", "beyond the paper",
+        "Hedged requests on the 100-replica straggler tier "
+        "(p99 vs hedge delay)",
+        resilience.hedging_sweep,
     ),
     ExperimentSpec(
         "fig16", "Figure 16",

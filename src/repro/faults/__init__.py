@@ -1,0 +1,48 @@
+"""Deterministic fault injection for the simulated cluster.
+
+A :class:`FaultPlan` declares *what* breaks and *when* — instance
+crashes with in-flight-job disposition, recoveries, graceful drains,
+stragglers (slow instances), and network-link degradation or partition.
+The :class:`FaultInjector` arms the plan as ordinary simulator events,
+so failure histories are exactly reproducible given the seed. Plans
+load from ``faults.json`` via :func:`load_fault_plan`.
+
+:mod:`repro.resilience` provides the policies that respond to these
+faults; together they turn the simulator into a testbed for
+availability questions (retry storms, hedging, graceful degradation)
+the paper's performance-only model cannot ask.
+"""
+
+from .injector import FaultInjector
+from .loader import load_fault_plan, parse_fault, parse_fault_plan
+from .plan import (
+    CRASH,
+    DRAIN,
+    HEAL,
+    KINDS,
+    LINK_DEGRADE,
+    LINK_RESTORE,
+    PARTITION,
+    RECOVER,
+    SLOW,
+    Fault,
+    FaultPlan,
+)
+
+__all__ = [
+    "CRASH",
+    "DRAIN",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "HEAL",
+    "KINDS",
+    "LINK_DEGRADE",
+    "LINK_RESTORE",
+    "PARTITION",
+    "RECOVER",
+    "SLOW",
+    "load_fault_plan",
+    "parse_fault",
+    "parse_fault_plan",
+]

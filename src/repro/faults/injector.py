@@ -1,0 +1,87 @@
+"""Arms a :class:`~repro.faults.FaultPlan` against a live simulation.
+
+Each fault becomes one simulator event at its scheduled time (admin
+priority, so faults land after same-timestamp arrivals/completions —
+the state they see is the state a real operator's SIGKILL would see).
+The injector records everything it fires in :attr:`FaultInjector.log`
+for assertions and reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..engine import PRIORITY_ADMIN, Simulator
+from ..errors import FaultError
+from ..hardware import NetworkFabric
+from ..topology import Deployment
+from . import plan as _plan
+from .plan import Fault, FaultPlan
+
+
+class FaultInjector:
+    """Schedules a fault plan's events onto a simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        deployment: Deployment,
+        network: Optional[NetworkFabric] = None,
+        plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.sim = sim
+        self.deployment = deployment
+        self.network = network
+        self.plan = plan or FaultPlan()
+        self.log: List[Tuple[float, Fault]] = []
+        self._armed = False
+
+    def arm(self) -> "FaultInjector":
+        """Schedule every fault in the plan (idempotent; call once,
+        before or during the run — past-dated faults are rejected)."""
+        if self._armed:
+            return self
+        self._armed = True
+        for fault in self.plan.sorted():
+            if fault.at < self.sim.now:
+                raise FaultError(
+                    f"fault at t={fault.at} is in the past (now={self.sim.now})"
+                )
+            self.sim.schedule(
+                fault.at - self.sim.now,
+                self._fire,
+                fault,
+                priority=PRIORITY_ADMIN,
+            )
+        return self
+
+    def _fire(self, fault: Fault) -> None:
+        self.log.append((self.sim.now, fault))
+        if fault.kind in (_plan.CRASH, _plan.RECOVER, _plan.DRAIN, _plan.SLOW):
+            instance = self.deployment.find_instance(fault.instance)
+            if fault.kind == _plan.CRASH:
+                instance.crash(disposition=fault.disposition)
+            elif fault.kind == _plan.RECOVER:
+                instance.recover()
+            elif fault.kind == _plan.DRAIN:
+                instance.start_draining()
+            else:
+                instance.degrade(fault.factor)
+            return
+        if self.network is None:
+            raise FaultError(
+                f"{fault.kind!r} fault needs a NetworkFabric, none was given"
+            )
+        if fault.kind == _plan.LINK_DEGRADE:
+            self.network.degrade_link(fault.src, fault.dst, fault.factor)
+        elif fault.kind == _plan.LINK_RESTORE:
+            self.network.restore_link(fault.src, fault.dst)
+        elif fault.kind == _plan.PARTITION:
+            self.network.partition(fault.src, fault.dst)
+        else:
+            self.network.heal(fault.src, fault.dst)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector planned={len(self.plan)} fired={len(self.log)}>"
+        )

@@ -1,0 +1,73 @@
+"""``faults.json`` -> :class:`~repro.faults.FaultPlan`.
+
+The file is a JSON object with a ``"faults"`` list (or a bare list);
+each entry names a fault ``kind`` plus its target fields::
+
+    {"faults": [
+      {"at": 1.0, "kind": "crash",   "instance": "leaf_0"},
+      {"at": 2.0, "kind": "recover", "instance": "leaf_0"},
+      {"at": 0.5, "kind": "slow",    "instance": "leaf_1", "factor": 10},
+      {"at": 1.5, "kind": "partition", "src": "m0", "dst": "m1"}
+    ]}
+
+Validation errors surface as :class:`~repro.errors.ConfigError` (bad
+file shape) or :class:`~repro.errors.FaultError` (bad fault fields),
+both caught by the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import ConfigError
+from .plan import Fault, FaultPlan
+
+_FIELDS = ("at", "kind", "instance", "src", "dst", "factor", "disposition")
+
+
+def parse_fault(payload: dict, source: str) -> Fault:
+    """Build one :class:`Fault` from a JSON object."""
+    if not isinstance(payload, dict):
+        raise ConfigError(f"{source}: each fault must be an object")
+    unknown = set(payload) - set(_FIELDS)
+    if unknown:
+        raise ConfigError(
+            f"{source}: unknown fault fields {sorted(unknown)}"
+        )
+    if "at" not in payload or "kind" not in payload:
+        raise ConfigError(f"{source}: faults need 'at' and 'kind'")
+    return Fault(
+        at=float(payload["at"]),
+        kind=str(payload["kind"]),
+        instance=payload.get("instance"),
+        src=payload.get("src"),
+        dst=payload.get("dst"),
+        factor=float(payload.get("factor", 1.0)),
+        disposition=str(payload.get("disposition", "fail")),
+    )
+
+
+def parse_fault_plan(payload: Union[dict, list], source: str) -> FaultPlan:
+    """Build a :class:`FaultPlan` from decoded ``faults.json`` content."""
+    if isinstance(payload, dict):
+        payload = payload.get("faults", [])
+    if not isinstance(payload, list):
+        raise ConfigError(f"{source}: expected a list of faults")
+    plan = FaultPlan()
+    for i, entry in enumerate(payload):
+        plan.add(parse_fault(entry, f"{source}[{i}]"))
+    return plan
+
+
+def load_fault_plan(path: Union[str, Path]) -> FaultPlan:
+    """Read and parse a ``faults.json`` file."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"fault plan file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: invalid JSON ({exc})") from exc
+    return parse_fault_plan(payload, str(path))

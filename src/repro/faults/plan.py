@@ -1,0 +1,136 @@
+"""Fault schedules: what breaks, when, and how.
+
+A :class:`FaultPlan` is an ordered, declarative list of :class:`Fault`
+records — instance crashes/recoveries, stragglers (slow instances), and
+network-link degradations/partitions — built either programmatically
+(``plan.crash(1.0, "leaf_0")``) or from ``faults.json``
+(:func:`repro.faults.load_fault_plan`). The plan itself is inert data;
+:class:`~repro.faults.FaultInjector` arms it against a live simulation.
+
+Determinism: fault times are explicit simulation timestamps and the
+injector schedules them on the simulator's deterministic event queue,
+so a given (plan, seed) pair always reproduces the same failure
+history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import FaultError
+
+CRASH = "crash"
+RECOVER = "recover"
+DRAIN = "drain"
+SLOW = "slow"
+LINK_DEGRADE = "link_degrade"
+LINK_RESTORE = "link_restore"
+PARTITION = "partition"
+HEAL = "heal"
+
+KINDS = (CRASH, RECOVER, DRAIN, SLOW, LINK_DEGRADE, LINK_RESTORE, PARTITION, HEAL)
+
+_INSTANCE_KINDS = (CRASH, RECOVER, DRAIN, SLOW)
+_LINK_KINDS = (LINK_DEGRADE, LINK_RESTORE, PARTITION, HEAL)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    ``kind`` selects the mechanism; ``instance`` targets instance kinds
+    (``crash``/``recover``/``drain``/``slow``), ``src``/``dst`` target
+    link kinds (``link_degrade``/``link_restore``/``partition``/
+    ``heal``). ``factor`` is the slow-down multiplier for ``slow`` and
+    ``link_degrade``; ``disposition`` says what a crash does to
+    in-flight jobs (``fail`` notifies upstreams, ``drop`` loses them
+    silently).
+    """
+
+    at: float
+    kind: str
+    instance: Optional[str] = None
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    factor: float = 1.0
+    disposition: str = "fail"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultError(f"fault time must be >= 0, got {self.at!r}")
+        if self.kind not in KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.kind in _INSTANCE_KINDS and not self.instance:
+            raise FaultError(f"{self.kind!r} fault needs an instance name")
+        if self.kind in _LINK_KINDS and not (self.src and self.dst):
+            raise FaultError(f"{self.kind!r} fault needs src and dst machines")
+        if self.kind in (SLOW, LINK_DEGRADE) and self.factor < 1.0:
+            raise FaultError(
+                f"{self.kind!r} factor must be >= 1, got {self.factor!r}"
+            )
+
+
+@dataclass
+class FaultPlan:
+    """An ordered schedule of faults to inject into one simulation."""
+
+    faults: List[Fault] = field(default_factory=list)
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        """Append a pre-built :class:`Fault` (chainable)."""
+        self.faults.append(fault)
+        return self
+
+    def crash(
+        self, at: float, instance: str, disposition: str = "fail"
+    ) -> "FaultPlan":
+        """Hard-kill *instance* at time *at* (chainable)."""
+        return self.add(
+            Fault(at=at, kind=CRASH, instance=instance, disposition=disposition)
+        )
+
+    def recover(self, at: float, instance: str) -> "FaultPlan":
+        """Bring a crashed/draining *instance* back up at *at*."""
+        return self.add(Fault(at=at, kind=RECOVER, instance=instance))
+
+    def drain(self, at: float, instance: str) -> "FaultPlan":
+        """Stop routing new work to *instance* at *at* (graceful)."""
+        return self.add(Fault(at=at, kind=DRAIN, instance=instance))
+
+    def slow(self, at: float, instance: str, factor: float) -> "FaultPlan":
+        """Degrade *instance* to ``factor`` x compute cost at *at*
+        (``factor=1`` restores full speed)."""
+        return self.add(Fault(at=at, kind=SLOW, instance=instance, factor=factor))
+
+    def degrade_link(
+        self, at: float, src: str, dst: str, factor: float
+    ) -> "FaultPlan":
+        """Multiply the src<->dst wire delay by ``factor`` from *at*."""
+        return self.add(
+            Fault(at=at, kind=LINK_DEGRADE, src=src, dst=dst, factor=factor)
+        )
+
+    def restore_link(self, at: float, src: str, dst: str) -> "FaultPlan":
+        """Undo a link degradation at *at*."""
+        return self.add(Fault(at=at, kind=LINK_RESTORE, src=src, dst=dst))
+
+    def partition(self, at: float, src: str, dst: str) -> "FaultPlan":
+        """Sever the src<->dst link at *at*: messages are dropped."""
+        return self.add(Fault(at=at, kind=PARTITION, src=src, dst=dst))
+
+    def heal(self, at: float, src: str, dst: str) -> "FaultPlan":
+        """Heal a partition at *at*."""
+        return self.add(Fault(at=at, kind=HEAL, src=src, dst=dst))
+
+    def sorted(self) -> List[Fault]:
+        """The schedule in injection order (stable by time)."""
+        return sorted(self.faults, key=lambda f: f.at)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan faults={len(self.faults)}>"

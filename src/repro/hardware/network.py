@@ -13,12 +13,12 @@ and same-machine communication short-circuits through loopback.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
 from ..distributions import Deterministic, Distribution, Exponential
-from ..errors import ResourceError
+from ..errors import FaultError, ResourceError
 
 BYTES_PER_SECOND_1GBPS = 125_000_000.0
 
@@ -46,6 +46,43 @@ class NetworkFabric:
         self.propagation = propagation or Exponential(20e-6)
         self.loopback = loopback or Deterministic(5e-6)
         self.bandwidth = float(bandwidth_bytes_per_s)
+        # Fault-injection state: per-link delay multipliers and severed
+        # links (both directions of a pair are keyed independently).
+        self._link_factors: Dict[Tuple[str, str], float] = {}
+        self._partitioned: Set[Tuple[str, str]] = set()
+
+    # Fault injection -----------------------------------------------------
+
+    def degrade_link(self, src: str, dst: str, factor: float) -> None:
+        """Multiply the src<->dst delay by *factor* (>= 1), both ways.
+
+        Models congestion or a flapping switch port on that path;
+        :meth:`restore_link` undoes it.
+        """
+        if factor < 1.0:
+            raise FaultError(f"link factor must be >= 1, got {factor!r}")
+        self._link_factors[(src, dst)] = float(factor)
+        self._link_factors[(dst, src)] = float(factor)
+
+    def restore_link(self, src: str, dst: str) -> None:
+        """Remove any degradation on the src<->dst link (both ways)."""
+        self._link_factors.pop((src, dst), None)
+        self._link_factors.pop((dst, src), None)
+
+    def partition(self, src: str, dst: str) -> None:
+        """Sever the src<->dst link: messages on it are silently lost
+        until :meth:`heal` — only timeouts surface the black hole."""
+        self._partitioned.add((src, dst))
+        self._partitioned.add((dst, src))
+
+    def heal(self, src: str, dst: str) -> None:
+        """Reconnect a previously partitioned src<->dst link."""
+        self._partitioned.discard((src, dst))
+        self._partitioned.discard((dst, src))
+
+    def is_partitioned(self, src_machine: str, dst_machine: str) -> bool:
+        """True when messages src -> dst are currently being dropped."""
+        return (src_machine, dst_machine) in self._partitioned
 
     def delay(
         self,
@@ -58,8 +95,11 @@ class NetworkFabric:
         if message_bytes < 0:
             raise ResourceError(f"negative message size: {message_bytes!r}")
         if src_machine == dst_machine:
-            return self.loopback.sample(rng)
-        return self.propagation.sample(rng) + message_bytes / self.bandwidth
+            base = self.loopback.sample(rng)
+        else:
+            base = self.propagation.sample(rng) + message_bytes / self.bandwidth
+        factor = self._link_factors.get((src_machine, dst_machine))
+        return base if factor is None else base * factor
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,34 @@
+"""Resilience policies enforced inside the simulation.
+
+Timeouts with real cancellation, budgeted retries, hedged requests,
+circuit breaking, and admission-control load shedding — the mechanisms
+every production microservice stack layers over the raw RPC path, made
+first-class simulator citizens so their emergent behaviours (retry
+storms, metastable failures, hedging's tail cut) can be studied with
+the same fidelity as the paper's queueing effects. The
+:class:`~repro.topology.dispatcher.Dispatcher` consumes these policies;
+:mod:`repro.faults` provides the failures they respond to.
+"""
+
+from .circuit_breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .policy import (
+    AdmissionPolicy,
+    BreakerPolicy,
+    HedgePolicy,
+    ResiliencePolicy,
+    RetryBudget,
+    RetryPolicy,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "BreakerPolicy",
+    "CLOSED",
+    "CircuitBreaker",
+    "HALF_OPEN",
+    "HedgePolicy",
+    "OPEN",
+    "ResiliencePolicy",
+    "RetryBudget",
+    "RetryPolicy",
+]

@@ -1,0 +1,74 @@
+"""The count-based circuit breaker state machine.
+
+Classic three-state breaker (closed -> open -> half-open) guarding one
+(upstream, service) edge: ``failure_threshold`` consecutive failures
+trip it open, requests then fail fast for ``reset_timeout`` seconds,
+after which a single probe is admitted; the probe's outcome closes the
+breaker or slams it open again. All transitions are driven by the
+simulation clock passed into :meth:`allow` / :meth:`record_failure`.
+"""
+
+from __future__ import annotations
+
+from .policy import BreakerPolicy
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Runtime state of one (upstream, service) edge's breaker."""
+
+    def __init__(self, policy: BreakerPolicy) -> None:
+        self.policy = policy
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float = 0.0
+        self.opens = 0  # telemetry: how often the circuit tripped
+        self._probe_in_flight = False
+
+    def allow(self, now: float) -> bool:
+        """May a request cross this edge at simulation time *now*?
+
+        While open, returns False until ``reset_timeout`` elapsed, then
+        transitions to half-open and admits exactly one probe at a
+        time.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self.opened_at < self.policy.reset_timeout:
+                return False
+            self.state = HALF_OPEN
+            self._probe_in_flight = False
+        # Half-open: one probe at a time.
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        """Note a completed hop over this edge (closes a half-open
+        breaker, resets the consecutive-failure count)."""
+        self.consecutive_failures = 0
+        self._probe_in_flight = False
+        self.state = CLOSED
+
+    def record_failure(self, now: float) -> None:
+        """Note a failed hop; may trip the breaker open."""
+        self.consecutive_failures += 1
+        self._probe_in_flight = False
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self.state = OPEN
+            self.opened_at = now
+            self.opens += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<CircuitBreaker {self.state} "
+            f"failures={self.consecutive_failures}>"
+        )

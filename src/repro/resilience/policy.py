@@ -1,0 +1,222 @@
+"""Resilience policies: what a client/edge does when things go wrong.
+
+A :class:`ResiliencePolicy` bundles the per-request mechanisms the
+dispatcher enforces *inside* the simulation:
+
+* **timeout** — cancel the request after a deadline, reclaiming every
+  queue slot, connection, and block it holds;
+* **retry** (:class:`RetryPolicy`) — re-issue failed/timed-out requests
+  with capped exponential backoff + jitter, gated by a per-client
+  :class:`RetryBudget` so retry storms cannot melt the service;
+* **hedge** (:class:`HedgePolicy`) — issue a clone of a slow request
+  and keep whichever answer arrives first (tail-at-scale hedging);
+* **breaker** (:class:`BreakerPolicy`) — a count-based circuit breaker
+  per (upstream, service) edge, failing fast while a dependency burns;
+* **admission** (:class:`AdmissionPolicy`) — queue-length/deadline load
+  shedding at entry, with an optional graceful-degradation fallback
+  tree (serve the cheap path instead of an error).
+
+Policies are plain parameter objects; the runtime state they need
+(budget tokens, breaker counters) lives in :class:`RetryBudget` and
+:class:`~repro.resilience.circuit_breaker.CircuitBreaker` instances the
+dispatcher owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class RetryBudget:
+    """Token budget bounding retries to a fraction of primary traffic.
+
+    The classic anti-retry-storm guard (gRPC/Finagle style): a client
+    may only retry while its retry volume stays under ``ratio`` x the
+    number of primary requests it issued. ``min_tokens`` lets a cold
+    client retry at all before it has history.
+    """
+
+    def __init__(self, ratio: float = 0.1, min_tokens: int = 10) -> None:
+        if ratio < 0:
+            raise ConfigError(f"retry budget ratio must be >= 0, got {ratio!r}")
+        if min_tokens < 0:
+            raise ConfigError(
+                f"retry budget min_tokens must be >= 0, got {min_tokens!r}"
+            )
+        self.ratio = float(ratio)
+        self.min_tokens = int(min_tokens)
+        self.primaries = 0
+        self.retries = 0
+
+    def note_primary(self) -> None:
+        """Record one primary (first-attempt) request."""
+        self.primaries += 1
+
+    def try_spend(self) -> bool:
+        """Consume one retry token if the budget allows; False if spent."""
+        allowance = max(self.min_tokens, self.ratio * self.primaries)
+        if self.retries + 1 > allowance:
+            return False
+        self.retries += 1
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"<RetryBudget {self.retries}/{self.ratio:.0%} of "
+            f"{self.primaries} primaries>"
+        )
+
+
+@dataclass
+class RetryPolicy:
+    """Retry failed/timed-out requests with capped exponential backoff.
+
+    Attempt *n* (n >= 2) waits ``min(base * multiplier**(n-2), cap)``
+    plus uniform jitter in ``[0, jitter]`` before re-entering the
+    dispatcher. ``budget=None`` disables the budget — the configuration
+    that produces the metastable retry storm.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 1e-3
+    backoff_multiplier: float = 2.0
+    backoff_cap: float = 0.1
+    jitter: float = 1e-4
+    budget: Optional[RetryBudget] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0 or self.jitter < 0:
+            raise ConfigError("backoff terms must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier!r}"
+            )
+
+    def backoff(self, attempt: int, rng: np.random.Generator) -> float:
+        """Delay before re-issuing *attempt* (2 = first retry)."""
+        exponent = max(0, attempt - 2)
+        delay = min(
+            self.backoff_base * self.backoff_multiplier ** exponent,
+            self.backoff_cap,
+        )
+        if self.jitter > 0:
+            delay += float(rng.uniform(0.0, self.jitter))
+        return delay
+
+    def allows(self, attempts_so_far: int) -> bool:
+        """True while another attempt is permitted (budget aside)."""
+        return attempts_so_far < self.max_attempts
+
+
+@dataclass
+class HedgePolicy:
+    """Hedged (cloned) requests: issue a second copy after
+    ``delay`` seconds without a response and keep the first answer.
+
+    ``delay`` should sit near the baseline tail (p95+) so only the
+    slowest few percent of requests hedge — the tail-at-scale recipe
+    that buys a large p99 cut for a few percent extra load.
+    """
+
+    delay: float = 10e-3
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if self.delay <= 0:
+            raise ConfigError(f"hedge delay must be > 0, got {self.delay!r}")
+        if self.max_hedges < 1:
+            raise ConfigError(
+                f"max_hedges must be >= 1, got {self.max_hedges}"
+            )
+
+
+@dataclass
+class BreakerPolicy:
+    """Parameters of the per-(upstream, service) circuit breaker.
+
+    ``failure_threshold`` consecutive failures open the circuit; after
+    ``reset_timeout`` seconds one probe request is let through
+    (half-open) and its outcome closes or re-opens the breaker.
+    """
+
+    failure_threshold: int = 5
+    reset_timeout: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.reset_timeout <= 0:
+            raise ConfigError(
+                f"reset_timeout must be > 0, got {self.reset_timeout!r}"
+            )
+
+
+@dataclass
+class AdmissionPolicy:
+    """Load shedding at request entry.
+
+    A request is shed when the least-loaded healthy replica of its
+    entry service already has more than ``max_queue`` jobs pending, or
+    when the estimated wait (pending x ``service_time_estimate``)
+    exceeds ``deadline``. With ``fallback_tree`` set, shed requests are
+    served through that (cheaper) registered path tree instead of being
+    rejected — graceful degradation.
+    """
+
+    max_queue: Optional[int] = None
+    deadline: Optional[float] = None
+    service_time_estimate: Optional[float] = None
+    fallback_tree: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue is not None and self.max_queue < 0:
+            raise ConfigError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.deadline is not None:
+            if self.service_time_estimate is None:
+                raise ConfigError(
+                    "deadline-based admission needs service_time_estimate"
+                )
+            if self.deadline <= 0 or self.service_time_estimate <= 0:
+                raise ConfigError(
+                    "deadline and service_time_estimate must be > 0"
+                )
+
+    def sheds(self, pending: int) -> bool:
+        """Decide from the entry tier's backlog (*pending* jobs)."""
+        if self.max_queue is not None and pending > self.max_queue:
+            return True
+        if self.deadline is not None:
+            return pending * self.service_time_estimate > self.deadline
+        return False
+
+
+@dataclass
+class ResiliencePolicy:
+    """The full per-client resilience configuration.
+
+    Any subset of the mechanisms may be enabled; the default instance
+    is completely inert (no timeout, no retries, no hedging, no
+    breaker, no shedding), so plumbing a policy through costs nothing
+    until something is switched on.
+    """
+
+    timeout: Optional[float] = None
+    retry: Optional[RetryPolicy] = None
+    hedge: Optional[HedgePolicy] = None
+    breaker: Optional[BreakerPolicy] = None
+    admission: Optional[AdmissionPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError(f"timeout must be > 0, got {self.timeout!r}")

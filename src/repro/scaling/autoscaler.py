@@ -49,9 +49,9 @@ class ActiveSetBalancer(LoadBalancer):
         instances: Sequence[Microservice],
         rng: np.random.Generator,
     ) -> Microservice:
-        self._require_instances(instances)
-        active = min(self.active_count, len(instances))
-        chosen = instances[self._next % active]
+        alive = self._eligible(instances)
+        active = min(self.active_count, len(alive))
+        chosen = alive[self._next % active]
         self._next += 1
         return chosen
 

@@ -98,6 +98,23 @@ class Connection:
         for callback in list(self._on_unblock):
             callback()
 
+    def waiting(self, request_id: int) -> bool:
+        """True if *request_id* is queued behind the current holder."""
+        return request_id in self._waiters
+
+    def abandon(self, request_id: int) -> None:
+        """Withdraw *request_id* from the block entirely (cancellation).
+
+        Unlike :meth:`unblock`, this also removes the request from the
+        waiter queue, so a cancelled request can never acquire (and then
+        leak) the block later. Releasing the holder passes the block on
+        exactly as :meth:`unblock` does.
+        """
+        if request_id in self._waiters:
+            self._waiters.remove(request_id)
+            return
+        self.unblock(request_id)
+
     # In-order delivery ------------------------------------------------
 
     def next_seq(self, direction: str) -> int:

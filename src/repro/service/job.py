@@ -18,13 +18,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .microservice import Microservice
     from .paths import ExecutionPath
 
+# Terminal request outcomes. ``None`` means still in flight; every
+# resolved request carries exactly one of these.
+OUTCOME_OK = "ok"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_SHED = "shed"
+OUTCOME_FAILED = "failed"
+OUTCOMES = (OUTCOME_OK, OUTCOME_TIMEOUT, OUTCOME_SHED, OUTCOME_FAILED)
+
 
 class Request:
     """One end-to-end user request.
 
     Latency is measured from :attr:`created_at` (client send) to
     :attr:`completed_at` (response received by the client), the quantity
-    the paper's load-latency validation curves report.
+    the paper's load-latency validation curves report. A resolved
+    request additionally carries a terminal :attr:`outcome` (one of
+    :data:`OUTCOMES`) and the number of :attr:`attempts` the resilience
+    layer spent on it (1 without retries/hedges).
     """
 
     __slots__ = (
@@ -33,6 +44,8 @@ class Request:
         "created_at",
         "completed_at",
         "size_bytes",
+        "outcome",
+        "attempts",
         "metadata",
     )
 
@@ -49,6 +62,8 @@ class Request:
         self.created_at = created_at
         self.completed_at: Optional[float] = None
         self.size_bytes = size_bytes
+        self.outcome: Optional[str] = None
+        self.attempts = 0
         self.metadata: dict = {}
 
     @property
@@ -57,6 +72,26 @@ class Request:
         if self.completed_at is None:
             return None
         return self.completed_at - self.created_at
+
+    @property
+    def ok(self) -> bool:
+        """True once the request resolved successfully."""
+        return self.outcome == OUTCOME_OK
+
+    def raise_for_outcome(self) -> None:
+        """Raise the matching :class:`~repro.errors.RequestOutcomeError`
+        if this request resolved with a non-``ok`` outcome (no-op while
+        in flight or on success)."""
+        from ..errors import RequestFailed, RequestShed, RequestTimeout
+
+        if self.outcome in (None, OUTCOME_OK):
+            return
+        exc_type = {
+            OUTCOME_TIMEOUT: RequestTimeout,
+            OUTCOME_SHED: RequestShed,
+            OUTCOME_FAILED: RequestFailed,
+        }[self.outcome]
+        raise exc_type(self)
 
     def __repr__(self) -> str:
         state = (
@@ -84,6 +119,8 @@ class Job:
         "path",
         "stage_pos",
         "on_complete",
+        "on_fail",
+        "cancelled",
         "created_at",
         "first_dispatch_at",
         "completed_at",
@@ -105,6 +142,12 @@ class Job:
         self.path: Optional["ExecutionPath"] = None
         self.stage_pos = 0
         self.on_complete: Optional[Callable[["Job"], None]] = None
+        # Fired when the owning instance crashes with this job in
+        # flight or refuses it while down (resilience failure path).
+        self.on_fail: Optional[Callable[["Job"], None]] = None
+        # Set by request cancellation (timeout / hedge loser): the job
+        # may still be executing, but its completion must not propagate.
+        self.cancelled = False
         self.created_at: Optional[float] = None
         self.first_dispatch_at: Optional[float] = None
         self.completed_at: Optional[float] = None

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from ..engine import PRIORITY_COMPLETION, Simulator
-from ..errors import ConfigError
+from ..errors import ConfigError, FaultError
 from ..hardware.core import CoreSet, CpuCore
 from .connections import Connection
 from .execution_models import ExecutionModel, SimpleModel, Worker
@@ -33,6 +33,11 @@ from .io import IoDevice
 from .job import Job
 from .paths import ExecutionPath, PathSelector
 from .stage import Stage
+
+# Instance lifecycle states (fault injection / resilience layer).
+STATE_UP = "up"
+STATE_DRAINING = "draining"
+STATE_DOWN = "down"
 
 
 class Microservice:
@@ -86,9 +91,19 @@ class Microservice:
         self._in_dispatch = False
         self.cores.on_release(self._kick)
 
+        # Lifecycle (fault injection): up -> draining/down -> up.
+        self.state = STATE_UP
+        # Straggler degradation: all stage costs are multiplied by this.
+        self.slow_factor = 1.0
+        # Batches currently on a core, keyed by their completion event,
+        # so a crash can cancel them and reclaim cores/workers.
+        self._running: Dict[object, tuple] = {}
+
         # Telemetry.
         self.jobs_accepted = 0
         self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.crashes = 0
         # In-flight node visits from the dispatcher's point of view:
         # incremented at instance selection (before the network hop),
         # decremented when the node's job completes. This is what
@@ -124,6 +139,83 @@ class Microservice:
         """DVFS this instance's cores (power-management actuation)."""
         return self.cores.set_frequency(frequency)
 
+    # Lifecycle (fault injection) ----------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        """True when the instance may receive NEW work (state ``up``).
+
+        Health-aware load balancers consult this to skip down and
+        draining replicas.
+        """
+        return self.state == STATE_UP
+
+    def crash(self, disposition: str = "fail") -> List[Job]:
+        """Kill the instance: stop executing, lose the backlog.
+
+        In-flight disposition: with ``"fail"`` every queued and
+        executing job fires its ``on_fail`` callback (the upstream sees
+        a reset connection and can retry); with ``"drop"`` jobs vanish
+        silently (a network black hole — only a timeout surfaces it).
+        Cores and workers held by executing batches are reclaimed
+        immediately. Returns the killed jobs.
+        """
+        if disposition not in ("fail", "drop"):
+            raise FaultError(
+                f"unknown crash disposition {disposition!r}; "
+                f"expected 'fail' or 'drop'"
+            )
+        if self.state == STATE_DOWN:
+            return []
+        self.state = STATE_DOWN
+        self.crashes += 1
+        killed: List[Job] = []
+        for event, (_stage, batch, worker, core) in list(self._running.items()):
+            self.sim.cancel(event)
+            self.model.release_worker(worker)
+            if core is not None:
+                self.cores.release(core, self.sim.now)
+            killed.extend(batch)
+        self._running.clear()
+        for stage in self._stages.values():
+            killed.extend(stage.queue.drain())
+        for job in killed:
+            self._fail_job(job, notify=disposition == "fail")
+        return killed
+
+    def start_draining(self) -> None:
+        """Stop taking new work (balancers skip this instance) while
+        letting already-admitted jobs run to completion."""
+        if self.state == STATE_DOWN:
+            raise FaultError(f"{self.name!r} is down; recover before draining")
+        self.state = STATE_DRAINING
+
+    def recover(self) -> None:
+        """Bring a down/draining instance back up and resume dispatch."""
+        self.state = STATE_UP
+        self._kick()
+
+    def degrade(self, slow_factor: float) -> None:
+        """Make the instance a straggler: multiply every stage cost by
+        *slow_factor* (>= 1). ``1.0`` restores nominal speed."""
+        if slow_factor < 1.0:
+            raise FaultError(f"slow_factor must be >= 1, got {slow_factor!r}")
+        self.slow_factor = float(slow_factor)
+
+    def cancel_job(self, job: Job) -> bool:
+        """Withdraw a queued *job* (request cancellation); True if the
+        job was still queued and its slot has been reclaimed. Executing
+        jobs cannot be reclaimed — their completion is suppressed via
+        ``job.cancelled`` instead."""
+        if job.path is None or job.stage_pos >= len(job.path.stage_ids):
+            return False
+        return self._stages[job.current_stage_id].queue.remove(job)
+
+    def _fail_job(self, job: Job, notify: bool = True) -> None:
+        self.jobs_failed += 1
+        if notify and job.on_fail is not None and not job.cancelled:
+            job.on_fail(job)
+
     # Job intake ---------------------------------------------------------
 
     def accept(
@@ -132,7 +224,14 @@ class Microservice:
         path_id: Optional[int] = None,
         path_name: Optional[str] = None,
     ) -> None:
-        """Admit *job*: select its execution path and queue stage 0."""
+        """Admit *job*: select its execution path and queue stage 0.
+
+        A down instance refuses the job outright (connection refused):
+        the job fails without consuming any resources.
+        """
+        if self.state == STATE_DOWN:
+            self._fail_job(job)
+            return
         job.service = self
         job.path = self.selector.select(self._rng, path_id, path_name)
         job.stage_pos = 0
@@ -160,6 +259,8 @@ class Microservice:
             self._in_dispatch = False
 
     def _dispatch_all(self) -> None:
+        if self.state == STATE_DOWN:
+            return
         progress = True
         while progress:
             progress = False
@@ -189,8 +290,9 @@ class Microservice:
                 job.first_dispatch_at = self.sim.now
         cost = stage.compute_cost(batch, core.frequency, self._rng)
         cost += self.model.dispatch_overhead(worker, core)
+        cost *= self.slow_factor
         stage.record(len(batch), cost)
-        self.sim.schedule(
+        event = self.sim.schedule(
             cost,
             self._on_cpu_done,
             stage,
@@ -199,6 +301,7 @@ class Microservice:
             core,
             priority=PRIORITY_COMPLETION,
         )
+        self._running[event] = (stage, batch, worker, core)
         return True
 
     def _on_cpu_done(
@@ -208,6 +311,10 @@ class Microservice:
         worker: Worker,
         core: CpuCore,
     ) -> None:
+        for event, (_s, running_batch, _w, _c) in self._running.items():
+            if running_batch is batch:
+                del self._running[event]
+                break
         if stage.io is not None:
             if self.io_device is None:
                 raise ConfigError(
@@ -236,6 +343,14 @@ class Microservice:
         # sit in their next stage queue so the scan's later-stage-first
         # preference sees them (run-to-completion bias).
         self.model.release_worker(worker)
+        if self.state == STATE_DOWN:
+            # The instance crashed while this batch was blocked on I/O
+            # (CPU batches are cancelled outright): the results are lost.
+            for job in batch:
+                self._fail_job(job)
+            if core is not None:
+                self.cores.release(core, self.sim.now)
+            return
         for job in batch:
             job.stage_pos += 1
             if job.stage_pos < len(job.path.stage_ids):
@@ -249,6 +364,11 @@ class Microservice:
     def _complete_job(self, job: Job) -> None:
         job.completed_at = self.sim.now
         self.jobs_completed += 1
+        if job.cancelled:
+            # The owning request was cancelled (timeout / hedge loser)
+            # after this job reached a core: the work is spent, but the
+            # result must not propagate or pollute latency telemetry.
+            return
         for listener in self.latency_listeners:
             listener(job)
         if job.on_complete is not None:

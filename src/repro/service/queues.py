@@ -60,6 +60,23 @@ class StageQueue(abc.ABC):
     def ready_count(self) -> int:
         """Jobs currently eligible to be batched."""
 
+    @abc.abstractmethod
+    def remove(self, job: Job) -> bool:
+        """Withdraw a queued job (request cancellation); True if found.
+
+        A job already handed out by :meth:`next_batch` is executing and
+        cannot be reclaimed — callers get ``False`` and must let it run
+        to (suppressed) completion.
+        """
+
+    @abc.abstractmethod
+    def drain(self) -> List[Job]:
+        """Pop and return ALL queued jobs, blocked ones included.
+
+        Used by instance crash handling: a dead process loses its whole
+        backlog at once, visibility rules notwithstanding.
+        """
+
     def has_ready(self) -> bool:
         return self.ready_count() > 0
 
@@ -100,6 +117,18 @@ class SingleQueue(StageQueue):
 
     def ready_count(self) -> int:
         return sum(1 for job in self._fifo if not _is_blocked(job))
+
+    def remove(self, job: Job) -> bool:
+        try:
+            self._fifo.remove(job)
+        except ValueError:
+            return False
+        return True
+
+    def drain(self) -> List[Job]:
+        jobs = list(self._fifo)
+        self._fifo.clear()
+        return jobs
 
     def __repr__(self) -> str:
         return f"<SingleQueue depth={len(self)}>"
@@ -143,6 +172,23 @@ class _SubqueueMixin:
         if not self._subqueues[key]:
             del self._subqueues[key]
 
+    def _remove(self, job: Job) -> bool:
+        key = _conn_key(job)
+        queue = self._subqueues.get(key)
+        if queue is None:
+            return False
+        try:
+            queue.remove(job)
+        except ValueError:
+            return False
+        self._gc(key)
+        return True
+
+    def _drain(self) -> List[Job]:
+        jobs = [job for queue in self._subqueues.values() for job in queue]
+        self._subqueues.clear()
+        return jobs
+
 
 class SocketQueue(StageQueue, _SubqueueMixin):
     """``socket_read``-style queue: batch from ONE ready connection.
@@ -182,6 +228,12 @@ class SocketQueue(StageQueue, _SubqueueMixin):
 
     def ready_count(self) -> int:
         return self._ready_total()
+
+    def remove(self, job: Job) -> bool:
+        return self._remove(job)
+
+    def drain(self) -> List[Job]:
+        return self._drain()
 
     def __repr__(self) -> str:
         return f"<SocketQueue conns={len(self._subqueues)} depth={len(self)}>"
@@ -229,6 +281,12 @@ class EpollQueue(StageQueue, _SubqueueMixin):
 
     def ready_count(self) -> int:
         return self._ready_total()
+
+    def remove(self, job: Job) -> bool:
+        return self._remove(job)
+
+    def drain(self) -> List[Job]:
+        return self._drain()
 
     def __repr__(self) -> str:
         return f"<EpollQueue conns={len(self._subqueues)} depth={len(self)}>"

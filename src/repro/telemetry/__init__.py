@@ -1,11 +1,13 @@
 """Telemetry: latency recording, time series, and report formatting."""
 
+from .availability import AvailabilityMonitor
 from .latency import LatencyRecorder, WindowedLatency
 from .monitor import ServiceMonitor
 from .report import format_series, format_table, ms, us
 from .timeseries import TimeSeries
 
 __all__ = [
+    "AvailabilityMonitor",
     "LatencyRecorder",
     "ServiceMonitor",
     "TimeSeries",

@@ -1,0 +1,69 @@
+"""Availability over time: the fraction of requests resolving ``ok``.
+
+Subscribes to the dispatcher's outcome stream and buckets resolutions
+into fixed windows; each non-empty window contributes one point
+(window end, ok-ratio) to a :class:`~repro.telemetry.TimeSeries`. The
+crash/recover experiments assert on exactly this curve: availability
+dips when instances die and climbs back as retries shift load onto the
+survivors.
+"""
+
+from __future__ import annotations
+
+from ..engine import Simulator
+from ..service import Request
+from ..service.job import OUTCOME_OK
+from .timeseries import TimeSeries
+
+
+class AvailabilityMonitor:
+    """Windowed ok-ratio of a dispatcher's resolved requests."""
+
+    def __init__(self, sim: Simulator, dispatcher, window: float = 0.1) -> None:
+        """Attach to *dispatcher* (anything exposing ``on_outcome``);
+        *window* is the bucket width in simulated seconds."""
+        self.sim = sim
+        self.window = float(window)
+        self.series = TimeSeries("availability")
+        self._bucket_end = 0.0
+        self._ok = 0
+        self._total = 0
+        self.total_ok = 0
+        self.total_resolved = 0
+        dispatcher.on_outcome(self._on_outcome)
+
+    def _on_outcome(self, request: Request) -> None:
+        now = self.sim.now
+        if now >= self._bucket_end:
+            self._flush()
+            # Align the new bucket to the window grid.
+            periods = int(now / self.window) + 1
+            self._bucket_end = periods * self.window
+        self._total += 1
+        self.total_resolved += 1
+        if request.outcome == OUTCOME_OK:
+            self._ok += 1
+            self.total_ok += 1
+
+    def _flush(self) -> None:
+        if self._total:
+            self.series.append(self._bucket_end, self._ok / self._total)
+        self._ok = 0
+        self._total = 0
+
+    def finish(self) -> TimeSeries:
+        """Flush the open bucket and return the availability series."""
+        self._flush()
+        return self.series
+
+    @property
+    def availability(self) -> float:
+        """Overall ok-ratio across the whole run (1.0 when idle)."""
+        if self.total_resolved == 0:
+            return 1.0
+        return self.total_ok / self.total_resolved
+
+    def __repr__(self) -> str:
+        return (
+            f"<AvailabilityMonitor ok={self.total_ok}/{self.total_resolved}>"
+        )

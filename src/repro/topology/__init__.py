@@ -13,8 +13,10 @@ from .dispatcher import Dispatcher
 from .load_balancer import (
     LeastOutstanding,
     LoadBalancer,
+    NoHealthyInstance,
     RandomChoice,
     RoundRobin,
+    healthy_subset,
     make_load_balancer,
 )
 from .path_tree import NodeOp, PathNode, PathTree
@@ -26,9 +28,11 @@ __all__ = [
     "LeastOutstanding",
     "LoadBalancer",
     "NodeOp",
+    "NoHealthyInstance",
     "PathNode",
     "PathTree",
     "RandomChoice",
     "RoundRobin",
+    "healthy_subset",
     "make_load_balancer",
 ]

@@ -91,6 +91,23 @@ class Deployment:
     def all_instances(self) -> List[Microservice]:
         return [inst for tier in self._instances.values() for inst in tier]
 
+    def find_instance(self, name: str) -> Microservice:
+        """Look up a deployed instance (any tier, or a netproc) by its
+        unique name — fault injection targets instances this way."""
+        for tier in self._instances.values():
+            for inst in tier:
+                if inst.name == name:
+                    return inst
+        for inst in self._netproc.values():
+            if inst.name == name:
+                return inst
+        raise TopologyError(f"no instance named {name!r} deployed")
+
+    @property
+    def pools(self) -> List[ConnectionPool]:
+        """Every connection pool created so far (telemetry/invariants)."""
+        return list(self._pools.values())
+
     def balancer(self, service: str) -> LoadBalancer:
         if service not in self._balancers:
             self._balancers[service] = RoundRobin()

@@ -18,6 +18,15 @@ The dispatcher walks each request through its path tree:
    synchronisation);
 4. when every sink node has completed, send the response back to the
    client and fire the completion callback.
+
+On top of that request walk sits the resilience layer
+(:mod:`repro.resilience`): a request submitted with a
+:class:`~repro.resilience.ResiliencePolicy` may be shed at admission,
+timed out mid-flight (with real cancellation — queue slots, blocks and
+connections are reclaimed), retried with backoff under a retry budget,
+hedged with cancel-on-first-response, or failed fast by a per
+(upstream, service) circuit breaker. Every request resolves with a
+terminal ``outcome`` (``ok``/``timeout``/``shed``/``failed``).
 """
 
 from __future__ import annotations
@@ -30,45 +39,101 @@ import numpy as np
 from ..engine import PRIORITY_ARRIVAL, Simulator
 from ..errors import TopologyError
 from ..hardware import NetworkFabric
+from ..resilience import CircuitBreaker, ResiliencePolicy
 from ..service import Connection, Job, Microservice, Request
+from ..service.job import (
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_SHED,
+    OUTCOME_TIMEOUT,
+)
 from .deployment import Deployment
+from .load_balancer import NoHealthyInstance
 from .path_tree import NodeOp, PathNode, PathTree
 
 
-class _RequestState:
-    """Book-keeping for one in-flight request."""
+class _RequestGroup:
+    """Book-keeping for one logical request across all its attempts.
+
+    The group owns the resilience decisions (shed / retry / hedge /
+    resolve); each traversal of the path tree — primary, retry, or
+    hedge — is a :class:`_RequestState`.
+    """
 
     __slots__ = (
         "request",
-        "tree",
+        "policy",
         "on_complete",
         "client_name",
         "client_machine",
-        "node_instance",
-        "node_conn",
-        "arrivals",
-        "pending_sinks",
-        "used_conns",
+        "states",
+        "resolved",
+        "hedges",
+        "hedge_event",
     )
 
     def __init__(
         self,
         request: Request,
-        tree: PathTree,
+        policy: Optional[ResiliencePolicy],
         on_complete: Optional[Callable[[Request], None]],
         client_name: str,
         client_machine: str,
     ) -> None:
         self.request = request
-        self.tree = tree
+        self.policy = policy
         self.on_complete = on_complete
         self.client_name = client_name
         self.client_machine = client_machine
+        self.states: List[_RequestState] = []
+        self.resolved = False
+        self.hedges = 0
+        self.hedge_event = None
+
+    def live_states(self) -> List["_RequestState"]:
+        """Attempts still traversing the tree."""
+        return [s for s in self.states if not s.cancelled and not s.finished]
+
+
+class _RequestState:
+    """Book-keeping for one in-flight traversal (attempt) of the tree."""
+
+    __slots__ = (
+        "group",
+        "tree",
+        "node_instance",
+        "node_conn",
+        "node_job",
+        "node_upstream",
+        "entered",
+        "left",
+        "arrivals",
+        "pending_sinks",
+        "used_conns",
+        "cancelled",
+        "finished",
+        "timeout_event",
+    )
+
+    def __init__(self, group: _RequestGroup, tree: PathTree) -> None:
+        self.group = group
+        self.tree = tree
         self.node_instance: Dict[str, Microservice] = {}
         self.node_conn: Dict[str, Optional[Connection]] = {}
+        self.node_job: Dict[str, Job] = {}
+        self.node_upstream: Dict[str, str] = {}
+        self.entered: Dict[str, bool] = {}
+        self.left: Dict[str, bool] = {}
         self.arrivals: Dict[str, int] = {}
         self.pending_sinks = len(tree.sinks)
         self.used_conns: List[Connection] = []
+        self.cancelled = False
+        self.finished = False
+        self.timeout_event = None
+
+    @property
+    def request(self) -> Request:
+        return self.group.request
 
 
 class Dispatcher:
@@ -92,9 +157,20 @@ class Dispatcher:
         self._rng = sim.random.stream("dispatcher")
         self._trees: List[Tuple[PathTree, float]] = []
         self._trees_by_type: Dict[str, PathTree] = {}
+        self._trees_by_name: Dict[str, PathTree] = {}
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
         # Telemetry.
         self.requests_submitted = 0
         self.requests_completed = 0
+        self.requests_timed_out = 0
+        self.requests_failed = 0
+        self.requests_shed = 0
+        self.attempts_launched = 0
+        self.retries_issued = 0
+        self.hedges_issued = 0
+        self.fallbacks_served = 0
+        self.messages_dropped = 0
+        self._outcome_listeners: List[Callable[[Request], None]] = []
 
     # Tree registration ---------------------------------------------------
 
@@ -109,6 +185,9 @@ class Dispatcher:
         With *request_type*, requests of that type always use this tree.
         With *probability*, untyped requests draw among the weighted
         trees. A single tree registered with neither serves everything.
+        Every tree is additionally addressable by its name — admission
+        control's graceful-degradation fallback refers to trees that
+        way.
         """
         tree.validate()
         if request_type is not None:
@@ -119,6 +198,16 @@ class Dispatcher:
             self._trees_by_type[request_type] = tree
         else:
             self._trees.append((tree, 1.0 if probability is None else probability))
+        self._trees_by_name.setdefault(tree.name, tree)
+        return tree
+
+    def add_fallback_tree(self, tree: PathTree) -> PathTree:
+        """Register a tree reachable ONLY as a degradation fallback
+        (never picked for regular traffic)."""
+        tree.validate()
+        if tree.name in self._trees_by_name:
+            raise TopologyError(f"tree {tree.name!r} already registered")
+        self._trees_by_name[tree.name] = tree
         return tree
 
     def _pick_tree(self, request: Request) -> PathTree:
@@ -141,6 +230,13 @@ class Dispatcher:
         idx = int(self._rng.choice(len(self._trees), p=weights))
         return self._trees[idx][0]
 
+    # Outcome listeners ----------------------------------------------------
+
+    def on_outcome(self, listener: Callable[[Request], None]) -> None:
+        """Register a listener fired at every request resolution (any
+        outcome) — availability monitors subscribe here."""
+        self._outcome_listeners.append(listener)
+
     # Request lifecycle ----------------------------------------------------
 
     def submit(
@@ -149,18 +245,225 @@ class Dispatcher:
         on_complete: Optional[Callable[[Request], None]] = None,
         client_name: str = "client",
         client_machine: str = "client",
+        policy: Optional[ResiliencePolicy] = None,
     ) -> None:
-        """Inject *request* from a client located on *client_machine*."""
-        tree = self._pick_tree(request)
-        state = _RequestState(request, tree, on_complete, client_name, client_machine)
+        """Inject *request* from a client located on *client_machine*.
+
+        *policy* switches on the resilience layer for this request;
+        without it the request traverses exactly as before (and still
+        resolves with outcome ``ok``).
+        """
         self.requests_submitted += 1
-        for root in tree.roots:
-            self._enter_node(
-                state,
-                root,
-                src_instance=None,
-                parent_conn=None,
+        group = _RequestGroup(
+            request, policy, on_complete, client_name, client_machine
+        )
+        if policy is not None and policy.retry is not None:
+            if policy.retry.budget is not None:
+                policy.retry.budget.note_primary()
+        if policy is not None and policy.hedge is not None:
+            group.hedge_event = self.sim.schedule(
+                policy.hedge.delay, self._on_hedge, group
             )
+        self._launch_attempt(group)
+
+    def _launch_attempt(self, group: _RequestGroup, hedge: bool = False) -> None:
+        """Run one traversal of the path tree for *group*."""
+        policy = group.policy
+        tree = self._pick_tree(group.request)
+        if not hedge and policy is not None and policy.admission is not None:
+            shed_tree = self._admission_decision(policy, tree)
+            if shed_tree is False:
+                self._resolve(group, OUTCOME_SHED)
+                return
+            if shed_tree is not None:
+                tree = shed_tree
+                group.request.metadata["degraded"] = True
+                self.fallbacks_served += 1
+        state = _RequestState(group, tree)
+        group.states.append(state)
+        group.request.attempts += 1
+        self.attempts_launched += 1
+        if policy is not None and policy.timeout is not None:
+            state.timeout_event = self.sim.schedule(
+                policy.timeout, self._on_timeout, state
+            )
+        for root in tree.roots:
+            if state.cancelled or group.resolved:
+                break
+            self._enter_node(state, root, src_instance=None, parent_conn=None)
+
+    def _admission_decision(self, policy, tree):
+        """None = admit; False = shed; a PathTree = degrade onto it."""
+        admission = policy.admission
+        entry_service = tree.roots[0].service
+        try:
+            replicas = self.deployment.instances(entry_service)
+        except TopologyError:
+            return None
+        alive = [r for r in replicas if getattr(r, "healthy", True)]
+        if not alive:
+            return None  # routing will fail properly downstream
+        pending = min(inst.pending_dispatch for inst in alive)
+        if not admission.sheds(pending):
+            return None
+        if admission.fallback_tree is not None:
+            fallback = self._trees_by_name.get(admission.fallback_tree)
+            if fallback is None:
+                raise TopologyError(
+                    f"admission fallback_tree {admission.fallback_tree!r} "
+                    f"is not a registered tree"
+                )
+            return fallback
+        return False
+
+    # Resilience timers ----------------------------------------------------
+
+    def _on_timeout(self, state: _RequestState) -> None:
+        group = state.group
+        if group.resolved or state.cancelled or state.finished:
+            return
+        self._record_breaker_failures(state)
+        self._attempt_failed(state, OUTCOME_TIMEOUT)
+
+    def _on_hedge(self, group: _RequestGroup) -> None:
+        group.hedge_event = None
+        policy = group.policy
+        if group.resolved or policy is None or policy.hedge is None:
+            return
+        if not group.live_states():
+            return  # between retries; nothing to hedge against
+        if group.hedges >= policy.hedge.max_hedges:
+            return
+        group.hedges += 1
+        self.hedges_issued += 1
+        self._launch_attempt(group, hedge=True)
+        if group.hedges < policy.hedge.max_hedges:
+            group.hedge_event = self.sim.schedule(
+                policy.hedge.delay, self._on_hedge, group
+            )
+
+    # Failure / cancellation ----------------------------------------------
+
+    def _attempt_failed(self, state: _RequestState, outcome: str) -> None:
+        """One attempt died; retry, wait for a live hedge, or resolve."""
+        group = state.group
+        self._cancel_state(state)
+        if group.resolved or group.live_states():
+            return
+        policy = group.policy
+        if policy is not None and policy.retry is not None:
+            retry = policy.retry
+            if retry.allows(group.request.attempts) and (
+                retry.budget is None or retry.budget.try_spend()
+            ):
+                self.retries_issued += 1
+                delay = retry.backoff(group.request.attempts + 1, self._rng)
+                self.sim.schedule(delay, self._relaunch, group)
+                return
+        self._resolve(group, outcome)
+
+    def _relaunch(self, group: _RequestGroup) -> None:
+        if group.resolved:
+            return
+        self._launch_attempt(group)
+
+    def _cancel_state(self, state: _RequestState) -> None:
+        """Reclaim everything a traversal holds: queue slots, blocks,
+        connections, and the per-instance in-flight counters."""
+        if state.cancelled or state.finished:
+            return
+        state.cancelled = True
+        if state.timeout_event is not None:
+            self.sim.cancel(state.timeout_event)
+            state.timeout_event = None
+        request_id = state.request.request_id
+        for name, job in state.node_job.items():
+            job.cancelled = True
+            if job.service is not None:
+                job.service.cancel_job(job)
+        for name, instance in state.node_instance.items():
+            if state.entered.get(name) and not state.left.get(name):
+                instance.pending_dispatch -= 1
+                state.left[name] = True
+        seen = set()
+        for conn in state.node_conn.values():
+            if conn is None or id(conn) in seen:
+                continue
+            seen.add(id(conn))
+            conn.abandon(request_id)
+        for conn in state.used_conns:
+            conn.outstanding -= 1
+        state.used_conns = []
+
+    def _on_job_fail(self, state: _RequestState, node: PathNode, job: Job) -> None:
+        """An instance crashed with (or refused) this attempt's job."""
+        group = state.group
+        if group.resolved or state.cancelled or state.finished:
+            return
+        breaker = self._breaker_for(state, node)
+        if breaker is not None:
+            breaker.record_failure(self.sim.now)
+        self._attempt_failed(state, OUTCOME_FAILED)
+
+    def _record_breaker_failures(self, state: _RequestState) -> None:
+        """Attribute a timeout to every node entered but never left."""
+        if state.group.policy is None or state.group.policy.breaker is None:
+            return
+        for name in state.node_instance:
+            if state.entered.get(name) and not state.left.get(name):
+                node = state.tree.node(name)
+                breaker = self._breaker_for(state, node)
+                if breaker is not None:
+                    breaker.record_failure(self.sim.now)
+
+    def _breaker_for(
+        self, state: _RequestState, node: PathNode
+    ) -> Optional[CircuitBreaker]:
+        policy = state.group.policy
+        if policy is None or policy.breaker is None:
+            return None
+        upstream = state.node_upstream.get(node.name, state.group.client_name)
+        key = (upstream, node.service)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(policy.breaker)
+            self._breakers[key] = breaker
+        return breaker
+
+    def breaker(self, upstream: str, service: str) -> Optional[CircuitBreaker]:
+        """The circuit breaker guarding the (upstream, service) edge,
+        if one has been created (introspection/telemetry)."""
+        return self._breakers.get((upstream, service))
+
+    # Resolution -----------------------------------------------------------
+
+    def _resolve(self, group: _RequestGroup, outcome: str) -> None:
+        """Terminal state: stamp the outcome and tell the client."""
+        if group.resolved:
+            return
+        group.resolved = True
+        if group.hedge_event is not None:
+            self.sim.cancel(group.hedge_event)
+            group.hedge_event = None
+        for state in group.states:
+            self._cancel_state(state)
+        request = group.request
+        request.completed_at = self.sim.now
+        request.outcome = outcome
+        if outcome == OUTCOME_OK:
+            self.requests_completed += 1
+        elif outcome == OUTCOME_TIMEOUT:
+            self.requests_timed_out += 1
+        elif outcome == OUTCOME_SHED:
+            self.requests_shed += 1
+        else:
+            self.requests_failed += 1
+        for listener in self._outcome_listeners:
+            listener(request)
+        if group.on_complete is not None:
+            group.on_complete(request)
+
+    # Tree traversal -------------------------------------------------------
 
     def _resolve_instance(
         self, state: _RequestState, node: PathNode
@@ -190,7 +493,8 @@ class Dispatcher:
             # parent's incoming connection).
             return parent_conn
         upstream_key = (
-            src_instance.name if src_instance is not None else state.client_name
+            src_instance.name if src_instance is not None
+            else state.group.client_name
         )
         conn = self.deployment.pool_between(upstream_key, instance).checkout()
         conn.outstanding += 1
@@ -198,11 +502,7 @@ class Dispatcher:
         return conn
 
     def _apply_op(
-        self,
-        op: Optional[NodeOp],
-        state: _RequestState,
-        job: Job,
-        node: PathNode,
+        self, op: Optional[NodeOp], state: _RequestState, job: Job
     ) -> None:
         if op is None:
             return
@@ -212,10 +512,15 @@ class Dispatcher:
             target = job.connection
         if target is None:
             return  # nothing to (un)block: node had no connection
+        request_id = state.request.request_id
         if op.action == NodeOp.BLOCK:
-            target.block(state.request.request_id)
+            # A hedge/retry attempt may hit the same connection its
+            # sibling already blocked; the block is per-request, so a
+            # second registration would be an error, not a state change.
+            if target.holder != request_id and not target.waiting(request_id):
+                target.block(request_id)
         else:
-            target.unblock(state.request.request_id)
+            target.unblock(request_id)
 
     def _enter_node(
         self,
@@ -224,8 +529,25 @@ class Dispatcher:
         src_instance: Optional[Microservice],
         parent_conn: Optional[Connection],
     ) -> None:
-        instance = self._resolve_instance(state, node)
+        upstream_key = (
+            src_instance.name if src_instance is not None
+            else state.group.client_name
+        )
+        state.node_upstream[node.name] = upstream_key
+        breaker = self._breaker_for(state, node)
+        if breaker is not None and node.same_instance_as is None:
+            if not breaker.allow(self.sim.now):
+                self._attempt_failed(state, OUTCOME_FAILED)
+                return
+        try:
+            instance = self._resolve_instance(state, node)
+        except NoHealthyInstance:
+            if breaker is not None:
+                breaker.record_failure(self.sim.now)
+            self._attempt_failed(state, OUTCOME_FAILED)
+            return
         instance.pending_dispatch += 1
+        state.entered[node.name] = True
         conn = self._resolve_connection(
             state, node, instance, src_instance, parent_conn
         )
@@ -234,8 +556,10 @@ class Dispatcher:
 
         size = node.message_bytes(state.request.size_bytes, self._rng)
         job = Job(state.request, size_bytes=size, connection=conn)
+        state.node_job[node.name] = job
         job.on_complete = lambda j, _s=state, _n=node: self._leave_node(_s, _n, j)
-        self._apply_op(node.on_enter, state, job, node)
+        job.on_fail = lambda j, _s=state, _n=node: self._on_job_fail(_s, _n, j)
+        self._apply_op(node.on_enter, state, job)
         if self.trace:
             state.request.metadata.setdefault("trace_enter", {})[
                 node.name
@@ -244,16 +568,26 @@ class Dispatcher:
         src_machine = (
             src_instance.machine_name
             if src_instance is not None
-            else state.client_machine
+            else state.group.client_machine
         )
-        accept = lambda: instance.accept(job, node.path_id, node.path_name)
+        accept = lambda: self._deliver_job(state, node, instance, job)
         if conn is not None:
             # Same-connection messages towards the same receiver are
             # delivered in send order (TCP semantics) even if the
             # simulated network completes their hops out of order.
             seq = conn.next_seq(instance.name)
+            if self.network.is_partitioned(src_machine, instance.machine_name):
+                # The message is lost, but its sequence slot must still
+                # be consumed or every later message on this connection
+                # towards the receiver would park forever.
+                self.messages_dropped += 1
+                conn.deliver_in_order(instance.name, seq, lambda: None)
+                return
             deliver = lambda: conn.deliver_in_order(instance.name, seq, accept)
         else:
+            if self.network.is_partitioned(src_machine, instance.machine_name):
+                self.messages_dropped += 1
+                return
             deliver = accept
         self._hop(
             src_machine,
@@ -263,9 +597,28 @@ class Dispatcher:
             deliver,
         )
 
+    def _deliver_job(
+        self,
+        state: _RequestState,
+        node: PathNode,
+        instance: Microservice,
+        job: Job,
+    ) -> None:
+        """Hand the job to the instance — unless the attempt died while
+        the message was in flight."""
+        if state.cancelled or state.group.resolved:
+            return
+        instance.accept(job, node.path_id, node.path_name)
+
     def _leave_node(self, state: _RequestState, node: PathNode, job: Job) -> None:
+        if state.cancelled or state.group.resolved:
+            return  # resources were reclaimed at cancellation
         state.node_instance[node.name].pending_dispatch -= 1
-        self._apply_op(node.on_leave, state, job, node)
+        state.left[node.name] = True
+        breaker = self._breaker_for(state, node)
+        if breaker is not None:
+            breaker.record_success()
+        self._apply_op(node.on_leave, state, job)
         if self.trace:
             enter = state.request.metadata.get("trace_enter", {}).get(node.name)
             state.request.metadata.setdefault("trace", []).append(
@@ -285,6 +638,8 @@ class Dispatcher:
         instance = state.node_instance[node.name]
         parent_conn = state.node_conn[node.name]
         for child in children:
+            if state.cancelled or state.group.resolved:
+                break  # a sibling hop tripped a breaker / failed fast
             arrived = state.arrivals.get(child.name, 0) + 1
             state.arrivals[child.name] = arrived
             if arrived == state.tree.fan_in(child.name):
@@ -304,20 +659,23 @@ class Dispatcher:
         )
 
         def finish() -> None:
-            state.request.completed_at = self.sim.now
-            self.requests_completed += 1
+            if state.cancelled or state.group.resolved:
+                return  # lost the hedge race / timed out at the wire
+            state.finished = True
+            if state.timeout_event is not None:
+                self.sim.cancel(state.timeout_event)
+                state.timeout_event = None
             for conn in state.used_conns:
                 conn.outstanding -= 1
-            if state.on_complete is not None:
-                state.on_complete(state.request)
+            state.used_conns = []
+            self._resolve(state.group, OUTCOME_OK)
 
-        self._hop(
-            last_instance.machine_name,
-            state.client_machine,
-            response_size,
-            state.request,
-            finish,
-        )
+        src_machine = last_instance.machine_name
+        dst_machine = state.group.client_machine
+        if self.network.is_partitioned(src_machine, dst_machine):
+            self.messages_dropped += 1
+            return  # response lost; only a timeout will surface it
+        self._hop(src_machine, dst_machine, response_size, state.request, finish)
 
     # Network routing -------------------------------------------------------
 
@@ -352,6 +710,9 @@ class Dispatcher:
             rx_proc.accept(rx_job)
 
         def over_wire() -> None:
+            if self.network.is_partitioned(src_machine, dst_machine):
+                self.messages_dropped += 1
+                return  # lost on the severed link
             delay = self.network.delay(src_machine, dst_machine, size_bytes, self._rng)
             self.sim.schedule(delay, after_wire, priority=PRIORITY_ARRIVAL)
 
@@ -365,5 +726,5 @@ class Dispatcher:
     def __repr__(self) -> str:
         return (
             f"<Dispatcher trees={len(self._trees) + len(self._trees_by_type)} "
-            f"in-flight={self.requests_submitted - self.requests_completed}>"
+            f"in-flight={self.requests_submitted - self.requests_completed - self.requests_timed_out - self.requests_failed - self.requests_shed}>"
         )

@@ -17,8 +17,34 @@ from ..errors import TopologyError
 from ..service import Microservice
 
 
+class NoHealthyInstance(TopologyError):
+    """Every replica of the tier is down or draining.
+
+    The dispatcher turns this into a fast request failure (outcome
+    ``failed``) rather than letting it propagate.
+    """
+
+
+def healthy_subset(instances: Sequence[Microservice]) -> Sequence[Microservice]:
+    """Filter to replicas currently accepting new work.
+
+    Instances without a lifecycle ``healthy`` attribute (plain stubs in
+    tests) are assumed up. Returns the original sequence when every
+    instance is healthy, so the common fault-free path allocates
+    nothing.
+    """
+    if all(getattr(inst, "healthy", True) for inst in instances):
+        return instances
+    return [inst for inst in instances if getattr(inst, "healthy", True)]
+
+
 class LoadBalancer(abc.ABC):
-    """Chooses which instance of a tier serves the next request."""
+    """Chooses which instance of a tier serves the next request.
+
+    All policies are health-aware: down and draining replicas are
+    skipped, and :class:`NoHealthyInstance` is raised when nothing is
+    left to pick from.
+    """
 
     @abc.abstractmethod
     def pick(
@@ -26,15 +52,28 @@ class LoadBalancer(abc.ABC):
         instances: Sequence[Microservice],
         rng: np.random.Generator,
     ) -> Microservice:
-        """Select one instance from a non-empty list."""
+        """Select one healthy instance from a non-empty list."""
 
-    def _require_instances(self, instances: Sequence[Microservice]) -> None:
+    def _eligible(
+        self, instances: Sequence[Microservice]
+    ) -> Sequence[Microservice]:
         if not instances:
             raise TopologyError("load balancer asked to pick from no instances")
+        alive = healthy_subset(instances)
+        if not alive:
+            raise NoHealthyInstance(
+                f"all {len(instances)} instances are down or draining"
+            )
+        return alive
 
 
 class RoundRobin(LoadBalancer):
-    """Strict rotation, the policy of the paper's LB validation."""
+    """Strict rotation, the policy of the paper's LB validation.
+
+    The rotation counter advances over the *healthy* subset, so a down
+    replica's slots redistribute evenly instead of stalling every Nth
+    request.
+    """
 
     def __init__(self) -> None:
         self._next = 0
@@ -44,27 +83,27 @@ class RoundRobin(LoadBalancer):
         instances: Sequence[Microservice],
         rng: np.random.Generator,
     ) -> Microservice:
-        self._require_instances(instances)
-        chosen = instances[self._next % len(instances)]
+        alive = self._eligible(instances)
+        chosen = alive[self._next % len(alive)]
         self._next += 1
         return chosen
 
 
 class RandomChoice(LoadBalancer):
-    """Uniform random selection."""
+    """Uniform random selection among healthy replicas."""
 
     def pick(
         self,
         instances: Sequence[Microservice],
         rng: np.random.Generator,
     ) -> Microservice:
-        self._require_instances(instances)
-        return instances[int(rng.integers(len(instances)))]
+        alive = self._eligible(instances)
+        return alive[int(rng.integers(len(alive)))]
 
 
 class LeastOutstanding(LoadBalancer):
-    """Pick the instance with the fewest in-flight node visits (ties
-    broken by deployment order for determinism).
+    """Pick the healthy instance with the fewest in-flight node visits
+    (ties broken by deployment order for determinism).
 
     Uses the dispatcher-maintained ``pending_dispatch`` counter, which
     counts from instance *selection* — the accepted-minus-completed
@@ -77,15 +116,15 @@ class LeastOutstanding(LoadBalancer):
         instances: Sequence[Microservice],
         rng: np.random.Generator,
     ) -> Microservice:
-        self._require_instances(instances)
-        return min(
-            instances,
-            key=lambda inst: getattr(
-                inst,
-                "pending_dispatch",
-                inst.jobs_accepted - inst.jobs_completed,
-            ),
-        )
+        alive = self._eligible(instances)
+
+        def load(inst: Microservice) -> int:
+            pending = getattr(inst, "pending_dispatch", None)
+            if pending is not None:
+                return pending
+            return inst.jobs_accepted - inst.jobs_completed
+
+        return min(alive, key=load)
 
 
 POLICIES = {

@@ -6,6 +6,11 @@ responses — the correct way to measure tail latency), a configurable
 connection count, request-type mix, and payload-size distribution. The
 client records end-to-end latencies into a
 :class:`~repro.telemetry.latency.LatencyRecorder`.
+
+Outcome accounting: only requests that resolve ``ok`` are recorded
+into the latency recorder, so :meth:`OpenLoopClient.throughput`
+reports *goodput*. Timed-out / shed / failed resolutions are tallied
+separately in :attr:`OpenLoopClient.outcomes`.
 """
 
 from __future__ import annotations
@@ -15,6 +20,12 @@ from typing import Callable, List, Optional, Union
 from ..engine import PRIORITY_ARRIVAL, Simulator
 from ..errors import WorkloadError
 from ..service import Request
+from ..service.job import (
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_SHED,
+    OUTCOME_TIMEOUT,
+)
 from ..telemetry import LatencyRecorder
 from ..topology import Dispatcher
 from .arrival import ArrivalProcess, PoissonArrivals
@@ -37,6 +48,7 @@ class OpenLoopClient:
         stop_at: Optional[float] = None,
         on_complete: Optional[Callable[[Request], None]] = None,
         realism=None,
+        resilience=None,
     ) -> None:
         """
         *arrivals* may be an :class:`ArrivalProcess`, a
@@ -48,6 +60,10 @@ class OpenLoopClient:
         client record *observed* latencies — including the real-system
         timeout/reconnection overhead past saturation — instead of raw
         simulated latencies.
+
+        *resilience* (a :class:`~repro.resilience.ResiliencePolicy`)
+        is attached to every submitted request; the dispatcher enforces
+        it (timeouts, retries, hedging, breaker, shedding).
         """
         if isinstance(arrivals, (int, float)):
             arrivals = PoissonArrivals.at_rate(float(arrivals))
@@ -70,12 +86,19 @@ class OpenLoopClient:
         self.stop_at = stop_at
         self._extra_on_complete = on_complete
         self.realism = realism
+        self.resilience = resilience
         self._rng = sim.random.stream(f"client/{name}")
         self._started = False
 
         self.latencies = LatencyRecorder(f"{name}/e2e")
         self.requests_sent = 0
         self.requests_completed = 0
+        self.outcomes = {
+            OUTCOME_OK: 0,
+            OUTCOME_TIMEOUT: 0,
+            OUTCOME_SHED: 0,
+            OUTCOME_FAILED: 0,
+        }
         self.completed_requests: List[Request] = []
 
     # Lifecycle ----------------------------------------------------------
@@ -104,6 +127,7 @@ class OpenLoopClient:
             on_complete=self._on_complete,
             client_name=self.name,
             client_machine=self.machine,
+            policy=self.resilience,
         )
         if self.max_requests is not None and self.requests_sent >= self.max_requests:
             return
@@ -112,12 +136,15 @@ class OpenLoopClient:
 
     def _on_complete(self, request: Request) -> None:
         self.requests_completed += 1
+        outcome = request.outcome or OUTCOME_OK
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
         self.completed_requests.append(request)
-        assert request.latency is not None
-        latency = request.latency
-        if self.realism is not None:
-            latency = self.realism.observed_latency(latency, self._rng)
-        self.latencies.record(request.completed_at, latency)
+        if outcome == OUTCOME_OK:
+            assert request.latency is not None
+            latency = request.latency
+            if self.realism is not None:
+                latency = self.realism.observed_latency(latency, self._rng)
+            self.latencies.record(request.completed_at, latency)
         if self._extra_on_complete is not None:
             self._extra_on_complete(request)
 
@@ -127,7 +154,19 @@ class OpenLoopClient:
     def outstanding(self) -> int:
         return self.requests_sent - self.requests_completed
 
+    @property
+    def requests_ok(self) -> int:
+        """Requests that resolved with outcome ``ok``."""
+        return self.outcomes.get(OUTCOME_OK, 0)
+
+    @property
+    def requests_errored(self) -> int:
+        """Requests that resolved timeout/shed/failed."""
+        return self.requests_completed - self.requests_ok
+
     def throughput(self, since: float, until: float) -> float:
+        """Goodput: completed-*ok* requests per second over a window
+        (only ok resolutions enter the latency recorder)."""
         return self.latencies.throughput(since, until)
 
     def __repr__(self) -> str:

@@ -1,0 +1,114 @@
+"""client.json ``resilience`` block parsing and faults.json wiring
+through :class:`~repro.config.SimulationSpec`."""
+
+import json
+
+import pytest
+
+from repro.config import SimulationSpec
+from repro.config.resilience_config import parse_resilience
+from repro.errors import ConfigError
+from repro.resilience import ResiliencePolicy
+
+
+class TestParseResilience:
+    def test_absent_or_empty_is_no_policy(self):
+        assert parse_resilience(None) is None
+        assert parse_resilience({}) is None
+
+    def test_full_block(self):
+        policy = parse_resilience(
+            {
+                "timeout": 0.05,
+                "retry": {
+                    "max_attempts": 3,
+                    "backoff_base": 0.001,
+                    "budget": {"ratio": 0.2, "min_tokens": 4},
+                },
+                "hedge": {"delay": 0.01, "max_hedges": 2},
+                "breaker": {"failure_threshold": 7, "reset_timeout": 0.5},
+                "admission": {"max_queue": 64, "fallback_tree": "cheap"},
+            }
+        )
+        assert isinstance(policy, ResiliencePolicy)
+        assert policy.timeout == 0.05
+        assert policy.retry.max_attempts == 3
+        assert policy.retry.budget.ratio == 0.2
+        assert policy.hedge.max_hedges == 2
+        assert policy.breaker.failure_threshold == 7
+        assert policy.admission.max_queue == 64
+        assert policy.admission.fallback_tree == "cheap"
+
+    def test_timeout_only(self):
+        policy = parse_resilience({"timeout": 0.1})
+        assert policy.timeout == 0.1
+        assert policy.retry is None and policy.hedge is None
+
+    def test_unknown_top_level_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown resilience fields"):
+            parse_resilience({"timeouts": 0.1})
+
+    def test_unknown_nested_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown retry fields"):
+            parse_resilience({"retry": {"attempts": 3}})
+        with pytest.raises(ConfigError, match="unknown breaker fields"):
+            parse_resilience({"breaker": {"threshold": 3}})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigError, match="must be an object"):
+            parse_resilience([0.1])
+
+    def test_invalid_values_surface_config_error(self):
+        with pytest.raises(ConfigError):
+            parse_resilience({"timeout": -1.0})
+        with pytest.raises(ConfigError):
+            parse_resilience({"hedge": {"delay": 0.0}})
+
+
+class TestSpecWiring:
+    def test_client_resilience_reaches_the_client(self, spec_dir):
+        payload = json.loads((spec_dir / "client.json").read_text())
+        payload["resilience"] = {
+            "timeout": 0.5,
+            "retry": {"max_attempts": 2, "jitter": 0.0},
+        }
+        (spec_dir / "client.json").write_text(json.dumps(payload))
+        spec = SimulationSpec.load(spec_dir)
+        world, client = spec.build(seed=1)
+        assert client.resilience is not None
+        assert client.resilience.timeout == 0.5
+        client.start()
+        world.sim.run()
+        assert client.requests_ok == client.requests_sent
+        assert all(r.ok for r in client.completed_requests)
+
+    def test_faults_json_is_loaded_and_armed(self, spec_dir):
+        (spec_dir / "faults.json").write_text(
+            json.dumps(
+                {
+                    "faults": [
+                        {"at": 0.01, "kind": "slow", "instance": "cache0",
+                         "factor": 2.0},
+                    ]
+                }
+            )
+        )
+        spec = SimulationSpec.load(spec_dir)
+        world, client = spec.build(seed=1)
+        assert world.fault_injector is not None
+        assert len(world.fault_injector.plan) == 1
+        client.start()
+        world.sim.run()
+        assert len(world.fault_injector.log) == 1
+        assert world.instance("cache").slow_factor == 2.0
+
+    def test_no_faults_file_means_no_injector(self, spec_dir):
+        spec = SimulationSpec.load(spec_dir)
+        world, _ = spec.build(seed=1)
+        assert world.fault_injector is None
+
+    def test_bad_faults_json_rejected_at_build(self, spec_dir):
+        (spec_dir / "faults.json").write_text("[{\"kind\": \"crash\"}]")
+        spec = SimulationSpec.load(spec_dir)
+        with pytest.raises(ConfigError, match="'at' and 'kind'"):
+            spec.build(seed=1)

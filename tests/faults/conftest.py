@@ -1,0 +1,3 @@
+"""Fixtures for fault-injection tests (reuses the topology builders)."""
+
+from ..topology.conftest import network, sim  # noqa: F401 (fixture reuse)

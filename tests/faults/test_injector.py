@@ -1,0 +1,224 @@
+"""End-to-end fault injection: crashes, drains, stragglers, link faults,
+and the crash/recover availability story."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.errors import FaultError
+from repro.faults import FaultInjector, FaultPlan
+from repro.resilience import ResiliencePolicy, RetryPolicy
+from repro.service import Request
+from repro.telemetry import AvailabilityMonitor
+from repro.topology import PathNode, PathTree
+
+from ..topology.conftest import build_instance, build_world
+
+
+def two_replica_world(sim, network, service_time=1e-3):
+    cluster, deployment, dispatcher = build_world(sim, network)
+    for i, machine in enumerate(("node0", "node1")):
+        deployment.add_instance(
+            build_instance(sim, cluster, f"web{i}", machine,
+                           service_time=service_time, tier="web")
+        )
+    dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+    return cluster, deployment, dispatcher
+
+
+def drive(sim, dispatcher, until, spacing, policy=None):
+    done = []
+    t = 0.0
+    while t < until:
+        req = Request(created_at=t)
+        sim.schedule_at(
+            t, dispatcher.submit, req, done.append, "client", "client", policy
+        )
+        t += spacing
+    return done
+
+
+class TestInstanceFaults:
+    def test_crash_fails_in_flight_and_recover_resumes(self, sim, network):
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().crash(5e-3, "web0").recover(10e-3, "web0")
+        injector = FaultInjector(sim, deployment, network, plan).arm()
+        done = drive(sim, dispatcher, until=20e-3, spacing=0.5e-3)
+        sim.run()
+        assert len(injector.log) == 2
+        web0 = deployment.find_instance("web0")
+        assert web0.state == "up"
+        assert web0.crashes == 1
+        failed = [r for r in done if r.outcome == "failed"]
+        assert failed, "crash should kill in-flight work"
+        # Everything not caught mid-flight still completes: the balancer
+        # routes around the dead replica.
+        assert [r for r in done if r.ok]
+        assert all(r.outcome is not None for r in done)
+
+    def test_drain_is_graceful(self, sim, network):
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().drain(2e-3, "web0")
+        FaultInjector(sim, deployment, network, plan).arm()
+        done = drive(sim, dispatcher, until=10e-3, spacing=0.5e-3)
+        sim.run()
+        web0 = deployment.find_instance("web0")
+        assert web0.state == "draining"
+        # Graceful: nothing fails, the drained replica takes no new work.
+        assert all(r.ok for r in done)
+        completed_before_drain = web0.jobs_completed
+        assert completed_before_drain < len(done) / 2 + 2
+
+    def test_slow_makes_a_straggler(self, sim, network):
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().slow(4.9e-3, "web0", factor=10.0)
+        FaultInjector(sim, deployment, network, plan).arm()
+        done = drive(sim, dispatcher, until=10e-3, spacing=1e-3)
+        sim.run()
+        latencies = [r.latency for r in done]
+        # Requests landing on web0 after the fault take ~10 ms service
+        # instead of ~1 ms; before it, nobody does.
+        assert max(latencies) > 8e-3
+        assert min(latencies) < 2e-3
+
+
+class TestLinkFaults:
+    def test_degrade_link_stretches_latency(self, sim, network):
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().degrade_link(
+            4.9e-3, "client", "node0", factor=100.0
+        ).restore_link(9.9e-3, "client", "node0")
+        FaultInjector(sim, deployment, network, plan).arm()
+        done = drive(sim, dispatcher, until=15e-3, spacing=1e-3)
+        sim.run()
+        degraded = [
+            r.latency for r in done if 5e-3 <= r.created_at < 10e-3
+        ]
+        normal = [r.latency for r in done if r.created_at < 5e-3]
+        # Propagation is 10us; a 100x factor adds ~1ms on the degraded
+        # half of the round-robin rotation.
+        assert max(degraded) > max(normal) + 0.5e-3
+
+    def test_partition_and_heal(self, sim, network):
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().partition(
+            1e-3, "client", "node0"
+        ).heal(6e-3, "client", "node0")
+        FaultInjector(sim, deployment, network, plan).arm()
+        policy = ResiliencePolicy(timeout=3e-3)
+        done = drive(sim, dispatcher, until=12e-3, spacing=1e-3, policy=policy)
+        sim.run()
+        assert dispatcher.messages_dropped >= 1
+        assert [r for r in done if r.outcome == "timeout"]
+        # After the heal everything resolves ok again.
+        assert all(r.ok for r in done if r.created_at >= 7e-3)
+
+    def test_link_fault_without_network_raises(self, sim, network):
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().partition(1e-3, "client", "node0")
+        FaultInjector(sim, deployment, network=None, plan=plan).arm()
+        with pytest.raises(FaultError, match="NetworkFabric"):
+            sim.run()
+
+
+class TestArming:
+    def test_arm_is_idempotent(self, sim, network):
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().crash(1e-3, "web0")
+        injector = FaultInjector(sim, deployment, network, plan)
+        injector.arm().arm()
+        sim.run()
+        assert len(injector.log) == 1
+
+    def test_past_fault_rejected(self, sim, network):
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        sim.schedule(5e-3, lambda: None)
+        sim.run()
+        plan = FaultPlan().crash(1e-3, "web0")
+        with pytest.raises(FaultError, match="in the past"):
+            FaultInjector(sim, deployment, network, plan).arm()
+
+    def test_unknown_instance_surfaces_topology_error(self, sim, network):
+        from repro.errors import TopologyError
+
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().crash(1e-3, "ghost")
+        FaultInjector(sim, deployment, network, plan).arm()
+        with pytest.raises(TopologyError, match="ghost"):
+            sim.run()
+
+
+class TestAvailabilityStory:
+    """The acceptance scenario: crash one of two replicas under load,
+    watch availability dip, recover, watch it climb back — with the
+    survivor carrying the traffic in between."""
+
+    def build(self, seed):
+        from repro.distributions import Deterministic
+        from repro.hardware import NetworkFabric
+
+        sim = Simulator(seed=seed)
+        network = NetworkFabric(
+            propagation=Deterministic(10e-6),
+            loopback=Deterministic(1e-6),
+            bandwidth_bytes_per_s=1e12,
+        )
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().crash(0.100, "web0").recover(0.200, "web0")
+        injector = FaultInjector(sim, deployment, network, plan).arm()
+        monitor = AvailabilityMonitor(sim, dispatcher, window=0.025)
+        done = drive(sim, dispatcher, until=0.3, spacing=0.4e-3)
+        return sim, deployment, dispatcher, injector, monitor, done
+
+    def test_dip_and_recovery(self):
+        sim, deployment, dispatcher, injector, monitor, done = self.build(0)
+        web1_before = deployment.find_instance("web1").jobs_completed
+        sim.run()
+        series = monitor.finish()
+        values = list(series.values)
+        assert min(values) < 1.0, "crash must dent availability"
+        assert values[-1] == 1.0, "availability must recover"
+        assert monitor.availability > 0.9, "survivor carries the load"
+        # During the outage the survivor completed real work.
+        web1 = deployment.find_instance("web1")
+        assert web1.jobs_completed > web1_before
+        outage_ok = [
+            r for r in done if 0.11 <= r.created_at < 0.19 and r.ok
+        ]
+        assert outage_ok, "requests complete via the surviving replica"
+
+    def test_retries_mask_the_crash(self):
+        """With retries on, the in-flight failures get a second attempt
+        on the survivor and goodput barely moves."""
+        from repro.distributions import Deterministic
+        from repro.hardware import NetworkFabric
+
+        sim = Simulator(seed=0)
+        network = NetworkFabric(
+            propagation=Deterministic(10e-6),
+            loopback=Deterministic(1e-6),
+            bandwidth_bytes_per_s=1e12,
+        )
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().crash(0.100, "web0").recover(0.200, "web0")
+        FaultInjector(sim, deployment, network, plan).arm()
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=2, backoff_base=1e-4, jitter=0.0)
+        )
+        done = drive(sim, dispatcher, until=0.3, spacing=0.4e-3, policy=policy)
+        sim.run()
+        assert all(r.ok for r in done)
+        assert dispatcher.retries_issued >= 1
+
+    def test_fault_history_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            sim, deployment, dispatcher, injector, monitor, done = self.build(7)
+            sim.run()
+            runs.append(
+                (
+                    [(t, f.kind, f.instance) for t, f in injector.log],
+                    [(r.created_at, r.outcome, r.latency) for r in done],
+                    list(monitor.finish().values),
+                )
+            )
+        assert runs[0] == runs[1]

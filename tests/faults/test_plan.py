@@ -1,0 +1,111 @@
+"""Fault plan construction, validation, and the faults.json loader."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, FaultError
+from repro.faults import (
+    CRASH,
+    Fault,
+    FaultPlan,
+    load_fault_plan,
+    parse_fault,
+    parse_fault_plan,
+)
+
+
+class TestFaultValidation:
+    def test_instance_kind_needs_instance(self):
+        with pytest.raises(FaultError):
+            Fault(at=1.0, kind="crash")
+
+    def test_link_kind_needs_both_endpoints(self):
+        with pytest.raises(FaultError):
+            Fault(at=1.0, kind="partition", src="m0")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            Fault(at=1.0, kind="meteor", instance="leaf_0")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultError):
+            Fault(at=-1.0, kind="crash", instance="leaf_0")
+
+    def test_slow_factor_below_one_rejected(self):
+        with pytest.raises(FaultError):
+            Fault(at=1.0, kind="slow", instance="leaf_0", factor=0.5)
+
+
+class TestFaultPlan:
+    def test_builders_are_chainable_and_sorted(self):
+        plan = (
+            FaultPlan()
+            .recover(2.0, "leaf_0")
+            .crash(1.0, "leaf_0")
+            .slow(0.5, "leaf_1", factor=10.0)
+            .partition(1.5, "m0", "m1")
+            .heal(1.8, "m0", "m1")
+            .degrade_link(0.7, "m0", "m1", factor=3.0)
+            .restore_link(0.9, "m0", "m1")
+            .drain(0.2, "leaf_2")
+        )
+        assert len(plan) == 8
+        times = [fault.at for fault in plan.sorted()]
+        assert times == sorted(times)
+        assert plan.sorted()[1].kind == "slow"
+
+
+class TestLoader:
+    def test_parse_round_trip(self):
+        plan = parse_fault_plan(
+            {
+                "faults": [
+                    {"at": 1.0, "kind": "crash", "instance": "leaf_0"},
+                    {"at": 2.0, "kind": "recover", "instance": "leaf_0"},
+                    {"at": 0.5, "kind": "partition", "src": "m0", "dst": "m1"},
+                ]
+            },
+            "faults.json",
+        )
+        assert len(plan) == 3
+        assert plan.sorted()[0].kind == "partition"
+
+    def test_bare_list_accepted(self):
+        plan = parse_fault_plan(
+            [{"at": 0.0, "kind": "crash", "instance": "x"}], "faults.json"
+        )
+        assert len(plan) == 1 and plan.faults[0].kind == CRASH
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault fields"):
+            parse_fault({"at": 1.0, "kind": "crash", "when": 2}, "f")
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(ConfigError, match="'at' and 'kind'"):
+            parse_fault({"kind": "crash", "instance": "x"}, "f")
+
+    def test_non_object_entry_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_fault_plan(["crash"], "faults.json")
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            load_fault_plan(tmp_path / "faults.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            load_fault_plan(path)
+
+    def test_load_valid_file(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text(
+            json.dumps(
+                {"faults": [{"at": 1.0, "kind": "slow", "instance": "a",
+                             "factor": 4.0}]}
+            )
+        )
+        plan = load_fault_plan(path)
+        assert plan.faults[0].factor == 4.0

@@ -1,0 +1,77 @@
+"""Acceptance tests for the resilience experiments: retry-storm
+metastability under overload and hedging on the straggler tier."""
+
+import pytest
+
+from repro.experiments.resilience import (
+    measure_hedging,
+    measure_retry_storm,
+)
+
+
+@pytest.fixture(scope="module")
+def storm():
+    """One shared overload sweep (duration trimmed for test runtime)."""
+    return {
+        mode: measure_retry_storm(mode, overload=1.2, duration=3.0, seed=0)
+        for mode in ("no_retry", "unbudgeted", "budgeted")
+    }
+
+
+class TestRetryStorm:
+    def test_unbudgeted_retries_collapse_goodput(self, storm):
+        """At 1.2x saturation, retrying every timeout amplifies offered
+        load and goodput collapses well below the no-retry baseline —
+        the metastable failure mode."""
+        baseline = storm["no_retry"].goodput
+        assert baseline > 0
+        assert storm["unbudgeted"].goodput < 0.8 * baseline
+        assert storm["unbudgeted"].extra_attempts > 0.5
+
+    def test_budget_prevents_the_storm(self, storm):
+        """A 5% retry budget caps amplification at ~the budget ratio and
+        keeps goodput within 5% of the no-retry baseline."""
+        baseline = storm["no_retry"].goodput
+        budgeted = storm["budgeted"]
+        assert budgeted.extra_attempts <= 0.10
+        assert budgeted.goodput >= 0.95 * baseline
+
+    def test_sweep_is_deterministic(self):
+        a = measure_retry_storm("budgeted", duration=1.0, seed=3)
+        b = measure_retry_storm("budgeted", duration=1.0, seed=3)
+        assert (a.goodput, a.requests_ok, a.retries_issued) == (
+            b.goodput, b.requests_ok, b.retries_issued,
+        )
+
+
+class TestHedging:
+    @pytest.fixture(scope="class")
+    def points(self):
+        common = dict(replicas=100, slow_count=1, slow_factor=10.0,
+                      qps=100.0, num_requests=2000, seed=0)
+        return (
+            measure_hedging(None, **common),
+            measure_hedging(2e-3, **common),
+        )
+
+    def test_hedging_cuts_p99(self, points):
+        """On a 100-replica tier with one 10x straggler, a 2 ms hedge
+        cuts p99 by at least 30%."""
+        baseline, hedged = points
+        assert hedged.p99 <= 0.7 * baseline.p99
+
+    def test_extra_load_is_bounded(self, points):
+        _, hedged = points
+        assert hedged.extra_load <= 0.10
+        assert hedged.hedges_issued > 0
+
+    def test_all_requests_complete(self, points):
+        baseline, hedged = points
+        assert baseline.requests == 2000
+        assert hedged.requests == 2000
+
+    def test_median_unharmed(self, points):
+        """Hedging targets the tail; the median must not regress
+        noticeably."""
+        baseline, hedged = points
+        assert hedged.p50 <= baseline.p50 * 1.1

@@ -1,0 +1,3 @@
+"""Fixtures for resilience tests (reuses the topology world builders)."""
+
+from ..topology.conftest import network, sim  # noqa: F401 (fixture reuse)

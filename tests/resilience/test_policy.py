@@ -1,0 +1,148 @@
+"""Unit tests for resilience policy objects and the circuit breaker."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    AdmissionPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    HedgePolicy,
+    ResiliencePolicy,
+    RetryBudget,
+    RetryPolicy,
+)
+
+
+class TestRetryBudget:
+    def test_min_tokens_allow_cold_retries(self):
+        budget = RetryBudget(ratio=0.1, min_tokens=3)
+        assert [budget.try_spend() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+
+    def test_ratio_scales_with_primaries(self):
+        budget = RetryBudget(ratio=0.5, min_tokens=0)
+        for _ in range(10):
+            budget.note_primary()
+        assert sum(budget.try_spend() for _ in range(10)) == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryBudget(ratio=-0.1)
+        with pytest.raises(ConfigError):
+            RetryBudget(min_tokens=-1)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            backoff_base=1e-3, backoff_multiplier=2.0,
+            backoff_cap=3e-3, jitter=0.0,
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.backoff(n, rng) for n in (2, 3, 4, 5)]
+        assert delays == [1e-3, 2e-3, 3e-3, 3e-3]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(backoff_base=1e-3, jitter=1e-4)
+        a = policy.backoff(2, np.random.default_rng(5))
+        b = policy.backoff(2, np.random.default_rng(5))
+        assert a == b
+        assert 1e-3 <= a <= 1e-3 + 1e-4
+
+    def test_allows_counts_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows(1) and policy.allows(2)
+        assert not policy.allows(3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_multiplier=0.5)
+
+
+class TestOtherPolicies:
+    def test_hedge_validation(self):
+        with pytest.raises(ConfigError):
+            HedgePolicy(delay=0.0)
+        with pytest.raises(ConfigError):
+            HedgePolicy(max_hedges=0)
+
+    def test_breaker_validation(self):
+        with pytest.raises(ConfigError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            BreakerPolicy(reset_timeout=0.0)
+
+    def test_admission_sheds_on_queue_length(self):
+        policy = AdmissionPolicy(max_queue=4)
+        assert not policy.sheds(4)
+        assert policy.sheds(5)
+
+    def test_admission_sheds_on_deadline(self):
+        policy = AdmissionPolicy(deadline=10e-3, service_time_estimate=1e-3)
+        assert not policy.sheds(10)
+        assert policy.sheds(11)
+
+    def test_admission_deadline_needs_estimate(self):
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(deadline=10e-3)
+
+    def test_resilience_timeout_validation(self):
+        with pytest.raises(ConfigError):
+            ResiliencePolicy(timeout=0.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3))
+        for _ in range(2):
+            breaker.record_failure(now=0.0)
+        assert breaker.state == CLOSED and breaker.allow(0.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(0.5)
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        breaker.record_failure(now=0.0)
+        breaker.record_success()
+        breaker.record_failure(now=0.0)
+        assert breaker.state == CLOSED
+
+    def test_half_open_admits_one_probe(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, reset_timeout=1.0)
+        )
+        breaker.record_failure(now=0.0)
+        assert not breaker.allow(0.5)
+        assert breaker.allow(1.5)  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow(1.6)  # only one probe at a time
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, reset_timeout=1.0)
+        )
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(2.0)
+        breaker.record_success()
+        assert breaker.state == CLOSED and breaker.allow(2.1)
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=5, reset_timeout=1.0)
+        )
+        for _ in range(5):
+            breaker.record_failure(now=0.0)
+        assert breaker.allow(1.5)
+        breaker.record_failure(now=1.5)
+        assert breaker.state == OPEN
+        assert not breaker.allow(2.0)
+        assert breaker.opens == 2

@@ -1,0 +1,65 @@
+"""AvailabilityMonitor unit tests against a stub dispatcher."""
+
+from repro.engine import Simulator
+from repro.service import Request
+from repro.telemetry import AvailabilityMonitor
+
+
+class _StubDispatcher:
+    """Just the outcome-listener surface the monitor needs."""
+
+    def __init__(self):
+        self.listeners = []
+
+    def on_outcome(self, listener):
+        self.listeners.append(listener)
+
+    def resolve(self, outcome):
+        request = Request(created_at=0.0)
+        request.outcome = outcome
+        for listener in self.listeners:
+            listener(request)
+
+
+def _advance(sim, t):
+    sim.schedule_at(t, lambda: None)
+    sim.run()
+
+
+class TestAvailabilityMonitor:
+    def test_idle_monitor_reports_full_availability(self):
+        sim = Simulator(seed=0)
+        monitor = AvailabilityMonitor(sim, _StubDispatcher(), window=0.1)
+        assert monitor.availability == 1.0
+        assert len(monitor.finish()) == 0
+
+    def test_windows_bucket_ok_ratio(self):
+        sim = Simulator(seed=0)
+        stub = _StubDispatcher()
+        monitor = AvailabilityMonitor(sim, stub, window=0.1)
+        # Window 1: 3 ok, 1 failed. Window 2: all ok.
+        _advance(sim, 0.05)
+        for outcome in ("ok", "ok", "ok", "failed"):
+            stub.resolve(outcome)
+        _advance(sim, 0.15)
+        for outcome in ("ok", "ok"):
+            stub.resolve(outcome)
+        series = monitor.finish()
+        assert list(series.values) == [0.75, 1.0]
+        assert list(series.times) == [0.1, 0.2]
+        assert monitor.total_resolved == 6
+        assert monitor.availability == 5 / 6
+
+    def test_empty_windows_are_skipped(self):
+        sim = Simulator(seed=0)
+        stub = _StubDispatcher()
+        monitor = AvailabilityMonitor(sim, stub, window=0.1)
+        _advance(sim, 0.05)
+        stub.resolve("ok")
+        # Nothing resolves for three windows; the next point lands in
+        # the window containing t=0.45 with no empty points between.
+        _advance(sim, 0.45)
+        stub.resolve("timeout")
+        series = monitor.finish()
+        assert list(series.times) == [0.1, 0.5]
+        assert list(series.values) == [1.0, 0.0]

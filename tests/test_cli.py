@@ -1,7 +1,5 @@
 """Tests for the `python -m repro` CLI."""
 
-import pytest
-
 from repro.__main__ import main
 
 from .config.conftest import spec_dir  # noqa: F401 (fixture reuse)
@@ -12,8 +10,21 @@ class TestRunCommand:
         code = main(["run", str(spec_dir), "--seed", "3"])
         out = capsys.readouterr().out
         assert code == 0
-        assert "requests completed" in out
+        assert "requests ok" in out
         assert "p99 (ms)" in out
+        # Fault-free runs keep the old shape: no error-outcome rows.
+        assert "requests failed" not in out
+
+    def test_run_surfaces_error_outcomes(self, spec_dir, capsys):
+        (spec_dir / "faults.json").write_text(
+            '{"faults": [{"at": 0.05, "kind": "crash",'
+            ' "instance": "cache0"}]}'
+        )
+        code = main(["run", str(spec_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "requests ok" in out
+        assert "requests failed" in out
 
     def test_run_with_realism(self, spec_dir, capsys):
         code = main(["run", str(spec_dir), "--real"])
@@ -26,8 +37,10 @@ class TestRunCommand:
 
     def test_missing_spec_dir_reports_error(self, tmp_path, capsys):
         code = main(["run", str(tmp_path / "nope")])
-        assert code == 1
-        assert "error:" in capsys.readouterr().err
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert len(err.strip().splitlines()) == 1  # one-line message
 
     def test_spec_without_client_rejected(self, spec_dir, capsys):
         (spec_dir / "client.json").unlink()
@@ -54,6 +67,25 @@ class TestExperimentsCommand:
         assert code == 0
         assert "ran" in out
 
+    def test_run_forwards_seed_override(self, capsys, monkeypatch):
+        from repro.experiments import registry
+        from repro.experiments.registry import ExperimentSpec
+
+        seen = {}
+
+        def runner(seed=0):
+            seen["seed"] = seed
+            return "ran"
+
+        cheap = ExperimentSpec("figY", "Figure Y", "stub", runner)
+        monkeypatch.setitem(registry._BY_ID, "figY", cheap)
+        assert main(["experiments", "run", "figY", "--seed", "17"]) == 0
+        assert seen["seed"] == 17
+        capsys.readouterr()
+
     def test_unknown_experiment_id(self, capsys):
-        with pytest.raises(KeyError):
-            main(["experiments", "run", "fig99"])
+        code = main(["experiments", "run", "fig99"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "fig99" in err

@@ -23,7 +23,12 @@ class TestDocsReferenceRealFiles:
             assert (REPO / "benchmarks" / match).exists(), match
 
     def test_docs_directory_files_exist(self):
-        for name in ("modeling_guide.md", "internals.md", "json_reference.md"):
+        for name in (
+            "modeling_guide.md",
+            "internals.md",
+            "json_reference.md",
+            "resilience.md",
+        ):
             assert (REPO / "docs" / name).exists()
 
     def test_spec_directory_complete(self):
@@ -43,8 +48,10 @@ class TestPublicApiSurface:
         "repro.distributions",
         "repro.engine",
         "repro.experiments",
+        "repro.faults",
         "repro.hardware",
         "repro.power",
+        "repro.resilience",
         "repro.scaling",
         "repro.service",
         "repro.telemetry",

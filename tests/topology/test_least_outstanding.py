@@ -1,0 +1,88 @@
+"""LeastOutstanding balancer: deterministic tie-breaking and
+health-awareness (down/draining replicas are never picked)."""
+
+import numpy as np
+import pytest
+
+from repro.topology import LeastOutstanding, NoHealthyInstance
+
+from .conftest import build_instance, build_world
+
+
+class _Stub:
+    """Instance stand-in exposing only what the balancer reads."""
+
+    def __init__(self, name, pending=0, healthy=True):
+        self.name = name
+        self.pending_dispatch = pending
+        self.healthy = healthy
+
+
+class TestTieBreaking:
+    def test_ties_break_by_deployment_order(self):
+        lb = LeastOutstanding()
+        replicas = [_Stub("a"), _Stub("b"), _Stub("c")]
+        for _ in range(5):
+            assert lb.pick(replicas, np.random.default_rng(0)) is replicas[0]
+
+    def test_tie_break_is_rng_independent(self):
+        """Selection must not consume the RNG stream: any seed, same
+        pick, so simulations stay reproducible when policies change."""
+        replicas = [_Stub("a", 2), _Stub("b", 2), _Stub("c", 7)]
+        picks = {
+            LeastOutstanding().pick(
+                replicas, np.random.default_rng(seed)
+            ).name
+            for seed in range(20)
+        }
+        assert picks == {"a"}
+
+    def test_prefers_fewest_outstanding(self):
+        lb = LeastOutstanding()
+        replicas = [_Stub("a", 3), _Stub("b", 1), _Stub("c", 2)]
+        assert lb.pick(replicas, np.random.default_rng(0)).name == "b"
+
+
+class TestHealthAwareness:
+    def test_never_picks_down_instance(self, sim, network):
+        cluster, deployment, _ = build_world(sim, network)
+        idle = build_instance(sim, cluster, "web0", "node0", tier="web")
+        busy = build_instance(sim, cluster, "web1", "node1", tier="web")
+        deployment.add_instance(idle)
+        deployment.add_instance(busy)
+        busy.pending_dispatch = 9
+        idle.crash()
+        lb = LeastOutstanding()
+        rng = np.random.default_rng(0)
+        # The idle replica is down: the busy one must win regardless of
+        # its backlog.
+        for _ in range(10):
+            assert lb.pick([idle, busy], rng) is busy
+
+    def test_never_picks_draining_instance(self, sim, network):
+        cluster, deployment, _ = build_world(sim, network)
+        a = build_instance(sim, cluster, "web0", "node0", tier="web")
+        b = build_instance(sim, cluster, "web1", "node1", tier="web")
+        a.start_draining()
+        b.pending_dispatch = 50
+        assert LeastOutstanding().pick(
+            [a, b], np.random.default_rng(0)
+        ) is b
+
+    def test_all_unhealthy_raises(self):
+        lb = LeastOutstanding()
+        replicas = [_Stub("a", healthy=False), _Stub("b", healthy=False)]
+        with pytest.raises(NoHealthyInstance):
+            lb.pick(replicas, np.random.default_rng(0))
+
+    def test_recovered_instance_rejoins(self, sim, network):
+        cluster, deployment, _ = build_world(sim, network)
+        a = build_instance(sim, cluster, "web0", "node0", tier="web")
+        b = build_instance(sim, cluster, "web1", "node1", tier="web")
+        b.pending_dispatch = 5
+        a.crash()
+        lb = LeastOutstanding()
+        rng = np.random.default_rng(0)
+        assert lb.pick([a, b], rng) is b
+        a.recover()
+        assert lb.pick([a, b], rng) is a

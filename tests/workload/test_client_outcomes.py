@@ -1,0 +1,62 @@
+"""Open-loop client outcome accounting: goodput excludes errors."""
+
+import pytest
+
+from repro.resilience import ResiliencePolicy
+from repro.topology import PathNode, PathTree
+from repro.workload import OpenLoopClient
+
+from ..topology.conftest import build_instance, build_world, network, sim  # noqa: F401
+
+
+class TestOutcomeTallies:
+    def build(self, sim, network, service_time):
+        cluster, deployment, dispatcher = build_world(sim, network)
+        deployment.add_instance(
+            build_instance(sim, cluster, "web0", "node0",
+                           service_time=service_time, tier="web")
+        )
+        dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+        return deployment, dispatcher
+
+    def test_ok_requests_tally_and_count_in_goodput(self, sim, network):
+        _, dispatcher = self.build(sim, network, service_time=100e-6)
+        client = OpenLoopClient(sim, dispatcher, arrivals=1000, max_requests=20)
+        client.start()
+        sim.run()
+        assert client.outcomes["ok"] == 20
+        assert client.requests_ok == 20
+        assert client.requests_errored == 0
+        assert len(client.latencies) == 20
+
+    def test_timeouts_tally_separately_and_skip_latency(self, sim, network):
+        _, dispatcher = self.build(sim, network, service_time=50e-3)
+        client = OpenLoopClient(
+            sim, dispatcher, arrivals=100, max_requests=10,
+            resilience=ResiliencePolicy(timeout=1e-3),
+        )
+        client.start()
+        sim.run()
+        assert client.outcomes["timeout"] == 10
+        assert client.requests_ok == 0
+        assert client.requests_errored == 10
+        # Latency percentiles describe served requests only.
+        assert len(client.latencies) == 0
+
+    def test_throughput_reports_goodput(self, sim, network):
+        """Crash the only replica mid-run: completions stop counting
+        even though requests keep resolving (as failures)."""
+        deployment, dispatcher = self.build(sim, network, service_time=100e-6)
+        web0 = deployment.find_instance("web0")
+        sim.schedule_at(5e-3, web0.crash)
+        client = OpenLoopClient(
+            sim, dispatcher, arrivals=1000, stop_at=10e-3,
+        )
+        client.start()
+        sim.run()
+        assert client.requests_errored > 0
+        assert client.requests_ok + client.requests_errored == (
+            client.requests_completed
+        )
+        goodput = client.throughput(0.0, 10e-3)
+        assert goodput == pytest.approx(client.requests_ok / 10e-3, rel=0.01)
