@@ -6,15 +6,46 @@ output survives ``pytest benchmarks/ --benchmark-only | tee ...``).
 
 Set ``REPRO_BENCH_SCALE`` to scale measurement windows: 1.0 (default)
 finishes the whole suite in tens of minutes; larger values tighten the
-statistics at proportional cost.
+statistics at proportional cost. Set ``REPRO_BENCH_JOBS`` to fan sweep
+points out across worker processes (0 = all cores) — results are
+identical to the serial run, only the wall clock changes.
 """
 
+import json
 import os
 
 import pytest
 
+from repro.runner import default_jobs_from_env
+
 #: Multiplier on measurement windows / request counts.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Worker processes for sweep fan-out (``REPRO_BENCH_JOBS``, default 1).
+JOBS = default_jobs_from_env("REPRO_BENCH_JOBS")
+
+#: Where :func:`bench_record` accumulates machine-readable results.
+BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_engine.json")
+
+
+def bench_record(section: str, payload: dict) -> None:
+    """Merge *payload* under *section* in ``BENCH_engine.json``.
+
+    The file accumulates across tests within a run (read-merge-write),
+    giving CI one artifact with every recorded metric. Corrupt or
+    missing files start fresh rather than failing the bench.
+    """
+    data = {}
+    try:
+        with open(BENCH_JSON) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        pass
+    data.setdefault(section, {}).update(payload)
+    data["_meta"] = {"scale": SCALE, "jobs": JOBS}
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def scaled(seconds: float) -> float:

@@ -4,7 +4,7 @@
 
     python -m repro run <spec-dir> [--seed N] [--until S] [--real]
     python -m repro experiments list
-    python -m repro experiments run <exp-id> [--seed N]
+    python -m repro experiments run <exp-id> [--seed N] [--jobs N]
 
 ``run`` loads a Table I spec directory (machines.json, services/,
 graph.json, path.json, client.json, optional faults.json), simulates
@@ -82,7 +82,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         return 2
     print(f"running {spec.exp_id} ({spec.paper_ref}): {spec.title} ...")
     kwargs = {} if args.seed is None else {"seed": args.seed}
-    result = spec.run(**kwargs)
+    result = spec.run(jobs=args.jobs, **kwargs)
     print(repr(result))
     return 0
 
@@ -115,6 +115,11 @@ def main(argv=None) -> int:
     exp_run.add_argument(
         "--seed", type=int, default=None,
         help="override the experiment's default RNG seed",
+    )
+    exp_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep fan-out (0 = all cores; "
+             "results are identical to --jobs 1)",
     )
     exp_parser.set_defaults(func=_cmd_experiments)
 

@@ -11,10 +11,17 @@ Two families, one interface (:class:`Distribution`):
 
 :class:`FrequencyTable` layers DVFS on top: one distribution per
 profiled frequency, frequency-ratio scaling in between.
+
+:class:`BufferedSampler` (and the DVFS-aware
+:class:`FrequencySampler`) serve scalar draws from numpy block draws —
+bitwise-identical to repeated scalar sampling, at a fraction of the
+per-call cost. See :mod:`repro.distributions.buffered` for the
+determinism contract.
 """
 
 from .base import Distribution
-from .frequency import FrequencyTable
+from .buffered import DEFAULT_BLOCK, BufferedSampler
+from .frequency import FrequencySampler, FrequencyTable
 from .histogram import Histogram
 from .standard import (
     Deterministic,
@@ -43,4 +50,7 @@ __all__ = [
     "Shifted",
     "Histogram",
     "FrequencyTable",
+    "FrequencySampler",
+    "BufferedSampler",
+    "DEFAULT_BLOCK",
 ]

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import DistributionError
 from .base import Distribution
+from .buffered import DEFAULT_BLOCK, BufferedSampler
 
 
 class FrequencyTable:
@@ -100,6 +101,30 @@ class FrequencyTable:
             frequency = max(self._table)
         return self.at(frequency).sample(rng)
 
+    def sample_many(
+        self,
+        rng: np.random.Generator,
+        n: int,
+        frequency: Optional[float] = None,
+    ) -> np.ndarray:
+        """Draw *n* processing times at *frequency* in one block."""
+        if frequency is None:
+            frequency = max(self._table)
+        return self.at(frequency).sample_many(rng, n)
+
+    def make_sampler(
+        self,
+        rng: np.random.Generator,
+        block: int = DEFAULT_BLOCK,
+    ) -> "FrequencySampler":
+        """A block-buffered sampler over this table bound to *rng*.
+
+        The sampler buffers draws of the *profiled* distributions and
+        applies the frequency-ratio scale factor per serve, so buffered
+        values never go stale across DVFS transitions.
+        """
+        return FrequencySampler(self, rng, block)
+
     def mean(self, frequency: Optional[float] = None) -> float:
         """Mean processing time at *frequency* (nominal if omitted)."""
         if frequency is None:
@@ -109,3 +134,83 @@ class FrequencyTable:
     def __repr__(self) -> str:
         ghz = ", ".join(f"{f/1e9:.2f}GHz" for f in self._table)
         return f"FrequencyTable([{ghz}], compute={self.compute_fraction})"
+
+
+class FrequencySampler:
+    """Block-buffered draws from a :class:`FrequencyTable`.
+
+    Keeps one :class:`~repro.distributions.buffered.BufferedSampler`
+    per *profiled* frequency and scales each served value by the
+    table's frequency-ratio factor for the frequency actually
+    requested. Scaling at serve time (instead of buffering the scaled
+    distribution) keeps DVFS transitions exact: a frequency change
+    takes effect on the very next draw, never a buffer-full later.
+
+    Served values are bitwise-identical to what scalar
+    ``table.sample(rng, frequency)`` calls would produce from the same
+    generator: the profiled draw consumes the stream identically and
+    ``x * factor`` commutes with :class:`~repro.distributions.standard.
+    Scaled`'s ``factor * x``.
+    """
+
+    __slots__ = ("table", "_rng", "_block", "_buffers", "_bindings",
+                 "_nominal")
+
+    def __init__(
+        self,
+        table: FrequencyTable,
+        rng: np.random.Generator,
+        block: int = DEFAULT_BLOCK,
+    ) -> None:
+        self.table = table
+        self._rng = rng
+        self._block = block
+        self._buffers: Dict[float, BufferedSampler] = {}
+        # requested frequency -> (profiled-dist buffer, scale factor);
+        # DVFS transitions are rare, so this cache almost always hits.
+        self._bindings: Dict[float, tuple] = {}
+        self._nominal = max(table.frequencies)
+
+    def _bind(self, frequency: float) -> tuple:
+        nearest = self.table._nearest(frequency)
+        buffer = self._buffers.get(nearest)
+        if buffer is None:
+            buffer = BufferedSampler(
+                self.table._table[nearest], self._rng, self._block
+            )
+            self._buffers[nearest] = buffer
+        binding = (buffer, self.table.scale_factor(frequency))
+        self._bindings[frequency] = binding
+        return binding
+
+    def sample(self, frequency: Optional[float] = None) -> float:
+        """One processing time at *frequency* (nominal if omitted)."""
+        if frequency is None:
+            frequency = self._nominal
+        binding = self._bindings.get(frequency)
+        if binding is None:
+            if frequency <= 0:
+                raise DistributionError(
+                    f"frequency must be > 0 Hz, got {frequency!r}"
+                )
+            binding = self._bind(frequency)
+        buffer, factor = binding
+        value = buffer.sample()
+        return value if factor == 1.0 else value * factor
+
+    def take(self, n: int, frequency: Optional[float] = None) -> list:
+        """The next *n* processing times at *frequency*, in order."""
+        if frequency is None:
+            frequency = self._nominal
+        binding = self._bindings.get(frequency)
+        if binding is None:
+            if frequency <= 0:
+                raise DistributionError(
+                    f"frequency must be > 0 Hz, got {frequency!r}"
+                )
+            binding = self._bind(frequency)
+        buffer, factor = binding
+        values = buffer.take(n)
+        if factor == 1.0:
+            return values
+        return [v * factor for v in values]

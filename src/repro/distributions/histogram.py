@@ -126,13 +126,18 @@ class Histogram(Distribution):
         return float(lo + rng.random() * (hi - lo))
 
     def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
-        u = rng.random(n)
+        # One block of 2n uniforms, de-interleaved, so the stream is
+        # consumed in the same (u, v, u, v, ...) order as n scalar
+        # sample() calls — block draws stay bitwise-equivalent to
+        # scalar draws (the BufferedSampler contract).
+        uv = rng.random(2 * n)
+        u = uv[0::2]
         idx = np.minimum(
             np.searchsorted(self._cdf, u, side="left"), len(self.counts) - 1
         )
         lo = self.edges[idx]
         hi = self.edges[idx + 1]
-        return lo + rng.random(n) * (hi - lo)
+        return lo + uv[1::2] * (hi - lo)
 
     def mean(self) -> float:
         mids = (self.edges[:-1] + self.edges[1:]) / 2.0

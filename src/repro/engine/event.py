@@ -15,7 +15,6 @@ engine payload-agnostic is what makes the models modular.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable
 
 
@@ -24,18 +23,28 @@ class Event:
 
     Events order by ``(time, priority, seq)``. ``priority`` breaks ties
     between events scheduled for the same instant (lower runs first) and
-    ``seq`` is a global monotonically increasing counter that makes the
-    order of equal-time, equal-priority events deterministic (FIFO in
-    scheduling order) — a property the validation tests rely on.
+    ``seq`` is a per-queue monotonically increasing counter, assigned by
+    :meth:`EventQueue.push <repro.engine.event_queue.EventQueue.push>`,
+    that makes the order of equal-time, equal-priority events
+    deterministic (FIFO in scheduling order) — a property the validation
+    tests rely on. Keeping the counter on the queue rather than on the
+    class means two simulators produce identical sequence numbers no
+    matter how many other simulators ran in the same process — required
+    for cross-process determinism of the parallel experiment runner.
+
+    ``_key`` caches the heap entry ``(time, priority, seq, self)`` so
+    the queue's binary heap compares plain tuples in C instead of
+    calling back into :meth:`__lt__` and building fresh tuples per
+    comparison. The embedded event is never reached by a comparison:
+    ``seq`` is unique within a queue, so ties break at the third slot.
 
     Cancellation is lazy: :meth:`cancel` marks the event and the event
     loop discards it when popped, which keeps the heap operations
     O(log n) without requiring heap surgery.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
-
-    _seq_counter = itertools.count()
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
+                 "_key", "_queue")
 
     def __init__(
         self,
@@ -46,14 +55,25 @@ class Event:
     ) -> None:
         self.time = float(time)
         self.priority = priority
-        self.seq = next(Event._seq_counter)
+        self.seq = 0  # assigned by EventQueue.push
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._key = None  # heap entry, built by EventQueue.push
+        self._queue = None  # owning EventQueue while pending, else None
 
     def cancel(self) -> None:
-        """Mark the event so the simulator skips it when it is popped."""
-        self.cancelled = True
+        """Mark the event so the simulator skips it when it is popped.
+
+        Routed through the owning queue (when there is one) so the
+        queue's live-event accounting stays correct no matter whether
+        handler code calls ``event.cancel()`` or ``queue.cancel(event)``.
+        """
+        queue = self._queue
+        if queue is not None:
+            queue.cancel(self)
+        else:
+            self.cancelled = True
 
     def fire(self) -> None:
         """Run the event's callback."""
@@ -62,11 +82,15 @@ class Event:
     # Ordering ---------------------------------------------------------
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        # The heap never calls this (it compares ``_key`` tuples); kept
+        # for sorting events outside a queue. Compare the fields
+        # directly rather than slicing ``_key`` — the keys end with the
+        # events themselves, and comparing those would recurse.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         name = getattr(self.fn, "__qualname__", repr(self.fn))

@@ -4,56 +4,117 @@ Paper SSIII-A: "all events are stored in increasing time order in a
 priority queue. In every simulation cycle, the simulation queue manager
 queries the priority queue for the earliest event."
 
-Implemented as a binary heap (:mod:`heapq`) of :class:`~repro.engine.event.Event`
-objects with lazy deletion for cancelled events.
+Implemented as a binary heap (:mod:`heapq`) of precomputed
+``(time, priority, seq, event)`` tuples — heap comparisons stay in C —
+with lazy deletion for cancelled events and periodic compaction when
+cancelled entries dominate the heap (mass cancellation is routine now
+that timeouts, hedges, and circuit breakers cancel events in bulk).
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Callable, Iterator, Optional
 
 from .event import Event
+
+#: Compaction trigger: rebuild the heap when it holds more than this
+#: many cancelled entries AND they outnumber the live ones. The floor
+#: keeps small queues from churning; the ratio bounds wasted memory and
+#: pop-side skip work to O(live).
+_COMPACT_MIN_DEAD = 64
 
 
 class EventQueue:
     """Min-heap of events ordered by ``(time, priority, seq)``."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []  # (time, priority, seq, event)
         self._live = 0  # number of non-cancelled events in the heap
+        self._seq = 0  # per-queue FIFO tie-breaker (see Event.seq)
 
     def push(self, event: Event) -> Event:
-        """Insert *event* and return it (handy for chaining/cancelling)."""
-        heapq.heappush(self._heap, event)
+        """Insert *event* and return it (handy for chaining/cancelling).
+
+        Assigns the event's queue-local ``seq`` and precomputes its heap
+        key here — one tuple per push instead of two per comparison.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        event._queue = self
+        event._key = key = (event.time, event.priority, seq, event)
+        heappush(self._heap, key)
         self._live += 1
         return event
 
-    def pop(self) -> Optional[Event]:
-        """Remove and return the earliest live event, or ``None`` if empty.
+    def _purge_cancelled_head(self) -> None:
+        """Drop cancelled entries off the top of the heap.
 
-        Cancelled events encountered on the way are discarded silently —
-        this is the lazy-deletion half of :meth:`Event.cancel`.
+        The single skip loop shared by :meth:`pop` and
+        :meth:`peek_time` — the lazy-deletion half of
+        :meth:`Event.cancel`.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            return event
-        return None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heappop(heap)
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        self._purge_cancelled_head()
+        heap = self._heap
+        if not heap:
+            return None
+        event = heappop(heap)[3]
+        event._queue = None
+        self._live -= 1
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the earliest live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        self._purge_cancelled_head()
+        heap = self._heap
+        return heap[0][0] if heap else None
 
     def cancel(self, event: Event) -> None:
-        """Cancel *event* (it stays in the heap until popped)."""
-        if not event.cancelled:
-            event.cancelled = True
-            self._live -= 1
+        """Cancel *event* (it stays in the heap until popped/compacted).
+
+        The one accounting point for cancellation: ``Event.cancel()``
+        delegates here whenever the event is pending, so ``len(queue)``
+        never drifts no matter which handle handler code cancels
+        through. Cancelling an event that already ran (or was never
+        pushed) only marks it and touches no counters.
+        """
+        if event.cancelled:
+            return
+        owner = event._queue
+        if owner is not self:
+            # Popped/never-pushed events just get flagged; an event
+            # pending in another queue is routed to its owner so that
+            # queue's live count stays right.
+            if owner is None:
+                event.cancelled = True
+            else:
+                owner.cancel(event)
+            return
+        event.cancelled = True
+        self._live -= 1
+        # Compact once cancelled entries dominate: with timeouts/hedging
+        # cancelling en masse, lazy deletion alone lets dead events
+        # outnumber live ones at saturation and every push/pop pays
+        # log(dead) instead of log(live).
+        dead = len(self._heap) - self._live
+        if dead > _COMPACT_MIN_DEAD and dead > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        O(n); keys are untouched, so the ``(time, priority, seq)`` order
+        of the surviving events is exactly preserved.
+        """
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapify(self._heap)
 
     def __len__(self) -> int:
         return self._live
@@ -62,10 +123,14 @@ class EventQueue:
         return self._live > 0
 
     def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debug aid
-        return iter(sorted(e for e in self._heap if not e.cancelled))
+        return iter(sorted(
+            entry[3] for entry in self._heap if not entry[3].cancelled
+        ))
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
         self._live = 0
 

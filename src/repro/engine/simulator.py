@@ -85,31 +85,51 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stop_requested = False
-        processed_this_run = 0
+        # Hot loop: hoist bound methods out of the loop — at hundreds of
+        # thousands of events per second the attribute lookups dominate.
+        events = self.events
+        pop = events.pop
         try:
-            while True:
-                if self._stop_requested:
-                    break
-                if max_events is not None and processed_this_run >= max_events:
-                    break
-                next_time = self.events.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self.now = max(self.now, until)
-                    break
-                event = self.events.pop()
-                assert event is not None
-                if event.time < self.now:
-                    raise SimulationError(
-                        f"event queue yielded a past event: {event!r} at t={self.now}"
-                    )
-                self.now = event.time
-                event.fire()
-                self.events_processed += 1
-                processed_this_run += 1
-            else:  # pragma: no cover - loop exits via break only
-                pass
+            if until is None and max_events is None:
+                # Drain fast path: no horizon to compare against, so pop
+                # directly instead of peeking first (halves the number
+                # of heap-top inspections per event).
+                while not self._stop_requested:
+                    event = pop()
+                    if event is None:
+                        break
+                    next_time = event.time
+                    if next_time < self.now:
+                        raise SimulationError(
+                            f"event queue yielded a past event: {event!r} "
+                            f"at t={self.now}"
+                        )
+                    self.now = next_time
+                    event.fn(*event.args)
+                    self.events_processed += 1
+            else:
+                peek_time = events.peek_time
+                processed_this_run = 0
+                while not self._stop_requested:
+                    if max_events is not None and processed_this_run >= max_events:
+                        break
+                    next_time = peek_time()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        self.now = max(self.now, until)
+                        break
+                    event = pop()
+                    assert event is not None
+                    if next_time < self.now:
+                        raise SimulationError(
+                            f"event queue yielded a past event: {event!r} "
+                            f"at t={self.now}"
+                        )
+                    self.now = next_time
+                    event.fn(*event.args)
+                    self.events_processed += 1
+                    processed_this_run += 1
         finally:
             self._running = False
         if until is not None and not self.events:

@@ -11,11 +11,13 @@ simulated curve against the real system's. Here both curves come from
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..apps.base import World
 from ..errors import ReproError
+from ..runner import derive_seed, parallel_map
 from ..workload import OpenLoopClient, RequestMix
 
 
@@ -59,14 +61,18 @@ def measure_at_load(
     and report statistics over the post-warmup window.
 
     The world is rebuilt per point so measurements are independent; the
-    seed varies with the load so repeated points are decorrelated while
-    the whole sweep stays reproducible.
+    seed is derived from the full float load via
+    :func:`~repro.runner.derive_seed`, so even close loads (50.2 vs
+    50.9 QPS) are decorrelated while the whole sweep stays
+    reproducible — and the derivation is per-point, so a sweep gives
+    identical results whether its points run serially or fanned out
+    across processes.
     """
     if warmup >= duration:
         raise ReproError(
             f"warmup ({warmup}) must be shorter than duration ({duration})"
         )
-    world = build_world(seed=seed + int(qps) % 1_000_003, **world_kwargs)
+    world = build_world(seed=derive_seed(seed, float(qps)), **world_kwargs)
     client = OpenLoopClient(
         world.sim,
         world.dispatcher,
@@ -104,15 +110,22 @@ def load_latency_sweep(
     warmup: float = 0.25,
     mix: Optional[RequestMix] = None,
     seed: int = 1,
+    jobs: int = 1,
     **world_kwargs,
 ) -> List[SweepPoint]:
-    """One :func:`measure_at_load` per offered load, ascending."""
-    return [
-        measure_at_load(
-            build_world, qps, duration, warmup, mix, seed, **world_kwargs
-        )
-        for qps in sorted(loads)
-    ]
+    """One :func:`measure_at_load` per offered load, ascending.
+
+    With ``jobs > 1`` the points run in parallel worker processes
+    (each point already builds its own world from its own derived
+    seed, so the results are identical to the serial run). *build_world*
+    and *mix* must then be picklable — every builder in
+    :mod:`repro.apps` is.
+    """
+    point = functools.partial(
+        measure_at_load, build_world, duration=duration, warmup=warmup,
+        mix=mix, seed=seed, **world_kwargs,
+    )
+    return parallel_map(point, sorted(loads), jobs=jobs)
 
 
 def saturation_load(

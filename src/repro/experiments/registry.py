@@ -10,6 +10,7 @@ it. ``benchmarks/`` drives these; users can too::
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
@@ -25,7 +26,17 @@ class ExperimentSpec:
     title: str
     runner: Callable[..., Any]
 
-    def run(self, **kwargs: Any) -> Any:
+    @property
+    def supports_jobs(self) -> bool:
+        """Whether the runner can fan work out across processes."""
+        return "jobs" in inspect.signature(self.runner).parameters
+
+    def run(self, jobs: int = 1, **kwargs: Any) -> Any:
+        """Run the experiment; ``jobs`` fans sweeps out over processes
+        where the runner supports it (inherently serial experiments —
+        timelines, single simulations — silently ignore it)."""
+        if self.supports_jobs:
+            kwargs.setdefault("jobs", jobs)
         return self.runner(**kwargs)
 
 

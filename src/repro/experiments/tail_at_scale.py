@@ -11,8 +11,9 @@ fraction of randomly-selected servers by 10x."
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from ..apps.base import World, add_client_machine, new_world
 from ..distributions import Deterministic, Exponential
@@ -26,6 +27,7 @@ from ..service import (
     SingleQueue,
     Stage,
 )
+from ..runner import parallel_map
 from ..topology import PathNode, PathTree
 from ..workload import OpenLoopClient
 
@@ -140,18 +142,34 @@ def measure_tail_at_scale(
     )
 
 
+def _measure_grid_point(
+    size_and_fraction: Tuple[int, float],
+    qps: float,
+    num_requests: int,
+    seed: int,
+) -> TailAtScalePoint:
+    """Picklable per-cell worker for the parallel grid sweep."""
+    size, frac = size_and_fraction
+    return measure_tail_at_scale(
+        size, frac, qps=qps, num_requests=num_requests, seed=seed
+    )
+
+
 def tail_at_scale_sweep(
     cluster_sizes: Sequence[int] = (5, 10, 50, 100, 500, 1000),
     slow_fractions: Sequence[float] = (0.0, 0.01, 0.05, 0.10),
     qps: float = 30.0,
     num_requests: int = 300,
     seed: int = 0,
+    jobs: int = 1,
 ):
-    """The full Fig 14 grid."""
-    return [
-        measure_tail_at_scale(
-            size, frac, qps=qps, num_requests=num_requests, seed=seed
-        )
-        for frac in slow_fractions
-        for size in cluster_sizes
+    """The full Fig 14 grid. Each (size, fraction) cell simulates an
+    independent cluster, so ``jobs > 1`` fans the grid out across
+    processes with identical results."""
+    grid = [
+        (size, frac) for frac in slow_fractions for size in cluster_sizes
     ]
+    cell = functools.partial(
+        _measure_grid_point, qps=qps, num_requests=num_requests, seed=seed
+    )
+    return parallel_map(cell, grid, jobs=jobs)

@@ -31,15 +31,17 @@ def _real_and_sim(
     duration: float,
     warmup: float,
     seed: int,
+    jobs: int = 1,
     **world_kwargs,
 ) -> SweepPair:
     """Run the same sweep with and without the realism layer."""
     sim_points = load_latency_sweep(
-        build_world, loads, duration, warmup, seed=seed, **world_kwargs
+        build_world, loads, duration, warmup, seed=seed, jobs=jobs,
+        **world_kwargs
     )
     real_points = load_latency_sweep(
         build_world, loads, duration, warmup, seed=seed + 7919,
-        realism=RealismConfig(), **world_kwargs,
+        jobs=jobs, realism=RealismConfig(), **world_kwargs,
     )
     return {"sim": sim_points, "real": real_points}
 
@@ -55,6 +57,7 @@ def fig5_two_tier(
     duration: float = 0.4,
     warmup: float = 0.1,
     seed: int = 1,
+    jobs: int = 1,
 ) -> Dict[str, SweepPair]:
     """Fig 5: 2-tier load-latency across thread/process configs."""
     loads_by_processes = loads_by_processes or {
@@ -70,6 +73,7 @@ def fig5_two_tier(
             duration,
             warmup,
             seed,
+            jobs=jobs,
             nginx_processes=nginx_procs,
             memcached_threads=mc_threads,
         )
@@ -81,9 +85,11 @@ def fig6_three_tier(
     duration: float = 0.6,
     warmup: float = 0.15,
     seed: int = 1,
+    jobs: int = 1,
 ) -> SweepPair:
     """Fig 6: 3-tier (NGINX-memcached-MongoDB) validation."""
-    return _real_and_sim(three_tier, loads, duration, warmup, seed)
+    return _real_and_sim(three_tier, loads, duration, warmup, seed,
+                         jobs=jobs)
 
 
 def fig8_load_balancing(
@@ -92,6 +98,7 @@ def fig8_load_balancing(
     duration: float = 0.3,
     warmup: float = 0.08,
     seed: int = 1,
+    jobs: int = 1,
 ) -> Dict[int, SweepPair]:
     """Fig 8: p99 vs load for each scale-out factor."""
     loads_by_scale = loads_by_scale or {
@@ -102,7 +109,7 @@ def fig8_load_balancing(
     return {
         so: _real_and_sim(
             load_balanced, loads_by_scale[so], duration, warmup, seed,
-            scale_out=so,
+            jobs=jobs, scale_out=so,
         )
         for so in scale_outs
     }
@@ -114,11 +121,13 @@ def fig10_fanout(
     duration: float = 0.4,
     warmup: float = 0.1,
     seed: int = 1,
+    jobs: int = 1,
 ) -> Dict[int, SweepPair]:
     """Fig 10: p99 vs load for each fanout factor."""
     return {
         fo: _real_and_sim(
-            fanout, loads, duration, warmup, seed, fanout_factor=fo
+            fanout, loads, duration, warmup, seed, jobs=jobs,
+            fanout_factor=fo
         )
         for fo in fanouts
     }
@@ -129,9 +138,11 @@ def fig12a_thrift(
     duration: float = 0.4,
     warmup: float = 0.1,
     seed: int = 1,
+    jobs: int = 1,
 ) -> SweepPair:
     """Fig 12(a): Thrift echo RPC validation."""
-    return _real_and_sim(thrift_echo, loads, duration, warmup, seed)
+    return _real_and_sim(thrift_echo, loads, duration, warmup, seed,
+                         jobs=jobs)
 
 
 def fig12b_social_network(
@@ -139,6 +150,8 @@ def fig12b_social_network(
     duration: float = 0.5,
     warmup: float = 0.12,
     seed: int = 1,
+    jobs: int = 1,
 ) -> SweepPair:
     """Fig 12(b): Social Network end-to-end validation."""
-    return _real_and_sim(social_network, loads, duration, warmup, seed)
+    return _real_and_sim(social_network, loads, duration, warmup, seed,
+                         jobs=jobs)

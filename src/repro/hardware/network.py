@@ -17,7 +17,13 @@ from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
-from ..distributions import Deterministic, Distribution, Exponential
+from ..distributions import (
+    DEFAULT_BLOCK,
+    BufferedSampler,
+    Deterministic,
+    Distribution,
+    Exponential,
+)
 from ..errors import FaultError, ResourceError
 
 BYTES_PER_SECOND_1GBPS = 125_000_000.0
@@ -101,9 +107,65 @@ class NetworkFabric:
         factor = self._link_factors.get((src_machine, dst_machine))
         return base if factor is None else base * factor
 
+    def delay_sampler(
+        self,
+        rng: np.random.Generator,
+        block: int = DEFAULT_BLOCK,
+    ) -> "BufferedDelaySampler":
+        """A block-buffered view of :meth:`delay` bound to *rng*.
+
+        Heavy traffic pays the jitter draw on every message hop; the
+        returned sampler serves those draws from numpy blocks. *rng*
+        must be dedicated to it (the buffering determinism contract).
+        Link degradation and partitions apply at serve time, so fault
+        injection is never a buffer-full late.
+        """
+        return BufferedDelaySampler(self, rng, block)
+
     def __repr__(self) -> str:
         return (
             f"NetworkFabric(prop~{self.propagation.mean()*1e6:.1f}us, "
             f"lo~{self.loopback.mean()*1e6:.1f}us, "
             f"{self.bandwidth*8/1e9:.1f}Gbps)"
         )
+
+
+class BufferedDelaySampler:
+    """Buffered propagation/loopback jitter for one consumer of a fabric.
+
+    Mirrors :meth:`NetworkFabric.delay` exactly — same validation, same
+    serialisation and link-factor arithmetic — but the two jitter
+    distributions draw through :class:`~repro.distributions.
+    BufferedSampler` blocks. The fabric's mutable fault state is read
+    per call, never cached.
+    """
+
+    __slots__ = ("fabric", "_propagation", "_loopback")
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        rng: np.random.Generator,
+        block: int = DEFAULT_BLOCK,
+    ) -> None:
+        self.fabric = fabric
+        self._propagation = BufferedSampler(fabric.propagation, rng, block)
+        self._loopback = BufferedSampler(fabric.loopback, rng, block)
+
+    def delay(
+        self,
+        src_machine: str,
+        dst_machine: str,
+        message_bytes: float,
+    ) -> float:
+        """One-way latency for a *message_bytes* message src -> dst."""
+        if message_bytes < 0:
+            raise ResourceError(f"negative message size: {message_bytes!r}")
+        fabric = self.fabric
+        if src_machine == dst_machine:
+            base = self._loopback.sample()
+        else:
+            base = (self._propagation.sample()
+                    + message_bytes / fabric.bandwidth)
+        factor = fabric._link_factors.get((src_machine, dst_machine))
+        return base if factor is None else base * factor

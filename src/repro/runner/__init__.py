@@ -1,0 +1,18 @@
+"""Experiment runner: process-parallel fan-out with deterministic
+ordering and seeding.
+
+``parallel_map(fn, items, jobs)`` is the one entry point the
+experiment layer uses; :func:`derive_seed` is the seed discipline that
+makes ``jobs=1`` and ``jobs=N`` bit-identical. See
+:mod:`repro.runner.parallel` for the contract.
+"""
+
+from .parallel import default_jobs_from_env, parallel_map, resolve_jobs
+from .seeding import derive_seed
+
+__all__ = [
+    "parallel_map",
+    "resolve_jobs",
+    "derive_seed",
+    "default_jobs_from_env",
+]

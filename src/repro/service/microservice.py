@@ -87,6 +87,11 @@ class Microservice:
         ]
 
         self._rng = sim.random.stream(f"service/{name}")
+        # Stage cost draws come from block-buffered samplers on
+        # dedicated per-stage streams — the hottest stochastic path in
+        # the simulator (one to three draws per executed batch).
+        for sid, stage in self._stages.items():
+            stage.attach_samplers(sim.random, f"service/{name}/stage{sid}")
         self._subscribed_conns: Set[int] = set()
         self._in_dispatch = False
         self.cores.on_release(self._kick)

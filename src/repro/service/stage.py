@@ -23,7 +23,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from ..distributions import Distribution, FrequencyTable
+from ..distributions import BufferedSampler, Distribution, FrequencyTable
 from ..errors import ConfigError
 from ..hardware.dvfs import GHZ
 from .job import Job
@@ -81,10 +81,45 @@ class Stage:
         self.per_byte = as_frequency_table(per_byte)
         self.io = io
         self.batching = batching
+        # Block-buffered samplers (attach_samplers): the fast path for
+        # the per-batch cost draws. None until a microservice attaches
+        # them; compute_cost falls back to scalar draws from the
+        # caller's rng so standalone stages keep working.
+        self._base_sampler = None
+        self._per_job_sampler = None
+        self._per_byte_sampler = None
+        self._io_sampler = None
         # Telemetry.
         self.invocations = 0
         self.jobs_processed = 0
         self.busy_time = 0.0
+
+    def attach_samplers(self, streams, prefix: str, block: int = 1024) -> None:
+        """Serve this stage's cost draws from block-buffered samplers.
+
+        *streams* is the simulation's :class:`~repro.engine.RandomStreams`;
+        each cost term gets its own dedicated stream under *prefix* so
+        the buffered draws have sole ownership of their generator (the
+        :class:`~repro.distributions.BufferedSampler` determinism
+        contract). Idempotent: re-attaching to the same streams factory
+        reuses the same named streams and therefore the same sequence.
+        """
+        if self.base is not None:
+            self._base_sampler = self.base.make_sampler(
+                streams.stream(f"{prefix}/base"), block
+            )
+        if self.per_job is not None:
+            self._per_job_sampler = self.per_job.make_sampler(
+                streams.stream(f"{prefix}/per_job"), block
+            )
+        if self.per_byte is not None:
+            self._per_byte_sampler = self.per_byte.make_sampler(
+                streams.stream(f"{prefix}/per_byte"), block
+            )
+        if self.io is not None:
+            self._io_sampler = BufferedSampler(
+                self.io, streams.stream(f"{prefix}/io"), block
+            )
 
     def compute_cost(
         self,
@@ -97,22 +132,42 @@ class Stage:
             raise ConfigError(f"stage {self.name!r} asked to cost an empty batch")
         cost = 0.0
         if self.base is not None:
-            cost += self.base.sample(rng, frequency)
+            sampler = self._base_sampler
+            cost += (sampler.sample(frequency) if sampler is not None
+                     else self.base.sample(rng, frequency))
         if self.per_job is not None:
-            cost += sum(
-                self.per_job.sample(rng, frequency) for _ in batch
-            )
+            sampler = self._per_job_sampler
+            n = len(batch)
+            if sampler is not None:
+                cost += sampler.sample(frequency) if n == 1 else sum(
+                    sampler.take(n, frequency)
+                )
+            elif n == 1:
+                cost += self.per_job.sample(rng, frequency)
+            else:
+                # Vectorised block draw; summing the Python floats keeps
+                # the same left-fold as the scalar loop did.
+                cost += sum(self.per_job.sample_many(rng, n, frequency).tolist())
         if self.per_byte is not None:
             total_bytes = sum(job.size_bytes for job in batch)
             if total_bytes > 0:
-                cost += self.per_byte.sample(rng, frequency) * total_bytes
+                sampler = self._per_byte_sampler
+                draw = (sampler.sample(frequency) if sampler is not None
+                        else self.per_byte.sample(rng, frequency))
+                cost += draw * total_bytes
         return cost
 
     def io_cost(self, batch: List[Job], rng: np.random.Generator) -> float:
         """Device time the batch spends in I/O (0 when the stage has none)."""
         if self.io is None:
             return 0.0
-        return sum(self.io.sample(rng) for _ in batch)
+        sampler = self._io_sampler
+        n = len(batch)
+        if sampler is not None:
+            return sampler.sample() if n == 1 else sum(sampler.take(n))
+        if n == 1:
+            return self.io.sample(rng)
+        return sum(self.io.sample_many(rng, n).tolist())
 
     def mean_cost(
         self,

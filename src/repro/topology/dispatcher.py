@@ -155,6 +155,11 @@ class Dispatcher:
         self.network = network or NetworkFabric()
         self.trace = trace
         self._rng = sim.random.stream("dispatcher")
+        # Wire-delay jitter draws, block-buffered on a dedicated stream
+        # (two draws per request hop — a hot path under heavy traffic).
+        self._net_delay = self.network.delay_sampler(
+            sim.random.stream("dispatcher/network")
+        )
         self._trees: List[Tuple[PathTree, float]] = []
         self._trees_by_type: Dict[str, PathTree] = {}
         self._trees_by_name: Dict[str, PathTree] = {}
@@ -694,7 +699,7 @@ class Dispatcher:
         delay; same-machine messages short-circuit through loopback.
         """
         if src_machine == dst_machine:
-            delay = self.network.delay(src_machine, dst_machine, size_bytes, self._rng)
+            delay = self._net_delay.delay(src_machine, dst_machine, size_bytes)
             self.sim.schedule(delay, deliver, priority=PRIORITY_ARRIVAL)
             return
 
@@ -713,7 +718,7 @@ class Dispatcher:
             if self.network.is_partitioned(src_machine, dst_machine):
                 self.messages_dropped += 1
                 return  # lost on the severed link
-            delay = self.network.delay(src_machine, dst_machine, size_bytes, self._rng)
+            delay = self._net_delay.delay(src_machine, dst_machine, size_bytes)
             self.sim.schedule(delay, after_wire, priority=PRIORITY_ARRIVAL)
 
         if tx_proc is None:

@@ -11,9 +11,11 @@ to the arrival rate (hours vs milliseconds here).
 from __future__ import annotations
 
 import abc
+from typing import Callable
 
 import numpy as np
 
+from ..distributions import DEFAULT_BLOCK, BufferedSampler, Exponential
 from ..errors import WorkloadError
 from .patterns import ConstantLoad, LoadPattern
 
@@ -24,6 +26,21 @@ class ArrivalProcess(abc.ABC):
     @abc.abstractmethod
     def next_interarrival(self, now: float, rng: np.random.Generator) -> float:
         """Seconds until the next request, given the current time."""
+
+    def make_sampler(
+        self,
+        rng: np.random.Generator,
+        block: int = DEFAULT_BLOCK,
+    ) -> Callable[[float], float]:
+        """A ``gap(now) -> seconds`` callable bound to *rng*.
+
+        The open-loop client draws every inter-arrival gap through this
+        — one call per generated request — so processes whose draws can
+        be block-buffered override it (see :class:`PoissonArrivals`).
+        *rng* must be dedicated to the returned sampler (the buffering
+        determinism contract). The default is the plain scalar path.
+        """
+        return lambda now: self.next_interarrival(now, rng)
 
 
 class PoissonArrivals(ArrivalProcess):
@@ -41,6 +58,31 @@ class PoissonArrivals(ArrivalProcess):
         if rate <= 0:
             raise WorkloadError(f"pattern returned rate {rate!r} at t={now!r}")
         return float(rng.exponential(1.0 / rate))
+
+    def make_sampler(
+        self,
+        rng: np.random.Generator,
+        block: int = DEFAULT_BLOCK,
+    ) -> Callable[[float], float]:
+        """Buffer *unit* exponentials and scale by ``1/rate(now)`` per
+        gap — numpy's ``exponential(scale)`` is ``scale *
+        standard_exponential()``, so this serves the bitwise-identical
+        gap sequence while staying exact for time-varying patterns
+        (the current rate is applied at serve time, never buffered).
+        """
+        buffer = BufferedSampler(Exponential(1.0), rng, block)
+        buffered_unit = buffer.sample
+        rate_at = self.pattern.rate
+
+        def gap(now: float) -> float:
+            rate = rate_at(now)
+            if rate <= 0:
+                raise WorkloadError(
+                    f"pattern returned rate {rate!r} at t={now!r}"
+                )
+            return buffered_unit() * (1.0 / rate)
+
+        return gap
 
     def __repr__(self) -> str:
         return f"PoissonArrivals({self.pattern!r})"

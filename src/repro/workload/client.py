@@ -88,6 +88,13 @@ class OpenLoopClient:
         self.realism = realism
         self.resilience = resilience
         self._rng = sim.random.stream(f"client/{name}")
+        # Inter-arrival gaps draw from their own stream through the
+        # arrival process's (possibly block-buffered) sampler; the
+        # dedicated stream gives the buffer sole generator ownership,
+        # which is what makes buffering draw-for-draw exact.
+        self._next_gap = arrivals.make_sampler(
+            sim.random.stream(f"client/{name}/arrivals")
+        )
         self._started = False
 
         self.latencies = LatencyRecorder(f"{name}/e2e")
@@ -109,7 +116,7 @@ class OpenLoopClient:
             raise WorkloadError(f"client {self.name!r} started twice")
         self._started = True
         start_time = self.sim.now if at is None else at
-        gap = self.arrivals.next_interarrival(start_time, self._rng)
+        gap = self._next_gap(start_time)
         self.sim.schedule_at(
             start_time + gap, self._fire, priority=PRIORITY_ARRIVAL
         )
@@ -131,7 +138,7 @@ class OpenLoopClient:
         )
         if self.max_requests is not None and self.requests_sent >= self.max_requests:
             return
-        gap = self.arrivals.next_interarrival(now, self._rng)
+        gap = self._next_gap(now)
         self.sim.schedule(gap, self._fire, priority=PRIORITY_ARRIVAL)
 
     def _on_complete(self, request: Request) -> None:

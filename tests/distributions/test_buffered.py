@@ -1,0 +1,161 @@
+"""Block-buffered sampling must be a pure transparency layer: the
+value stream and the generator end state are bitwise-identical to
+repeated scalar draws. These tests pin that contract for every
+distribution family in the library — it is what lets the engine buffer
+its hottest stochastic call sites without changing any seeded result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    BufferedSampler,
+    Deterministic,
+    Erlang,
+    Exponential,
+    FrequencyTable,
+    Histogram,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Scaled,
+    Shifted,
+    Uniform,
+    Weibull,
+)
+from repro.errors import DistributionError
+
+DISTRIBUTIONS = [
+    Deterministic(2.5e-3),
+    Exponential(1e-3),
+    Uniform(1e-4, 5e-4),
+    LogNormal(-7.0, 0.4),
+    Pareto(1e-3, 2.5),
+    Erlang(3, 2e-4),
+    Weibull(1.7, 1e-3),
+    Scaled(Exponential(1e-3), 1.3),
+    Shifted(Exponential(1e-3), 5e-5),
+    Mixture([Exponential(1e-3), Uniform(1e-4, 2e-4)], [0.7, 0.3]),
+    Histogram([1e-4, 3e-4, 9e-4, 2e-3], [5, 3, 2]),
+]
+
+
+def _ids(dist):
+    return type(dist).__name__
+
+
+@pytest.mark.parametrize("dist", DISTRIBUTIONS, ids=_ids)
+class TestBitwiseEquivalence:
+    def test_sample_matches_scalar_stream(self, dist):
+        scalar_rng = np.random.default_rng(42)
+        buffered_rng = np.random.default_rng(42)
+        sampler = BufferedSampler(dist, buffered_rng, block=16)
+        scalar = [dist.sample(scalar_rng) for _ in range(50)]
+        buffered = [sampler.sample() for _ in range(50)]
+        assert buffered == scalar
+
+    def test_generator_end_state_matches(self, dist):
+        scalar_rng = np.random.default_rng(7)
+        buffered_rng = np.random.default_rng(7)
+        sampler = BufferedSampler(dist, buffered_rng, block=8)
+        for _ in range(16):  # exactly two full blocks
+            dist.sample(scalar_rng)
+            sampler.sample()
+        assert (scalar_rng.bit_generator.state
+                == buffered_rng.bit_generator.state)
+
+    def test_take_matches_scalar_stream(self, dist):
+        scalar_rng = np.random.default_rng(3)
+        buffered_rng = np.random.default_rng(3)
+        sampler = BufferedSampler(dist, buffered_rng, block=8)
+        scalar = [dist.sample(scalar_rng) for _ in range(30)]
+        # Mixed request sizes: within a block, across refills, and one
+        # request (20) larger than the block itself.
+        got = sampler.take(3) + sampler.take(7) + sampler.take(20)
+        assert got == scalar
+
+
+class TestBufferMechanics:
+    def test_block_size_is_invisible(self):
+        streams = [
+            BufferedSampler(Exponential(1.0), np.random.default_rng(5), block=b)
+            for b in (1, 2, 64, 1024)
+        ]
+        draws = [[s.sample() for _ in range(100)] for s in streams]
+        assert draws[0] == draws[1] == draws[2] == draws[3]
+
+    def test_take_zero(self):
+        sampler = BufferedSampler(Exponential(1.0), np.random.default_rng(0))
+        assert sampler.take(0) == []
+
+    def test_take_negative_raises(self):
+        sampler = BufferedSampler(Exponential(1.0), np.random.default_rng(0))
+        with pytest.raises(DistributionError):
+            sampler.take(-1)
+
+    def test_bad_block_raises(self):
+        with pytest.raises(DistributionError):
+            BufferedSampler(Exponential(1.0), np.random.default_rng(0), block=0)
+
+    def test_buffered_telemetry(self):
+        sampler = BufferedSampler(
+            Exponential(1.0), np.random.default_rng(0), block=10
+        )
+        assert sampler.buffered == 0
+        sampler.sample()
+        assert sampler.buffered == 9
+
+
+class TestFrequencySampler:
+    TABLE = FrequencyTable.single(Exponential(1e-3), 2.0e9)
+
+    def test_matches_scalar_at_profiled_frequency(self):
+        scalar_rng = np.random.default_rng(11)
+        buffered_rng = np.random.default_rng(11)
+        sampler = self.TABLE.make_sampler(buffered_rng, block=16)
+        scalar = [self.TABLE.sample(scalar_rng, 2.0e9) for _ in range(40)]
+        buffered = [sampler.sample(2.0e9) for _ in range(40)]
+        assert buffered == scalar
+
+    def test_matches_scalar_at_scaled_frequency(self):
+        # 1 GHz on a 2 GHz profile: every draw is scaled 2x at serve time.
+        scalar_rng = np.random.default_rng(12)
+        buffered_rng = np.random.default_rng(12)
+        sampler = self.TABLE.make_sampler(buffered_rng, block=16)
+        scalar = [self.TABLE.sample(scalar_rng, 1.0e9) for _ in range(40)]
+        buffered = [sampler.sample(1.0e9) for _ in range(40)]
+        assert buffered == scalar
+
+    def test_dvfs_transition_is_exact(self):
+        # Interleave frequencies: a scalar caller draws from the same
+        # stream whichever frequency is active, and so must the sampler —
+        # the frequency change takes effect on the very next draw.
+        scalar_rng = np.random.default_rng(13)
+        buffered_rng = np.random.default_rng(13)
+        sampler = self.TABLE.make_sampler(buffered_rng, block=8)
+        freqs = [2.0e9, 2.0e9, 1.0e9, 2.0e9, 1.5e9, 1.0e9] * 5
+        scalar = [self.TABLE.sample(scalar_rng, f) for f in freqs]
+        buffered = [sampler.sample(f) for f in freqs]
+        assert buffered == scalar
+
+    def test_take_with_factor(self):
+        scalar_rng = np.random.default_rng(14)
+        buffered_rng = np.random.default_rng(14)
+        sampler = self.TABLE.make_sampler(buffered_rng, block=8)
+        scalar = [self.TABLE.sample(scalar_rng, 1.0e9) for _ in range(20)]
+        assert sampler.take(20, 1.0e9) == scalar
+
+    def test_nominal_default(self):
+        table = FrequencyTable(
+            {1.0e9: Exponential(2e-3), 2.0e9: Exponential(1e-3)}
+        )
+        scalar_rng = np.random.default_rng(15)
+        buffered_rng = np.random.default_rng(15)
+        sampler = table.make_sampler(buffered_rng)
+        scalar = [table.sample(scalar_rng) for _ in range(10)]
+        assert [sampler.sample() for _ in range(10)] == scalar
+
+    def test_invalid_frequency_raises(self):
+        sampler = self.TABLE.make_sampler(np.random.default_rng(0))
+        with pytest.raises(DistributionError):
+            sampler.sample(-1.0)

@@ -90,3 +90,120 @@ class TestPeek:
         q.push(make(4.0))
         assert q.peek_time() == 4.0
         assert len(q) == 1
+
+
+class TestDirectCancel:
+    """Event.cancel() and queue.cancel(event) must agree on accounting."""
+
+    def test_event_cancel_updates_queue_len(self):
+        q = EventQueue()
+        e = q.push(make(1.0))
+        e.cancel()
+        assert e.cancelled
+        assert len(q) == 0
+
+    def test_event_cancel_then_queue_cancel_idempotent(self):
+        q = EventQueue()
+        e = q.push(make(1.0))
+        e.cancel()
+        q.cancel(e)
+        assert len(q) == 0
+
+    def test_cancel_unqueued_event_only_flags(self):
+        e = make(1.0)
+        e.cancel()
+        assert e.cancelled
+
+    def test_cancel_popped_event_does_not_corrupt_len(self):
+        q = EventQueue()
+        e = q.push(make(1.0))
+        q.push(make(2.0))
+        assert q.pop() is e
+        e.cancel()  # already out of the queue: flag only
+        assert len(q) == 1
+
+    def test_cancel_foreign_event_does_not_touch_len(self):
+        q1, q2 = EventQueue(), EventQueue()
+        e = q1.push(make(1.0))
+        q2.push(make(2.0))
+        q2.cancel(e)  # e belongs to q1
+        assert e.cancelled
+        assert len(q1) == 0  # owner decremented via delegation
+        assert len(q2) == 1
+
+    def test_cancel_after_clear_is_harmless(self):
+        q = EventQueue()
+        e = q.push(make(1.0))
+        q.clear()
+        e.cancel()
+        assert len(q) == 0
+
+
+class TestHeavyCancellation:
+    """Live-count invariants and compaction under mass cancellation."""
+
+    def test_live_count_invariant_under_interleaved_ops(self):
+        q = EventQueue()
+        events = [q.push(make(float(i % 7), priority=i % 3))
+                  for i in range(300)]
+        for e in events[::2]:
+            q.cancel(e)
+        assert len(q) == 150
+        live = sorted(events[1::2], key=lambda e: (e.time, e.priority, e.seq))
+        assert [q.pop() for _ in range(150)] == live
+        assert len(q) == 0
+        assert q.pop() is None
+
+    def test_peek_time_after_cancelling_head_run(self):
+        q = EventQueue()
+        head = [q.push(make(1.0)) for _ in range(50)]
+        q.push(make(9.0))
+        for e in head:
+            q.cancel(e)
+        assert q.peek_time() == 9.0
+        assert len(q) == 1
+
+    def test_compaction_preserves_order(self):
+        # Trigger compaction (> 64 dead and dead > live) and check the
+        # survivors still pop in (time, priority, seq) order.
+        q = EventQueue()
+        doomed = [q.push(make(float(i), priority=-(i % 5)))
+                  for i in range(100)]
+        keepers = [q.push(make(50.0, priority=p)) for p in (3, -2, 0, -2)]
+        for e in doomed:
+            q.cancel(e)
+        assert len(q) == len(keepers)
+        expected = sorted(keepers, key=lambda e: (e.time, e.priority, e.seq))
+        assert [q.pop() for _ in range(len(keepers))] == expected
+
+    def test_cancel_all_then_reuse(self):
+        q = EventQueue()
+        for _ in range(200):
+            e = q.push(make(1.0))
+            q.cancel(e)
+        assert len(q) == 0
+        fresh = q.push(make(2.0))
+        assert q.pop() is fresh
+
+    def test_drain_until_with_interleaved_cancels(self):
+        q = EventQueue()
+        events = [q.push(make(float(i))) for i in range(10)]
+        for e in events[1::2]:  # cancel 1,3,5,7,9
+            e.cancel()
+        seen = []
+        q.drain_until(6.0, seen.append)
+        assert [e.time for e in seen] == [0.0, 2.0, 4.0, 6.0]
+        assert len(q) == 1  # only 8.0 left live
+        assert q.pop().time == 8.0
+
+
+class TestSeqIsolation:
+    def test_seq_counters_are_per_queue(self):
+        # Two queues must hand out independent seq numbers so FIFO
+        # tie-breaking is reproducible regardless of other simulators.
+        q1, q2 = EventQueue(), EventQueue()
+        a = q1.push(make(1.0))
+        q2.push(make(1.0))
+        q2.push(make(1.0))
+        b = q1.push(make(1.0))
+        assert (a.seq, b.seq) == (0, 1)

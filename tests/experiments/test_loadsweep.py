@@ -67,3 +67,37 @@ class TestSweepAndSaturation:
     def test_all_saturated_returns_zero(self):
         points = [SweepPoint(1000, 100, 1.0, 1.0, 1.0, 1.0, 10)]
         assert saturation_load(points) == 0.0
+
+
+class TestSeedDerivation:
+    def test_close_loads_are_decorrelated(self):
+        # int(qps) truncation used to collapse 50.2 and 50.9 onto one
+        # seed, making near-identical loads share every random draw.
+        a = measure_at_load(thrift_echo, 50.2, duration=0.15, warmup=0.05)
+        b = measure_at_load(thrift_echo, 50.9, duration=0.15, warmup=0.05)
+        assert a.mean != b.mean
+
+    def test_same_load_is_reproducible(self):
+        a = measure_at_load(thrift_echo, 50.2, duration=0.15, warmup=0.05)
+        b = measure_at_load(thrift_echo, 50.2, duration=0.15, warmup=0.05)
+        assert (a.mean, a.p99, a.completed) == (b.mean, b.p99, b.completed)
+
+
+class TestParallelSweep:
+    def test_jobs_identity(self):
+        # The headline determinism claim: fanning the sweep out across
+        # processes changes nothing, bit for bit.
+        loads = [1000, 2000, 3000, 4000]
+        serial = load_latency_sweep(
+            thrift_echo, loads, duration=0.15, warmup=0.05, jobs=1
+        )
+        fanned = load_latency_sweep(
+            thrift_echo, loads, duration=0.15, warmup=0.05, jobs=2
+        )
+        assert fanned == serial
+
+    def test_parallel_sweep_sorts_loads(self):
+        points = load_latency_sweep(
+            thrift_echo, [3000, 1000], duration=0.15, warmup=0.05, jobs=2
+        )
+        assert [p.offered_qps for p in points] == [1000, 3000]

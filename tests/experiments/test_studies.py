@@ -84,3 +84,35 @@ class TestRegistry:
         )
         assert len(points) == 1
         assert points[0].p99 > 0
+
+    def test_sweep_experiments_support_jobs(self):
+        for exp_id in ("fig5", "fig6", "fig8", "fig10", "fig12a",
+                       "fig12b", "fig14"):
+            assert registry.get(exp_id).supports_jobs, exp_id
+
+    def test_jobs_ignored_by_serial_runners(self):
+        # Inherently serial experiments (timelines) must not receive a
+        # jobs kwarg they would choke on.
+        spec = registry.get("fig16")
+        assert not spec.supports_jobs
+        import inspect
+        # run(jobs=4) on such a spec only forwards declared kwargs.
+        sig = inspect.signature(spec.runner)
+        assert "jobs" not in sig.parameters
+
+
+class TestParallelGrid:
+    def test_tail_at_scale_jobs_identity(self):
+        from repro.experiments.tail_at_scale import tail_at_scale_sweep
+
+        kwargs = dict(
+            cluster_sizes=(5, 10), slow_fractions=(0.0, 0.1),
+            qps=50, num_requests=30, seed=4,
+        )
+        serial = tail_at_scale_sweep(jobs=1, **kwargs)
+        fanned = tail_at_scale_sweep(jobs=2, **kwargs)
+        assert fanned == serial
+        # Grid order: fractions outer, sizes inner — unchanged.
+        assert [(p.cluster_size, p.slow_fraction) for p in serial] == [
+            (5, 0.0), (10, 0.0), (5, 0.1), (10, 0.1)
+        ]

@@ -1,0 +1,111 @@
+"""Tests for the process-parallel runner: ordering, jobs=1/jobs=N
+identity, error propagation, and the seed-derivation discipline."""
+
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runner import (
+    default_jobs_from_env,
+    derive_seed,
+    parallel_map,
+    resolve_jobs,
+)
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise ValueError(f"bad item {x}")
+
+
+class TestParallelMap:
+    def test_in_process_basic(self):
+        assert parallel_map(square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_empty_items(self):
+        assert parallel_map(square, [], jobs=4) == []
+
+    def test_single_item_stays_in_process(self):
+        assert parallel_map(square, [5], jobs=8) == [25]
+
+    def test_preserves_item_order_across_workers(self):
+        items = list(range(40))
+        assert parallel_map(square, items, jobs=4) == [i * i for i in items]
+
+    def test_jobs_identity(self):
+        items = [0.5, 1.5, 2.5, 3.5, 4.5]
+        serial = parallel_map(square, items, jobs=1)
+        fanned = parallel_map(square, items, jobs=4)
+        assert fanned == serial
+
+    def test_worker_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="bad item 1"):
+            parallel_map(boom, [1, 2, 3], jobs=1)
+
+    def test_worker_exception_propagates_parallel(self):
+        with pytest.raises(ValueError, match="bad item"):
+            parallel_map(boom, [1, 2, 3], jobs=2)
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_none_and_zero_mean_all_cores(self):
+        cores = os.cpu_count() or 1
+        assert resolve_jobs(None) == cores
+        assert resolve_jobs(0) == cores
+
+    def test_negative_raises(self):
+        with pytest.raises(ReproError):
+            resolve_jobs(-2)
+
+
+class TestJobsFromEnv:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs_from_env() == 1
+
+    def test_set(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs_from_env() == 6
+
+    def test_garbage_falls_back(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert default_jobs_from_env() == 1
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 50.2) == derive_seed(1, 50.2)
+
+    def test_close_floats_decorrelate(self):
+        # The regression the old int(qps) truncation had: 50.2 and 50.9
+        # collapsed to the same seed.
+        assert derive_seed(1, 50.2) != derive_seed(1, 50.9)
+
+    def test_base_seed_matters(self):
+        assert derive_seed(1, 50.2) != derive_seed(2, 50.2)
+
+    def test_component_order_matters(self):
+        assert derive_seed(0, 1, 2) != derive_seed(0, 2, 1)
+
+    def test_string_components(self):
+        assert derive_seed(0, "fig8") != derive_seed(0, "fig10")
+        assert derive_seed(0, "fig8") == derive_seed(0, "fig8")
+
+    def test_negative_int_component(self):
+        assert derive_seed(0, -5) != derive_seed(0, 5)
+
+    def test_fits_in_32_bits(self):
+        for qps in (0.1, 50.2, 1e6):
+            assert 0 <= derive_seed(7, qps) < 2**32
+
+    def test_rejects_unseedable(self):
+        with pytest.raises(ReproError):
+            derive_seed(0, [1, 2])

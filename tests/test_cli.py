@@ -83,6 +83,32 @@ class TestExperimentsCommand:
         assert seen["seed"] == 17
         capsys.readouterr()
 
+    def test_run_forwards_jobs(self, capsys, monkeypatch):
+        from repro.experiments import registry
+        from repro.experiments.registry import ExperimentSpec
+
+        seen = {}
+
+        def runner(jobs=1):
+            seen["jobs"] = jobs
+            return "ran"
+
+        cheap = ExperimentSpec("figZ", "Figure Z", "stub", runner)
+        monkeypatch.setitem(registry._BY_ID, "figZ", cheap)
+        assert main(["experiments", "run", "figZ", "--jobs", "3"]) == 0
+        assert seen["jobs"] == 3
+        capsys.readouterr()
+
+    def test_jobs_not_forced_on_serial_runner(self, capsys, monkeypatch):
+        from repro.experiments import registry
+        from repro.experiments.registry import ExperimentSpec
+
+        cheap = ExperimentSpec("figW", "Figure W", "stub", lambda: "ran")
+        monkeypatch.setitem(registry._BY_ID, "figW", cheap)
+        # A runner with no jobs parameter must still run under --jobs.
+        assert main(["experiments", "run", "figW", "--jobs", "4"]) == 0
+        capsys.readouterr()
+
     def test_unknown_experiment_id(self, capsys):
         code = main(["experiments", "run", "fig99"])
         assert code == 2

@@ -105,6 +105,44 @@ class TestArrivalProcesses:
             MMPPArrivals(1, 10, 0)
 
 
+class TestBufferedGapSampler:
+    def test_poisson_sampler_matches_scalar_path(self):
+        # make_sampler buffers unit exponentials; the gap stream must be
+        # bitwise-identical to repeated next_interarrival calls.
+        arrivals = PoissonArrivals.at_rate(1000)
+        scalar_rng = np.random.default_rng(21)
+        buffered_rng = np.random.default_rng(21)
+        gap = arrivals.make_sampler(buffered_rng, block=16)
+        scalar = [arrivals.next_interarrival(0.0, scalar_rng)
+                  for _ in range(100)]
+        assert [gap(0.0) for _ in range(100)] == scalar
+
+    def test_poisson_sampler_tracks_time_varying_rate(self):
+        pattern = StepPattern([(0, 100), (10, 10_000)])
+        arrivals = PoissonArrivals(pattern)
+        scalar_rng = np.random.default_rng(22)
+        buffered_rng = np.random.default_rng(22)
+        gap = arrivals.make_sampler(buffered_rng, block=8)
+        times = [1.0, 11.0] * 20  # hop across the rate step every draw
+        scalar = [arrivals.next_interarrival(t, scalar_rng) for t in times]
+        assert [gap(t) for t in times] == scalar
+
+    def test_poisson_sampler_rejects_dead_pattern(self):
+        class DeadPattern(ConstantLoad):
+            def rate(self, now):
+                return 0.0
+
+        pattern = DeadPattern(1.0)
+        gap = PoissonArrivals(pattern).make_sampler(np.random.default_rng(0))
+        with pytest.raises(WorkloadError):
+            gap(0.0)
+
+    def test_default_sampler_wraps_scalar_path(self):
+        arrivals = DeterministicArrivals.at_rate(100)
+        gap = arrivals.make_sampler(np.random.default_rng(0))
+        assert gap(0.0) == pytest.approx(0.01)
+
+
 class TestRequestMix:
     def test_single_helper(self, rng):
         mix = RequestMix.single("read", size=100)
