@@ -13,10 +13,12 @@ identical to the serial run, only the wall clock changes.
 
 import json
 import os
+import time
 
 import pytest
 
 from repro.runner import default_jobs_from_env
+from repro.runner.runstore import environment_info, write_json_atomic
 
 #: Multiplier on measurement windows / request counts.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -26,6 +28,33 @@ JOBS = default_jobs_from_env("REPRO_BENCH_JOBS")
 
 #: Where :func:`bench_record` accumulates machine-readable results.
 BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_engine.json")
+
+#: Companion manifest describing the run that produced ``BENCH_JSON``
+#: (environment, scale/jobs knobs, wall time, recorded sections).
+MANIFEST_JSON = os.environ.get("REPRO_BENCH_MANIFEST", "manifest.json")
+
+_SESSION_START = time.time()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Leave a ``manifest.json`` next to ``BENCH_engine.json`` so the CI
+    artifact records *how* the numbers were produced, not just what
+    they were."""
+    sections = []
+    try:
+        with open(BENCH_JSON) as fh:
+            sections = sorted(k for k in json.load(fh) if k != "_meta")
+    except (OSError, ValueError):
+        pass
+    write_json_atomic(MANIFEST_JSON, {
+        "experiment": "benchmarks",
+        "status": "completed" if exitstatus == 0 else f"exit={exitstatus}",
+        "environment": environment_info(),
+        "scale": SCALE,
+        "jobs": JOBS,
+        "wall_time_s": round(time.time() - _SESSION_START, 3),
+        "sections": sections,
+    })
 
 
 def bench_record(section: str, payload: dict) -> None:

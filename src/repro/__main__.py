@@ -5,24 +5,33 @@
     python -m repro run <spec-dir> [--seed N] [--until S] [--real]
     python -m repro experiments list
     python -m repro experiments run <exp-id> [--seed N] [--jobs N]
+        [--run-dir DIR] [--no-resume] [--audit]
 
 ``run`` loads a Table I spec directory (machines.json, services/,
 graph.json, path.json, client.json, optional faults.json), simulates
 it, and prints the end-to-end latency summary. ``experiments`` exposes
-the figure/table registry. Configuration and simulation errors
-(:class:`~repro.errors.ReproError`) exit with code 2 and a one-line
-message.
+the figure/table registry; ``--run-dir`` journals completed sweep
+points so a killed run resumes where it stopped (see
+docs/operations.md).
+
+Exit codes: 0 on success, 2 on configuration/simulation errors
+(:class:`~repro.errors.ReproError`, printed as a one-line message),
+130 on Ctrl-C — the journal and manifest are already flushed by the
+time the process exits, so an interrupted ``--run-dir`` sweep is
+resumable.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from .config import SimulationSpec
 from .errors import ReproError
 from .experiments import registry
-from .telemetry import format_table, ms
+from .telemetry import format_run_manifest, format_table, ms
 from .testbed import RealismConfig
 
 
@@ -82,8 +91,18 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         return 2
     print(f"running {spec.exp_id} ({spec.paper_ref}): {spec.title} ...")
     kwargs = {} if args.seed is None else {"seed": args.seed}
-    result = spec.run(jobs=args.jobs, **kwargs)
+    result = spec.run(
+        jobs=args.jobs,
+        run_dir=args.run_dir,
+        resume=args.resume,
+        audit=args.audit,
+        **kwargs,
+    )
     print(repr(result))
+    if args.run_dir is not None:
+        manifest_path = Path(args.run_dir) / "manifest.json"
+        if manifest_path.exists():
+            print(format_run_manifest(json.loads(manifest_path.read_text())))
     return 0
 
 
@@ -121,11 +140,31 @@ def main(argv=None) -> int:
         help="worker processes for sweep fan-out (0 = all cores; "
              "results are identical to --jobs 1)",
     )
+    exp_run.add_argument(
+        "--run-dir", default=None,
+        help="journal completed sweep points to this directory so a "
+             "killed run can resume (see docs/operations.md)",
+    )
+    exp_run.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="with --run-dir: recompute every point instead of reusing "
+             "journaled ones",
+    )
+    exp_run.add_argument(
+        "--audit", action="store_true",
+        help="verify request conservation after each measurement",
+    )
     exp_parser.set_defaults(func=_cmd_experiments)
 
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # durable_map flushed the journal and wrote an 'interrupted'
+        # manifest before this propagated; resuming is safe.
+        print("interrupted; journaled points are kept — re-run with the "
+              "same --run-dir to resume", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -17,12 +17,14 @@ from .event import (
 )
 from .event_queue import EventQueue
 from .random import RandomStreams
-from .simulator import Simulator
+from .simulator import GUARD_CHECK_EVERY, RunProgress, Simulator
 
 __all__ = [
     "Event",
     "EventQueue",
+    "GUARD_CHECK_EVERY",
     "RandomStreams",
+    "RunProgress",
     "Simulator",
     "PRIORITY_ADMIN",
     "PRIORITY_ARRIVAL",

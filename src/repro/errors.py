@@ -21,6 +21,48 @@ class SimulationError(ReproError):
     """
 
 
+class SimulationAborted(SimulationError):
+    """A :meth:`Simulator.run` guardrail tripped mid-run.
+
+    Raised when a run exceeds its ``wall_clock_budget`` or its
+    ``max_live_events`` bound, instead of hanging or exhausting memory.
+    Carries a partial-progress snapshot so the caller can report how
+    far the simulation got: ``clock`` (simulated seconds), ``events_processed``
+    (since the simulator was built), ``queue_depth`` (live events still
+    pending) and ``wall_clock`` (real seconds spent in this run).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        clock: float,
+        events_processed: int,
+        queue_depth: int,
+        wall_clock: float,
+    ) -> None:
+        self.reason = reason
+        self.clock = clock
+        self.events_processed = events_processed
+        self.queue_depth = queue_depth
+        self.wall_clock = wall_clock
+        super().__init__(
+            f"simulation aborted ({reason}) at t={clock:.6f}s after "
+            f"{events_processed} events ({queue_depth} still queued, "
+            f"{wall_clock:.2f}s wall clock)"
+        )
+
+
+class AuditError(SimulationError):
+    """The end-of-run conservation audit found a broken invariant.
+
+    Every generated request must be accounted for exactly once
+    (``ok + timeout + shed + failed + in-flight``) and the clock must
+    never run backwards; a violation means the simulation lost or
+    double-counted work, so its statistics cannot be trusted.
+    """
+
+
 class ConfigError(ReproError):
     """A configuration input (JSON spec or programmatic builder) is invalid.
 
@@ -60,6 +102,50 @@ class WorkloadError(ReproError):
 class DistributionError(ReproError):
     """A processing-time distribution is invalid (negative scale, empty
     histogram, probabilities that do not sum to one...)."""
+
+
+class PartialSweepError(ReproError):
+    """Some sweep items failed after exhausting their retry budget.
+
+    Raised by :func:`repro.runner.parallel_map` (``failures="collect"``)
+    only after every item has had its chance: ``results`` is the full
+    in-order result list with an :class:`~repro.runner.ItemFailure` in
+    each failed slot, and ``failures`` lists just the failed ones.
+    Callers that can live with holes catch this and keep ``results``;
+    journaled sweeps resume later and recompute only the holes.
+    """
+
+    def __init__(self, failures, results) -> None:
+        self.failures = list(failures)
+        self.results = results
+        detail = "; ".join(
+            f"item[{f.index}] {f.item!r}: {f.kind} after "
+            f"{f.attempts} attempt(s)"
+            for f in self.failures[:4]
+        )
+        if len(self.failures) > 4:
+            detail += f"; ... {len(self.failures) - 4} more"
+        super().__init__(
+            f"{len(self.failures)} of {len(results)} sweep items failed "
+            f"({detail})"
+        )
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died (or hung past its timeout) running one item.
+
+    Raised in fail-fast mode (``failures="raise"``) once the item has
+    exhausted its retry budget; carries the structured
+    :class:`~repro.runner.ItemFailure` as ``failure`` for attribution.
+    """
+
+    def __init__(self, failure) -> None:
+        self.failure = failure
+        super().__init__(
+            f"worker {failure.kind} on item[{failure.index}] "
+            f"{failure.item!r} after {failure.attempts} attempt(s): "
+            f"{failure.error}"
+        )
 
 
 class FaultError(ReproError):

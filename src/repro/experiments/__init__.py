@@ -3,6 +3,7 @@ the tail-at-scale and power-management studies, the BigHouse
 comparison, and the figure/table registry."""
 
 from . import (
+    audit,
     comparison,
     power_mgmt,
     registry,
@@ -10,6 +11,7 @@ from . import (
     tail_at_scale,
     validation,
 )
+from .audit import audit_client
 from .replication import ReplicatedPoint, replicate_at_load
 from .loadsweep import (
     SweepPoint,
@@ -21,6 +23,8 @@ from .loadsweep import (
 __all__ = [
     "ReplicatedPoint",
     "SweepPoint",
+    "audit",
+    "audit_client",
     "comparison",
     "load_latency_sweep",
     "measure_at_load",

@@ -1,0 +1,96 @@
+"""Opt-in conservation audits for experiment runs.
+
+A simulation whose bookkeeping silently leaks requests produces
+plausible-looking but wrong curves. The audit checks the invariants
+every run must satisfy — no request created is lost, every completion
+was counted exactly once, the clock never ran backwards — and raises
+:class:`~repro.errors.AuditError` naming each violated invariant.
+It is opt-in (``audit=True`` on the measurement functions, ``--audit``
+on the CLI) because it adds per-run accounting reads, not because it
+is ever expected to fire.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..engine import Simulator
+from ..errors import AuditError
+from ..service.job import OUTCOME_OK
+from ..workload import OpenLoopClient
+
+
+def audit_client(
+    client: OpenLoopClient,
+    sim: Optional[Simulator] = None,
+    *,
+    dispatcher=None,
+    clock_start: float = 0.0,
+) -> None:
+    """Check request conservation for one client's run.
+
+    Invariants:
+
+    * every request sent was resolved (ok/timeout/shed/failed) or is
+      still in flight: ``sent == sum(outcomes) + outstanding``;
+    * outcome tallies and the completion counter agree;
+    * only ``ok`` resolutions entered the latency recorder;
+    * nothing went negative, and the clock is finite and did not move
+      backwards past *clock_start*;
+    * with *dispatcher* given (valid only when this client is its sole
+      traffic source, as in the measurement harness), the client's send
+      counter matches the dispatcher's independent admission counter —
+      the check that catches a tampered or drifting ``requests_sent``,
+      which the in-client identities alone cannot see.
+    """
+    problems: List[str] = []
+    sent = client.requests_sent
+    completed = client.requests_completed
+    resolved = sum(client.outcomes.values())
+    outstanding = client.outstanding
+
+    if dispatcher is not None and sent != dispatcher.requests_submitted:
+        problems.append(
+            f"conservation broken: client sent {sent} requests but the "
+            f"dispatcher admitted {dispatcher.requests_submitted}"
+        )
+    if outstanding < 0:
+        problems.append(
+            f"outstanding is negative ({outstanding}): more completions "
+            f"({completed}) than requests sent ({sent})"
+        )
+    if resolved != completed:
+        problems.append(
+            f"outcome tallies sum to {resolved} but "
+            f"requests_completed={completed}"
+        )
+    if sent != resolved + outstanding:
+        problems.append(
+            f"conservation broken: sent={sent} != "
+            f"resolved={resolved} + outstanding={outstanding}"
+        )
+    ok = client.outcomes.get(OUTCOME_OK, 0)
+    recorded = len(client.latencies)
+    if recorded != ok:
+        problems.append(
+            f"latency recorder holds {recorded} samples but "
+            f"{ok} requests resolved ok"
+        )
+    if len(client.completed_requests) != completed:
+        problems.append(
+            f"completed_requests holds {len(client.completed_requests)} "
+            f"requests but requests_completed={completed}"
+        )
+    if sim is not None:
+        if not math.isfinite(sim.now):
+            problems.append(f"clock is not finite: {sim.now!r}")
+        elif sim.now < clock_start:
+            problems.append(
+                f"clock ran backwards: now={sim.now} < start={clock_start}"
+            )
+    if problems:
+        raise AuditError(
+            f"conservation audit failed for client {client.name!r}: "
+            + "; ".join(problems)
+        )

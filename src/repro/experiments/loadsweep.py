@@ -13,14 +13,25 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..apps.base import World
 from ..errors import ReproError
-from ..runner import derive_seed, parallel_map
+from ..faults import FaultInjector, FaultPlan
+from ..runner import (
+    RunStore,
+    derive_seed,
+    durable_map,
+    parallel_map,
+    point_key,
+    register_result_type,
+)
 from ..workload import OpenLoopClient, RequestMix
+from .audit import audit_client
 
 
+@register_result_type
 @dataclass
 class SweepPoint:
     """Measurements at one offered load."""
@@ -55,6 +66,8 @@ def measure_at_load(
     warmup: float = 0.25,
     mix: Optional[RequestMix] = None,
     seed: int = 1,
+    fault_plan: Optional[FaultPlan] = None,
+    audit: bool = False,
     **world_kwargs,
 ) -> SweepPoint:
     """Build a fresh world, drive it at *qps* for *duration* seconds,
@@ -67,12 +80,22 @@ def measure_at_load(
     reproducible — and the derivation is per-point, so a sweep gives
     identical results whether its points run serially or fanned out
     across processes.
+
+    *fault_plan* arms a :class:`~repro.faults.FaultPlan` against the
+    freshly-built world before the clock starts, so sweeps can measure
+    behaviour under injected failures. *audit* runs the request
+    conservation check (:func:`~repro.experiments.audit.audit_client`)
+    after the window.
     """
     if warmup >= duration:
         raise ReproError(
             f"warmup ({warmup}) must be shorter than duration ({duration})"
         )
     world = build_world(seed=derive_seed(seed, float(qps)), **world_kwargs)
+    if fault_plan is not None:
+        FaultInjector(
+            world.sim, world.deployment, world.cluster.network, fault_plan
+        ).arm()
     client = OpenLoopClient(
         world.sim,
         world.dispatcher,
@@ -81,8 +104,14 @@ def measure_at_load(
         stop_at=duration,
         realism=world.realism,
     )
+    clock_start = world.sim.now
     client.start()
     world.sim.run(until=duration)
+    if audit:
+        audit_client(
+            client, world.sim, dispatcher=world.dispatcher,
+            clock_start=clock_start,
+        )
 
     recorder = client.latencies
     completed = recorder.count(since=warmup, until=duration)
@@ -103,6 +132,30 @@ def measure_at_load(
     )
 
 
+def _config_token(value: Any) -> Any:
+    """A deterministic, hashable stand-in for a config value.
+
+    Primitives pass through; everything else (distributions, realism
+    configs, fault plans, request mixes) contributes its ``repr``,
+    which is deterministic for all of them — unlike a pickle, which
+    could differ between interpreter versions and silently invalidate
+    every journaled key.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_config_token(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _config_token(v) for k, v in value.items()}
+    return repr(value)
+
+
+def sweep_config(**settings: Any) -> Dict[str, Any]:
+    """The code-relevant config dict a sweep hashes into its point
+    keys and records in its manifest."""
+    return {key: _config_token(value) for key, value in sorted(settings.items())}
+
+
 def load_latency_sweep(
     build_world: Callable[..., World],
     loads: Sequence[float],
@@ -111,6 +164,13 @@ def load_latency_sweep(
     mix: Optional[RequestMix] = None,
     seed: int = 1,
     jobs: int = 1,
+    run_dir: Optional[Union[str, Path]] = None,
+    resume: bool = True,
+    experiment: str = "load_latency",
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    audit: bool = False,
     **world_kwargs,
 ) -> List[SweepPoint]:
     """One :func:`measure_at_load` per offered load, ascending.
@@ -120,12 +180,45 @@ def load_latency_sweep(
     seed, so the results are identical to the serial run). *build_world*
     and *mix* must then be picklable — every builder in
     :mod:`repro.apps` is.
+
+    With *run_dir* set, every completed point is journaled to that
+    directory under a content key covering (*experiment*, the offered
+    load, the derived seed, the sweep config); ``resume=True`` reuses
+    journaled points instead of recomputing them, so a killed sweep
+    restarted with the same arguments computes exactly the missing
+    points — and, because seeds are derived per point, merges into a
+    result byte-identical to an uninterrupted run. *retries*/*timeout*
+    are the self-healing knobs of :func:`~repro.runner.parallel_map`.
     """
+    loads = sorted(loads)
     point = functools.partial(
         measure_at_load, build_world, duration=duration, warmup=warmup,
-        mix=mix, seed=seed, **world_kwargs,
+        mix=mix, seed=seed, fault_plan=fault_plan, audit=audit,
+        **world_kwargs,
     )
-    return parallel_map(point, sorted(loads), jobs=jobs)
+    if run_dir is None:
+        return parallel_map(
+            point, loads, jobs=jobs, retries=retries, timeout=timeout
+        )
+    config = sweep_config(
+        builder=getattr(build_world, "__name__", repr(build_world)),
+        duration=duration,
+        warmup=warmup,
+        mix=mix,
+        fault_plan=fault_plan,
+        audit=audit,
+        **world_kwargs,
+    )
+    seeds = [derive_seed(seed, float(qps)) for qps in loads]
+    keys = [
+        point_key(experiment, {"qps": float(qps)}, derived, config)
+        for qps, derived in zip(loads, seeds)
+    ]
+    store = RunStore(run_dir, experiment, config=config)
+    return durable_map(
+        point, loads, store=store, keys=keys, seeds=seeds,
+        resume=resume, jobs=jobs, retries=retries, timeout=timeout,
+    )
 
 
 def saturation_load(

@@ -14,6 +14,7 @@ import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
+from ..errors import ReproError
 from . import comparison, power_mgmt, resilience, tail_at_scale, validation
 
 
@@ -26,17 +27,56 @@ class ExperimentSpec:
     title: str
     runner: Callable[..., Any]
 
+    def _accepts(self, name: str) -> bool:
+        return name in inspect.signature(self.runner).parameters
+
     @property
     def supports_jobs(self) -> bool:
         """Whether the runner can fan work out across processes."""
-        return "jobs" in inspect.signature(self.runner).parameters
+        return self._accepts("jobs")
 
-    def run(self, jobs: int = 1, **kwargs: Any) -> Any:
-        """Run the experiment; ``jobs`` fans sweeps out over processes
+    @property
+    def supports_run_dir(self) -> bool:
+        """Whether the runner checkpoints to a journaled run directory."""
+        return self._accepts("run_dir")
+
+    @property
+    def supports_audit(self) -> bool:
+        """Whether the runner can run the conservation audit."""
+        return self._accepts("audit")
+
+    def run(
+        self,
+        jobs: int = 1,
+        run_dir: Any = None,
+        resume: bool = True,
+        audit: bool = False,
+        **kwargs: Any,
+    ) -> Any:
+        """Run the experiment.
+
+        ``jobs`` fans sweeps out over processes, ``run_dir``/``resume``
+        journal completed points for durable restarts, and ``audit``
+        turns on the request-conservation check — each forwarded only
         where the runner supports it (inherently serial experiments —
-        timelines, single simulations — silently ignore it)."""
+        timelines, single simulations — silently ignore ``jobs``;
+        asking an unsupported runner to checkpoint or audit is an
+        error, not a silent no-op)."""
         if self.supports_jobs:
             kwargs.setdefault("jobs", jobs)
+        if run_dir is not None:
+            if not self.supports_run_dir:
+                raise ReproError(
+                    f"experiment {self.exp_id!r} does not support run_dir"
+                )
+            kwargs.setdefault("run_dir", run_dir)
+            kwargs.setdefault("resume", resume)
+        if audit:
+            if not self.supports_audit:
+                raise ReproError(
+                    f"experiment {self.exp_id!r} does not support audit"
+                )
+            kwargs.setdefault("audit", True)
         return self.runner(**kwargs)
 
 

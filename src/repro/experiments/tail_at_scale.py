@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
 
 from ..apps.base import World, add_client_machine, new_world
 from ..distributions import Deterministic, Exponential
@@ -27,9 +28,16 @@ from ..service import (
     SingleQueue,
     Stage,
 )
-from ..runner import parallel_map
+from ..runner import (
+    RunStore,
+    durable_map,
+    parallel_map,
+    point_key,
+    register_result_type,
+)
 from ..topology import PathNode, PathTree
 from ..workload import OpenLoopClient
+from .audit import audit_client
 
 
 def build_fanout_cluster(
@@ -103,6 +111,7 @@ def _one_stage_service(world, machine_name, tier, dist, cores):
     return instance
 
 
+@register_result_type
 @dataclass
 class TailAtScalePoint:
     """One (cluster size, slow fraction) measurement of Fig 14."""
@@ -121,6 +130,7 @@ def measure_tail_at_scale(
     num_requests: int = 300,
     slow_factor: float = 10.0,
     seed: int = 0,
+    audit: bool = False,
 ) -> TailAtScalePoint:
     """Drive one (cluster size, slow fraction) configuration and report
     the p50/p99 of the fan-in-synchronised end-to-end latency."""
@@ -130,8 +140,14 @@ def measure_tail_at_scale(
     client = OpenLoopClient(
         world.sim, world.dispatcher, arrivals=qps, max_requests=num_requests
     )
+    clock_start = world.sim.now
     client.start()
     world.sim.run()
+    if audit:
+        audit_client(
+            client, world.sim, dispatcher=world.dispatcher,
+            clock_start=clock_start,
+        )
     recorder = client.latencies
     return TailAtScalePoint(
         cluster_size=cluster_size,
@@ -147,11 +163,13 @@ def _measure_grid_point(
     qps: float,
     num_requests: int,
     seed: int,
+    audit: bool = False,
 ) -> TailAtScalePoint:
     """Picklable per-cell worker for the parallel grid sweep."""
     size, frac = size_and_fraction
     return measure_tail_at_scale(
-        size, frac, qps=qps, num_requests=num_requests, seed=seed
+        size, frac, qps=qps, num_requests=num_requests, seed=seed,
+        audit=audit,
     )
 
 
@@ -162,14 +180,44 @@ def tail_at_scale_sweep(
     num_requests: int = 300,
     seed: int = 0,
     jobs: int = 1,
+    run_dir: Optional[Union[str, Path]] = None,
+    resume: bool = True,
+    experiment: str = "fig14",
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    audit: bool = False,
 ):
     """The full Fig 14 grid. Each (size, fraction) cell simulates an
     independent cluster, so ``jobs > 1`` fans the grid out across
-    processes with identical results."""
+    processes with identical results.
+
+    With *run_dir* set, finished cells are journaled there and
+    ``resume=True`` skips them on restart — see
+    :mod:`repro.runner.runstore`.
+    """
     grid = [
         (size, frac) for frac in slow_fractions for size in cluster_sizes
     ]
     cell = functools.partial(
-        _measure_grid_point, qps=qps, num_requests=num_requests, seed=seed
+        _measure_grid_point, qps=qps, num_requests=num_requests, seed=seed,
+        audit=audit,
     )
-    return parallel_map(cell, grid, jobs=jobs)
+    if run_dir is None:
+        return parallel_map(
+            cell, grid, jobs=jobs, retries=retries, timeout=timeout
+        )
+    config = {
+        "qps": qps, "num_requests": num_requests, "audit": audit,
+    }
+    keys = [
+        point_key(
+            experiment, {"size": size, "frac": frac}, seed, config
+        )
+        for size, frac in grid
+    ]
+    store = RunStore(run_dir, experiment, config=config)
+    return durable_map(
+        cell, grid, store=store, keys=keys,
+        seeds=[seed] * len(grid), resume=resume, jobs=jobs,
+        retries=retries, timeout=timeout,
+    )

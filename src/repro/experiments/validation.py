@@ -9,7 +9,8 @@ windows for higher-fidelity runs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..apps import (
     fanout,
@@ -24,6 +25,8 @@ from .loadsweep import SweepPoint, load_latency_sweep
 
 SweepPair = Dict[str, List[SweepPoint]]
 
+RunDir = Optional[Union[str, Path]]
+
 
 def _real_and_sim(
     build_world: Callable,
@@ -32,16 +35,32 @@ def _real_and_sim(
     warmup: float,
     seed: int,
     jobs: int = 1,
+    run_dir: RunDir = None,
+    resume: bool = True,
+    experiment: str = "pair",
+    audit: bool = False,
+    retries: int = 0,
+    timeout: Optional[float] = None,
     **world_kwargs,
 ) -> SweepPair:
-    """Run the same sweep with and without the realism layer."""
+    """Run the same sweep with and without the realism layer.
+
+    Both sides share *run_dir* when given: the journal is append-only
+    and keys embed ``{experiment}/sim`` vs ``{experiment}/real``, so a
+    whole multi-sweep figure checkpoints into one directory.
+    """
+    durable = dict(
+        run_dir=run_dir, resume=resume, audit=audit, retries=retries,
+        timeout=timeout,
+    )
     sim_points = load_latency_sweep(
         build_world, loads, duration, warmup, seed=seed, jobs=jobs,
-        **world_kwargs
+        experiment=f"{experiment}/sim", **durable, **world_kwargs
     )
     real_points = load_latency_sweep(
         build_world, loads, duration, warmup, seed=seed + 7919,
-        jobs=jobs, realism=RealismConfig(), **world_kwargs,
+        jobs=jobs, experiment=f"{experiment}/real", **durable,
+        realism=RealismConfig(), **world_kwargs,
     )
     return {"sim": sim_points, "real": real_points}
 
@@ -58,6 +77,9 @@ def fig5_two_tier(
     warmup: float = 0.1,
     seed: int = 1,
     jobs: int = 1,
+    run_dir: RunDir = None,
+    resume: bool = True,
+    audit: bool = False,
 ) -> Dict[str, SweepPair]:
     """Fig 5: 2-tier load-latency across thread/process configs."""
     loads_by_processes = loads_by_processes or {
@@ -74,6 +96,10 @@ def fig5_two_tier(
             warmup,
             seed,
             jobs=jobs,
+            run_dir=run_dir,
+            resume=resume,
+            audit=audit,
+            experiment=f"fig5/{key}",
             nginx_processes=nginx_procs,
             memcached_threads=mc_threads,
         )
@@ -86,10 +112,14 @@ def fig6_three_tier(
     warmup: float = 0.15,
     seed: int = 1,
     jobs: int = 1,
+    run_dir: RunDir = None,
+    resume: bool = True,
+    audit: bool = False,
 ) -> SweepPair:
     """Fig 6: 3-tier (NGINX-memcached-MongoDB) validation."""
     return _real_and_sim(three_tier, loads, duration, warmup, seed,
-                         jobs=jobs)
+                         jobs=jobs, run_dir=run_dir, resume=resume,
+                         audit=audit, experiment="fig6")
 
 
 def fig8_load_balancing(
@@ -99,6 +129,9 @@ def fig8_load_balancing(
     warmup: float = 0.08,
     seed: int = 1,
     jobs: int = 1,
+    run_dir: RunDir = None,
+    resume: bool = True,
+    audit: bool = False,
 ) -> Dict[int, SweepPair]:
     """Fig 8: p99 vs load for each scale-out factor."""
     loads_by_scale = loads_by_scale or {
@@ -109,7 +142,8 @@ def fig8_load_balancing(
     return {
         so: _real_and_sim(
             load_balanced, loads_by_scale[so], duration, warmup, seed,
-            jobs=jobs, scale_out=so,
+            jobs=jobs, run_dir=run_dir, resume=resume, audit=audit,
+            experiment=f"fig8/scale{so}", scale_out=so,
         )
         for so in scale_outs
     }
@@ -122,12 +156,16 @@ def fig10_fanout(
     warmup: float = 0.1,
     seed: int = 1,
     jobs: int = 1,
+    run_dir: RunDir = None,
+    resume: bool = True,
+    audit: bool = False,
 ) -> Dict[int, SweepPair]:
     """Fig 10: p99 vs load for each fanout factor."""
     return {
         fo: _real_and_sim(
             fanout, loads, duration, warmup, seed, jobs=jobs,
-            fanout_factor=fo
+            run_dir=run_dir, resume=resume, audit=audit,
+            experiment=f"fig10/fanout{fo}", fanout_factor=fo
         )
         for fo in fanouts
     }
@@ -139,10 +177,14 @@ def fig12a_thrift(
     warmup: float = 0.1,
     seed: int = 1,
     jobs: int = 1,
+    run_dir: RunDir = None,
+    resume: bool = True,
+    audit: bool = False,
 ) -> SweepPair:
     """Fig 12(a): Thrift echo RPC validation."""
     return _real_and_sim(thrift_echo, loads, duration, warmup, seed,
-                         jobs=jobs)
+                         jobs=jobs, run_dir=run_dir, resume=resume,
+                         audit=audit, experiment="fig12a")
 
 
 def fig12b_social_network(
@@ -151,7 +193,11 @@ def fig12b_social_network(
     warmup: float = 0.12,
     seed: int = 1,
     jobs: int = 1,
+    run_dir: RunDir = None,
+    resume: bool = True,
+    audit: bool = False,
 ) -> SweepPair:
     """Fig 12(b): Social Network end-to-end validation."""
     return _real_and_sim(social_network, loads, duration, warmup, seed,
-                         jobs=jobs)
+                         jobs=jobs, run_dir=run_dir, resume=resume,
+                         audit=audit, experiment="fig12b")

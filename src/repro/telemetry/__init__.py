@@ -3,7 +3,7 @@
 from .availability import AvailabilityMonitor
 from .latency import LatencyRecorder, WindowedLatency
 from .monitor import ServiceMonitor
-from .report import format_series, format_table, ms, us
+from .report import format_run_manifest, format_series, format_table, ms, us
 from .timeseries import TimeSeries
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "ServiceMonitor",
     "TimeSeries",
     "WindowedLatency",
+    "format_run_manifest",
     "format_series",
     "format_table",
     "ms",

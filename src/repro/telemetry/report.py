@@ -78,6 +78,32 @@ def format_series(
     return f"{name} [{x_label} vs {y_label}]: {pairs}"
 
 
+def format_run_manifest(manifest: dict) -> str:
+    """One-paragraph summary of a run directory's ``manifest.json``.
+
+    The CLI prints this after a checkpointed experiment so the user
+    sees at a glance what landed, what failed, and what a resume would
+    recompute.
+    """
+    counts = manifest.get("counts", {})
+    total = sum(counts.values())
+    parts = [
+        f"run {manifest.get('experiment', '?')}: "
+        f"{manifest.get('status', 'unknown')}",
+        f"{counts.get('ok', 0)}/{total} points ok",
+    ]
+    failed = counts.get("failed", 0)
+    if failed:
+        parts.append(f"{failed} failed (kept in journal; resume retries them)")
+    resumed = manifest.get("resumed_points")
+    if resumed:
+        parts.append(f"{resumed} reused from journal")
+    wall = manifest.get("wall_time_s")
+    if wall is not None:
+        parts.append(f"{format_cell(float(wall))}s wall")
+    return ", ".join(parts)
+
+
 def ms(seconds: float) -> float:
     """Seconds -> milliseconds (reporting convenience)."""
     return seconds * 1e3

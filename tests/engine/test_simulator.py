@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.engine import Simulator
-from repro.errors import SimulationError
+from repro.engine import GUARD_CHECK_EVERY, RunProgress, Simulator
+from repro.errors import SimulationAborted, SimulationError
 
 
 class TestScheduling:
@@ -99,6 +99,152 @@ class TestRunBounds:
         sim.schedule(0.0, bad)
         with pytest.raises(SimulationError):
             sim.run()
+
+
+class TestStopResume:
+    """stop() on the drain fast path, and running again afterwards."""
+
+    def test_stop_on_drain_fast_path_leaves_queue_intact(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), fired.append, i)
+        sim.schedule(4.5, sim.stop)
+        sim.run()  # no bounds -> drain fast path
+        assert fired == [0, 1, 2, 3, 4]
+        assert len(sim.events) == 5
+        assert sim.now == 4.5
+
+    def test_run_resumes_after_stop(self):
+        sim = Simulator()
+        fired = []
+        for i in range(6):
+            sim.schedule(float(i), fired.append, i)
+        sim.schedule(2.5, sim.stop)
+        sim.run()
+        processed_first = sim.events_processed
+        clock_first = sim.now
+        sim.run()  # stop request must not leak into the next run
+        assert fired == list(range(6))
+        # Clock monotonicity and events_processed continuity across runs.
+        assert sim.now >= clock_first
+        assert sim.now == 5.0
+        assert sim.events_processed == processed_first + 3
+        assert len(sim.events) == 0
+
+    def test_stop_on_bounded_path_then_resume(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, fired.append, 2)
+        sim.run(until=10.0)
+        assert fired == [1]
+        sim.run(until=10.0)
+        assert fired == [1, 2]
+        assert sim.now == 10.0
+
+    def test_repeated_stop_resume_cycles_are_monotone(self):
+        sim = Simulator()
+        clocks = []
+        for i in range(20):
+            sim.schedule(float(i), lambda: None)
+            sim.schedule(float(i), sim.stop)
+        while sim.events:
+            sim.run()
+            clocks.append(sim.now)
+        assert clocks == sorted(clocks)
+        assert sim.events_processed == 40
+
+
+def _self_rescheduling(sim, delay=0.0):
+    """An event loop that never drains: each firing schedules the next."""
+
+    def tick():
+        sim.schedule(delay, tick)
+
+    sim.schedule(0.0, tick)
+
+
+class TestGuardrails:
+    def test_wall_clock_budget_aborts_livelock(self):
+        sim = Simulator()
+        _self_rescheduling(sim)  # infinite zero-delay self-rescheduling
+        with pytest.raises(SimulationAborted) as err:
+            sim.run(wall_clock_budget=0.05)
+        abort = err.value
+        assert abort.reason.startswith("wall_clock_budget")
+        assert abort.events_processed > 0
+        assert abort.queue_depth >= 1
+        assert abort.wall_clock >= 0.05
+        assert abort.clock == sim.now
+
+    def test_simulator_usable_after_abort(self):
+        sim = Simulator()
+        _self_rescheduling(sim, delay=1e-9)
+        with pytest.raises(SimulationAborted):
+            sim.run(wall_clock_budget=0.02)
+        clock = sim.now
+        # The queue is intact and a bounded run still works.
+        sim.run(max_events=10)
+        assert sim.now >= clock
+
+    def test_max_live_events_aborts_unbounded_growth(self):
+        sim = Simulator()
+
+        def fork():  # each firing schedules two more: exponential queue
+            sim.schedule(1.0, fork)
+            sim.schedule(1.0, fork)
+
+        sim.schedule(0.0, fork)
+        with pytest.raises(SimulationAborted) as err:
+            sim.run(max_events=10_000_000, wall_clock_budget=30.0,
+                    max_live_events=50_000)
+        assert "live events" in err.value.reason
+        assert err.value.queue_depth > 50_000
+
+    def test_watchdog_sees_progress_and_can_stop(self):
+        sim = Simulator()
+        _self_rescheduling(sim, delay=1e-9)
+        seen = []
+
+        def watchdog(progress):
+            seen.append(progress)
+            sim.stop()
+
+        sim.run(watchdog=watchdog, watchdog_interval=0.0)
+        assert len(seen) == 1
+        assert isinstance(seen[0], RunProgress)
+        assert seen[0].events_processed >= 0
+        assert seen[0].queue_depth >= 1
+        # stop() from the watchdog ended the run cleanly: no exception,
+        # queue intact, clock where the watchdog left it.
+        assert len(sim.events) >= 1
+
+    def test_guarded_run_respects_until_and_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(until=2.0, wall_clock_budget=30.0)
+        assert fired == [0, 1, 2]
+        assert sim.now == 2.0
+        sim.run(max_events=1, wall_clock_budget=30.0)
+        assert fired == [0, 1, 2, 3]
+
+    def test_guarded_matches_unguarded_results(self):
+        def drive(**kwargs):
+            sim = Simulator(seed=3)
+            order = []
+            for i in range(3 * GUARD_CHECK_EVERY):
+                sim.schedule(
+                    float(sim.random.stream("t").random()), order.append, i
+                )
+            sim.run(**kwargs)
+            return sim.now, order
+
+        plain = drive()
+        guarded = drive(wall_clock_budget=60.0, max_live_events=10**7)
+        assert guarded == plain
 
 
 class TestDeterminism:

@@ -64,6 +64,12 @@ class TestResolveJobs:
         with pytest.raises(ReproError):
             resolve_jobs(-2)
 
+    def test_negative_message_states_accepted_range(self):
+        # The message must tell the caller what IS accepted, not just
+        # complain: >= 1 explicit workers, or 0/None for all cores.
+        with pytest.raises(ReproError, match=r">= 1.*0/None.*all cores"):
+            resolve_jobs(-2)
+
 
 class TestJobsFromEnv:
     def test_default(self, monkeypatch):
@@ -74,10 +80,17 @@ class TestJobsFromEnv:
         monkeypatch.setenv("REPRO_JOBS", "6")
         assert default_jobs_from_env() == 6
 
-    def test_garbage_falls_back(self, monkeypatch, capsys):
+    def test_garbage_warns_and_falls_back(self, monkeypatch):
+        # Bad values surface through the warnings machinery (same
+        # channel parallel_map's pool fallback uses), not bare prints.
         monkeypatch.setenv("REPRO_JOBS", "many")
-        assert default_jobs_from_env() == 1
-        assert "REPRO_JOBS" in capsys.readouterr().err
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+            assert default_jobs_from_env() == 1
+
+    def test_negative_env_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-3")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+            assert default_jobs_from_env() == 1
 
 
 class TestDeriveSeed:

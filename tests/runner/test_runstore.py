@@ -1,0 +1,279 @@
+"""The durable-run layer: content keys, journal round-trips, atomic
+manifests, and resume-from-journal semantics."""
+
+import json
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import PartialSweepError, ReproError
+from repro.experiments.loadsweep import SweepPoint
+from repro.runner import RunStore, durable_map, point_key, register_result_type
+from repro.runner.runstore import (
+    canonical_json,
+    decode_value,
+    encode_value,
+    write_json_atomic,
+)
+
+
+def square(x):
+    return x * x
+
+
+def boom_on_negative(x):
+    if x < 0:
+        raise ValueError(f"bad item {x}")
+    return x * x
+
+
+class Odd:
+    """Unregistered, pickle-only payload for the codec fallback test."""
+
+    def __eq__(self, other):
+        return isinstance(other, Odd)
+
+
+class TestPointKey:
+    def test_deterministic(self):
+        a = point_key("fig8", {"qps": 50.2}, 7, {"duration": 0.3})
+        b = point_key("fig8", {"qps": 50.2}, 7, {"duration": 0.3})
+        assert a == b
+
+    def test_any_component_changes_key(self):
+        base = point_key("fig8", {"qps": 50.2}, 7, {"duration": 0.3})
+        assert point_key("fig9", {"qps": 50.2}, 7, {"duration": 0.3}) != base
+        assert point_key("fig8", {"qps": 50.9}, 7, {"duration": 0.3}) != base
+        assert point_key("fig8", {"qps": 50.2}, 8, {"duration": 0.3}) != base
+        assert point_key("fig8", {"qps": 50.2}, 7, {"duration": 0.4}) != base
+
+    def test_dict_key_order_is_canonical(self):
+        assert (point_key("e", {"a": 1, "b": 2}, 0)
+                == point_key("e", {"b": 2, "a": 1}, 0))
+
+    def test_close_floats_distinguished(self):
+        # Full-precision floats enter the hash; no int() truncation.
+        assert (canonical_json({"qps": 50.2})
+                != canonical_json({"qps": 50.20000000000001}))
+
+
+class TestCodec:
+    def test_scalars_round_trip(self):
+        for value in (None, True, 3, -7, 0.1, float("inf"), "hi"):
+            assert decode_value(encode_value(value)) == value
+
+    def test_registered_dataclass_round_trips_exactly(self):
+        point = SweepPoint(50.2, 49.9, 1.25e-3, 1.0e-3, 2.5e-3,
+                           3.0000000000000004e-3, 123)
+        # Through an actual JSON string, as the journal does.
+        recovered = decode_value(json.loads(json.dumps(encode_value(point))))
+        assert recovered == point
+        assert recovered.p99 == point.p99  # exact bits, not approx
+
+    def test_infinite_latencies_round_trip(self):
+        wedged = SweepPoint(100.0, 0.0, float("inf"), float("inf"),
+                            float("inf"), float("inf"), 0)
+        assert decode_value(json.loads(
+            json.dumps(encode_value(wedged)))) == wedged
+
+    def test_tuples_and_nesting(self):
+        value = {"grid": [(5, 0.01), (10, 0.05)], "name": "t"}
+        assert decode_value(json.loads(
+            json.dumps(encode_value(value)))) == value
+
+    def test_unregistered_object_pickles(self):
+        encoded = encode_value({"o": Odd()})
+        assert "__pickle__" in json.dumps(encoded)
+        assert decode_value(encoded)["o"] == Odd()
+
+    def test_register_rejects_non_dataclass(self):
+        with pytest.raises(ReproError):
+            register_result_type(int)
+
+    def test_register_rejects_name_collision(self):
+        @dataclass
+        class SweepPoint:  # shadows the real one by name
+            x: int
+
+        with pytest.raises(ReproError, match="already registered"):
+            register_result_type(SweepPoint)
+
+
+class TestRunStore:
+    def test_journal_appends_and_reloads(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp")
+        key = point_key("exp", 1, 11)
+        store.record_ok(key, item=1, seed=11, result=SweepPoint(
+            1.0, 1.0, 1e-3, 1e-3, 1e-3, 1e-3, 10))
+        # A second store over the same dir sees the entry.
+        reloaded = RunStore(tmp_path / "run", "exp")
+        assert key in reloaded
+        assert reloaded.has_ok(key)
+        assert reloaded.result_for(key).completed == 10
+
+    def test_failed_entries_are_not_ok(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp")
+        key = point_key("exp", -1, 11)
+        store.record_failure(key, item=-1, seed=11,
+                             error="ValueError('x')", kind="exception",
+                             attempts=3)
+        assert key in store
+        assert not store.has_ok(key)
+        with pytest.raises(ReproError):
+            store.result_for(key)
+
+    def test_later_entries_win(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp")
+        key = point_key("exp", 2, 0)
+        store.record_failure(key, item=2, seed=0, error="boom")
+        store.record_ok(key, item=2, seed=0, result=4)
+        reloaded = RunStore(tmp_path / "run", "exp")
+        assert reloaded.has_ok(key)
+        assert reloaded.result_for(key) == 4
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp")
+        key = point_key("exp", 3, 0)
+        store.record_ok(key, item=3, seed=0, result=9)
+        with open(store.journal_path, "a") as fh:
+            fh.write('{"key": "torn-entr')  # killed mid-write
+        reloaded = RunStore(tmp_path / "run", "exp")
+        assert len(reloaded) == 1
+        assert reloaded.has_ok(key)
+
+    def test_manifest_contents(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp", config={"duration": 0.25})
+        ok = point_key("exp", 1, 5)
+        bad = point_key("exp", -1, 6)
+        store.record_ok(ok, item=1, seed=5, result=1)
+        store.record_failure(bad, item=-1, seed=6, error="boom",
+                             kind="crash", attempts=2)
+        manifest = store.write_manifest("partial")
+        on_disk = json.loads(store.manifest_path.read_text())
+        assert on_disk == json.loads(json.dumps(manifest))
+        assert on_disk["status"] == "partial"
+        assert on_disk["counts"] == {"ok": 1, "failed": 1}
+        assert on_disk["points"][ok]["outcome"] == "ok"
+        assert on_disk["points"][ok]["seed"] == 5
+        assert on_disk["points"][bad]["kind"] == "crash"
+        assert on_disk["config"] == {"duration": 0.25}
+        for field in ("python", "numpy", "repro", "platform"):
+            assert field in on_disk["environment"]
+        assert on_disk["wall_time_s"] >= 0
+
+    def test_manifest_write_is_atomic(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        write_json_atomic(path, {"a": 1})
+        write_json_atomic(path, {"a": 2})
+        assert json.loads(path.read_text()) == {"a": 2}
+        # No temp litter left behind.
+        assert os.listdir(tmp_path) == ["manifest.json"]
+
+
+class TestDurableMap:
+    def _keys(self, items, seed=0):
+        return [point_key("exp", item, seed) for item in items]
+
+    def test_first_run_journals_everything(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp")
+        items = [1, 2, 3]
+        out = durable_map(square, items, store=store,
+                          keys=self._keys(items))
+        assert out == [1, 4, 9]
+        assert len(store) == 3
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["status"] == "completed"
+        assert manifest["resumed_points"] == 0
+
+    def test_resume_skips_journaled_points(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp")
+        items = [1, 2, 3, 4]
+        keys = self._keys(items)
+        durable_map(square, items[:2], store=store, keys=keys[:2])
+
+        computed = []
+
+        def counting(x):
+            computed.append(x)
+            return square(x)
+
+        out = durable_map(counting, items, store=store, keys=keys,
+                          resume=True)
+        assert out == [1, 4, 9, 16]
+        assert computed == [3, 4]  # exactly n - k recomputed
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["resumed_points"] == 2
+
+    def test_resume_false_recomputes(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp")
+        items = [1, 2]
+        keys = self._keys(items)
+        durable_map(square, items, store=store, keys=keys)
+        computed = []
+
+        def counting(x):
+            computed.append(x)
+            return square(x)
+
+        durable_map(counting, items, store=store, keys=keys, resume=False)
+        assert computed == [1, 2]
+
+    def test_failures_journaled_and_recomputed_on_resume(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp")
+        items = [1, -1, 2]
+        keys = self._keys(items)
+        with pytest.raises(PartialSweepError) as err:
+            durable_map(boom_on_negative, items, store=store, keys=keys)
+        assert err.value.results[0] == 1
+        assert err.value.results[2] == 4
+        assert err.value.failures[0].index == 1
+        assert err.value.failures[0].seed is None
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["status"] == "partial"
+        assert manifest["counts"] == {"ok": 2, "failed": 1}
+
+        # Resume recomputes only the failed point.
+        computed = []
+
+        def now_fine(x):
+            computed.append(x)
+            return x * x
+
+        out = durable_map(now_fine, items, store=store, keys=keys,
+                          resume=True)
+        assert out == [1, 1, 4]
+        assert computed == [-1]
+        assert json.loads(
+            store.manifest_path.read_text())["status"] == "completed"
+
+    def test_interrupt_writes_manifest(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp")
+
+        def interrupt(x):
+            if x == 2:
+                raise KeyboardInterrupt
+            return x * x
+
+        items = [1, 2, 3]
+        with pytest.raises(KeyboardInterrupt):
+            durable_map(interrupt, items, store=store,
+                        keys=self._keys(items))
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["status"] == "interrupted"
+        # The completed point survived in the journal.
+        assert manifest["counts"].get("ok", 0) >= 1
+
+    def test_seeds_recorded(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp")
+        items = [5, 6]
+        keys = self._keys(items)
+        durable_map(square, items, store=store, keys=keys, seeds=[55, 66])
+        manifest = json.loads(store.manifest_path.read_text())
+        assert sorted(
+            p["seed"] for p in manifest["points"].values()) == [55, 66]
+
+    def test_key_item_length_mismatch_rejected(self, tmp_path):
+        store = RunStore(tmp_path / "run", "exp")
+        with pytest.raises(ReproError, match="keys"):
+            durable_map(square, [1, 2], store=store, keys=["only-one"])

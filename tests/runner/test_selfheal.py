@@ -1,0 +1,202 @@
+"""Self-healing parallel_map: worker crashes, hangs, retries, and the
+collect-failures mode that keeps a sweep alive through all of them."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import PartialSweepError, ReproError, WorkerCrashError
+from repro.runner import ItemFailure, parallel_map
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::RuntimeWarning"  # sandboxed pool fallback is fine here
+)
+
+
+def square(x):
+    return x * x
+
+
+def crash_on_negative(x):
+    """Kills its worker process outright for negative items — the
+    simulated OOM-kill/segfault that used to abort whole sweeps."""
+    if x < 0:
+        os._exit(13)
+    return x * x
+
+
+def boom_on_negative(x):
+    if x < 0:
+        raise ValueError(f"bad item {x}")
+    return x * x
+
+
+def hang_on_negative(x):
+    if x < 0:
+        time.sleep(120.0)
+    return x * x
+
+
+_FLAKY_DIR = None
+
+
+def flaky_once(x):
+    """Fails (by exception) the first time each item is seen, then
+    succeeds — exercised via a scratch-dir marker shared across
+    workers."""
+    marker = os.path.join(_FLAKY_DIR, f"seen-{x}")
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError(f"transient failure for {x}")
+    return x * x
+
+
+class TestRetries:
+    def test_transient_exception_retried_in_process(self, tmp_path):
+        global _FLAKY_DIR
+        _FLAKY_DIR = str(tmp_path)
+        assert parallel_map(flaky_once, [2, 3], jobs=1, retries=1) == [4, 9]
+
+    def test_transient_exception_retried_in_pool(self, tmp_path):
+        global _FLAKY_DIR
+        _FLAKY_DIR = str(tmp_path)
+        # NB: _FLAKY_DIR must reach the workers; fork start method
+        # inherits it. If the platform spawns, items fail terminally
+        # and this test would raise — guard by collecting.
+        try:
+            result = parallel_map(flaky_once, [2, 3, 4], jobs=2, retries=2)
+        except PartialSweepError as exc:  # pragma: no cover - spawn platforms
+            pytest.skip(f"start method does not inherit globals: {exc}")
+        assert result == [4, 9, 16]
+
+    def test_exhausted_retries_raise_original_exception(self):
+        with pytest.raises(ValueError, match="bad item -1"):
+            parallel_map(boom_on_negative, [1, -1, 2], jobs=1, retries=2)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ReproError, match="retries"):
+            parallel_map(square, [1], retries=-1)
+
+    def test_bad_failures_mode_rejected(self):
+        with pytest.raises(ReproError, match="failures"):
+            parallel_map(square, [1], failures="ignore")
+
+
+class TestCollectMode:
+    def test_collect_keeps_good_results(self):
+        with pytest.raises(PartialSweepError) as err:
+            parallel_map(
+                boom_on_negative, [1, -1, 2, -2, 3], jobs=1,
+                failures="collect",
+            )
+        sweep = err.value
+        assert len(sweep.failures) == 2
+        results = sweep.results
+        assert [results[0], results[2], results[4]] == [1, 4, 9]
+        assert isinstance(results[1], ItemFailure)
+        assert results[1].kind == "exception"
+        assert results[1].attempts == 1
+        assert "bad item -1" in results[1].error
+        assert results[1].item == -1
+        # ItemFailure is falsy so .filter(bool)-style cleanup works.
+        assert [r for r in results if r] == [1, 4, 9]
+
+    def test_collect_counts_attempts(self):
+        with pytest.raises(PartialSweepError) as err:
+            parallel_map(
+                boom_on_negative, [-5], jobs=1, retries=2,
+                failures="collect",
+            )
+        (failure,) = err.value.failures
+        assert failure.attempts == 3  # 1 try + 2 retries
+
+    def test_collect_without_failures_returns_normally(self):
+        assert parallel_map(
+            square, [1, 2, 3], jobs=1, failures="collect"
+        ) == [1, 4, 9]
+
+
+class TestOnResult:
+    def test_on_result_called_per_item(self):
+        seen = []
+        out = parallel_map(
+            square, [3, 4], jobs=1, on_result=lambda i, r: seen.append((i, r))
+        )
+        assert out == [9, 16]
+        assert sorted(seen) == [(0, 9), (1, 16)]
+
+    def test_on_result_in_pool(self):
+        seen = {}
+        items = list(range(8))
+        parallel_map(
+            square, items, jobs=2, on_result=lambda i, r: seen.update({i: r})
+        )
+        assert seen == {i: i * i for i in items}
+
+    def test_on_result_skipped_for_failures(self):
+        seen = []
+        with pytest.raises(PartialSweepError):
+            parallel_map(
+                boom_on_negative, [1, -1], jobs=1, failures="collect",
+                on_result=lambda i, r: seen.append(i),
+            )
+        assert seen == [0]
+
+
+class TestWorkerCrash:
+    """The acceptance scenario: an os._exit item must not take the
+    sweep (or its siblings' results) down with it."""
+
+    def test_crashed_item_attributed_others_survive(self):
+        items = [1, 2, -1, 3, 4, 5]
+        with pytest.raises(PartialSweepError) as err:
+            parallel_map(
+                crash_on_negative, items, jobs=2, retries=1,
+                failures="collect",
+            )
+        sweep = err.value
+        # Exactly the crasher failed; every innocent item has its result.
+        assert [f.item for f in sweep.failures] == [-1]
+        (failure,) = sweep.failures
+        assert failure.kind == "crash"
+        assert failure.attempts >= 2  # retried up to budget
+        for i, item in enumerate(items):
+            if item >= 0:
+                assert sweep.results[i] == item * item
+        assert isinstance(sweep.results[2], ItemFailure)
+
+    def test_crash_fail_fast_raises_worker_crash_error(self):
+        with pytest.raises(WorkerCrashError) as err:
+            parallel_map(crash_on_negative, [1, -1, 2], jobs=2)
+        assert err.value.failure.kind == "crash"
+
+    def test_all_items_crash_still_terminates(self):
+        with pytest.raises(PartialSweepError) as err:
+            parallel_map(
+                crash_on_negative, [-1, -2], jobs=2, failures="collect"
+            )
+        assert len(err.value.failures) == 2
+
+
+class TestTimeout:
+    def test_hung_item_killed_and_attributed(self):
+        items = [1, -1, 2]
+        start = time.monotonic()
+        with pytest.raises(PartialSweepError) as err:
+            parallel_map(
+                hang_on_negative, items, jobs=2, timeout=1.0,
+                failures="collect",
+            )
+        elapsed = time.monotonic() - start
+        sweep = err.value
+        assert [f.item for f in sweep.failures] == [-1]
+        assert sweep.failures[0].kind == "timeout"
+        assert sweep.results[0] == 1 and sweep.results[2] == 4
+        # The 120s sleeper was killed, not waited out.
+        assert elapsed < 60
+
+    def test_timeout_ignored_in_process(self):
+        # jobs=1 has no worker to kill; fast items simply run.
+        assert parallel_map(square, [1, 2], jobs=1, timeout=0.001) == [1, 4]

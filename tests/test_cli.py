@@ -115,3 +115,76 @@ class TestExperimentsCommand:
         err = capsys.readouterr().err
         assert "error:" in err
         assert "fig99" in err
+
+
+class TestDurableExperimentFlags:
+    def _install(self, monkeypatch, exp_id, runner):
+        from repro.experiments import registry
+        from repro.experiments.registry import ExperimentSpec
+
+        cheap = ExperimentSpec(exp_id, "Figure T", "stub", runner)
+        monkeypatch.setitem(registry._BY_ID, exp_id, cheap)
+
+    def test_run_dir_and_resume_forwarded(self, capsys, monkeypatch,
+                                          tmp_path):
+        seen = {}
+
+        def runner(run_dir=None, resume=True):
+            seen.update(run_dir=run_dir, resume=resume)
+            return "ran"
+
+        self._install(monkeypatch, "figT", runner)
+        run_dir = tmp_path / "run"
+        assert main([
+            "experiments", "run", "figT",
+            "--run-dir", str(run_dir), "--no-resume",
+        ]) == 0
+        assert seen == {"run_dir": str(run_dir), "resume": False}
+        capsys.readouterr()
+
+    def test_audit_forwarded(self, capsys, monkeypatch):
+        seen = {}
+
+        def runner(audit=False):
+            seen["audit"] = audit
+            return "ran"
+
+        self._install(monkeypatch, "figU", runner)
+        assert main(["experiments", "run", "figU", "--audit"]) == 0
+        assert seen == {"audit": True}
+        capsys.readouterr()
+
+    def test_manifest_summary_printed(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        run_dir = tmp_path / "run"
+
+        def runner(run_dir=None, resume=True):
+            # Stand-in for a durable sweep leaving a manifest behind.
+            from pathlib import Path
+            Path(run_dir).mkdir(parents=True, exist_ok=True)
+            (Path(run_dir) / "manifest.json").write_text(json.dumps({
+                "experiment": "figV", "status": "completed",
+                "counts": {"ok": 3}, "resumed_points": 1,
+                "wall_time_s": 0.5,
+            }))
+            return "ran"
+
+        self._install(monkeypatch, "figV", runner)
+        assert main([
+            "experiments", "run", "figV", "--run-dir", str(run_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run figV: completed" in out
+        assert "3/3 points ok" in out
+        assert "1 reused from journal" in out
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        def runner():
+            raise KeyboardInterrupt
+
+        self._install(monkeypatch, "figK", runner)
+        code = main(["experiments", "run", "figK"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "resume" in err
