@@ -3,16 +3,20 @@
 ::
 
     python -m repro run <spec-dir> [--seed N] [--until S] [--real]
+        [--trace] [--trace-sample R] [--trace-dir DIR]
     python -m repro experiments list
     python -m repro experiments run <exp-id> [--seed N] [--jobs N]
         [--run-dir DIR] [--no-resume] [--audit]
+        [--trace-dir DIR] [--trace-sample R]
 
 ``run`` loads a Table I spec directory (machines.json, services/,
 graph.json, path.json, client.json, optional faults.json), simulates
 it, and prints the end-to-end latency summary. ``experiments`` exposes
 the figure/table registry; ``--run-dir`` journals completed sweep
 points so a killed run resumes where it stopped (see
-docs/operations.md).
+docs/operations.md). ``--trace``/``--trace-dir`` record per-request
+spans and export them as Perfetto and OTLP JSON (see
+docs/observability.md).
 
 Exit codes: 0 on success, 2 on configuration/simulation errors
 (:class:`~repro.errors.ReproError`, printed as a one-line message),
@@ -31,7 +35,14 @@ from pathlib import Path
 from .config import SimulationSpec
 from .errors import ReproError
 from .experiments import registry
-from .telemetry import format_run_manifest, format_table, ms
+from .telemetry import (
+    TraceConfig,
+    format_run_manifest,
+    format_table,
+    ms,
+    write_otlp,
+    write_perfetto,
+)
 from .testbed import RealismConfig
 
 
@@ -42,6 +53,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if client is None:
         print("spec has no client.json; nothing to drive", file=sys.stderr)
         return 2
+    tracing = args.trace or args.trace_dir is not None
+    if tracing:
+        world.dispatcher.trace = TraceConfig(sample_rate=args.trace_sample)
     client.start()
     world.sim.run(until=args.until)
     if client.requests_ok == 0:
@@ -67,6 +81,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["p95 (ms)", ms(lat.p95())],
         ["p99 (ms)", ms(lat.p99())],
     ]
+    if tracing:
+        tracer = world.dispatcher.tracer
+        rows.append(["traces sampled", len(tracer.traces)])
+        if args.trace_dir is not None:
+            base = Path(args.trace_dir)
+            base.mkdir(parents=True, exist_ok=True)
+            write_perfetto(base / "trace.perfetto.json", tracer.traces)
+            write_otlp(base / "trace.otlp.json", tracer.traces)
+            rows.append(["trace dir", str(base)])
     print(format_table(
         ["metric", "value"],
         rows,
@@ -96,6 +119,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         run_dir=args.run_dir,
         resume=args.resume,
         audit=args.audit,
+        trace_dir=args.trace_dir,
+        trace_sample=args.trace_sample,
         **kwargs,
     )
     print(repr(result))
@@ -123,6 +148,20 @@ def main(argv=None) -> int:
     run_parser.add_argument(
         "--real", action="store_true",
         help="apply the real-system surrogate (noise + timeouts)",
+    )
+    run_parser.add_argument(
+        "--trace", action="store_true",
+        help="record per-request span traces (attempt-aware; see "
+             "docs/observability.md)",
+    )
+    run_parser.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="R",
+        help="probability of sampling each request's trace (default 1.0)",
+    )
+    run_parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="export sampled traces to DIR as Perfetto and OTLP JSON "
+             "(implies --trace)",
     )
     run_parser.set_defaults(func=_cmd_run)
 
@@ -153,6 +192,15 @@ def main(argv=None) -> int:
     exp_run.add_argument(
         "--audit", action="store_true",
         help="verify request conservation after each measurement",
+    )
+    exp_run.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="export sampled request traces (Perfetto + OTLP JSON) "
+             "to this directory",
+    )
+    exp_run.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="R",
+        help="with --trace-dir: per-request trace sampling rate",
     )
     exp_parser.set_defaults(func=_cmd_experiments)
 

@@ -1,18 +1,24 @@
 """Critical-path analysis over request traces.
 
-With dispatcher tracing enabled
-(:class:`~repro.topology.Dispatcher` ``trace=True``), every request
-carries per-node (enter, leave) timestamps. This module turns a set of
-traced requests into the numbers an operator actually needs:
+With dispatcher tracing enabled (``Dispatcher(trace=True)`` or a
+:class:`~repro.telemetry.tracing.TraceConfig`), every sampled request
+carries a :class:`~repro.telemetry.tracing.Trace` of attempt-aware
+:class:`~repro.telemetry.tracing.Span` objects. This module turns a
+set of traced requests into the numbers an operator actually needs:
 
 * per-node latency contributions (mean/percentile of node spans),
-* the **critical path** of each request — the chain of nodes whose
-  spans sum (with the gaps between them) to the end-to-end latency,
-  accounting for fan-out branches that overlap in time,
+* the **critical path** of each request — the chain of spans whose
+  durations sum (with the gaps between them) to the end-to-end
+  latency, accounting for fan-out branches that overlap in time and
+  for failed attempts whose time the request really did spend,
 * aggregate blame: how often each node sits on the critical path.
 
 This is the style of per-tier attribution the paper's power manager
 needs (per-tier latency tuples) and the precursor of tools like Seer.
+
+The legacy trace format — a list of ``(node, instance, enter, leave)``
+tuples in ``request.metadata["trace"]`` — is still accepted and
+upgraded to spans on the fly, so existing notebooks keep working.
 """
 
 from __future__ import annotations
@@ -24,48 +30,67 @@ import numpy as np
 
 from ..errors import ReproError
 from ..service import Request
+from ..telemetry.tracing import SPAN_OK, Span, Trace
+
+#: Backwards-compatible alias: span extraction used to return a
+#: purpose-built NodeSpan; it now returns the telemetry Span directly
+#: (same ``node``/``instance``/``enter``/``leave``/``duration`` API).
+NodeSpan = Span
 
 
-@dataclass
-class NodeSpan:
-    """One node visit inside a trace."""
-
-    node: str
-    instance: str
-    enter: float
-    leave: float
-
-    @property
-    def duration(self) -> float:
-        return self.leave - self.enter
+def _upgrade_legacy(entries: Sequence[tuple]) -> List[Span]:
+    """Turn legacy (node, instance, enter, leave) tuples into spans."""
+    spans = []
+    for node, instance, enter, leave in entries:
+        span = Span(node=node, instance=instance, service="",
+                    attempt=0, enter=enter)
+        span.finish(leave, breakdown=False)
+        spans.append(span)
+    return spans
 
 
-def spans_of(request: Request) -> List[NodeSpan]:
-    """Extract the trace spans of one completed request."""
+def spans_of(request: Request, include_cancelled: bool = False) -> List[Span]:
+    """Extract the closed trace spans of one traced request.
+
+    By default only successfully completed spans are returned; pass
+    ``include_cancelled=True`` to also see spans of cancelled attempts
+    (timeout victims, losing hedges) — each closed with its *own*
+    timestamps.
+    """
     trace = request.metadata.get("trace")
     if trace is None:
         raise ReproError(
             f"request {request.request_id} carries no trace; build the "
             f"Dispatcher with trace=True"
         )
-    return [NodeSpan(*entry) for entry in trace]
+    if isinstance(trace, Trace):
+        return trace.completed_spans(include_cancelled=include_cancelled)
+    return _upgrade_legacy(trace)
 
 
-def critical_path(request: Request) -> List[NodeSpan]:
+def critical_path(request: Request) -> List[Span]:
     """The latency-defining chain of node visits.
 
-    Walks backwards from the last-finishing span, at each step jumping
-    to the latest-finishing span that ended at or before the current
-    span began — under fan-out, that is precisely the branch the
-    synchronisation waited for.
+    Walks backwards from the last-finishing *successful* span, at each
+    step jumping to the latest-finishing span that ended at or before
+    the current span began — under fan-out, that is precisely the
+    branch the synchronisation waited for; under retries, the failed
+    attempt's cancelled spans (which ended before the retry began)
+    join the chain, because the request genuinely spent that time. A
+    losing hedge's span cannot join: it is cancelled at resolution,
+    *after* the winner's chain began, so the walk passes it by.
     """
-    spans = sorted(spans_of(request), key=lambda s: s.leave)
-    if not spans:
+    spans = sorted(
+        spans_of(request, include_cancelled=True), key=lambda s: s.leave
+    )
+    anchors = [s for s in spans if s.status == SPAN_OK]
+    if not anchors:
         raise ReproError(f"request {request.request_id} has an empty trace")
-    path = [spans[-1]]
-    cursor = spans[-1].enter
-    for span in reversed(spans[:-1]):
-        if span.leave <= cursor + 1e-12:
+    start = anchors[-1]
+    path = [start]
+    cursor = start.enter
+    for span in reversed(spans):
+        if span is not start and span.leave <= cursor + 1e-12:
             path.append(span)
             cursor = span.enter
     path.reverse()
@@ -90,10 +115,15 @@ def analyze(requests: Iterable[Request]) -> Dict[str, NodeContribution]:
     total = 0
     for request in requests:
         total += 1
-        for span in spans_of(request):
+        # Cancelled attempts count too: they can sit on the critical
+        # path (a timed-out attempt the retry waited out), so every
+        # node the path can name must have a contribution entry.
+        for span in spans_of(request, include_cancelled=True):
             durations.setdefault(span.node, []).append(span.duration)
-        for span in critical_path(request):
-            critical_hits[span.node] = critical_hits.get(span.node, 0) + 1
+        # A node is "on the path" at most once per request, however
+        # many of its visits (retried attempts) the chain includes.
+        for node in {span.node for span in critical_path(request)}:
+            critical_hits[node] = critical_hits.get(node, 0) + 1
     if total == 0:
         raise ReproError("no traced requests to analyze")
     result = {}

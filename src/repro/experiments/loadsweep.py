@@ -27,6 +27,8 @@ from ..runner import (
     point_key,
     register_result_type,
 )
+from ..telemetry.export import write_otlp, write_perfetto
+from ..telemetry.tracing import TraceConfig
 from ..workload import OpenLoopClient, RequestMix
 from .audit import audit_client
 
@@ -68,6 +70,8 @@ def measure_at_load(
     seed: int = 1,
     fault_plan: Optional[FaultPlan] = None,
     audit: bool = False,
+    trace: Union[bool, TraceConfig] = False,
+    trace_dir: Optional[Union[str, Path]] = None,
     **world_kwargs,
 ) -> SweepPoint:
     """Build a fresh world, drive it at *qps* for *duration* seconds,
@@ -86,12 +90,23 @@ def measure_at_load(
     behaviour under injected failures. *audit* runs the request
     conservation check (:func:`~repro.experiments.audit.audit_client`)
     after the window.
+
+    *trace* enables dispatcher tracing for the point (``True`` or a
+    :class:`~repro.telemetry.tracing.TraceConfig`); with *trace_dir*
+    set, the sampled traces are exported there as Perfetto and OTLP
+    JSON named after the offered load (setting *trace_dir* alone
+    implies ``trace=True``). Tracing draws from its own named RNG
+    stream, so the measured numbers are identical with or without it.
     """
     if warmup >= duration:
         raise ReproError(
             f"warmup ({warmup}) must be shorter than duration ({duration})"
         )
+    if trace_dir is not None and not trace:
+        trace = True
     world = build_world(seed=derive_seed(seed, float(qps)), **world_kwargs)
+    if trace:
+        world.dispatcher.trace = trace
     if fault_plan is not None:
         FaultInjector(
             world.sim, world.deployment, world.cluster.network, fault_plan
@@ -112,6 +127,13 @@ def measure_at_load(
             client, world.sim, dispatcher=world.dispatcher,
             clock_start=clock_start,
         )
+    if trace and trace_dir is not None:
+        traces = world.dispatcher.tracer.traces
+        base = Path(trace_dir)
+        base.mkdir(parents=True, exist_ok=True)
+        stem = f"qps{qps:g}"
+        write_perfetto(base / f"{stem}.perfetto.json", traces)
+        write_otlp(base / f"{stem}.otlp.json", traces)
 
     recorder = client.latencies
     completed = recorder.count(since=warmup, until=duration)
@@ -171,6 +193,8 @@ def load_latency_sweep(
     timeout: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
     audit: bool = False,
+    trace: Union[bool, TraceConfig] = False,
+    trace_dir: Optional[Union[str, Path]] = None,
     **world_kwargs,
 ) -> List[SweepPoint]:
     """One :func:`measure_at_load` per offered load, ascending.
@@ -189,11 +213,20 @@ def load_latency_sweep(
     points — and, because seeds are derived per point, merges into a
     result byte-identical to an uninterrupted run. *retries*/*timeout*
     are the self-healing knobs of :func:`~repro.runner.parallel_map`.
+
+    *trace*/*trace_dir* thread through to every point: traces export
+    per load into *trace_dir*. Enabling tracing joins the sweep config
+    (so journaled untraced points are not silently reused without
+    producing trace files), but *trace_dir* itself does not — moving
+    the output directory never invalidates a journal.
     """
     loads = sorted(loads)
+    if trace_dir is not None and not trace:
+        trace = True
     point = functools.partial(
         measure_at_load, build_world, duration=duration, warmup=warmup,
         mix=mix, seed=seed, fault_plan=fault_plan, audit=audit,
+        trace=trace, trace_dir=trace_dir,
         **world_kwargs,
     )
     if run_dir is None:
@@ -207,6 +240,7 @@ def load_latency_sweep(
         mix=mix,
         fault_plan=fault_plan,
         audit=audit,
+        **({"trace": trace} if trace else {}),
         **world_kwargs,
     )
     seeds = [derive_seed(seed, float(qps)) for qps in loads]

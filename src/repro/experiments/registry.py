@@ -45,23 +45,31 @@ class ExperimentSpec:
         """Whether the runner can run the conservation audit."""
         return self._accepts("audit")
 
+    @property
+    def supports_trace_dir(self) -> bool:
+        """Whether the runner can export request traces."""
+        return self._accepts("trace_dir")
+
     def run(
         self,
         jobs: int = 1,
         run_dir: Any = None,
         resume: bool = True,
         audit: bool = False,
+        trace_dir: Any = None,
+        trace_sample: float = 1.0,
         **kwargs: Any,
     ) -> Any:
         """Run the experiment.
 
         ``jobs`` fans sweeps out over processes, ``run_dir``/``resume``
         journal completed points for durable restarts, and ``audit``
-        turns on the request-conservation check — each forwarded only
-        where the runner supports it (inherently serial experiments —
-        timelines, single simulations — silently ignore ``jobs``;
-        asking an unsupported runner to checkpoint or audit is an
-        error, not a silent no-op)."""
+        turns on the request-conservation check, and ``trace_dir``
+        exports sampled request traces (at ``trace_sample``) — each
+        forwarded only where the runner supports it (inherently serial
+        experiments — timelines, single simulations — silently ignore
+        ``jobs``; asking an unsupported runner to checkpoint, audit or
+        trace is an error, not a silent no-op)."""
         if self.supports_jobs:
             kwargs.setdefault("jobs", jobs)
         if run_dir is not None:
@@ -77,6 +85,14 @@ class ExperimentSpec:
                     f"experiment {self.exp_id!r} does not support audit"
                 )
             kwargs.setdefault("audit", True)
+        if trace_dir is not None:
+            if not self.supports_trace_dir:
+                raise ReproError(
+                    f"experiment {self.exp_id!r} does not support trace_dir"
+                )
+            kwargs.setdefault("trace_dir", trace_dir)
+            if self._accepts("trace_sample"):
+                kwargs.setdefault("trace_sample", trace_sample)
         return self.runner(**kwargs)
 
 

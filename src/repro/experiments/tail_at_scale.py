@@ -35,6 +35,8 @@ from ..runner import (
     point_key,
     register_result_type,
 )
+from ..telemetry.export import write_otlp, write_perfetto
+from ..telemetry.tracing import TraceConfig
 from ..topology import PathNode, PathTree
 from ..workload import OpenLoopClient
 from .audit import audit_client
@@ -131,12 +133,21 @@ def measure_tail_at_scale(
     slow_factor: float = 10.0,
     seed: int = 0,
     audit: bool = False,
+    trace: Union[bool, TraceConfig] = False,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> TailAtScalePoint:
     """Drive one (cluster size, slow fraction) configuration and report
-    the p50/p99 of the fan-in-synchronised end-to-end latency."""
+    the p50/p99 of the fan-in-synchronised end-to-end latency.
+
+    With *trace_dir* set (implies ``trace=True``), the sampled traces
+    export there as Perfetto and OTLP JSON named by the cell."""
+    if trace_dir is not None and not trace:
+        trace = True
     world = build_fanout_cluster(
         cluster_size, slow_fraction, slow_factor, seed=seed
     )
+    if trace:
+        world.dispatcher.trace = trace
     client = OpenLoopClient(
         world.sim, world.dispatcher, arrivals=qps, max_requests=num_requests
     )
@@ -148,6 +159,13 @@ def measure_tail_at_scale(
             client, world.sim, dispatcher=world.dispatcher,
             clock_start=clock_start,
         )
+    if trace and trace_dir is not None:
+        base = Path(trace_dir)
+        base.mkdir(parents=True, exist_ok=True)
+        stem = f"size{cluster_size}_slow{slow_fraction:g}"
+        traces = world.dispatcher.tracer.traces
+        write_perfetto(base / f"{stem}.perfetto.json", traces)
+        write_otlp(base / f"{stem}.otlp.json", traces)
     recorder = client.latencies
     return TailAtScalePoint(
         cluster_size=cluster_size,
@@ -164,12 +182,14 @@ def _measure_grid_point(
     num_requests: int,
     seed: int,
     audit: bool = False,
+    trace: Union[bool, TraceConfig] = False,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> TailAtScalePoint:
     """Picklable per-cell worker for the parallel grid sweep."""
     size, frac = size_and_fraction
     return measure_tail_at_scale(
         size, frac, qps=qps, num_requests=num_requests, seed=seed,
-        audit=audit,
+        audit=audit, trace=trace, trace_dir=trace_dir,
     )
 
 
@@ -186,6 +206,8 @@ def tail_at_scale_sweep(
     retries: int = 0,
     timeout: Optional[float] = None,
     audit: bool = False,
+    trace_dir: Optional[Union[str, Path]] = None,
+    trace_sample: float = 1.0,
 ):
     """The full Fig 14 grid. Each (size, fraction) cell simulates an
     independent cluster, so ``jobs > 1`` fans the grid out across
@@ -193,14 +215,20 @@ def tail_at_scale_sweep(
 
     With *run_dir* set, finished cells are journaled there and
     ``resume=True`` skips them on restart — see
-    :mod:`repro.runner.runstore`.
+    :mod:`repro.runner.runstore`. With *trace_dir* set, every cell
+    exports its sampled traces (at *trace_sample*) there as
+    Perfetto/OTLP JSON.
     """
     grid = [
         (size, frac) for frac in slow_fractions for size in cluster_sizes
     ]
+    trace = (
+        TraceConfig(sample_rate=trace_sample) if trace_dir is not None
+        else False
+    )
     cell = functools.partial(
         _measure_grid_point, qps=qps, num_requests=num_requests, seed=seed,
-        audit=audit,
+        audit=audit, trace=trace, trace_dir=trace_dir,
     )
     if run_dir is None:
         return parallel_map(
@@ -209,6 +237,8 @@ def tail_at_scale_sweep(
     config = {
         "qps": qps, "num_requests": num_requests, "audit": audit,
     }
+    if trace:
+        config["trace"] = repr(trace)
     keys = [
         point_key(
             experiment, {"size": size, "frac": frac}, seed, config

@@ -20,6 +20,7 @@ from ..apps import (
     thrift_echo,
     two_tier,
 )
+from ..telemetry.tracing import TraceConfig
 from ..testbed import RealismConfig
 from .loadsweep import SweepPoint, load_latency_sweep
 
@@ -41,26 +42,41 @@ def _real_and_sim(
     audit: bool = False,
     retries: int = 0,
     timeout: Optional[float] = None,
+    trace_dir: RunDir = None,
+    trace_sample: float = 1.0,
     **world_kwargs,
 ) -> SweepPair:
     """Run the same sweep with and without the realism layer.
 
     Both sides share *run_dir* when given: the journal is append-only
     and keys embed ``{experiment}/sim`` vs ``{experiment}/real``, so a
-    whole multi-sweep figure checkpoints into one directory.
+    whole multi-sweep figure checkpoints into one directory. With
+    *trace_dir* set, both sides export per-load Perfetto/OTLP traces
+    under ``{trace_dir}/{experiment}/{side}``, sampled at
+    *trace_sample*.
     """
     durable = dict(
         run_dir=run_dir, resume=resume, audit=audit, retries=retries,
         timeout=timeout,
     )
+
+    def tracing(side: str) -> dict:
+        if trace_dir is None:
+            return {}
+        return {
+            "trace": TraceConfig(sample_rate=trace_sample),
+            "trace_dir": Path(trace_dir) / experiment / side,
+        }
+
     sim_points = load_latency_sweep(
         build_world, loads, duration, warmup, seed=seed, jobs=jobs,
-        experiment=f"{experiment}/sim", **durable, **world_kwargs
+        experiment=f"{experiment}/sim", **durable, **tracing("sim"),
+        **world_kwargs
     )
     real_points = load_latency_sweep(
         build_world, loads, duration, warmup, seed=seed + 7919,
         jobs=jobs, experiment=f"{experiment}/real", **durable,
-        realism=RealismConfig(), **world_kwargs,
+        **tracing("real"), realism=RealismConfig(), **world_kwargs,
     )
     return {"sim": sim_points, "real": real_points}
 
@@ -80,6 +96,8 @@ def fig5_two_tier(
     run_dir: RunDir = None,
     resume: bool = True,
     audit: bool = False,
+    trace_dir: RunDir = None,
+    trace_sample: float = 1.0,
 ) -> Dict[str, SweepPair]:
     """Fig 5: 2-tier load-latency across thread/process configs."""
     loads_by_processes = loads_by_processes or {
@@ -99,6 +117,8 @@ def fig5_two_tier(
             run_dir=run_dir,
             resume=resume,
             audit=audit,
+            trace_dir=trace_dir,
+            trace_sample=trace_sample,
             experiment=f"fig5/{key}",
             nginx_processes=nginx_procs,
             memcached_threads=mc_threads,
@@ -115,11 +135,14 @@ def fig6_three_tier(
     run_dir: RunDir = None,
     resume: bool = True,
     audit: bool = False,
+    trace_dir: RunDir = None,
+    trace_sample: float = 1.0,
 ) -> SweepPair:
     """Fig 6: 3-tier (NGINX-memcached-MongoDB) validation."""
     return _real_and_sim(three_tier, loads, duration, warmup, seed,
                          jobs=jobs, run_dir=run_dir, resume=resume,
-                         audit=audit, experiment="fig6")
+                         audit=audit, trace_dir=trace_dir,
+                         trace_sample=trace_sample, experiment="fig6")
 
 
 def fig8_load_balancing(
@@ -132,6 +155,8 @@ def fig8_load_balancing(
     run_dir: RunDir = None,
     resume: bool = True,
     audit: bool = False,
+    trace_dir: RunDir = None,
+    trace_sample: float = 1.0,
 ) -> Dict[int, SweepPair]:
     """Fig 8: p99 vs load for each scale-out factor."""
     loads_by_scale = loads_by_scale or {
@@ -143,6 +168,7 @@ def fig8_load_balancing(
         so: _real_and_sim(
             load_balanced, loads_by_scale[so], duration, warmup, seed,
             jobs=jobs, run_dir=run_dir, resume=resume, audit=audit,
+            trace_dir=trace_dir, trace_sample=trace_sample,
             experiment=f"fig8/scale{so}", scale_out=so,
         )
         for so in scale_outs
@@ -159,12 +185,15 @@ def fig10_fanout(
     run_dir: RunDir = None,
     resume: bool = True,
     audit: bool = False,
+    trace_dir: RunDir = None,
+    trace_sample: float = 1.0,
 ) -> Dict[int, SweepPair]:
     """Fig 10: p99 vs load for each fanout factor."""
     return {
         fo: _real_and_sim(
             fanout, loads, duration, warmup, seed, jobs=jobs,
             run_dir=run_dir, resume=resume, audit=audit,
+            trace_dir=trace_dir, trace_sample=trace_sample,
             experiment=f"fig10/fanout{fo}", fanout_factor=fo
         )
         for fo in fanouts
@@ -180,11 +209,14 @@ def fig12a_thrift(
     run_dir: RunDir = None,
     resume: bool = True,
     audit: bool = False,
+    trace_dir: RunDir = None,
+    trace_sample: float = 1.0,
 ) -> SweepPair:
     """Fig 12(a): Thrift echo RPC validation."""
     return _real_and_sim(thrift_echo, loads, duration, warmup, seed,
                          jobs=jobs, run_dir=run_dir, resume=resume,
-                         audit=audit, experiment="fig12a")
+                         audit=audit, trace_dir=trace_dir,
+                         trace_sample=trace_sample, experiment="fig12a")
 
 
 def fig12b_social_network(
@@ -196,8 +228,11 @@ def fig12b_social_network(
     run_dir: RunDir = None,
     resume: bool = True,
     audit: bool = False,
+    trace_dir: RunDir = None,
+    trace_sample: float = 1.0,
 ) -> SweepPair:
     """Fig 12(b): Social Network end-to-end validation."""
     return _real_and_sim(social_network, loads, duration, warmup, seed,
                          jobs=jobs, run_dir=run_dir, resume=resume,
-                         audit=audit, experiment="fig12b")
+                         audit=audit, trace_dir=trace_dir,
+                         trace_sample=trace_sample, experiment="fig12b")

@@ -109,6 +109,10 @@ class Microservice:
         self.jobs_completed = 0
         self.jobs_failed = 0
         self.crashes = 0
+        # Optional MetricsRegistry (repro.telemetry.metrics): when set,
+        # per-stage batch costs and job completions feed it. None keeps
+        # the hot path at a single attribute check.
+        self.metrics = None
         # In-flight node visits from the dispatcher's point of view:
         # incremented at instance selection (before the network hop),
         # decremented when the node's job completes. This is what
@@ -297,6 +301,10 @@ class Microservice:
         cost += self.model.dispatch_overhead(worker, core)
         cost *= self.slow_factor
         stage.record(len(batch), cost)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "stage_cost_seconds", service=self.name, stage=stage.name
+            ).observe(cost)
         event = self.sim.schedule(
             cost,
             self._on_cpu_done,
@@ -369,6 +377,12 @@ class Microservice:
     def _complete_job(self, job: Job) -> None:
         job.completed_at = self.sim.now
         self.jobs_completed += 1
+        if self.metrics is not None:
+            self.metrics.counter("jobs_completed_total", service=self.name).inc()
+            if job.service_latency is not None:
+                self.metrics.histogram(
+                    "job_latency_seconds", service=self.name
+                ).observe(job.service_latency)
         if job.cancelled:
             # The owning request was cancelled (timeout / hedge loser)
             # after this job reached a core: the work is spent, but the

@@ -1,20 +1,56 @@
-"""Telemetry: latency recording, time series, and report formatting."""
+"""Telemetry: latency recording, time series, tracing, metrics, and
+report formatting."""
 
 from .availability import AvailabilityMonitor
+from .export import (
+    from_otlp,
+    read_otlp,
+    to_otlp,
+    to_perfetto,
+    write_otlp,
+    write_perfetto,
+)
 from .latency import LatencyRecorder, WindowedLatency
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .monitor import ServiceMonitor
 from .report import format_run_manifest, format_series, format_table, ms, us
 from .timeseries import TimeSeries
+from .tracing import (
+    SPAN_CANCELLED,
+    SPAN_OK,
+    Span,
+    SpanEvent,
+    Trace,
+    TraceConfig,
+    Tracer,
+)
 
 __all__ = [
     "AvailabilityMonitor",
+    "Counter",
+    "Gauge",
+    "Histogram",
     "LatencyRecorder",
+    "MetricsRegistry",
+    "SPAN_CANCELLED",
+    "SPAN_OK",
     "ServiceMonitor",
+    "Span",
+    "SpanEvent",
     "TimeSeries",
+    "Trace",
+    "TraceConfig",
+    "Tracer",
     "WindowedLatency",
     "format_run_manifest",
     "format_series",
     "format_table",
+    "from_otlp",
     "ms",
+    "read_otlp",
+    "to_otlp",
+    "to_perfetto",
     "us",
+    "write_otlp",
+    "write_perfetto",
 ]

@@ -1,0 +1,267 @@
+"""Trace exporters: Perfetto/Chrome ``trace_event`` JSON and an
+OTLP-style JSON codec.
+
+Two interchange formats for the :class:`~repro.telemetry.tracing.Trace`
+model:
+
+* :func:`to_perfetto` renders traces as Chrome ``trace_event`` objects
+  (openable in Perfetto UI / ``chrome://tracing``): one complete
+  (``ph: "X"``) event per closed span — ``pid`` is the request id,
+  ``tid`` the attempt, so sibling retry/hedge attempts stack as
+  separate tracks — plus instant (``ph: "i"``) events for resilience
+  actions. Timestamps are microseconds, per the format.
+
+* :func:`to_otlp` / :func:`from_otlp` round-trip traces through an
+  OTLP-ish JSON layout (``resourceSpans`` → ``scopeSpans`` → spans
+  with hex trace/span ids, UnixNano timestamps, and key-value
+  attributes). Each trace gets a synthetic root ``request`` span
+  carrying the request-level events; node spans parent to it. Exact
+  float timestamps ride in ``repro.*`` double attributes so decoding
+  reproduces the original spans bit-for-bit (UnixNano alone would
+  quantise).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..errors import ReproError
+from .tracing import Span, SpanEvent, Trace
+
+_US = 1e6
+_NS = 1e9
+
+
+# Perfetto / Chrome trace_event ---------------------------------------------
+
+def to_perfetto(traces: Iterable[Trace]) -> Dict[str, Any]:
+    """Render *traces* as a Chrome ``trace_event`` JSON object."""
+    events: List[Dict[str, Any]] = []
+    for trace in traces:
+        pid = int(trace.request_id)
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": f"request {trace.request_id}"
+                             f" ({trace.request_type})"},
+        })
+        for span in trace.spans:
+            if not span.closed:
+                continue
+            events.append({
+                "name": span.node,
+                "cat": span.service or "span",
+                "ph": "X",
+                "ts": span.enter * _US,
+                "dur": (span.leave - span.enter) * _US,
+                "pid": pid,
+                "tid": int(span.attempt),
+                "args": {
+                    "instance": span.instance,
+                    "status": span.status,
+                    "network_us": span.network * _US,
+                    "queueing_us": span.queueing * _US,
+                    "service_us": span.service_time * _US,
+                },
+            })
+        for event in trace.events:
+            events.append({
+                "name": event.name,
+                "cat": "resilience",
+                "ph": "i",
+                "s": "p",  # process-scoped instant
+                "ts": event.t * _US,
+                "pid": pid,
+                "tid": int(event.attrs.get("attempt", 0)),
+                "args": dict(event.attrs),
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(path, traces: Iterable[Trace]) -> None:
+    """Write ``to_perfetto(traces)`` to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(to_perfetto(traces), fh)
+        fh.write("\n")
+
+
+# OTLP-style JSON -------------------------------------------------------------
+
+def _kv(key: str, value: Any) -> Dict[str, Any]:
+    if isinstance(value, bool):
+        typed = {"boolValue": value}
+    elif isinstance(value, int):
+        typed = {"intValue": str(value)}  # OTLP encodes int64 as string
+    elif isinstance(value, float):
+        typed = {"doubleValue": value}
+    else:
+        typed = {"stringValue": str(value)}
+    return {"key": key, "value": typed}
+
+
+def _kv_decode(attributes: List[Dict[str, Any]]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for entry in attributes:
+        value = entry["value"]
+        if "boolValue" in value:
+            out[entry["key"]] = bool(value["boolValue"])
+        elif "intValue" in value:
+            out[entry["key"]] = int(value["intValue"])
+        elif "doubleValue" in value:
+            out[entry["key"]] = float(value["doubleValue"])
+        else:
+            out[entry["key"]] = value.get("stringValue")
+    return out
+
+
+def _nano(t: Optional[float]) -> str:
+    return str(int(round((t or 0.0) * _NS)))
+
+
+def to_otlp(traces: Iterable[Trace]) -> Dict[str, Any]:
+    """Render *traces* as one OTLP-style JSON payload."""
+    spans_out: List[Dict[str, Any]] = []
+    for trace in traces:
+        trace_id = f"{int(trace.request_id) & (2 ** 128 - 1):032x}"
+        root_id = f"{0:016x}"
+        root_attrs = [
+            _kv("repro.kind", "request"),
+            _kv("repro.request_type", trace.request_type),
+            _kv("repro.created_s", float(trace.created_at)),
+            _kv("repro.breakdown", bool(trace.breakdown)),
+        ]
+        if trace.completed_at is not None:
+            root_attrs.append(_kv("repro.completed_s", float(trace.completed_at)))
+        if trace.outcome is not None:
+            root_attrs.append(_kv("repro.outcome", trace.outcome))
+        spans_out.append({
+            "traceId": trace_id,
+            "spanId": root_id,
+            "parentSpanId": "",
+            "name": "request",
+            "kind": 2,  # SPAN_KIND_SERVER
+            "startTimeUnixNano": _nano(trace.created_at),
+            "endTimeUnixNano": _nano(trace.completed_at),
+            "attributes": root_attrs,
+            "events": [
+                {
+                    "timeUnixNano": _nano(event.t),
+                    "name": event.name,
+                    "attributes": [
+                        _kv(k, v) for k, v in sorted(event.attrs.items())
+                    ] + [_kv("repro.t_s", float(event.t))],
+                }
+                for event in trace.events
+            ],
+            "status": {},
+        })
+        for index, span in enumerate(trace.spans, start=1):
+            attrs = [
+                _kv("repro.kind", "node"),
+                _kv("repro.instance", span.instance),
+                _kv("repro.service", span.service),
+                _kv("repro.attempt", int(span.attempt)),
+                _kv("repro.status", span.status),
+                _kv("repro.enter_s", float(span.enter)),
+                _kv("repro.network_s", float(span.network)),
+                _kv("repro.queueing_s", float(span.queueing)),
+                _kv("repro.service_time_s", float(span.service_time)),
+            ]
+            if span.leave is not None:
+                attrs.append(_kv("repro.leave_s", float(span.leave)))
+            spans_out.append({
+                "traceId": trace_id,
+                "spanId": f"{index:016x}",
+                "parentSpanId": root_id,
+                "name": span.node,
+                "kind": 1,  # SPAN_KIND_INTERNAL
+                "startTimeUnixNano": _nano(span.enter),
+                "endTimeUnixNano": _nano(span.leave),
+                "attributes": attrs,
+                "events": [],
+                "status": {},
+            })
+    return {
+        "resourceSpans": [{
+            "resource": {
+                "attributes": [_kv("service.name", "uqsim.repro")],
+            },
+            "scopeSpans": [{
+                "scope": {"name": "repro.telemetry.tracing"},
+                "spans": spans_out,
+            }],
+        }],
+    }
+
+
+def from_otlp(payload: Dict[str, Any]) -> List[Trace]:
+    """Decode :func:`to_otlp` output back into :class:`Trace` objects.
+
+    Uses the exact-float ``repro.*`` attributes, so
+    ``from_otlp(to_otlp(traces))`` reproduces the original spans and
+    events exactly.
+    """
+    traces: Dict[str, Trace] = {}
+    order: List[str] = []
+    try:
+        resource_spans = payload["resourceSpans"]
+    except (KeyError, TypeError):
+        raise ReproError("not an OTLP-style payload: missing resourceSpans")
+    for resource in resource_spans:
+        for scope in resource.get("scopeSpans", []):
+            for raw in scope.get("spans", []):
+                trace_id = raw["traceId"]
+                attrs = _kv_decode(raw.get("attributes", []))
+                trace = traces.get(trace_id)
+                if trace is None:
+                    trace = Trace(int(trace_id, 16))
+                    traces[trace_id] = trace
+                    order.append(trace_id)
+                if attrs.get("repro.kind") == "request":
+                    trace.request_type = attrs.get(
+                        "repro.request_type", "default"
+                    )
+                    trace.created_at = attrs.get("repro.created_s", 0.0)
+                    trace.completed_at = attrs.get("repro.completed_s")
+                    trace.outcome = attrs.get("repro.outcome")
+                    trace.breakdown = attrs.get("repro.breakdown", True)
+                    for event in raw.get("events", []):
+                        ev_attrs = _kv_decode(event.get("attributes", []))
+                        t = ev_attrs.pop(
+                            "repro.t_s",
+                            int(event["timeUnixNano"]) / _NS,
+                        )
+                        trace.events.append(
+                            SpanEvent(t, event["name"], ev_attrs)
+                        )
+                    continue
+                trace.spans.append(Span(
+                    node=raw["name"],
+                    instance=attrs.get("repro.instance", ""),
+                    service=attrs.get("repro.service", ""),
+                    attempt=attrs.get("repro.attempt", 0),
+                    enter=attrs.get("repro.enter_s", 0.0),
+                    leave=attrs.get("repro.leave_s"),
+                    status=attrs.get("repro.status", "open"),
+                    network=attrs.get("repro.network_s", 0.0),
+                    queueing=attrs.get("repro.queueing_s", 0.0),
+                    service_time=attrs.get("repro.service_time_s", 0.0),
+                ))
+    return [traces[tid] for tid in order]
+
+
+def write_otlp(path, traces: Iterable[Trace]) -> None:
+    """Write ``to_otlp(traces)`` to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(to_otlp(traces), fh)
+        fh.write("\n")
+
+
+def read_otlp(path) -> List[Trace]:
+    """Load an OTLP-style JSON file written by :func:`write_otlp`."""
+    with open(path) as fh:
+        return from_otlp(json.load(fh))

@@ -81,8 +81,8 @@ class LatencyRecorder:
     def p99(self, since: float = 0.0) -> float:
         return self.percentile(99, since)
 
-    def max(self, since: float = 0.0) -> float:
-        window = self._window(since, None)
+    def max(self, since: float = 0.0, until: Optional[float] = None) -> float:
+        window = self._window(since, until)
         if window.size == 0:
             raise ReproError(f"{self.name}: no samples in window")
         return float(window.max())
@@ -104,8 +104,10 @@ class LatencyRecorder:
 class WindowedLatency:
     """Trailing-window latency view (the power manager's sensor).
 
-    Keeps only samples newer than ``window`` seconds behind the latest
-    insertion, in O(1) amortised per record.
+    Keeps only samples newer than ``window`` seconds behind the newest
+    completion timestamp seen, in O(1) amortised per in-order record
+    (out-of-order stragglers from merged streams pay an in-place
+    insertion and are dropped outright when already past the window).
     """
 
     def __init__(self, window: float, name: str = "windowed") -> None:
@@ -114,10 +116,25 @@ class WindowedLatency:
         self.window = float(window)
         self.name = name
         self._samples: Deque[Tuple[float, float]] = deque()
+        self._latest = float("-inf")
 
     def record(self, completed_at: float, latency: float) -> None:
-        self._samples.append((completed_at, latency))
-        horizon = completed_at - self.window
+        # Merged completion streams (see LatencyRecorder.record) may
+        # deliver out of order; the eviction horizon must track the max
+        # timestamp *seen*, not the latest inserted — an old straggler
+        # sample must neither rewind the window nor linger in it.
+        self._latest = max(self._latest, completed_at)
+        horizon = self._latest - self.window
+        if completed_at >= horizon:
+            if self._samples and completed_at < self._samples[-1][0]:
+                # Rare out-of-order arrival: insert in place so the
+                # deque stays time-sorted and front eviction stays O(1).
+                position = len(self._samples)
+                while position > 0 and self._samples[position - 1][0] > completed_at:
+                    position -= 1
+                self._samples.insert(position, (completed_at, latency))
+            else:
+                self._samples.append((completed_at, latency))
         while self._samples and self._samples[0][0] < horizon:
             self._samples.popleft()
 

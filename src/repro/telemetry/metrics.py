@@ -1,0 +1,239 @@
+"""A lightweight metrics registry: counters, gauges, histograms.
+
+The observability counterpart of :mod:`repro.telemetry.tracing`:
+whereas traces follow individual (sampled) requests, metrics aggregate
+everything. The registry hands out labelled instruments on demand —
+
+* the dispatcher counts requests per outcome, retries, hedges, sheds,
+  and per (upstream, service) edge traffic, and histograms end-to-end
+  latency;
+* microservice instances histogram per-stage batch costs and count
+  completed jobs;
+* load balancers count picks per instance (via the ``on_pick`` hook).
+
+Instruments are get-or-create keyed by (name, labels), so hot paths
+pay one dict lookup; with no registry attached they pay a single
+``is None`` check. ``collect()`` renders everything into a plain dict
+(Prometheus-style ``name{label="value"}`` keys) for JSON dumps.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+#: Default histogram bucket upper bounds (seconds): 2 us .. ~67 s in
+#: powers of four, a decent spread for both stage costs and end-to-end
+#: latencies.
+DEFAULT_BUCKETS = tuple(2e-6 * 4 ** i for i in range(13))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ReproError(f"counters only go up; got {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, utilization)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count and quantile estimates."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(buckets if buckets is not None else DEFAULT_BUCKETS)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ReproError("histogram buckets must be ascending and non-empty")
+        self.bounds = bounds
+        # One overflow bucket past the last bound (+inf).
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ReproError("empty histogram has no mean")
+        return self.sum / self.count
+
+    def quantile(self, q: float) -> float:
+        """Estimated *q*-quantile (``q`` in [0, 1]), linearly
+        interpolated within the containing bucket; the overflow bucket
+        reports its lower bound."""
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            raise ReproError("empty histogram has no quantiles")
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lo = self.bounds[i - 1] if i else 0.0
+                hi = self.bounds[i]
+                fraction = 1.0 - (cumulative - target) / bucket_count
+                return lo + fraction * (hi - lo)
+        return self.bounds[-1]
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for labelled instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, tuple], Counter] = {}
+        self._gauges: Dict[Tuple[str, tuple], Gauge] = {}
+        self._histograms: Dict[Tuple[str, tuple], Histogram] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+        return instrument
+
+    # Wiring helpers -----------------------------------------------------
+
+    def instrument_dispatcher(self, dispatcher) -> None:
+        """Point the dispatcher's metric feed at this registry."""
+        dispatcher.metrics = self
+
+    def instrument_instance(self, instance) -> None:
+        """Per-stage cost histograms + completed-job counters for one
+        microservice instance."""
+        instance.metrics = self
+
+    def instrument_balancer(self, service: str, balancer) -> None:
+        """Count picks per chosen instance on *balancer*."""
+
+        def record(instance) -> None:
+            self.counter(
+                "lb_picks_total", service=service, instance=instance.name
+            ).inc()
+
+        balancer.on_pick = record
+
+    def instrument_world(self, world) -> None:
+        """Wire dispatcher, every deployed instance, and every load
+        balancer of a :class:`~repro.apps.base.World` (duck-typed:
+        anything with ``dispatcher`` and ``deployment``)."""
+        self.instrument_dispatcher(world.dispatcher)
+        deployment = world.deployment
+        for instance in deployment.all_instances:
+            self.instrument_instance(instance)
+        for service in deployment.services:
+            self.instrument_balancer(service, deployment.balancer(service))
+
+    # Export -------------------------------------------------------------
+
+    def sample_deployment_gauges(self, deployment, now: float) -> None:
+        """Snapshot queue depths and core utilization into gauges
+        (call periodically or once at the end of a run)."""
+        for instance in deployment.all_instances:
+            self.gauge("queued_jobs", service=instance.name).set(
+                instance.queued_jobs
+            )
+            self.gauge("core_utilization", service=instance.name).set(
+                instance.utilization(now)
+            )
+
+    def collect(self) -> Dict[str, Dict[str, object]]:
+        """Everything recorded, as plain JSON-serialisable data."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for (name, labels), counter in sorted(self._counters.items()):
+            out["counters"][_render_key(name, labels)] = counter.value
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            out["gauges"][_render_key(name, labels)] = gauge.value
+        for (name, labels), hist in sorted(self._histograms.items()):
+            out["histograms"][_render_key(name, labels)] = {
+                "count": hist.count,
+                "sum": hist.sum,
+                "buckets": {
+                    (
+                        f"{bound:g}" if i < len(hist.bounds) else "+inf"
+                    ): hist.counts[i]
+                    for i, bound in enumerate(
+                        list(hist.bounds) + [math.inf]
+                    )
+                },
+            }
+        return out
+
+    def write(self, path) -> None:
+        """Dump :meth:`collect` as indented JSON to *path*."""
+        with open(path, "w") as fh:
+            json.dump(self.collect(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )

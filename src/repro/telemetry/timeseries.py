@@ -70,10 +70,14 @@ class TimeSeries:
         # uniformly right-exclusive and the last sample still lands.
         n_bins = int(np.floor((hi - lo) / bin_width + 1e-12)) + 1
         edges = lo + np.arange(n_bins + 1) * bin_width
+        # An explicit t_end bounds the window to [lo, hi): the overflow
+        # bin keeps hi-edge samples of the default window, but must not
+        # sweep in samples past a caller-given end.
+        cutoff = np.inf if t_end is None else hi
         centres: List[float] = []
         reduced: List[float] = []
         for left, right in zip(edges[:-1], edges[1:]):
-            mask = (times >= left) & (times < right)
+            mask = (times >= left) & (times < min(right, cutoff))
             if mask.any():
                 centres.append((left + right) / 2.0)
                 reduced.append(float(reducer(values[mask])))

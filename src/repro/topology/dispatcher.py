@@ -32,7 +32,7 @@ terminal ``outcome`` (``ok``/``timeout``/``shed``/``failed``).
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -47,6 +47,8 @@ from ..service.job import (
     OUTCOME_SHED,
     OUTCOME_TIMEOUT,
 )
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.tracing import SPAN_CANCELLED, Span, TraceConfig, Tracer
 from .deployment import Deployment
 from .load_balancer import NoHealthyInstance
 from .path_tree import NodeOp, PathNode, PathTree
@@ -70,6 +72,7 @@ class _RequestGroup:
         "resolved",
         "hedges",
         "hedge_event",
+        "trace",
     )
 
     def __init__(
@@ -89,6 +92,8 @@ class _RequestGroup:
         self.resolved = False
         self.hedges = 0
         self.hedge_event = None
+        # The request's Trace when it was sampled for tracing.
+        self.trace = None
 
     def live_states(self) -> List["_RequestState"]:
         """Attempts still traversing the tree."""
@@ -101,6 +106,7 @@ class _RequestState:
     __slots__ = (
         "group",
         "tree",
+        "attempt",
         "node_instance",
         "node_conn",
         "node_job",
@@ -113,11 +119,16 @@ class _RequestState:
         "cancelled",
         "finished",
         "timeout_event",
+        "spans",
     )
 
     def __init__(self, group: _RequestGroup, tree: PathTree) -> None:
         self.group = group
         self.tree = tree
+        # Attempt id: 0 for the primary, 1.. for retries/hedges. Spans
+        # are keyed (attempt, node) so re-visits never clobber earlier
+        # attempts' timestamps.
+        self.attempt = len(group.states)
         self.node_instance: Dict[str, Microservice] = {}
         self.node_conn: Dict[str, Optional[Connection]] = {}
         self.node_job: Dict[str, Job] = {}
@@ -130,6 +141,8 @@ class _RequestState:
         self.cancelled = False
         self.finished = False
         self.timeout_event = None
+        # This attempt's open/closed spans by node name (traced only).
+        self.spans: Dict[str, Span] = {} if group.trace is not None else None
 
     @property
     def request(self) -> Request:
@@ -144,16 +157,25 @@ class Dispatcher:
         sim: Simulator,
         deployment: Deployment,
         network: Optional[NetworkFabric] = None,
-        trace: bool = False,
+        trace: Union[bool, TraceConfig] = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        """With ``trace=True`` every request carries a per-node timeline
-        in ``request.metadata["trace"]``: (node, instance, enter, leave)
-        tuples, in completion order — the raw material for critical-path
-        analysis of multi-tier latency."""
+        """With tracing on (``trace=True`` for defaults, or a
+        :class:`~repro.telemetry.tracing.TraceConfig` for sampling /
+        breakdown control), every sampled request carries a
+        :class:`~repro.telemetry.tracing.Trace` of attempt-aware spans
+        in ``request.metadata["trace"]`` — the raw material for
+        critical-path analysis and the Perfetto/OTLP exporters. With a
+        :class:`~repro.telemetry.metrics.MetricsRegistry` attached via
+        *metrics*, the dispatcher additionally feeds aggregate
+        counters/histograms (outcomes, retries, hedges, per-edge
+        traffic, end-to-end latency)."""
         self.sim = sim
         self.deployment = deployment
         self.network = network or NetworkFabric()
+        self._tracer: Optional[Tracer] = None
         self.trace = trace
+        self.metrics = metrics
         self._rng = sim.random.stream("dispatcher")
         # Wire-delay jitter draws, block-buffered on a dedicated stream
         # (two draws per request hop — a hot path under heavy traffic).
@@ -176,6 +198,33 @@ class Dispatcher:
         self.fallbacks_served = 0
         self.messages_dropped = 0
         self._outcome_listeners: List[Callable[[Request], None]] = []
+
+    # Tracing --------------------------------------------------------------
+
+    @property
+    def trace(self) -> Union[bool, TraceConfig]:
+        """The active :class:`TraceConfig`, or ``False`` when tracing
+        is off — so ``if dispatcher.trace:`` keeps working."""
+        return self._tracer.config if self._tracer is not None else False
+
+    @trace.setter
+    def trace(self, value: Union[bool, TraceConfig, None]) -> None:
+        """Turn tracing on (``True`` / a :class:`TraceConfig`) or off
+        (falsy). Sampling draws come from a dedicated seeded stream, so
+        traced runs stay reproducible."""
+        if not value:
+            self._tracer = None
+            return
+        config = value if isinstance(value, TraceConfig) else TraceConfig()
+        self._tracer = Tracer(
+            config, rng=self.sim.random.stream("dispatcher/trace")
+        )
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The live :class:`Tracer` (collected traces, sampling
+        counters), or ``None`` when tracing is off."""
+        return self._tracer
 
     # Tree registration ---------------------------------------------------
 
@@ -262,6 +311,10 @@ class Dispatcher:
         group = _RequestGroup(
             request, policy, on_complete, client_name, client_machine
         )
+        if self._tracer is not None:
+            group.trace = self._tracer.start_trace(request)
+            if group.trace is not None:
+                request.metadata["trace"] = group.trace
         if policy is not None and policy.retry is not None:
             if policy.retry.budget is not None:
                 policy.retry.budget.note_primary()
@@ -278,12 +331,18 @@ class Dispatcher:
         if not hedge and policy is not None and policy.admission is not None:
             shed_tree = self._admission_decision(policy, tree)
             if shed_tree is False:
+                if group.trace is not None:
+                    group.trace.add_event(self.sim.now, "shed")
                 self._resolve(group, OUTCOME_SHED)
                 return
             if shed_tree is not None:
                 tree = shed_tree
                 group.request.metadata["degraded"] = True
                 self.fallbacks_served += 1
+                if group.trace is not None:
+                    group.trace.add_event(
+                        self.sim.now, "degraded", tree=tree.name
+                    )
         state = _RequestState(group, tree)
         group.states.append(state)
         group.request.attempts += 1
@@ -327,6 +386,10 @@ class Dispatcher:
         group = state.group
         if group.resolved or state.cancelled or state.finished:
             return
+        if group.trace is not None:
+            group.trace.add_event(
+                self.sim.now, "timeout_fired", attempt=state.attempt
+            )
         self._record_breaker_failures(state)
         self._attempt_failed(state, OUTCOME_TIMEOUT)
 
@@ -341,6 +404,12 @@ class Dispatcher:
             return
         group.hedges += 1
         self.hedges_issued += 1
+        if self.metrics is not None:
+            self.metrics.counter("hedges_total").inc()
+        if group.trace is not None:
+            group.trace.add_event(
+                self.sim.now, "hedge_launched", attempt=len(group.states)
+            )
         self._launch_attempt(group, hedge=True)
         if group.hedges < policy.hedge.max_hedges:
             group.hedge_event = self.sim.schedule(
@@ -362,7 +431,14 @@ class Dispatcher:
                 retry.budget is None or retry.budget.try_spend()
             ):
                 self.retries_issued += 1
+                if self.metrics is not None:
+                    self.metrics.counter("retries_total").inc()
                 delay = retry.backoff(group.request.attempts + 1, self._rng)
+                if group.trace is not None:
+                    group.trace.add_event(
+                        self.sim.now, "retry_scheduled",
+                        attempt=len(group.states), delay=delay,
+                    )
                 self.sim.schedule(delay, self._relaunch, group)
                 return
         self._resolve(group, outcome)
@@ -381,6 +457,21 @@ class Dispatcher:
         if state.timeout_event is not None:
             self.sim.cancel(state.timeout_event)
             state.timeout_event = None
+        trace = state.group.trace
+        if trace is not None:
+            # Close this attempt's open spans with ITS timestamps — a
+            # losing hedge must never report the winner's timings.
+            trace.add_event(
+                self.sim.now, "attempt_cancelled", attempt=state.attempt
+            )
+            for span in state.spans.values():
+                if not span.closed:
+                    span.finish(
+                        self.sim.now,
+                        job=state.node_job.get(span.node),
+                        status=SPAN_CANCELLED,
+                        breakdown=trace.breakdown,
+                    )
         request_id = state.request.request_id
         for name, job in state.node_job.items():
             job.cancelled = True
@@ -463,6 +554,14 @@ class Dispatcher:
             self.requests_shed += 1
         else:
             self.requests_failed += 1
+        if group.trace is not None:
+            group.trace.finish(self.sim.now, outcome)
+        if self.metrics is not None:
+            self.metrics.counter("requests_total", outcome=outcome).inc()
+            if outcome == OUTCOME_OK:
+                self.metrics.histogram("request_latency_seconds").observe(
+                    request.latency
+                )
         for listener in self._outcome_listeners:
             listener(request)
         if group.on_complete is not None:
@@ -542,6 +641,12 @@ class Dispatcher:
         breaker = self._breaker_for(state, node)
         if breaker is not None and node.same_instance_as is None:
             if not breaker.allow(self.sim.now):
+                if state.group.trace is not None:
+                    state.group.trace.add_event(
+                        self.sim.now, "breaker_rejected",
+                        attempt=state.attempt, node=node.name,
+                        service=node.service,
+                    )
                 self._attempt_failed(state, OUTCOME_FAILED)
                 return
         try:
@@ -565,10 +670,17 @@ class Dispatcher:
         job.on_complete = lambda j, _s=state, _n=node: self._leave_node(_s, _n, j)
         job.on_fail = lambda j, _s=state, _n=node: self._on_job_fail(_s, _n, j)
         self._apply_op(node.on_enter, state, job)
-        if self.trace:
-            state.request.metadata.setdefault("trace_enter", {})[
-                node.name
-            ] = self.sim.now
+        trace = state.group.trace
+        if trace is not None:
+            state.spans[node.name] = trace.start_span(
+                node.name, instance.name, node.service,
+                state.attempt, self.sim.now,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "edge_requests_total",
+                upstream=upstream_key, service=node.service,
+            ).inc()
 
         src_machine = (
             src_instance.machine_name
@@ -624,16 +736,11 @@ class Dispatcher:
         if breaker is not None:
             breaker.record_success()
         self._apply_op(node.on_leave, state, job)
-        if self.trace:
-            enter = state.request.metadata.get("trace_enter", {}).get(node.name)
-            state.request.metadata.setdefault("trace", []).append(
-                (
-                    node.name,
-                    state.node_instance[node.name].name,
-                    enter,
-                    self.sim.now,
-                )
-            )
+        trace = state.group.trace
+        if trace is not None:
+            span = state.spans.get(node.name)
+            if span is not None:
+                span.finish(self.sim.now, job=job, breakdown=trace.breakdown)
         children = state.tree.children(node.name)
         if not children:
             state.pending_sinks -= 1
@@ -680,6 +787,10 @@ class Dispatcher:
         if self.network.is_partitioned(src_machine, dst_machine):
             self.messages_dropped += 1
             return  # response lost; only a timeout will surface it
+        if state.group.trace is not None:
+            state.group.trace.add_event(
+                self.sim.now, "response_sent", attempt=state.attempt
+            )
         self._hop(src_machine, dst_machine, response_size, state.request, finish)
 
     # Network routing -------------------------------------------------------

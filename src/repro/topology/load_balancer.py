@@ -44,7 +44,20 @@ class LoadBalancer(abc.ABC):
     All policies are health-aware: down and draining replicas are
     skipped, and :class:`NoHealthyInstance` is raised when nothing is
     left to pick from.
+
+    ``on_pick`` is an optional observability hook
+    (:meth:`~repro.telemetry.metrics.MetricsRegistry.instrument_balancer`
+    installs a per-instance pick counter); it is called with every
+    chosen instance.
     """
+
+    #: Optional callable(instance) fired on every pick (metrics hook).
+    on_pick = None
+
+    def _chose(self, instance: Microservice) -> Microservice:
+        if self.on_pick is not None:
+            self.on_pick(instance)
+        return instance
 
     @abc.abstractmethod
     def pick(
@@ -86,7 +99,7 @@ class RoundRobin(LoadBalancer):
         alive = self._eligible(instances)
         chosen = alive[self._next % len(alive)]
         self._next += 1
-        return chosen
+        return self._chose(chosen)
 
 
 class RandomChoice(LoadBalancer):
@@ -98,7 +111,7 @@ class RandomChoice(LoadBalancer):
         rng: np.random.Generator,
     ) -> Microservice:
         alive = self._eligible(instances)
-        return alive[int(rng.integers(len(alive)))]
+        return self._chose(alive[int(rng.integers(len(alive)))])
 
 
 class LeastOutstanding(LoadBalancer):
@@ -124,7 +137,7 @@ class LeastOutstanding(LoadBalancer):
                 return pending
             return inst.jobs_accepted - inst.jobs_completed
 
-        return min(alive, key=load)
+        return self._chose(min(alive, key=load))
 
 
 POLICIES = {

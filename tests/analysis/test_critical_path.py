@@ -5,6 +5,7 @@ import pytest
 from repro.analysis import analyze, critical_path, slowest_nodes, spans_of
 from repro.errors import ReproError
 from repro.service import Request
+from repro.telemetry import SPAN_CANCELLED, Trace
 
 
 def traced_request(spans):
@@ -51,6 +52,74 @@ class TestCriticalPath:
         req.metadata["trace"] = []
         with pytest.raises(ReproError):
             critical_path(req)
+
+
+def span_request(visits, created_at=0.0):
+    """Build a request carrying a Span-model trace.
+
+    *visits* are (node, attempt, enter, leave[, status]) tuples.
+    """
+    req = Request(created_at)
+    trace = Trace(req.request_id, created_at=created_at)
+    for node, attempt, enter, leave, *rest in visits:
+        span = trace.start_span(node, f"{node}0", node, attempt, enter)
+        span.finish(leave, status=rest[0] if rest else "ok",
+                    breakdown=False)
+    req.completed_at = max(leave for _, _, _, leave, *_ in visits)
+    trace.finish(req.completed_at, "ok")
+    req.metadata["trace"] = trace
+    return req
+
+
+class TestSpanModelCriticalPath:
+    def test_overlapping_fanout_branches(self):
+        # Branch spans overlap in time: fast (0.5-2.1) is still running
+        # when slow (0.6-3.0) starts, and overlaps the proxy span too.
+        # The walk must pick the branch the join actually waited for,
+        # not merely the last-started one.
+        req = span_request([
+            ("proxy", 0, 0.0, 0.7),
+            ("fast", 0, 0.5, 2.1),
+            ("slow", 0, 0.6, 3.0),
+            ("join", 0, 3.0, 3.5),
+        ])
+        path = [s.node for s in critical_path(req)]
+        assert path == ["slow", "join"]
+        # 'fast' overlaps 'slow' entirely within the wait, never on it.
+        assert "fast" not in path
+
+    def test_traced_retry_failed_attempt_joins_path(self):
+        # Attempt 0 timed out (cancelled at 1.0); the retry ran 1.2-2.0.
+        # The cancelled span is genuinely spent latency: it belongs on
+        # the chain.
+        req = span_request([
+            ("web", 0, 0.0, 1.0, SPAN_CANCELLED),
+            ("web", 1, 1.2, 2.0),
+        ])
+        path = critical_path(req)
+        assert [(s.node, s.attempt) for s in path] == [
+            ("web", 0), ("web", 1),
+        ]
+
+    def test_hedge_loser_never_anchors_the_path(self):
+        # The losing hedge attempt is cancelled at resolution time —
+        # *after* the winner's span closed. It must neither anchor the
+        # backwards walk nor join the chain.
+        req = span_request([
+            ("web", 0, 0.0, 2.05, SPAN_CANCELLED),  # loser, dies last
+            ("web", 1, 0.5, 2.0),                   # winner
+        ])
+        path = critical_path(req)
+        assert [(s.node, s.attempt) for s in path] == [("web", 1)]
+
+    def test_analyze_covers_cancelled_path_nodes(self):
+        req = span_request([
+            ("web", 0, 0.0, 1.0, SPAN_CANCELLED),
+            ("web", 1, 1.2, 2.0),
+        ])
+        contributions = analyze([req])
+        assert contributions["web"].visits == 2
+        assert contributions["web"].critical_fraction == 1.0
 
 
 class TestAggregation:

@@ -54,6 +54,24 @@ class TestLatencyRecorder:
         assert times.tolist() == [1.0, 2.0]
         assert values.tolist() == [1.0, 2.0]
 
+    @pytest.mark.parametrize(
+        "query,expected",
+        [
+            (lambda r: r.count(since=1.5, until=3.0), 2),
+            (lambda r: r.mean(since=1.5, until=3.0), 2.5),
+            (lambda r: r.percentile(100, since=1.5, until=3.0), 3.0),
+            (lambda r: r.max(since=1.5, until=3.0), 3.0),
+        ],
+        ids=["count", "mean", "percentile", "max"],
+    )
+    def test_windowed_queries_respect_until(self, query, expected):
+        # Regression: max() used to ignore `until` and report the 9.0
+        # outlier past the window's end.
+        rec = LatencyRecorder()
+        for t, v in [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (4.0, 9.0)]:
+            rec.record(t, v)
+        assert query(rec) == pytest.approx(expected)
+
     def test_empty_queries_raise(self):
         rec = LatencyRecorder()
         with pytest.raises(ReproError):
@@ -86,6 +104,22 @@ class TestWindowedLatency:
         for i in range(100):
             win.record(i * 0.01, float(i))
         assert win.percentile(50) == pytest.approx(49.5)
+
+    def test_merged_stream_eviction_tracks_max_timestamp_seen(self):
+        # Regression: eviction used the latest *inserted* timestamp, so
+        # an out-of-order straggler from a merged completion stream
+        # rewound the horizon and resurrected already-evicted samples.
+        win = WindowedLatency(window=1.0)
+        win.record(10.0, 1.0)
+        win.record(9.5, 2.0)  # straggler inside the window: kept, sorted
+        assert len(win) == 2
+        win.record(8.0, 3.0)  # straggler past the window: dropped
+        assert len(win) == 2
+        win.record(10.4, 4.0)
+        assert len(win) == 3
+        win.record(10.6, 5.0)  # horizon 9.6 now evicts the 9.5 sample
+        assert len(win) == 3
+        assert win.mean() == pytest.approx(np.mean([1.0, 4.0, 5.0]))
 
     def test_empty_returns_none(self):
         win = WindowedLatency(window=1.0)

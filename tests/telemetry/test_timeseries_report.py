@@ -38,6 +38,20 @@ class TestTimeSeries:
         _, maxes = ts.resample(1.0, reducer=np.max)
         assert maxes.tolist() == [9.0, 5.0]
 
+    def test_resample_explicit_t_end_excludes_later_samples(self):
+        # Regression: the overflow bin (which exists so the default
+        # window's last sample lands on its hi edge) swept in samples
+        # past an explicitly-passed t_end.
+        ts = TimeSeries()
+        for t, v in [(0.5, 1.0), (1.5, 2.0), (2.0, 64.0), (2.5, 128.0)]:
+            ts.append(t, v)
+        _, means = ts.resample(1.0, t_start=0.0, t_end=2.0)
+        # Window is [0, 2): both the t=2.0 and t=2.5 samples are out.
+        assert means.tolist() == [1.0, 2.0]
+        # The default window still includes its own last sample.
+        _, means = ts.resample(1.0)
+        assert means.tolist() == [1.0, 33.0, 128.0]
+
     def test_resample_empty_series(self):
         centres, values = TimeSeries().resample(1.0)
         assert centres.size == 0 and values.size == 0

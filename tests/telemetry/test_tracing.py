@@ -1,0 +1,233 @@
+"""Unit tests for the span/trace model and its exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import (
+    SPAN_CANCELLED,
+    SPAN_OK,
+    Span,
+    Trace,
+    TraceConfig,
+    Tracer,
+    from_otlp,
+    read_otlp,
+    to_otlp,
+    to_perfetto,
+    write_otlp,
+    write_perfetto,
+)
+
+
+class FakeJob:
+    def __init__(self, created_at=None, first_dispatch_at=None):
+        self.created_at = created_at
+        self.first_dispatch_at = first_dispatch_at
+
+
+class FakeRequest:
+    def __init__(self, request_id=7, request_type="rt", created_at=0.5):
+        self.request_id = request_id
+        self.request_type = request_type
+        self.created_at = created_at
+
+
+class TestSpan:
+    def test_open_span_has_no_duration(self):
+        span = Span("n", "i0", "svc", 0, enter=1.0)
+        assert not span.closed
+        with pytest.raises(ReproError):
+            span.duration
+
+    def test_finish_breakdown_sums_to_duration(self):
+        span = Span("n", "i0", "svc", 0, enter=1.0)
+        span.finish(1.010, job=FakeJob(created_at=1.001,
+                                       first_dispatch_at=1.004))
+        assert span.status == SPAN_OK
+        assert span.network == pytest.approx(0.001)
+        assert span.queueing == pytest.approx(0.003)
+        assert span.service_time == pytest.approx(0.006)
+        assert span.network + span.queueing + span.service_time == (
+            pytest.approx(span.duration)
+        )
+
+    def test_finish_clamps_unreached_timestamps(self):
+        # A cancelled attempt whose job never reached a core: the
+        # missing first_dispatch_at clamps to the close time, keeping
+        # the breakdown identity.
+        span = Span("n", "i0", "svc", 1, enter=0.0)
+        span.finish(0.004, job=FakeJob(created_at=0.001),
+                    status=SPAN_CANCELLED)
+        assert span.status == SPAN_CANCELLED
+        assert span.network == pytest.approx(0.001)
+        assert span.queueing == pytest.approx(0.003)
+        assert span.service_time == 0.0
+
+    def test_finish_without_breakdown_books_service(self):
+        span = Span("n", "i0", "svc", 0, enter=2.0)
+        span.finish(5.0, breakdown=False)
+        assert span.service_time == pytest.approx(3.0)
+        assert span.network == 0.0 and span.queueing == 0.0
+
+    def test_double_finish_is_idempotent(self):
+        span = Span("n", "i0", "svc", 0, enter=0.0)
+        span.finish(1.0)
+        span.finish(9.0, status=SPAN_CANCELLED)
+        assert span.leave == 1.0
+        assert span.status == SPAN_OK
+
+
+class TestTrace:
+    def test_attempt_bookkeeping(self):
+        trace = Trace(1)
+        trace.start_span("a", "a0", "svc", 0, 0.0).finish(1.0)
+        trace.start_span("a", "a1", "svc", 1, 2.0).finish(
+            2.5, status=SPAN_CANCELLED
+        )
+        open_span = trace.start_span("b", "b0", "svc", 1, 2.6)
+        assert trace.attempts == 2
+        assert len(trace.spans_for_attempt(1)) == 2
+        assert [s.instance for s in trace.completed_spans()] == ["a0"]
+        completed = trace.completed_spans(include_cancelled=True)
+        assert len(completed) == 2
+        assert open_span not in completed
+
+
+class TestTraceConfig:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TraceConfig(sample_rate=1.5)
+        with pytest.raises(ReproError):
+            TraceConfig(sample_rate=-0.1)
+        with pytest.raises(ReproError):
+            TraceConfig(max_traces=0)
+        assert TraceConfig().sample_rate == 1.0
+
+
+class TestTracer:
+    def test_sampling_is_deterministic_per_stream(self):
+        def sampled_ids(seed):
+            tracer = Tracer(
+                TraceConfig(sample_rate=0.3),
+                rng=np.random.default_rng(seed),
+            )
+            return [
+                i for i in range(200)
+                if tracer.start_trace(FakeRequest(request_id=i)) is not None
+            ]
+
+        assert sampled_ids(42) == sampled_ids(42)
+        assert sampled_ids(42) != sampled_ids(43)
+        count = len(sampled_ids(42))
+        assert 30 < count < 90  # ~60 expected
+
+    def test_zero_rate_never_needs_rng(self):
+        tracer = Tracer(TraceConfig(sample_rate=0.0))
+        assert tracer.start_trace(FakeRequest()) is None
+        assert tracer.unsampled == 1
+
+    def test_fractional_rate_without_rng_rejected(self):
+        tracer = Tracer(TraceConfig(sample_rate=0.5))
+        with pytest.raises(ReproError):
+            tracer.start_trace(FakeRequest())
+
+    def test_max_traces_caps_memory(self):
+        tracer = Tracer(TraceConfig(max_traces=2))
+        for i in range(5):
+            tracer.start_trace(FakeRequest(request_id=i))
+        assert len(tracer.traces) == 2
+        assert tracer.sampled == 2
+        assert tracer.dropped == 3
+
+
+def sample_traces():
+    t1 = Trace(11, request_type="search", created_at=0.001)
+    t1.start_span("web", "web0", "web", 0, 0.002).finish(
+        0.004, job=FakeJob(0.0025, 0.003)
+    )
+    t1.start_span("web", "web1", "web", 1, 0.010).finish(
+        0.011, status=SPAN_CANCELLED
+    )
+    t1.add_event(0.009, "retry_scheduled", attempt=1, delay=0.001)
+    t1.finish(0.0045, "ok")
+    t2 = Trace(12, created_at=0.5)
+    t2.start_span("db", "db0", "db", 0, 0.51).finish(0.52)
+    t2.finish(0.53, "timeout")
+    return [t1, t2]
+
+
+class TestPerfetto:
+    def test_events_are_well_formed(self):
+        doc = to_perfetto(sample_traces())
+        events = doc["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        for event in complete:
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+            assert event["dur"] >= 0
+        # pid = request id, tid = attempt: sibling attempts on separate
+        # tracks of the same process.
+        web = [e for e in complete if e["pid"] == 11]
+        assert sorted(e["tid"] for e in web) == [0, 1]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["retry_scheduled"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(metas) == 2
+
+    def test_open_spans_are_skipped(self):
+        trace = Trace(1)
+        trace.start_span("hung", "h0", "svc", 0, 1.0)  # never finished
+        doc = to_perfetto([trace])
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+
+    def test_write_produces_valid_json(self, tmp_path):
+        path = tmp_path / "trace.perfetto.json"
+        write_perfetto(path, sample_traces())
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestOtlpRoundTrip:
+    def test_exact_round_trip(self):
+        originals = sample_traces()
+        decoded = from_otlp(to_otlp(originals))
+        assert len(decoded) == len(originals)
+        for original, copy in zip(originals, decoded):
+            assert copy.request_id == original.request_id
+            assert copy.request_type == original.request_type
+            assert copy.created_at == original.created_at
+            assert copy.completed_at == original.completed_at
+            assert copy.outcome == original.outcome
+            assert copy.breakdown == original.breakdown
+            assert len(copy.spans) == len(original.spans)
+            for a, b in zip(original.spans, copy.spans):
+                assert (a.node, a.instance, a.service, a.attempt) == (
+                    b.node, b.instance, b.service, b.attempt
+                )
+                # Bit-exact floats via the repro.*_s attributes.
+                assert a.enter == b.enter and a.leave == b.leave
+                assert a.status == b.status
+                assert a.network == b.network
+                assert a.queueing == b.queueing
+                assert a.service_time == b.service_time
+            for ea, eb in zip(original.events, copy.events):
+                assert ea.t == eb.t and ea.name == eb.name
+                assert ea.attrs == eb.attrs
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.otlp.json"
+        write_otlp(path, sample_traces())
+        decoded = read_otlp(path)
+        assert [t.request_id for t in decoded] == [11, 12]
+        # Nano timestamps are present and plausible alongside the
+        # exact attributes.
+        payload = json.loads(path.read_text())
+        spans = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert all(span["traceId"] for span in spans)
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(ReproError):
+            from_otlp({"not": "otlp"})

@@ -1,0 +1,165 @@
+"""Property-style trace-consistency checks across topologies.
+
+Whatever mix of retries, hedges, and fan-out a run produces, every
+sampled trace must satisfy:
+
+* exactly one span per (attempt, node) visit — sibling attempts never
+  share or clobber spans;
+* every closed span's ``network + queueing + service`` breakdown sums
+  to its duration, each part non-negative;
+* the critical-path chain is time-ordered and non-overlapping, and the
+  chain plus its gaps (lead-in from submission, inter-span waits, and
+  the response leg) decomposes the end-to-end latency exactly.
+"""
+
+import pytest
+
+from repro.analysis import critical_path
+from repro.engine import Simulator
+from repro.hardware import NetworkFabric
+from repro.distributions import Deterministic, Exponential
+from repro.resilience import HedgePolicy, ResiliencePolicy, RetryPolicy
+from repro.service import Request
+from repro.topology import PathNode, PathTree
+
+from .conftest import build_instance, build_world
+
+
+def retry_scenario(sim, network):
+    cluster, deployment, dispatcher = build_world(sim, network)
+    deployment.add_instance(
+        build_instance(sim, cluster, "web0", "node0",
+                       service_time=20e-3, tier="web")
+    )
+    deployment.add_instance(
+        build_instance(sim, cluster, "web1", "node1",
+                       service_time=1e-3, tier="web")
+    )
+    dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+    policy = ResiliencePolicy(
+        timeout=5e-3,
+        retry=RetryPolicy(max_attempts=3, backoff_base=1e-3, jitter=0.0),
+    )
+    return dispatcher, policy
+
+
+def hedge_scenario(sim, network):
+    cluster, deployment, dispatcher = build_world(sim, network)
+    deployment.add_instance(
+        build_instance(sim, cluster, "web0", "node0",
+                       service_time=30e-3, tier="web")
+    )
+    deployment.add_instance(
+        build_instance(sim, cluster, "web1", "node1",
+                       service_time=1e-3, tier="web")
+    )
+    dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+    return dispatcher, ResiliencePolicy(hedge=HedgePolicy(delay=3e-3))
+
+
+def fanout_scenario(sim, network):
+    cluster, deployment, dispatcher = build_world(sim, network, machines=4)
+    deployment.add_instance(
+        build_instance(sim, cluster, "agg0", "node0",
+                       service_time=1e-4, tier="agg")
+    )
+    for i, service_time in enumerate([1e-3, 4e-3, 2e-3]):
+        deployment.add_instance(
+            build_instance(sim, cluster, f"leaf{i}0", f"node{i + 1}",
+                           service_time=service_time, tier=f"leaf{i}")
+        )
+    tree = PathTree()
+    tree.add_node(PathNode("root", "agg"))
+    for i in range(3):
+        tree.add_node(PathNode(f"leaf{i}", f"leaf{i}"))
+        tree.add_edge("root", f"leaf{i}")
+    tree.add_node(PathNode("join", "agg", same_instance_as="root"))
+    for i in range(3):
+        tree.add_edge(f"leaf{i}", "join")
+    dispatcher.add_tree(tree)
+    return dispatcher, None
+
+
+SCENARIOS = {
+    "retry": retry_scenario,
+    "hedge": hedge_scenario,
+    "fanout": fanout_scenario,
+}
+
+
+def check_trace(trace):
+    # One span per (attempt, node).
+    keys = [(s.attempt, s.node) for s in trace.spans]
+    assert len(keys) == len(set(keys)), f"duplicate attempt spans: {keys}"
+    # Every span closed with a consistent breakdown.
+    for span in trace.spans:
+        assert span.closed, f"span {span.node} left open"
+        assert span.duration >= 0
+        assert span.network >= 0
+        assert span.queueing >= 0
+        assert span.service_time >= 0
+        assert span.network + span.queueing + span.service_time == (
+            pytest.approx(span.duration, abs=1e-12)
+        )
+    # Events sit inside the request's lifetime.
+    for event in trace.events:
+        assert trace.created_at <= event.t <= trace.completed_at
+
+
+def check_critical_path(request):
+    trace = request.metadata["trace"]
+    path = critical_path(request)
+    assert path, "empty critical path"
+    # Chain is time-ordered and non-overlapping.
+    for earlier, later in zip(path, path[1:]):
+        assert earlier.leave <= later.enter + 1e-12
+    # Chain + gaps decomposes the end-to-end latency exactly: lead-in
+    # (submission to first span), the chain's own window, and the
+    # response leg after the anchor span.
+    chain = sum(s.duration for s in path)
+    gaps = sum(
+        later.enter - earlier.leave
+        for earlier, later in zip(path, path[1:])
+    )
+    lead_in = path[0].enter - trace.created_at
+    response = trace.completed_at - path[-1].leave
+    assert lead_in >= -1e-12
+    assert gaps >= -1e-12
+    assert response >= -1e-12
+    latency = request.completed_at - request.created_at
+    assert lead_in + chain + gaps + response == pytest.approx(latency)
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_trace_invariants_hold(scenario, seed):
+    sim = Simulator(seed=seed)
+    network = NetworkFabric(
+        propagation=Exponential(10e-6), loopback=Deterministic(1e-6)
+    )
+    dispatcher, policy = SCENARIOS[scenario](sim, network)
+    dispatcher.trace = True
+    done = []
+    for i in range(25):
+        req = Request(created_at=i * 2e-3)
+        sim.schedule_at(
+            req.created_at, dispatcher.submit, req, done.append,
+            "client", "client", policy,
+        )
+    sim.run()
+    assert len(done) == 25
+    checked = 0
+    for req in done:
+        if req.outcome != "ok":
+            continue  # timed-out requests have no resolution latency
+        trace = req.metadata["trace"]
+        check_trace(trace)
+        check_critical_path(req)
+        checked += 1
+    assert checked > 0
+    # The scenarios must actually exercise multi-attempt traces.
+    if scenario in ("retry", "hedge"):
+        assert any(
+            r.metadata["trace"].attempts > 1 for r in done
+            if "trace" in r.metadata
+        )

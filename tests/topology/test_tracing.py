@@ -1,10 +1,19 @@
-"""Tests for per-request tracing in the dispatcher."""
+"""Tests for per-request tracing in the dispatcher.
+
+Covers the attempt-aware span model: every node visit of every attempt
+gets its own span, resilience actions leave events on the trace, and
+the enter-timestamp clobbering bug of the legacy flat
+``trace_enter[node]`` dict stays fixed (a retry or hedge re-visit of a
+node must never inherit the earlier attempt's timings).
+"""
 
 import pytest
 
 from repro.engine import Simulator
 from repro.hardware import NetworkFabric
 from repro.distributions import Deterministic
+from repro.resilience import HedgePolicy, ResiliencePolicy, RetryPolicy
+from repro.telemetry import SPAN_CANCELLED, SPAN_OK, Trace, TraceConfig
 from repro.topology import Dispatcher, PathNode, PathTree
 from repro.service import Request
 
@@ -23,7 +32,7 @@ def network():
     )
 
 
-def traced_world(sim, network):
+def traced_world(sim, network, trace=True):
     cluster, deployment, _ = build_world(sim, network)
     deployment.add_instance(
         build_instance(sim, cluster, "web0", "node0", service_time=1e-3, tier="web")
@@ -31,10 +40,27 @@ def traced_world(sim, network):
     deployment.add_instance(
         build_instance(sim, cluster, "db0", "node1", service_time=2e-3, tier="db")
     )
-    dispatcher = Dispatcher(sim, deployment, network, trace=True)
+    dispatcher = Dispatcher(sim, deployment, network, trace=trace)
     dispatcher.add_tree(
         PathTree().chain(PathNode("web", "web"), PathNode("db", "db"))
     )
+    return dispatcher
+
+
+def two_replica_world(sim, network, slow=50e-3, fast=1e-3):
+    """Round-robin pair: attempt 1 lands on the slow replica, the
+    retry/hedge on the fast one."""
+    cluster, deployment, dispatcher = build_world(sim, network)
+    deployment.add_instance(
+        build_instance(sim, cluster, "web0", "node0",
+                       service_time=slow, tier="web")
+    )
+    deployment.add_instance(
+        build_instance(sim, cluster, "web1", "node1",
+                       service_time=fast, tier="web")
+    )
+    dispatcher.trace = True
+    dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
     return dispatcher
 
 
@@ -45,20 +71,37 @@ class TestTracing:
         dispatcher.submit(req)
         sim.run()
         trace = req.metadata["trace"]
-        assert [t[0] for t in trace] == ["web", "db"]
-        assert [t[1] for t in trace] == ["web0", "db0"]
+        assert isinstance(trace, Trace)
+        assert [s.node for s in trace.spans] == ["web", "db"]
+        assert [s.instance for s in trace.spans] == ["web0", "db0"]
+        assert all(s.status == SPAN_OK for s in trace.spans)
+        assert trace.outcome == "ok"
+        assert trace.completed_at == pytest.approx(req.completed_at)
 
     def test_trace_timings_are_causal(self, sim, network):
         dispatcher = traced_world(sim, network)
         req = Request(0.0)
         dispatcher.submit(req)
         sim.run()
-        (w_name, _, w_enter, w_leave), (d_name, _, d_enter, d_leave) = (
-            req.metadata["trace"]
-        )
-        assert w_enter <= w_leave <= d_enter <= d_leave
+        web, db = req.metadata["trace"].spans
+        assert web.enter <= web.leave <= db.enter <= db.leave
         # web service time is 1ms; its span must cover it.
-        assert w_leave - w_enter >= 1e-3
+        assert web.duration >= 1e-3
+
+    def test_span_breakdown_sums_to_duration(self, sim, network):
+        dispatcher = traced_world(sim, network)
+        req = Request(0.0)
+        dispatcher.submit(req)
+        sim.run()
+        for span in req.metadata["trace"].spans:
+            assert span.network >= 0
+            assert span.queueing >= 0
+            assert span.service_time >= 0
+            assert span.network + span.queueing + span.service_time == (
+                pytest.approx(span.duration)
+            )
+            # Deterministic network: dispatch hop is the propagation delay.
+            assert span.network == pytest.approx(10e-6, rel=0.5)
 
     def test_tracing_disabled_by_default(self, sim, network):
         cluster, deployment, dispatcher = build_world(sim, network)
@@ -70,3 +113,107 @@ class TestTracing:
         dispatcher.submit(req)
         sim.run()
         assert "trace" not in req.metadata
+        assert dispatcher.tracer is None
+        assert dispatcher.trace is False
+
+    def test_sampled_out_request_carries_no_trace(self, sim, network):
+        dispatcher = traced_world(
+            sim, network, trace=TraceConfig(sample_rate=0.0)
+        )
+        req = Request(0.0)
+        dispatcher.submit(req)
+        sim.run()
+        assert "trace" not in req.metadata
+        assert dispatcher.tracer.unsampled == 1
+        assert dispatcher.tracer.traces == []
+
+    def test_trace_config_exposed_and_tracer_collects(self, sim, network):
+        config = TraceConfig(sample_rate=1.0, breakdown=False)
+        dispatcher = traced_world(sim, network, trace=config)
+        for i in range(3):
+            dispatcher.submit(Request(created_at=i * 1e-2))
+        sim.run()
+        assert dispatcher.trace is config
+        assert len(dispatcher.tracer.traces) == 3
+        # breakdown off: whole span booked as service time.
+        span = dispatcher.tracer.traces[0].spans[0]
+        assert span.network == 0.0 and span.queueing == 0.0
+        assert span.service_time == pytest.approx(span.duration)
+
+
+class TestAttemptSpans:
+    """Regression tests for the retry/hedge trace corruption bug."""
+
+    def test_retry_attempts_get_separate_spans(self, sim, network):
+        dispatcher = two_replica_world(sim, network)
+        policy = ResiliencePolicy(
+            timeout=10e-3,
+            retry=RetryPolicy(max_attempts=2, backoff_base=1e-3, jitter=0.0),
+        )
+        done = []
+        req = Request(0.0)
+        dispatcher.submit(req, done.append, "client", "client", policy)
+        sim.run()
+        assert done[0].outcome == "ok"
+        trace = req.metadata["trace"]
+        assert trace.attempts == 2
+        (first,) = trace.spans_for_attempt(0)
+        (second,) = trace.spans_for_attempt(1)
+        # The failed attempt's span keeps its own timestamps: it opened
+        # at dispatch and closed at the timeout cancellation — not at
+        # the retry's (later) enter, which the legacy flat dict
+        # silently substituted.
+        assert first.status == SPAN_CANCELLED
+        assert first.leave == pytest.approx(10e-3)
+        assert second.status == SPAN_OK
+        assert second.enter > first.leave  # retry launched after backoff
+        # The winning span closes just before the response hop home.
+        assert first.leave < second.leave <= done[0].completed_at
+        # Only the winning attempt's span is a "completed" span.
+        assert trace.completed_spans() == [second]
+        assert trace.completed_spans(include_cancelled=True) == [
+            first, second,
+        ]
+
+    def test_hedge_loser_closes_with_own_timestamps(self, sim, network):
+        dispatcher = two_replica_world(sim, network)
+        policy = ResiliencePolicy(hedge=HedgePolicy(delay=5e-3))
+        done = []
+        req = Request(0.0)
+        dispatcher.submit(req, done.append, "client", "client", policy)
+        sim.run()
+        assert done[0].outcome == "ok"
+        assert dispatcher.hedges_issued == 1
+        trace = req.metadata["trace"]
+        assert trace.attempts == 2
+        (loser,) = trace.spans_for_attempt(0)
+        (winner,) = trace.spans_for_attempt(1)
+        assert winner.status == SPAN_OK
+        assert loser.status == SPAN_CANCELLED
+        # The loser was cancelled when the winner resolved — well
+        # before its own 50ms service time would have completed.
+        assert loser.closed
+        assert loser.leave == pytest.approx(done[0].completed_at)
+        assert loser.leave - loser.enter < 50e-3
+        # The hedge opened its own span ~delay later.
+        assert winner.enter >= loser.enter + 5e-3
+
+    def test_resilience_events_recorded(self, sim, network):
+        dispatcher = two_replica_world(sim, network)
+        policy = ResiliencePolicy(
+            timeout=10e-3,
+            retry=RetryPolicy(max_attempts=2, backoff_base=1e-3, jitter=0.0),
+        )
+        req = Request(0.0)
+        dispatcher.submit(req, None, "client", "client", policy)
+        sim.run()
+        names = [e.name for e in req.metadata["trace"].events]
+        assert "timeout_fired" in names
+        assert "retry_scheduled" in names
+        assert "attempt_cancelled" in names
+        assert names[-1] == "response_sent"
+        retry = next(
+            e for e in req.metadata["trace"].events
+            if e.name == "retry_scheduled"
+        )
+        assert retry.attrs["attempt"] == 1
