@@ -4,10 +4,12 @@
 
     python -m repro run <spec-dir> [--seed N] [--until S] [--real]
         [--trace] [--trace-sample R] [--trace-dir DIR]
+        [--slo SPEC ...] [--profile]
     python -m repro experiments list
     python -m repro experiments run <exp-id> [--seed N] [--jobs N]
         [--run-dir DIR] [--no-resume] [--audit]
-        [--trace-dir DIR] [--trace-sample R]
+        [--trace-dir DIR] [--trace-sample R] [--slo SPEC ...]
+    python -m repro analyze <trace-dir> [--percentiles LIST] [--top K]
 
 ``run`` loads a Table I spec directory (machines.json, services/,
 graph.json, path.json, client.json, optional faults.json), simulates
@@ -16,7 +18,10 @@ the figure/table registry; ``--run-dir`` journals completed sweep
 points so a killed run resumes where it stopped (see
 docs/operations.md). ``--trace``/``--trace-dir`` record per-request
 spans and export them as Perfetto and OTLP JSON (see
-docs/observability.md).
+docs/observability.md). ``--slo`` attaches live objectives
+(``p99<5ms``, ``avail>99.9%``) evaluated on the simulation clock;
+``--profile`` times event handlers; ``analyze`` rebuilds the full
+analytics report offline from exported OTLP trace files.
 
 Exit codes: 0 on success, 2 on configuration/simulation errors
 (:class:`~repro.errors.ReproError`, printed as a one-line message),
@@ -32,14 +37,19 @@ import json
 import sys
 from pathlib import Path
 
+from .analysis import analyze_traces, load_traces
 from .config import SimulationSpec
+from .engine import EngineProfiler
 from .errors import ReproError
 from .experiments import registry
 from .telemetry import (
+    SLOMonitor,
     TraceConfig,
+    format_analytics_report,
     format_run_manifest,
     format_table,
     ms,
+    parse_slo,
     write_otlp,
     write_perfetto,
 )
@@ -56,6 +66,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     tracing = args.trace or args.trace_dir is not None
     if tracing:
         world.dispatcher.trace = TraceConfig(sample_rate=args.trace_sample)
+    slo_monitor = None
+    if args.slo:
+        window = (
+            min(1.0, args.until) if args.until is not None else 1.0
+        )
+        slos = [parse_slo(spec_str, window=window) for spec_str in args.slo]
+        interval = (
+            max(args.until / 100.0, 0.005)
+            if args.until is not None else 0.01
+        )
+        slo_monitor = SLOMonitor(world.sim, slos, interval=interval)
+        slo_monitor.attach(client)
+        slo_monitor.start(stop_at=args.until)
+    if args.profile:
+        world.sim.profiler = EngineProfiler()
     client.start()
     world.sim.run(until=args.until)
     if client.requests_ok == 0:
@@ -96,6 +121,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         title=f"uqSim run of {args.spec_dir}"
               + (" [real-system surrogate]" if args.real else ""),
     ))
+    if tracing or slo_monitor is not None or args.profile:
+        analytics = None
+        if tracing and world.dispatcher.tracer.traces:
+            analytics = analyze_traces(world.dispatcher.tracer.traces)
+        print()
+        print(format_analytics_report(
+            analytics,
+            slo=slo_monitor.summary() if slo_monitor is not None else None,
+            profile=(
+                world.sim.profiler.summary() if args.profile else None
+            ),
+        ))
     return 0
 
 
@@ -121,6 +158,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         audit=args.audit,
         trace_dir=args.trace_dir,
         trace_sample=args.trace_sample,
+        slo=args.slo or None,
         **kwargs,
     )
     print(repr(result))
@@ -128,6 +166,18 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         manifest_path = Path(args.run_dir) / "manifest.json"
         if manifest_path.exists():
             print(format_run_manifest(json.loads(manifest_path.read_text())))
+    if args.trace_dir is not None:
+        analytics = analyze_traces(load_traces(args.trace_dir))
+        print()
+        print(format_analytics_report(analytics))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    percentiles = tuple(float(q) for q in args.percentiles.split(","))
+    traces = load_traces(args.trace_dir)
+    analytics = analyze_traces(traces, percentiles=percentiles, top=args.top)
+    print(format_analytics_report(analytics, top=args.top))
     return 0
 
 
@@ -162,6 +212,15 @@ def main(argv=None) -> int:
         "--trace-dir", default=None, metavar="DIR",
         help="export sampled traces to DIR as Perfetto and OTLP JSON "
              "(implies --trace)",
+    )
+    run_parser.add_argument(
+        "--slo", action="append", default=[], metavar="SPEC",
+        help="attach a live SLO (e.g. 'p99<5ms' or 'avail>99.9%%'); "
+             "repeatable; verdicts print in the analytics report",
+    )
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="time event handlers and report engine hotspots",
     )
     run_parser.set_defaults(func=_cmd_run)
 
@@ -202,7 +261,30 @@ def main(argv=None) -> int:
         "--trace-sample", type=float, default=1.0, metavar="R",
         help="with --trace-dir: per-request trace sampling rate",
     )
+    exp_run.add_argument(
+        "--slo", action="append", default=[], metavar="SPEC",
+        help="attach a live SLO per measurement (e.g. 'p99<5ms'); "
+             "repeatable; summaries land in the run manifest",
+    )
     exp_parser.set_defaults(func=_cmd_experiments)
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="aggregate analytics over exported OTLP trace files",
+    )
+    analyze_parser.add_argument(
+        "trace_dir",
+        help="directory holding *.otlp.json files (searched recursively)",
+    )
+    analyze_parser.add_argument(
+        "--percentiles", default="50,95,99", metavar="LIST",
+        help="comma-separated percentiles to attribute (default 50,95,99)",
+    )
+    analyze_parser.add_argument(
+        "--top", type=int, default=8, metavar="K",
+        help="rows per table / exemplars per node (default 8)",
+    )
+    analyze_parser.set_defaults(func=_cmd_analyze)
 
     args = parser.parse_args(argv)
     try:

@@ -68,8 +68,8 @@ def spans_of(request: Request, include_cancelled: bool = False) -> List[Span]:
     return _upgrade_legacy(trace)
 
 
-def critical_path(request: Request) -> List[Span]:
-    """The latency-defining chain of node visits.
+def chain_of(spans: Sequence[Span], label: str = "trace") -> List[Span]:
+    """The latency-defining chain through a set of closed spans.
 
     Walks backwards from the last-finishing *successful* span, at each
     step jumping to the latest-finishing span that ended at or before
@@ -80,12 +80,10 @@ def critical_path(request: Request) -> List[Span]:
     losing hedge's span cannot join: it is cancelled at resolution,
     *after* the winner's chain began, so the walk passes it by.
     """
-    spans = sorted(
-        spans_of(request, include_cancelled=True), key=lambda s: s.leave
-    )
+    spans = sorted(spans, key=lambda s: s.leave)
     anchors = [s for s in spans if s.status == SPAN_OK]
     if not anchors:
-        raise ReproError(f"request {request.request_id} has an empty trace")
+        raise ReproError(f"{label} has an empty trace")
     start = anchors[-1]
     path = [start]
     cursor = start.enter
@@ -95,6 +93,24 @@ def critical_path(request: Request) -> List[Span]:
             cursor = span.enter
     path.reverse()
     return path
+
+
+def critical_path_of(trace: Trace) -> List[Span]:
+    """The critical chain of one :class:`Trace` (in-memory or decoded
+    from an OTLP file — no live :class:`Request` needed)."""
+    return chain_of(
+        trace.completed_spans(include_cancelled=True),
+        label=f"request {trace.request_id}",
+    )
+
+
+def critical_path(request: Request) -> List[Span]:
+    """The latency-defining chain of node visits of a traced request
+    (see :func:`chain_of` for the walk)."""
+    return chain_of(
+        spans_of(request, include_cancelled=True),
+        label=f"request {request.request_id}",
+    )
 
 
 @dataclass

@@ -1,0 +1,398 @@
+"""Aggregate trace analytics: from a pile of spans to answers.
+
+:mod:`repro.telemetry.tracing` records what happened to individual
+sampled requests; this module answers the fleet-wide questions an
+operator actually asks of a trace corpus:
+
+* **Tail attribution** (:func:`tail_attribution`) — which node owns
+  the p99? For each requested percentile, the end-to-end latency
+  quantile is decomposed into per-node critical-path contributions
+  plus a ``"(gaps)"`` remainder (client wire hops, retry backoff
+  waits). The decomposition is *exact*: the linear-interpolated
+  quantile blends the two adjacent order-statistic traces, so the
+  contributions sum to the measured end-to-end percentile to within
+  float rounding — not merely "approximately explain" it.
+* **RED dependency graph** (:func:`red_graph`) — rate / errors /
+  duration per (upstream, service) edge, extracted purely from span
+  ``upstream`` fields. Each span is one traversal of one edge, the
+  same granularity as the dispatcher's ``edge_requests_total``
+  counter, so at ``sample_rate=1.0`` the graph's edge counts match the
+  metrics registry exactly. Per-edge *amplification* (traversals per
+  primary-attempt traversal) quantifies retry/hedge traffic inflation.
+* **Breakdown percentiles** (:func:`node_breakdowns`) — per node, the
+  queueing / service / network decomposition at each duration
+  percentile (blended the same exact way, so the three parts sum to
+  the duration quantile).
+* **Exemplars** (:func:`exemplars`) — the k slowest traces touching
+  each node, cross-referenced by trace id so the matching request can
+  be opened in the Perfetto export (``pid`` = request id).
+
+:func:`analyze_traces` bundles all four into one
+:class:`TraceAnalytics`; :func:`load_traces` feeds it from a
+``--trace-dir`` full of OTLP exports. The ``repro analyze`` CLI prints
+the result through
+:func:`repro.telemetry.report.format_analytics_report`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+from ..telemetry.export import read_otlp
+from ..telemetry.tracing import SPAN_CANCELLED, SPAN_OK, Span, Trace
+from .critical_path import critical_path_of
+
+#: Pseudo-node collecting end-to-end time outside every critical-path
+#: span: client-side wire hops, retry backoff waits, hedge scheduling
+#: slack. Parenthesised so it can never collide with a real node name
+#: (path-tree node names are identifiers).
+GAPS = "(gaps)"
+
+#: Default percentiles every analytics surface reports.
+DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def load_traces(trace_dir: Union[str, Path]) -> List[Trace]:
+    """Every trace exported under *trace_dir* (recursively), from the
+    ``*.otlp.json`` files the exporters and sweeps write. Files load in
+    sorted path order, so the corpus is deterministic."""
+    base = Path(trace_dir)
+    if not base.exists():
+        raise ReproError(f"trace dir {str(base)!r} does not exist")
+    paths = sorted(base.rglob("*.otlp.json"))
+    if not paths:
+        raise ReproError(
+            f"no *.otlp.json files under {str(base)!r}; export traces "
+            f"with --trace-dir first"
+        )
+    traces: List[Trace] = []
+    for path in paths:
+        traces.extend(read_otlp(path))
+    return traces
+
+
+def _ok_traces(traces: Sequence[Trace]) -> List[Trace]:
+    """Traces of requests that resolved ``ok`` (end-to-end latency is
+    only defined for them), sorted by end-to-end latency."""
+    ok = [
+        t for t in traces
+        if t.outcome == "ok" and t.completed_at is not None
+    ]
+    return sorted(ok, key=_e2e)
+
+
+def _e2e(trace: Trace) -> float:
+    return trace.completed_at - trace.created_at
+
+
+def _quantile_blend(
+    n: int, q: float
+) -> List[Tuple[int, float]]:
+    """(index, weight) pairs of the order statistics whose weighted sum
+    is the linear-interpolated *q*-th percentile of n sorted samples —
+    numpy's default method, reproduced so a blend of per-trace
+    decompositions sums to exactly ``np.percentile(values, q)``."""
+    if not 0.0 <= q <= 100.0:
+        raise ReproError(f"percentile must be in [0, 100], got {q!r}")
+    position = (n - 1) * q / 100.0
+    lo = int(math.floor(position))
+    frac = position - lo
+    if frac <= 0.0 or lo + 1 >= n:
+        return [(lo, 1.0)]
+    return [(lo, 1.0 - frac), (lo + 1, frac)]
+
+
+def _decompose(trace: Trace) -> Dict[str, float]:
+    """One ok trace's end-to-end latency as per-node critical-path time
+    plus the :data:`GAPS` remainder. The values sum exactly to the
+    trace's end-to-end latency."""
+    parts: Dict[str, float] = {}
+    spanned = 0.0
+    for span in critical_path_of(trace):
+        parts[span.node] = parts.get(span.node, 0.0) + span.duration
+        spanned += span.duration
+    parts[GAPS] = _e2e(trace) - spanned
+    return parts
+
+
+@dataclass
+class TailAttribution:
+    """Per-node blame for one end-to-end latency percentile."""
+
+    percentile: float
+    latency: float  #: the interpolated end-to-end quantile (seconds)
+    #: node -> seconds of critical-path time at this quantile (plus the
+    #: ``"(gaps)"`` remainder); values sum to ``latency``.
+    contributions: Dict[str, float]
+    #: request ids of the order-statistic traces blended into the
+    #: quantile (open these in the Perfetto export to see why).
+    trace_ids: List[int] = field(default_factory=list)
+
+    def ranked(self) -> List[Tuple[str, float]]:
+        """Contributions sorted largest-first."""
+        return sorted(
+            self.contributions.items(), key=lambda kv: -kv[1]
+        )
+
+
+def tail_attribution(
+    traces: Sequence[Trace],
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+) -> Dict[float, TailAttribution]:
+    """Decompose each end-to-end latency percentile into per-node
+    critical-path contributions.
+
+    For percentile *q*, the two traces adjacent to the quantile rank
+    are decomposed along their critical paths and blended with the
+    interpolation weights, so ``sum(contributions.values())`` equals
+    the measured end-to-end percentile over the traced ok requests
+    exactly (float rounding aside). This is aggregate attribution over
+    the quantile's *neighbourhood*, not a single lucky trace: at p50
+    the blend sits mid-distribution, at p99 it names the nodes the
+    actual tail waits on.
+    """
+    ok = _ok_traces(traces)
+    if not ok:
+        raise ReproError("no ok traces to attribute (all failed/cancelled?)")
+    out: Dict[float, TailAttribution] = {}
+    for q in percentiles:
+        blend = _quantile_blend(len(ok), q)
+        contributions: Dict[str, float] = {}
+        latency = 0.0
+        ids: List[int] = []
+        for index, weight in blend:
+            trace = ok[index]
+            ids.append(trace.request_id)
+            latency += weight * _e2e(trace)
+            for node, seconds in _decompose(trace).items():
+                contributions[node] = (
+                    contributions.get(node, 0.0) + weight * seconds
+                )
+        out[q] = TailAttribution(
+            percentile=q,
+            latency=latency,
+            contributions=contributions,
+            trace_ids=ids,
+        )
+    return out
+
+
+@dataclass
+class EdgeStats:
+    """RED statistics of one (upstream, service) dependency edge."""
+
+    upstream: str
+    service: str
+    count: int  #: traversals (== ``edge_requests_total`` at sample 1.0)
+    errors: int  #: traversals whose attempt was cancelled mid-edge
+    rate: float  #: traversals per simulated second of the observation window
+    amplification: float  #: traversals per primary-attempt traversal
+    duration: Dict[float, float]  #: percentile -> closed-span duration
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.count if self.count else 0.0
+
+
+def _observation_window(traces: Sequence[Trace]) -> Tuple[float, float]:
+    """(start, end) of the corpus: first request creation to the last
+    timestamp any span or resolution reached."""
+    start = math.inf
+    end = -math.inf
+    for trace in traces:
+        start = min(start, trace.created_at)
+        if trace.completed_at is not None:
+            end = max(end, trace.completed_at)
+        for span in trace.spans:
+            end = max(end, span.leave if span.leave is not None else span.enter)
+    if not traces or end < start:
+        raise ReproError("cannot derive an observation window: no traces")
+    return start, end
+
+
+def red_graph(
+    traces: Sequence[Trace],
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+) -> List[EdgeStats]:
+    """The dependency graph with RED (rate / errors / duration)
+    statistics per (upstream, service) edge.
+
+    Every span is one traversal of one edge — including retried,
+    hedged, and cancelled attempts, and spans still open when the run
+    was cut — which is exactly when the dispatcher increments
+    ``edge_requests_total``, so the counts reconcile against the
+    metrics registry. *errors* counts cancelled traversals; *duration*
+    percentiles cover successfully completed traversals; the
+    *amplification* factor (traversals / primary-attempt traversals)
+    exposes retry/hedge traffic inflation per edge.
+    """
+    window = _observation_window(traces)
+    span_groups: Dict[Tuple[str, str], List[Span]] = {}
+    for trace in traces:
+        for span in trace.spans:
+            span_groups.setdefault(
+                (span.upstream, span.service), []
+            ).append(span)
+    elapsed = max(window[1] - window[0], 1e-12)
+    edges: List[EdgeStats] = []
+    for (upstream, service), spans in sorted(span_groups.items()):
+        primaries = sum(1 for s in spans if s.attempt == 0)
+        completed = sorted(
+            s.duration for s in spans if s.closed and s.status == SPAN_OK
+        )
+        duration = {
+            q: sum(
+                weight * completed[index]
+                for index, weight in _quantile_blend(len(completed), q)
+            )
+            for q in percentiles
+        } if completed else {}
+        edges.append(EdgeStats(
+            upstream=upstream,
+            service=service,
+            count=len(spans),
+            errors=sum(1 for s in spans if s.status == SPAN_CANCELLED),
+            rate=len(spans) / elapsed,
+            amplification=(
+                len(spans) / primaries if primaries else math.inf
+            ),
+            duration=duration,
+        ))
+    return edges
+
+
+@dataclass
+class NodeBreakdown:
+    """Queueing / service / network decomposition of one node's spans
+    at each duration percentile."""
+
+    node: str
+    visits: int  #: completed (ok) spans the percentiles cover
+    cancelled: int  #: traversals cancelled at this node
+    #: percentile -> (duration, network, queueing, service) — the last
+    #: three sum to the first at every percentile.
+    percentiles: Dict[float, Tuple[float, float, float, float]]
+
+
+def node_breakdowns(
+    traces: Sequence[Trace],
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+) -> List[NodeBreakdown]:
+    """Where each node's time goes, percentile by percentile.
+
+    Spans of each node are ordered by duration; at each percentile the
+    adjacent order statistics' (network, queueing, service) components
+    are blended with the interpolation weights, so the three parts sum
+    to the node's duration quantile exactly. A node whose p99 is
+    queueing-dominated needs capacity; one that is service-dominated
+    needs faster code (or DVFS); network domination points at the
+    fabric or the netproc tier.
+    """
+    groups: Dict[str, List[Span]] = {}
+    cancelled: Dict[str, int] = {}
+    for trace in traces:
+        for span in trace.spans:
+            if span.closed and span.status == SPAN_OK:
+                groups.setdefault(span.node, []).append(span)
+            elif span.status == SPAN_CANCELLED:
+                cancelled[span.node] = cancelled.get(span.node, 0) + 1
+                groups.setdefault(span.node, [])
+    out: List[NodeBreakdown] = []
+    for node, spans in sorted(groups.items()):
+        spans.sort(key=lambda s: s.duration)
+        quantiles: Dict[float, Tuple[float, float, float, float]] = {}
+        for q in percentiles:
+            if not spans:
+                continue
+            duration = network = queueing = service = 0.0
+            for index, weight in _quantile_blend(len(spans), q):
+                span = spans[index]
+                duration += weight * span.duration
+                network += weight * span.network
+                queueing += weight * span.queueing
+                service += weight * span.service_time
+            quantiles[q] = (duration, network, queueing, service)
+        out.append(NodeBreakdown(
+            node=node,
+            visits=len(spans),
+            cancelled=cancelled.get(node, 0),
+            percentiles=quantiles,
+        ))
+    return out
+
+
+@dataclass
+class Exemplar:
+    """One slow trace touching a node — openable by request id in the
+    Perfetto export (``pid`` = request id)."""
+
+    request_id: int
+    latency: float  #: end-to-end seconds
+    outcome: str
+    attempts: int
+
+
+def exemplars(
+    traces: Sequence[Trace], top: int = 3
+) -> Dict[str, List[Exemplar]]:
+    """The *top* slowest ok traces touching each node, slowest first —
+    the traces worth opening in Perfetto when a node shows up in the
+    tail attribution."""
+    if top < 1:
+        raise ReproError(f"top must be >= 1, got {top!r}")
+    by_node: Dict[str, List[Trace]] = {}
+    for trace in _ok_traces(traces):
+        for node in {span.node for span in trace.spans}:
+            by_node.setdefault(node, []).append(trace)
+    return {
+        node: [
+            Exemplar(
+                request_id=t.request_id,
+                latency=_e2e(t),
+                outcome=t.outcome,
+                attempts=t.attempts,
+            )
+            for t in sorted(node_traces, key=_e2e, reverse=True)[:top]
+        ]
+        for node, node_traces in sorted(by_node.items())
+    }
+
+
+@dataclass
+class TraceAnalytics:
+    """Everything :func:`analyze_traces` derives from a trace corpus."""
+
+    traces: int  #: traces analysed
+    ok_traces: int  #: traces whose request resolved ok
+    window: Tuple[float, float]  #: simulated (start, end) covered
+    tail: Dict[float, TailAttribution]
+    edges: List[EdgeStats]
+    nodes: List[NodeBreakdown]
+    exemplars: Dict[str, List[Exemplar]]
+
+    @property
+    def duration(self) -> float:
+        return self.window[1] - self.window[0]
+
+
+def analyze_traces(
+    traces: Sequence[Trace],
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    top: int = 3,
+) -> TraceAnalytics:
+    """Run the full analytics battery over *traces*."""
+    if not traces:
+        raise ReproError("no traces to analyze")
+    return TraceAnalytics(
+        traces=len(traces),
+        ok_traces=len(_ok_traces(traces)),
+        window=_observation_window(traces),
+        tail=tail_attribution(traces, percentiles),
+        edges=red_graph(traces, percentiles),
+        nodes=node_breakdowns(traces, percentiles),
+        exemplars=exemplars(traces, top),
+    )

@@ -16,13 +16,16 @@ from .event import (
     PRIORITY_MONITOR,
 )
 from .event_queue import EventQueue
+from .profiler import EngineProfiler, ProfileEntry
 from .random import RandomStreams
 from .simulator import GUARD_CHECK_EVERY, RunProgress, Simulator
 
 __all__ = [
+    "EngineProfiler",
     "Event",
     "EventQueue",
     "GUARD_CHECK_EVERY",
+    "ProfileEntry",
     "RandomStreams",
     "RunProgress",
     "Simulator",

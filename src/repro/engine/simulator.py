@@ -53,6 +53,12 @@ class Simulator:
         self.events_processed: int = 0
         self._running = False
         self._stop_requested = False
+        #: Opt-in self-profiling: assign an
+        #: :class:`~repro.engine.profiler.EngineProfiler` before
+        #: :meth:`run` to time every event handler. ``None`` (the
+        #: default) keeps the hot loops completely unmodified — the
+        #: check happens once per ``run()``, not per event.
+        self.profiler = None
 
     # Scheduling -------------------------------------------------------
 
@@ -143,6 +149,8 @@ class Simulator:
                     until, max_events, wall_clock_budget, max_live_events,
                     watchdog, watchdog_interval,
                 )
+            if self.profiler is not None:
+                return self._run_profiled(until, max_events)
             if until is None and max_events is None:
                 # Drain fast path: no horizon to compare against, so pop
                 # directly instead of peeking first (halves the number
@@ -189,6 +197,41 @@ class Simulator:
             self.now = max(self.now, until)
         return self.now
 
+    def _run_profiled(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> float:
+        """The generic loop with every handler routed through the
+        attached profiler. Kept separate so profiler-off runs keep the
+        branch-free hot loops above."""
+        events = self.events
+        pop = events.pop
+        peek_time = events.peek_time
+        dispatch = self.profiler.dispatch
+        processed_this_run = 0
+        while not self._stop_requested:
+            if max_events is not None and processed_this_run >= max_events:
+                break
+            next_time = peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = max(self.now, until)
+                break
+            event = pop()
+            assert event is not None
+            if next_time < self.now:
+                raise SimulationError(
+                    f"event queue yielded a past event: {event!r} "
+                    f"at t={self.now}"
+                )
+            self.now = next_time
+            dispatch(event.fn, event.args)
+            self.events_processed += 1
+            processed_this_run += 1
+        if until is not None and not events:
+            self.now = max(self.now, until)
+        return self.now
+
     def _run_guarded(
         self,
         until: Optional[float],
@@ -204,6 +247,7 @@ class Simulator:
         events = self.events
         pop = events.pop
         peek_time = events.peek_time
+        profiler = self.profiler
         started = time.monotonic()
         next_watchdog = started + watchdog_interval
         processed_this_run = 0
@@ -247,7 +291,10 @@ class Simulator:
                     f"at t={self.now}"
                 )
             self.now = next_time
-            event.fn(*event.args)
+            if profiler is None:
+                event.fn(*event.args)
+            else:
+                profiler.dispatch(event.fn, event.args)
             self.events_processed += 1
             processed_this_run += 1
         if until is not None and not events:

@@ -28,9 +28,50 @@ from ..runner import (
     register_result_type,
 )
 from ..telemetry.export import write_otlp, write_perfetto
+from ..telemetry.slo import SLO, SLOMonitor, parse_slo
 from ..telemetry.tracing import TraceConfig
 from ..workload import OpenLoopClient, RequestMix
 from .audit import audit_client
+
+#: How a sweep accepts SLOs: one spec string / SLO, or a sequence.
+SLOSpec = Union[str, SLO, Sequence[Union[str, SLO]]]
+
+
+def resolve_slos(
+    slo: Optional[SLOSpec], window: float
+) -> List[SLO]:
+    """Normalise an ``--slo`` style argument into :class:`SLO` objects
+    (spec strings parse with the given evaluation *window*)."""
+    if slo is None:
+        return []
+    if isinstance(slo, (str, SLO)):
+        slo = [slo]
+    return [
+        parse_slo(entry, window=window) if isinstance(entry, str) else entry
+        for entry in slo
+    ]
+
+
+def slo_manifest_summary(results: Sequence[Any]) -> Dict[str, Any]:
+    """Aggregate per-point SLO verdicts into the ``{"slo": ...}``
+    manifest block (breaches / breached points / time in breach per
+    objective, summed over the points that measured it)."""
+    merged: Dict[str, Dict[str, Any]] = {}
+    for result in results:
+        summary = getattr(result, "slo", None)
+        if not summary:
+            continue
+        for name, verdict in summary.items():
+            agg = merged.setdefault(name, {
+                "breaches": 0, "points_breached": 0,
+                "time_in_breach_s": 0.0, "points": 0,
+            })
+            agg["points"] += 1
+            agg["breaches"] += verdict.get("breaches", 0)
+            agg["time_in_breach_s"] += verdict.get("time_in_breach_s", 0.0)
+            if verdict.get("breaches", 0):
+                agg["points_breached"] += 1
+    return {"slo": merged} if merged else {}
 
 
 @register_result_type
@@ -45,6 +86,17 @@ class SweepPoint:
     p95: float
     p99: float
     completed: int
+    #: Per-SLO verdicts (:meth:`SLOMonitor.summary`) when the point ran
+    #: with ``--slo`` objectives; ``None`` otherwise. Optional with a
+    #: default so journals written before SLOs existed still decode.
+    slo: Optional[Dict[str, dict]] = None
+
+    @property
+    def slo_breaches(self) -> int:
+        """Total breach alerts across the point's objectives."""
+        if not self.slo:
+            return 0
+        return sum(v.get("breaches", 0) for v in self.slo.values())
 
     @property
     def saturated(self) -> bool:
@@ -72,10 +124,16 @@ def measure_at_load(
     audit: bool = False,
     trace: Union[bool, TraceConfig] = False,
     trace_dir: Optional[Union[str, Path]] = None,
+    slo: Optional[SLOSpec] = None,
     **world_kwargs,
 ) -> SweepPoint:
     """Build a fresh world, drive it at *qps* for *duration* seconds,
     and report statistics over the post-warmup window.
+
+    *slo* attaches live :class:`~repro.telemetry.slo.SLOMonitor`
+    objectives (spec strings like ``"p99<5ms"`` or :class:`SLO`
+    objects) to the client; the per-objective verdict summary rides the
+    returned point's ``slo`` field.
 
     The world is rebuilt per point so measurements are independent; the
     seed is derived from the full float load via
@@ -119,6 +177,14 @@ def measure_at_load(
         stop_at=duration,
         realism=world.realism,
     )
+    slos = resolve_slos(slo, window=max(0.05, min(1.0, duration - warmup)))
+    slo_monitor = None
+    if slos:
+        slo_monitor = SLOMonitor(
+            world.sim, slos, interval=max(duration / 100.0, 0.005)
+        )
+        slo_monitor.attach(client)
+        slo_monitor.start(stop_at=duration)
     clock_start = world.sim.now
     client.start()
     world.sim.run(until=duration)
@@ -135,13 +201,16 @@ def measure_at_load(
         write_perfetto(base / f"{stem}.perfetto.json", traces)
         write_otlp(base / f"{stem}.otlp.json", traces)
 
+    slo_summary = (
+        slo_monitor.summary() if slo_monitor is not None else None
+    )
     recorder = client.latencies
     completed = recorder.count(since=warmup, until=duration)
     if completed == 0:
         # Fully wedged system: report the offered load with infinite-ish
         # latency markers rather than crashing the sweep.
         return SweepPoint(qps, 0.0, float("inf"), float("inf"), float("inf"),
-                          float("inf"), 0)
+                          float("inf"), 0, slo=slo_summary)
     window = (warmup, duration)
     return SweepPoint(
         offered_qps=qps,
@@ -151,6 +220,7 @@ def measure_at_load(
         p95=recorder.percentile(95, since=warmup, until=duration),
         p99=recorder.percentile(99, since=warmup, until=duration),
         completed=completed,
+        slo=slo_summary,
     )
 
 
@@ -195,6 +265,7 @@ def load_latency_sweep(
     audit: bool = False,
     trace: Union[bool, TraceConfig] = False,
     trace_dir: Optional[Union[str, Path]] = None,
+    slo: Optional[SLOSpec] = None,
     **world_kwargs,
 ) -> List[SweepPoint]:
     """One :func:`measure_at_load` per offered load, ascending.
@@ -226,7 +297,7 @@ def load_latency_sweep(
     point = functools.partial(
         measure_at_load, build_world, duration=duration, warmup=warmup,
         mix=mix, seed=seed, fault_plan=fault_plan, audit=audit,
-        trace=trace, trace_dir=trace_dir,
+        trace=trace, trace_dir=trace_dir, slo=slo,
         **world_kwargs,
     )
     if run_dir is None:
@@ -241,6 +312,8 @@ def load_latency_sweep(
         fault_plan=fault_plan,
         audit=audit,
         **({"trace": trace} if trace else {}),
+        **({"slo": [s.name for s in resolve_slos(slo, window=1.0)]}
+           if slo else {}),
         **world_kwargs,
     )
     seeds = [derive_seed(seed, float(qps)) for qps in loads]
@@ -252,6 +325,7 @@ def load_latency_sweep(
     return durable_map(
         point, loads, store=store, keys=keys, seeds=seeds,
         resume=resume, jobs=jobs, retries=retries, timeout=timeout,
+        manifest_extra=slo_manifest_summary if slo else None,
     )
 
 

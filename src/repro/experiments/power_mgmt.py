@@ -9,13 +9,14 @@ latency / frequency timelines (Fig 16) and the QoS violation rate
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..apps import two_tier
 from ..apps.base import World
 from ..telemetry import TimeSeries, WindowedLatency
+from ..telemetry.slo import SLO, SLOAlert, SLOMonitor, parse_slo
 from ..testbed import RealismConfig
 from ..power import PowerManager
 from ..workload import DiurnalPattern, OpenLoopClient
@@ -34,6 +35,10 @@ class PowerExperimentResult:
     p99_series: TimeSeries = field(repr=False)
     frequency_series: Dict[str, TimeSeries] = field(repr=False)
     load_series: TimeSeries = field(repr=False)
+    #: Per-SLO verdicts (:meth:`SLOMonitor.summary`) when the run was
+    #: driven by a declarative SLO; empty otherwise.
+    slo_summary: Dict[str, dict] = field(default_factory=dict)
+    slo_alerts: List[SLOAlert] = field(default_factory=list, repr=False)
 
 
 def run_power_experiment(
@@ -47,8 +52,15 @@ def run_power_experiment(
     seed: int = 0,
     nginx_processes: int = 2,
     memcached_threads: int = 1,
+    slo: Optional[Union[str, SLO]] = None,
 ) -> PowerExperimentResult:
     """One Fig 16 timeline at the given decision interval.
+
+    With *slo* (an :class:`SLO` or a spec string like ``"p99<5ms"``),
+    Algorithm 1's QoS check becomes that objective's evaluation — the
+    threshold supplies the QoS target, the percentile the sensed
+    statistic — and an :class:`SLOMonitor` rides the run, recording
+    burn-rate alerts whose summary lands in the result.
 
     The diurnal pattern compresses the paper's day-scale fluctuation
     into *diurnal_period* seconds so the experiment completes in
@@ -58,6 +70,8 @@ def run_power_experiment(
     above the application's capacity at minimum frequency, so DVFS
     actually trades latency for power — the regime the paper studies.
     """
+    if isinstance(slo, str):
+        slo = parse_slo(slo, window=max(decision_interval, 0.05))
     world: World = two_tier(
         nginx_processes=nginx_processes,
         memcached_threads=memcached_threads,
@@ -87,9 +101,17 @@ def run_power_experiment(
             "memcached": world.instances("memcached"),
         },
         client_latencies=e2e_window,
-        qos_target=qos_target,
+        qos_target=None if slo is not None else qos_target,
         decision_interval=decision_interval,
+        slo=slo,
     )
+    slo_monitor = None
+    if slo is not None:
+        slo_monitor = SLOMonitor(
+            world.sim, [slo], interval=decision_interval
+        )
+        slo_monitor.attach(client)
+        slo_monitor.start(stop_at=duration)
     client.start()
     manager.start()
 
@@ -107,7 +129,7 @@ def run_power_experiment(
     p99_values = manager.p99_series.values
     return PowerExperimentResult(
         decision_interval=decision_interval,
-        qos_target=qos_target,
+        qos_target=manager.qos_target,
         violation_rate=manager.violation_rate,
         decisions=manager.decisions,
         mean_p99=float(np.mean(p99_values)) if p99_values.size else float("nan"),
@@ -117,6 +139,12 @@ def run_power_experiment(
         p99_series=manager.p99_series,
         frequency_series=manager.frequency_series,
         load_series=load_series,
+        slo_summary=(
+            slo_monitor.summary() if slo_monitor is not None else {}
+        ),
+        slo_alerts=(
+            list(slo_monitor.alerts) if slo_monitor is not None else []
+        ),
     )
 
 

@@ -50,6 +50,11 @@ class ExperimentSpec:
         """Whether the runner can export request traces."""
         return self._accepts("trace_dir")
 
+    @property
+    def supports_slo(self) -> bool:
+        """Whether the runner can evaluate declarative SLOs live."""
+        return self._accepts("slo")
+
     def run(
         self,
         jobs: int = 1,
@@ -58,6 +63,7 @@ class ExperimentSpec:
         audit: bool = False,
         trace_dir: Any = None,
         trace_sample: float = 1.0,
+        slo: Any = None,
         **kwargs: Any,
     ) -> Any:
         """Run the experiment.
@@ -93,6 +99,12 @@ class ExperimentSpec:
             kwargs.setdefault("trace_dir", trace_dir)
             if self._accepts("trace_sample"):
                 kwargs.setdefault("trace_sample", trace_sample)
+        if slo is not None:
+            if not self.supports_slo:
+                raise ReproError(
+                    f"experiment {self.exp_id!r} does not support slo"
+                )
+            kwargs.setdefault("slo", slo)
         return self.runner(**kwargs)
 
 

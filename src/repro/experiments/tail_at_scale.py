@@ -36,10 +36,12 @@ from ..runner import (
     register_result_type,
 )
 from ..telemetry.export import write_otlp, write_perfetto
+from ..telemetry.slo import SLOMonitor
 from ..telemetry.tracing import TraceConfig
 from ..topology import PathNode, PathTree
 from ..workload import OpenLoopClient
 from .audit import audit_client
+from .loadsweep import SLOSpec, resolve_slos, slo_manifest_summary
 
 
 def build_fanout_cluster(
@@ -123,6 +125,9 @@ class TailAtScalePoint:
     p50: float
     p99: float
     requests: int
+    #: Per-SLO verdicts when the cell ran with objectives attached
+    #: (``None`` otherwise; defaulted so old journals still decode).
+    slo: Optional[dict] = None
 
 
 def measure_tail_at_scale(
@@ -135,12 +140,15 @@ def measure_tail_at_scale(
     audit: bool = False,
     trace: Union[bool, TraceConfig] = False,
     trace_dir: Optional[Union[str, Path]] = None,
+    slo: Optional[SLOSpec] = None,
 ) -> TailAtScalePoint:
     """Drive one (cluster size, slow fraction) configuration and report
     the p50/p99 of the fan-in-synchronised end-to-end latency.
 
     With *trace_dir* set (implies ``trace=True``), the sampled traces
-    export there as Perfetto and OTLP JSON named by the cell."""
+    export there as Perfetto and OTLP JSON named by the cell. *slo*
+    attaches live objectives (spec strings or :class:`SLO` objects)
+    whose verdicts ride the returned point."""
     if trace_dir is not None and not trace:
         trace = True
     world = build_fanout_cluster(
@@ -151,6 +159,18 @@ def measure_tail_at_scale(
     client = OpenLoopClient(
         world.sim, world.dispatcher, arrivals=qps, max_requests=num_requests
     )
+    # The fan-out run has no fixed horizon (it stops when the last of
+    # num_requests resolves), so size the evaluation window from the
+    # expected span of the run.
+    expected_span = max(0.1, num_requests / max(qps, 1e-9) / 4.0)
+    slos = resolve_slos(slo, window=expected_span)
+    slo_monitor = None
+    if slos:
+        slo_monitor = SLOMonitor(
+            world.sim, slos, interval=expected_span / 10.0
+        )
+        slo_monitor.attach(client)
+        slo_monitor.start()
     clock_start = world.sim.now
     client.start()
     world.sim.run()
@@ -173,6 +193,7 @@ def measure_tail_at_scale(
         p50=recorder.p50(),
         p99=recorder.p99(),
         requests=len(recorder),
+        slo=slo_monitor.summary() if slo_monitor is not None else None,
     )
 
 
@@ -184,12 +205,13 @@ def _measure_grid_point(
     audit: bool = False,
     trace: Union[bool, TraceConfig] = False,
     trace_dir: Optional[Union[str, Path]] = None,
+    slo: Optional[SLOSpec] = None,
 ) -> TailAtScalePoint:
     """Picklable per-cell worker for the parallel grid sweep."""
     size, frac = size_and_fraction
     return measure_tail_at_scale(
         size, frac, qps=qps, num_requests=num_requests, seed=seed,
-        audit=audit, trace=trace, trace_dir=trace_dir,
+        audit=audit, trace=trace, trace_dir=trace_dir, slo=slo,
     )
 
 
@@ -208,6 +230,7 @@ def tail_at_scale_sweep(
     audit: bool = False,
     trace_dir: Optional[Union[str, Path]] = None,
     trace_sample: float = 1.0,
+    slo: Optional[SLOSpec] = None,
 ):
     """The full Fig 14 grid. Each (size, fraction) cell simulates an
     independent cluster, so ``jobs > 1`` fans the grid out across
@@ -228,7 +251,7 @@ def tail_at_scale_sweep(
     )
     cell = functools.partial(
         _measure_grid_point, qps=qps, num_requests=num_requests, seed=seed,
-        audit=audit, trace=trace, trace_dir=trace_dir,
+        audit=audit, trace=trace, trace_dir=trace_dir, slo=slo,
     )
     if run_dir is None:
         return parallel_map(
@@ -239,6 +262,8 @@ def tail_at_scale_sweep(
     }
     if trace:
         config["trace"] = repr(trace)
+    if slo:
+        config["slo"] = [s.name for s in resolve_slos(slo, window=1.0)]
     keys = [
         point_key(
             experiment, {"size": size, "frac": frac}, seed, config
@@ -250,4 +275,5 @@ def tail_at_scale_sweep(
         cell, grid, store=store, keys=keys,
         seeds=[seed] * len(grid), resume=resume, jobs=jobs,
         retries=retries, timeout=timeout,
+        manifest_extra=slo_manifest_summary if slo else None,
     )

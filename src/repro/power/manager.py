@@ -22,6 +22,7 @@ from ..engine import PRIORITY_MONITOR, Simulator
 from ..errors import ConfigError
 from ..service import Microservice
 from ..telemetry import TimeSeries, WindowedLatency
+from ..telemetry.slo import LATENCY, SLO
 from .buckets import Bucket, LatencyBuckets, TierTuple
 
 #: How many decision cycles between voluntary target re-draws
@@ -37,20 +38,39 @@ class PowerManager:
         sim: Simulator,
         tiers: Dict[str, Sequence[Microservice]],
         client_latencies: WindowedLatency,
-        qos_target: float,
+        qos_target: Optional[float] = None,
         decision_interval: float = 0.5,
         num_buckets: int = 10,
         percentile: float = 99.0,
         min_samples: int = 20,
+        slo: Optional[SLO] = None,
     ) -> None:
         """
         *tiers* maps tier name -> instances whose DVFS is actuated
         together; *client_latencies* is the end-to-end trailing window
         the client feeds; *qos_target* is the end-to-end tail-latency
-        QoS in seconds.
+        QoS in seconds. Alternatively pass a latency *slo*
+        (:class:`~repro.telemetry.slo.SLO`): Algorithm 1's QoS check
+        then evaluates that objective — the threshold becomes the QoS
+        target and the objective's percentile the sensed statistic — so
+        the controller and the SLO alerter judge the run by the same
+        declarative objective.
         """
         if not tiers:
             raise ConfigError("power manager needs at least one tier")
+        if slo is not None:
+            if slo.metric != LATENCY:
+                raise ConfigError(
+                    f"power manager needs a latency SLO, got {slo.name!r}"
+                )
+            if qos_target is not None and qos_target != slo.threshold:
+                raise ConfigError(
+                    "pass either qos_target or slo, not conflicting both"
+                )
+            qos_target = slo.threshold
+            percentile = slo.percentile
+        if qos_target is None:
+            raise ConfigError("power manager needs qos_target or slo")
         if qos_target <= 0:
             raise ConfigError(f"qos_target must be > 0, got {qos_target!r}")
         if decision_interval <= 0:
@@ -58,6 +78,7 @@ class PowerManager:
                 f"decision_interval must be > 0, got {decision_interval!r}"
             )
         self.sim = sim
+        self.slo = slo
         self.tier_names: List[str] = list(tiers)
         self.tiers = {name: list(instances) for name, instances in tiers.items()}
         self.client_latencies = client_latencies

@@ -366,6 +366,7 @@ def durable_map(
     jobs: Optional[int] = 1,
     retries: int = 0,
     timeout: Optional[float] = None,
+    manifest_extra: Optional[Any] = None,
 ) -> List[Any]:
     """:func:`parallel_map` with a journal in the loop.
 
@@ -375,6 +376,12 @@ def durable_map(
     completion and every exhausted failure is journaled as it happens,
     and a manifest is written on the way out — on success, on partial
     failure, and on interrupt alike.
+
+    *manifest_extra* adds sweep-level keys to the manifest: either a
+    dict merged as-is, or a callable receiving the full result list
+    (failures included) and returning a dict — how sweeps record
+    aggregate verdicts such as SLO summaries. The callable is skipped
+    on interrupt, when there is no complete result list to summarise.
     """
     if len(keys) != len(items):
         raise ReproError(
@@ -435,16 +442,21 @@ def durable_map(
     except BaseException:
         # KeyboardInterrupt / hard errors: the journal already holds
         # every completed point; leave an honest manifest behind too.
-        store.write_manifest("interrupted")
+        store.write_manifest(
+            "interrupted",
+            extra=manifest_extra if isinstance(manifest_extra, dict) else None,
+        )
         raise
     remapped = {failure.index: failure for failure in failures}
     for sub_index, i in enumerate(todo):
         result = sub_results[sub_index]
         results[i] = remapped[i] if isinstance(result, ItemFailure) else result
-    store.write_manifest(
-        "partial" if failures else "completed",
-        extra={"resumed_points": len(items) - len(todo)},
-    )
+    extra: Dict[str, Any] = {"resumed_points": len(items) - len(todo)}
+    if callable(manifest_extra):
+        extra.update(manifest_extra(results) or {})
+    elif manifest_extra:
+        extra.update(manifest_extra)
+    store.write_manifest("partial" if failures else "completed", extra=extra)
     if failures:
         raise PartialSweepError(failures, results)
     return results

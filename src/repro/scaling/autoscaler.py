@@ -68,6 +68,11 @@ class AutoScaler:
     activate one more replica, below *low_watermark* deactivate one.
     One step at a time — the same damping rationale as Algorithm 1's
     one-tier-at-a-time slowdowns.
+
+    With an attached :class:`~repro.telemetry.slo.SLOMonitor`
+    (*slo_monitor*), a currently-breached SLO overrides the
+    utilisation band: the scaler never steps down while burning and
+    forces a step up, so recovering QoS outranks reclaiming capacity.
     """
 
     def __init__(
@@ -78,6 +83,7 @@ class AutoScaler:
         decision_interval: float = 0.5,
         low_watermark: float = 0.3,
         high_watermark: float = 0.7,
+        slo_monitor=None,
     ) -> None:
         if not replicas:
             raise ConfigError("autoscaler needs at least one replica")
@@ -97,9 +103,12 @@ class AutoScaler:
         self.low_watermark = low_watermark
         self.high_watermark = high_watermark
 
+        self.slo_monitor = slo_monitor
+
         self._last_busy = [0.0] * len(self.replicas)
         self._last_time = 0.0
         self.decisions = 0
+        self.slo_scale_ups = 0
         self.active_series = TimeSeries("active_replicas")
         self.utilization_series = TimeSeries("active_utilization")
         self._core_seconds = 0.0
@@ -146,7 +155,15 @@ class AutoScaler:
         self.decisions += 1
         self.utilization_series.append(now, mean_util)
 
-        if mean_util > self.high_watermark:
+        slo_burning = self.slo_monitor is not None and any(
+            state.breached for state in self.slo_monitor.states
+        )
+        if slo_burning:
+            # A breached objective outranks the utilisation band: add
+            # capacity now, and never reclaim it mid-breach.
+            if self.balancer.set_active(active + 1) > active:
+                self.slo_scale_ups += 1
+        elif mean_util > self.high_watermark:
             self.balancer.set_active(active + 1)
         elif mean_util < self.low_watermark and active > 1:
             self.balancer.set_active(active - 1)

@@ -13,7 +13,24 @@ from .export import (
 from .latency import LatencyRecorder, WindowedLatency
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .monitor import ServiceMonitor
-from .report import format_run_manifest, format_series, format_table, ms, us
+from .report import (
+    format_analytics_report,
+    format_run_manifest,
+    format_series,
+    format_table,
+    ms,
+    us,
+)
+from .slo import (
+    ALERT_BREACH,
+    ALERT_RECOVERY,
+    AVAILABILITY,
+    LATENCY,
+    SLO,
+    SLOAlert,
+    SLOMonitor,
+    parse_slo,
+)
 from .timeseries import TimeSeries
 from .tracing import (
     SPAN_CANCELLED,
@@ -26,12 +43,19 @@ from .tracing import (
 )
 
 __all__ = [
+    "ALERT_BREACH",
+    "ALERT_RECOVERY",
+    "AVAILABILITY",
     "AvailabilityMonitor",
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY",
     "LatencyRecorder",
     "MetricsRegistry",
+    "SLO",
+    "SLOAlert",
+    "SLOMonitor",
     "SPAN_CANCELLED",
     "SPAN_OK",
     "ServiceMonitor",
@@ -42,7 +66,9 @@ __all__ = [
     "TraceConfig",
     "Tracer",
     "WindowedLatency",
+    "format_analytics_report",
     "format_run_manifest",
+    "parse_slo",
     "format_series",
     "format_table",
     "from_otlp",

@@ -62,6 +62,7 @@ def to_perfetto(traces: Iterable[Trace]) -> Dict[str, Any]:
                 "tid": int(span.attempt),
                 "args": {
                     "instance": span.instance,
+                    "upstream": span.upstream,
                     "status": span.status,
                     "network_us": span.network * _US,
                     "queueing_us": span.queueing * _US,
@@ -164,6 +165,7 @@ def to_otlp(traces: Iterable[Trace]) -> Dict[str, Any]:
                 _kv("repro.kind", "node"),
                 _kv("repro.instance", span.instance),
                 _kv("repro.service", span.service),
+                _kv("repro.upstream", span.upstream),
                 _kv("repro.attempt", int(span.attempt)),
                 _kv("repro.status", span.status),
                 _kv("repro.enter_s", float(span.enter)),
@@ -243,6 +245,7 @@ def from_otlp(payload: Dict[str, Any]) -> List[Trace]:
                     node=raw["name"],
                     instance=attrs.get("repro.instance", ""),
                     service=attrs.get("repro.service", ""),
+                    upstream=attrs.get("repro.upstream", ""),
                     attempt=attrs.get("repro.attempt", 0),
                     enter=attrs.get("repro.enter_s", 0.0),
                     leave=attrs.get("repro.leave_s"),

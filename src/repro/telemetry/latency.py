@@ -153,6 +153,15 @@ class WindowedLatency:
             return None
         return float(np.mean([v for _, v in self._samples]))
 
+    def fraction_over(self, threshold: float) -> Optional[float]:
+        """Fraction of windowed samples strictly above *threshold* —
+        the "bad event" rate an SLO burn-rate evaluation needs. ``None``
+        with no samples."""
+        if not self._samples:
+            return None
+        over = sum(1 for _, v in self._samples if v > threshold)
+        return over / len(self._samples)
+
     def clear(self) -> None:
         self._samples.clear()
 

@@ -10,14 +10,24 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
 from ..engine import PRIORITY_MONITOR, Simulator
 from ..errors import ReproError
 from ..service import Microservice
+from .metrics import MetricsRegistry
 from .timeseries import TimeSeries
 
 
 class ServiceMonitor:
-    """Samples per-instance queue depth and utilisation."""
+    """Samples per-instance queue depth and utilisation.
+
+    With a :class:`~repro.telemetry.metrics.MetricsRegistry` attached
+    via *registry*, every sample also lands in
+    ``monitor_queue_depth`` / ``monitor_utilization`` gauges (labelled
+    by instance), so the latest monitor view shows up in
+    ``registry.collect()`` alongside the dispatcher counters.
+    """
 
     def __init__(
         self,
@@ -25,10 +35,12 @@ class ServiceMonitor:
         instances: Iterable[Microservice],
         interval: float = 0.01,
         stop_at: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if interval <= 0:
             raise ReproError(f"interval must be > 0, got {interval!r}")
         self.sim = sim
+        self.registry = registry
         self.instances: List[Microservice] = list(instances)
         if not self.instances:
             raise ReproError("monitor needs at least one instance")
@@ -44,6 +56,7 @@ class ServiceMonitor:
             inst.name: 0.0 for inst in self.instances
         }
         self._last_time = 0.0
+        self._start_time = 0.0
         self._started = False
 
     def start(self) -> "ServiceMonitor":
@@ -51,6 +64,7 @@ class ServiceMonitor:
             raise ReproError("monitor started twice")
         self._started = True
         self._last_time = self.sim.now
+        self._start_time = self.sim.now
         for inst in self.instances:
             self._last_busy[inst.name] = self._total_busy(inst)
         self.sim.schedule(self.interval, self._sample, priority=PRIORITY_MONITOR)
@@ -74,12 +88,29 @@ class ServiceMonitor:
             busy = self._total_busy(inst)
             delta = busy - self._last_busy[inst.name]
             util = delta / (window * len(inst.cores)) if window > 0 else 0.0
-            self.utilization[inst.name].append(now, min(1.0, util))
+            # Float rounding in the busy-time bookkeeping can land a
+            # hair outside [0, 1]; a utilisation sample never should.
+            util = min(1.0, max(0.0, util))
+            self.utilization[inst.name].append(now, util)
             self._last_busy[inst.name] = busy
+            if self.registry is not None:
+                self.registry.gauge(
+                    "monitor_queue_depth", instance=inst.name
+                ).set(inst.queued_jobs)
+                self.registry.gauge(
+                    "monitor_utilization", instance=inst.name
+                ).set(util)
         self._last_time = now
         if self.stop_at is None or now + self.interval <= self.stop_at:
             self.sim.schedule(
                 self.interval, self._sample, priority=PRIORITY_MONITOR
+            )
+        elif now < self.stop_at:
+            # Close out the final partial window instead of dropping
+            # it: without this, a stop_at that is not an exact multiple
+            # of the interval silently loses the last slice of the run.
+            self.sim.schedule(
+                self.stop_at - now, self._sample, priority=PRIORITY_MONITOR
             )
 
     def peak_depth(self, name: str) -> float:
@@ -87,11 +118,25 @@ class ServiceMonitor:
         return float(series.values.max()) if len(series) else 0.0
 
     def bottleneck(self) -> str:
-        """Instance with the highest mean windowed utilisation — the
-        first place to look when latency grows."""
+        """Instance with the highest time-weighted mean utilisation —
+        the first place to look when latency grows.
+
+        Each sample covers the window since the previous one; with a
+        final partial window (or samples taken at uneven spacing) a
+        plain mean would over-weight short windows, so samples are
+        weighted by the wall of simulated time they describe.
+        """
         def mean_util(name: str) -> float:
             series = self.utilization[name]
-            return float(series.values.mean()) if len(series) else 0.0
+            if not len(series):
+                return 0.0
+            times = series.times
+            values = series.values
+            weights = np.diff(np.concatenate(([self._start_time], times)))
+            total = weights.sum()
+            if total <= 0:
+                return float(values.mean())
+            return float((values * weights).sum() / total)
 
         return max(self.utilization, key=mean_util)
 

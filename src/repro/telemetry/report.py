@@ -6,7 +6,7 @@ these formatters, so outputs are uniform and diff-friendly.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 Cell = Union[str, int, float, None]
 
@@ -95,13 +95,178 @@ def format_run_manifest(manifest: dict) -> str:
     failed = counts.get("failed", 0)
     if failed:
         parts.append(f"{failed} failed (kept in journal; resume retries them)")
+    # Surface every outcome the manifest recorded, not just the two we
+    # know by name — a new worker outcome must never vanish from the
+    # summary line.
+    for outcome in sorted(counts):
+        if outcome in ("ok", "failed"):
+            continue
+        parts.append(f"{counts[outcome]} {outcome}")
     resumed = manifest.get("resumed_points")
     if resumed:
         parts.append(f"{resumed} reused from journal")
     wall = manifest.get("wall_time_s")
     if wall is not None:
         parts.append(f"{format_cell(float(wall))}s wall")
+    slo = manifest.get("slo")
+    if slo:
+        for name in sorted(slo):
+            verdict = slo[name]
+            breaches = verdict.get("breaches", 0)
+            if breaches:
+                in_breach = verdict.get("time_in_breach_s", 0.0)
+                parts.append(
+                    f"SLO {name}: {breaches} breach"
+                    f"{'es' if breaches != 1 else ''}"
+                    f" ({format_cell(float(in_breach))}s in breach)"
+                )
+            else:
+                parts.append(f"SLO {name}: met")
     return ", ".join(parts)
+
+
+def format_analytics_report(
+    analytics=None,
+    slo: Optional[dict] = None,
+    profile: Optional[dict] = None,
+    top: int = 8,
+    precision: int = 3,
+) -> str:
+    """The consolidated observability report.
+
+    *analytics* is a
+    :class:`~repro.analysis.trace_analytics.TraceAnalytics` (``None``
+    for runs that only monitored SLOs or profiled); *slo* an optional
+    :meth:`~repro.telemetry.slo.SLOMonitor.summary` dict; *profile* an
+    optional :meth:`~repro.engine.profiler.EngineProfiler.summary`
+    dict. The CLI prints this after any run with tracing, SLOs, or
+    profiling enabled (``repro analyze`` builds the same report from
+    exported traces).
+    """
+    sections: List[str] = []
+    percentiles: List[float] = []
+    if analytics is not None:
+        sections.append(
+            f"trace analytics: {analytics.traces} traces "
+            f"({analytics.ok_traces} ok) over "
+            f"{format_cell(analytics.duration, precision)}s simulated"
+        )
+        percentiles = sorted(analytics.tail)
+    if percentiles:
+        anchor = analytics.tail[percentiles[-1]]
+        nodes = sorted(
+            {n for ta in analytics.tail.values() for n in ta.contributions},
+            key=lambda n: -anchor.contributions.get(n, 0.0),
+        )
+        rows: List[List[Cell]] = [
+            [node] + [
+                ms(analytics.tail[q].contributions.get(node, 0.0))
+                for q in percentiles
+            ]
+            for node in nodes[:top]
+        ]
+        rows.append(
+            ["= e2e"] + [ms(analytics.tail[q].latency) for q in percentiles]
+        )
+        sections.append(format_table(
+            ["node"] + [f"p{q:g} ms" for q in percentiles],
+            rows,
+            title="tail attribution (critical-path contribution per "
+                  "latency percentile; columns sum to the e2e percentile)",
+            precision=precision,
+        ))
+        exemplar_ids = ", ".join(str(i) for i in anchor.trace_ids)
+        sections.append(
+            f"p{percentiles[-1]:g} neighbourhood traces: request"
+            f"{'s' if len(anchor.trace_ids) != 1 else ''} {exemplar_ids}"
+        )
+
+    if analytics is not None and analytics.edges:
+        sections.append(format_table(
+            ["upstream", "service", "count", "errors", "rate/s", "amp"]
+            + [f"p{q:g} ms" for q in percentiles],
+            [
+                [
+                    e.upstream, e.service, e.count, e.errors, e.rate,
+                    None if e.amplification != e.amplification
+                    or e.amplification == float("inf") else e.amplification,
+                ] + [
+                    ms(e.duration[q]) if q in e.duration else None
+                    for q in percentiles
+                ]
+                for e in analytics.edges
+            ],
+            title="dependency graph (RED per edge; count matches "
+                  "edge_requests_total at sample rate 1.0)",
+            precision=precision,
+        ))
+
+    if analytics is not None and analytics.nodes and percentiles:
+        q_hi = percentiles[-1]
+        sections.append(format_table(
+            ["node", "visits", "cancelled", f"p{q_hi:g} ms", "net ms",
+             "queue ms", "svc ms"],
+            [
+                [n.node, n.visits, n.cancelled]
+                + (
+                    [ms(v) for v in n.percentiles[q_hi]]
+                    if q_hi in n.percentiles else [None] * 4
+                )
+                for n in analytics.nodes
+            ],
+            title=f"where p{q_hi:g} node time goes "
+                  "(network + queueing + service = duration)",
+            precision=precision,
+        ))
+
+    if analytics is not None and analytics.exemplars:
+        lines = ["exemplars (slowest ok traces touching each node):"]
+        for node in sorted(analytics.exemplars):
+            entries = ", ".join(
+                f"req {e.request_id} ({format_cell(ms(e.latency), precision)}"
+                f"ms, {e.attempts} att)"
+                for e in analytics.exemplars[node]
+            )
+            lines.append(f"  {node}: {entries}")
+        sections.append("\n".join(lines))
+
+    if slo:
+        sections.append(format_table(
+            ["slo", "breaches", "pages", "in breach s", "final", "max burn"],
+            [
+                [
+                    name,
+                    verdict.get("breaches", 0),
+                    verdict.get("pages", 0),
+                    verdict.get("time_in_breach_s"),
+                    verdict.get("final_value"),
+                    verdict.get("max_burn_rate"),
+                ]
+                for name, verdict in sorted(slo.items())
+            ],
+            title="SLO verdicts",
+            precision=precision,
+        ))
+
+    if profile:
+        sections.append(
+            f"engine profile: {profile.get('events', 0)} events, "
+            f"{format_cell(profile.get('events_per_sec', 0.0), precision)} "
+            f"events/s of handler time"
+        )
+        hotspots = profile.get("hotspots") or []
+        if hotspots:
+            sections.append(format_table(
+                ["handler", "count", "total ms", "mean us"],
+                [
+                    [h["key"], h["count"], ms(h["seconds"]), h["mean_us"]]
+                    for h in hotspots[:top]
+                ],
+                title="hotspots",
+                precision=precision,
+            ))
+
+    return "\n\n".join(sections)
 
 
 def ms(seconds: float) -> float:

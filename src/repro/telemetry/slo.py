@@ -1,0 +1,438 @@
+"""Live SLO monitoring inside the simulation.
+
+Declarative service-level objectives — a latency percentile bound
+(``p99 < 5ms``) or an availability floor (``avail > 99.9%``) — are
+evaluated *on the event loop* while the simulation runs, the same way
+a production burn-rate alerter rides the live metric stream, instead
+of as a post-hoc pass over recorded latencies. That matters for the
+experiments that act on QoS (the power manager's Algorithm 1, the
+autoscaler): their decisions and the SLO verdicts come from the same
+windowed sensors at the same simulated instants.
+
+The model follows the SRE-workbook burn-rate formulation:
+
+* the **error budget** of a latency SLO at percentile *q* is the
+  ``1 - q/100`` fraction of requests allowed over the threshold (an
+  availability SLO's budget is ``1 - target``);
+* the **burn rate** is the bad-event fraction in a trailing window
+  divided by the budget — burn 1.0 consumes exactly the budget, and a
+  latency SLO burns over 1.0 precisely when the windowed percentile
+  crosses the threshold;
+* evaluation is **multi-window**: the primary window decides
+  breach/recovery (so the alert fires at the simulated time the
+  windowed percentile actually crosses), while a short window —
+  ``window / short_window_divisor``, 1/12 per SRE convention —
+  distinguishes a still-burning *page* from a lingering *warn* after
+  the bad minutes already aged past.
+
+:class:`SLOMonitor` schedules itself at ``PRIORITY_MONITOR`` (after
+completions at each timestamp), records breach/recovery
+:class:`SLOAlert` events onto the sim timeline, streams burn rates
+into :class:`~repro.telemetry.timeseries.TimeSeries`, and mirrors both
+into a :class:`~repro.telemetry.metrics.MetricsRegistry`
+(``slo_alerts_total``, ``slo_burn_rate``, ``slo_breached``) so SLO
+state appears in ``collect()`` next to the RED counters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..engine import PRIORITY_MONITOR, Simulator
+from ..errors import ReproError
+from .latency import WindowedLatency
+from .metrics import MetricsRegistry
+from .timeseries import TimeSeries
+
+#: SLO metric kinds.
+LATENCY = "latency"
+AVAILABILITY = "availability"
+
+#: Alert kinds recorded on the timeline.
+ALERT_BREACH = "breach"
+ALERT_RECOVERY = "recovery"
+
+#: Unit suffixes accepted by :func:`parse_slo` latency thresholds.
+_UNITS = {"s": 1.0, "ms": 1e-3, "us": 1e-6}
+
+_LATENCY_SPEC = re.compile(
+    r"^p(?P<q>\d+(?:\.\d+)?)\s*<\s*(?P<value>\d+(?:\.\d+)?)\s*"
+    r"(?P<unit>s|ms|us)$"
+)
+_AVAIL_SPEC = re.compile(
+    r"^avail(?:ability)?\s*>\s*(?P<value>\d+(?:\.\d+)?)\s*%?$"
+)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective.
+
+    For ``metric=LATENCY``: at most ``1 - percentile/100`` of requests
+    may exceed ``threshold`` seconds (equivalently: the windowed
+    p\\ *percentile* must stay at or under the threshold). For
+    ``metric=AVAILABILITY``: the windowed ok-fraction must stay at or
+    above ``threshold`` (a fraction, e.g. ``0.999``).
+    """
+
+    metric: str
+    threshold: float
+    percentile: Optional[float] = None
+    window: float = 1.0  #: primary evaluation window (simulated seconds)
+    #: primary window / this = the fast-burn confirmation window.
+    short_window_divisor: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.metric not in (LATENCY, AVAILABILITY):
+            raise ReproError(f"unknown SLO metric {self.metric!r}")
+        if self.metric == LATENCY:
+            if self.percentile is None or not 0.0 < self.percentile < 100.0:
+                raise ReproError(
+                    f"latency SLO needs a percentile in (0, 100), "
+                    f"got {self.percentile!r}"
+                )
+            if self.threshold <= 0.0:
+                raise ReproError(
+                    f"latency threshold must be > 0, got {self.threshold!r}"
+                )
+        else:
+            if not 0.0 < self.threshold < 1.0:
+                raise ReproError(
+                    f"availability target must be a fraction in (0, 1), "
+                    f"got {self.threshold!r}"
+                )
+        if self.window <= 0.0:
+            raise ReproError(f"window must be > 0, got {self.window!r}")
+        if self.short_window_divisor < 1.0:
+            raise ReproError(
+                f"short_window_divisor must be >= 1, "
+                f"got {self.short_window_divisor!r}"
+            )
+
+    @property
+    def budget(self) -> float:
+        """Allowed bad-event fraction (the error budget)."""
+        if self.metric == LATENCY:
+            return 1.0 - self.percentile / 100.0
+        return 1.0 - self.threshold
+
+    @property
+    def name(self) -> str:
+        if self.metric == LATENCY:
+            value, unit = self.threshold, "s"
+            if self.threshold < 1e-3:
+                value, unit = self.threshold * 1e6, "us"
+            elif self.threshold < 1.0:
+                value, unit = self.threshold * 1e3, "ms"
+            return f"p{self.percentile:g}<{value:g}{unit}"
+        return f"avail>{self.threshold * 100:g}%"
+
+
+def parse_slo(
+    spec: str, window: float = 1.0, short_window_divisor: float = 12.0
+) -> SLO:
+    """Parse an ``SLO`` from CLI-style spec strings.
+
+    ``"p99<5ms"`` / ``"p95<250us"`` / ``"p50<1.5s"`` become latency
+    objectives (threshold converted to seconds); ``"avail>99.9%"`` (or
+    ``"availability>99.9"``) becomes an availability objective with
+    target fraction 0.999.
+    """
+    text = spec.strip().lower()
+    match = _LATENCY_SPEC.match(text)
+    if match:
+        return SLO(
+            metric=LATENCY,
+            percentile=float(match.group("q")),
+            threshold=float(match.group("value")) * _UNITS[match.group("unit")],
+            window=window,
+            short_window_divisor=short_window_divisor,
+        )
+    match = _AVAIL_SPEC.match(text)
+    if match:
+        return SLO(
+            metric=AVAILABILITY,
+            threshold=float(match.group("value")) / 100.0,
+            window=window,
+            short_window_divisor=short_window_divisor,
+        )
+    raise ReproError(
+        f"unparseable SLO spec {spec!r}; expected forms like 'p99<5ms' "
+        f"or 'avail>99.9%'"
+    )
+
+
+@dataclass
+class SLOAlert:
+    """One breach/recovery transition on the simulated timeline."""
+
+    t: float  #: simulated time of the evaluation that transitioned
+    slo: str  #: ``SLO.name``
+    kind: str  #: :data:`ALERT_BREACH` or :data:`ALERT_RECOVERY`
+    value: float  #: measured windowed percentile / availability
+    threshold: float
+    burn_rate: float  #: primary-window burn rate at the transition
+    fast_burn_rate: Optional[float]  #: short-window burn rate (None: empty)
+    severity: str = "warn"  #: ``page`` when the short window burns too
+
+
+class _SLOState:
+    """Per-SLO windowed sensors and alert latch."""
+
+    def __init__(self, slo: SLO) -> None:
+        self.slo = slo
+        short = slo.window / slo.short_window_divisor
+        self.primary = WindowedLatency(slo.window, name=f"{slo.name}/window")
+        self.short = WindowedLatency(short, name=f"{slo.name}/short")
+        self.breached = False
+
+    def observe(self, t: float, latency: Optional[float], ok: bool) -> None:
+        if self.slo.metric == LATENCY:
+            # Latency objectives are conditioned on success: failed
+            # requests have no latency and are the availability SLO's
+            # problem, exactly like a latency SLI over 2xx responses.
+            if ok and latency is not None:
+                self.primary.record(t, latency)
+                self.short.record(t, latency)
+        else:
+            self.primary.record(t, 1.0 if ok else 0.0)
+            self.short.record(t, 1.0 if ok else 0.0)
+
+    def _measure(
+        self, sensor: WindowedLatency
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """(measured value, burn rate) over one window, or Nones."""
+        slo = self.slo
+        if slo.metric == LATENCY:
+            value = sensor.percentile(slo.percentile)
+            bad = sensor.fraction_over(slo.threshold)
+            if value is None or bad is None:
+                return None, None
+            return value, bad / slo.budget
+        value = sensor.mean()  # ok-fraction
+        if value is None:
+            return None, None
+        return value, (1.0 - value) / slo.budget
+
+    def evaluate(self, t: float) -> Tuple[
+        Optional[float], Optional[float], Optional[float], Optional[str]
+    ]:
+        """(value, burn, fast_burn, transition) at time *t*.
+
+        ``transition`` is an alert kind when the primary-window verdict
+        flipped, else ``None``. A latency SLO is in violation exactly
+        when the windowed percentile exceeds the threshold; an
+        availability SLO when the ok-fraction drops below target.
+        """
+        value, burn = self._measure(self.primary)
+        _, fast_burn = self._measure(self.short)
+        if value is None:
+            return None, None, fast_burn, None
+        if self.slo.metric == LATENCY:
+            violated = value > self.slo.threshold
+        else:
+            violated = value < self.slo.threshold
+        transition = None
+        if violated and not self.breached:
+            transition = ALERT_BREACH
+        elif not violated and self.breached:
+            transition = ALERT_RECOVERY
+        self.breached = violated
+        return value, burn, fast_burn, transition
+
+
+class SLOMonitor:
+    """Evaluates SLOs on the event loop while the simulation runs.
+
+    Feed completions through :meth:`observe` (or :meth:`attach` a
+    client, which chains its ``on_complete``); :meth:`start` schedules
+    the periodic evaluation. Breach/recovery transitions are appended
+    to :attr:`alerts`, burn rates stream into :attr:`burn_series`, and
+    everything mirrors into the metrics *registry* when given.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        slos: Sequence[SLO],
+        registry: Optional[MetricsRegistry] = None,
+        interval: float = 0.01,
+        min_samples: int = 20,
+    ) -> None:
+        if not slos:
+            raise ReproError("SLOMonitor needs at least one SLO")
+        if interval <= 0:
+            raise ReproError(f"interval must be > 0, got {interval!r}")
+        if min_samples < 1:
+            raise ReproError(f"min_samples must be >= 1, got {min_samples!r}")
+        self.sim = sim
+        self.registry = registry
+        self.interval = interval
+        self.min_samples = min_samples
+        self.states = [_SLOState(slo) for slo in slos]
+        self.alerts: List[SLOAlert] = []
+        self.burn_series: Dict[str, TimeSeries] = {
+            state.slo.name: TimeSeries(f"burn[{state.slo.name}]")
+            for state in self.states
+        }
+        self.evaluations = 0
+        self.stop_at: Optional[float] = None
+        self._started = False
+        #: breach-state listeners, e.g. an autoscaler forcing scale-up;
+        #: called as ``fn(alert)`` on every transition.
+        self.listeners: List[Callable[[SLOAlert], None]] = []
+
+    @property
+    def slos(self) -> List[SLO]:
+        return [state.slo for state in self.states]
+
+    # Feeding -----------------------------------------------------------
+
+    def observe(
+        self, completed_at: float, latency: Optional[float], ok: bool = True
+    ) -> None:
+        """Record one request completion into every SLO window."""
+        for state in self.states:
+            state.observe(completed_at, latency, ok)
+
+    def attach(self, client) -> None:
+        """Chain into *client*'s completion hook (keeps any existing
+        ``on_complete`` callback)."""
+        previous = client._extra_on_complete
+
+        def hook(request) -> None:
+            ok = (request.outcome or "ok") == "ok"
+            self.observe(request.completed_at, request.latency, ok)
+            if previous is not None:
+                previous(request)
+
+        client._extra_on_complete = hook
+
+    # Evaluation --------------------------------------------------------
+
+    def start(self, stop_at: Optional[float] = None) -> None:
+        """Schedule periodic evaluation every ``interval`` simulated
+        seconds (monitor priority: after the completions at each
+        timestamp, so a crossing is seen at the first evaluation at or
+        after it happens)."""
+        if self._started:
+            raise ReproError("SLOMonitor already started")
+        self._started = True
+        self.stop_at = stop_at
+        self.sim.schedule(self.interval, self._check, priority=PRIORITY_MONITOR)
+
+    def _check(self) -> None:
+        now = self.sim.now
+        for state in self.states:
+            name = state.slo.name
+            if len(state.primary) < self.min_samples:
+                # Too few samples for a meaningful percentile — treat
+                # as "no verdict", like an alerter with no data.
+                continue
+            value, burn, fast_burn, transition = state.evaluate(now)
+            if value is None:
+                continue
+            self.burn_series[name].append(now, burn)
+            if self.registry is not None:
+                self.registry.gauge("slo_burn_rate", slo=name).set(burn)
+                self.registry.gauge("slo_breached", slo=name).set(
+                    1.0 if state.breached else 0.0
+                )
+            if transition is not None:
+                severity = (
+                    "page"
+                    if transition == ALERT_BREACH
+                    and fast_burn is not None
+                    and fast_burn >= 1.0
+                    else "warn"
+                )
+                alert = SLOAlert(
+                    t=now,
+                    slo=name,
+                    kind=transition,
+                    value=value,
+                    threshold=state.slo.threshold,
+                    burn_rate=burn,
+                    fast_burn_rate=fast_burn,
+                    severity=severity,
+                )
+                self.alerts.append(alert)
+                if self.registry is not None:
+                    self.registry.counter(
+                        "slo_alerts_total", slo=name, kind=transition
+                    ).inc()
+                for listener in self.listeners:
+                    listener(alert)
+        self.evaluations += 1
+        if self.stop_at is None:
+            # No horizon: keep riding while anything else is pending,
+            # but stand down once this check is the only live event —
+            # otherwise a drain-style run would never finish.
+            if len(self.sim.events) > 0:
+                self.sim.schedule(
+                    self.interval, self._check, priority=PRIORITY_MONITOR
+                )
+        elif now + self.interval <= self.stop_at:
+            self.sim.schedule(
+                self.interval, self._check, priority=PRIORITY_MONITOR
+            )
+
+    # Reporting ---------------------------------------------------------
+
+    def breaches(self) -> List[SLOAlert]:
+        return [a for a in self.alerts if a.kind == ALERT_BREACH]
+
+    def time_in_breach(self) -> Dict[str, float]:
+        """Simulated seconds each SLO spent in breach (breach →
+        recovery, with a still-open breach closed at the last
+        evaluation time or ``stop_at``)."""
+        out: Dict[str, float] = {s.slo.name: 0.0 for s in self.states}
+        opened: Dict[str, float] = {}
+        last_t = self.sim.now if self.stop_at is None else min(
+            self.sim.now, self.stop_at
+        )
+        for alert in self.alerts:
+            if alert.kind == ALERT_BREACH:
+                opened.setdefault(alert.slo, alert.t)
+            elif alert.slo in opened:
+                out[alert.slo] += alert.t - opened.pop(alert.slo)
+        for name, t0 in opened.items():
+            out[name] += max(0.0, last_t - t0)
+        return out
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-SLO verdicts for run manifests and reports."""
+        in_breach = self.time_in_breach()
+        out: Dict[str, Dict[str, object]] = {}
+        for state in self.states:
+            name = state.slo.name
+            series = self.burn_series[name]
+            burns = series.values
+            value, burn = state._measure(state.primary)
+            out[name] = {
+                "metric": state.slo.metric,
+                "threshold": state.slo.threshold,
+                "window_s": state.slo.window,
+                "breaches": sum(
+                    1 for a in self.alerts
+                    if a.slo == name and a.kind == ALERT_BREACH
+                ),
+                "pages": sum(
+                    1 for a in self.alerts
+                    if a.slo == name and a.severity == "page"
+                ),
+                "time_in_breach_s": in_breach[name],
+                "final_value": value,
+                "final_burn_rate": burn,
+                "max_burn_rate": float(burns.max()) if len(series) else None,
+                "breached_now": state.breached,
+            }
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<SLOMonitor slos={[s.slo.name for s in self.states]} "
+            f"alerts={len(self.alerts)}>"
+        )

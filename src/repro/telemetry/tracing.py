@@ -73,6 +73,13 @@ class Span:
     network: float = 0.0
     queueing: float = 0.0
     service_time: float = 0.0
+    #: Name of the upstream hop that dispatched into this node — the
+    #: parent instance, or the client name at the tree roots. Drives
+    #: the RED dependency-graph extraction in
+    #: :mod:`repro.analysis.trace_analytics`: one span per traversal of
+    #: one (upstream, service) edge mirrors the dispatcher's
+    #: ``edge_requests_total`` counter exactly.
+    upstream: str = ""
 
     @property
     def closed(self) -> bool:
@@ -151,9 +158,15 @@ class Trace:
         self.breakdown = breakdown
 
     def start_span(
-        self, node: str, instance: str, service: str, attempt: int, enter: float
+        self,
+        node: str,
+        instance: str,
+        service: str,
+        attempt: int,
+        enter: float,
+        upstream: str = "",
     ) -> Span:
-        span = Span(node, instance, service, attempt, enter)
+        span = Span(node, instance, service, attempt, enter, upstream=upstream)
         self.spans.append(span)
         return span
 

@@ -674,7 +674,7 @@ class Dispatcher:
         if trace is not None:
             state.spans[node.name] = trace.start_span(
                 node.name, instance.name, node.service,
-                state.attempt, self.sim.now,
+                state.attempt, self.sim.now, upstream=upstream_key,
             )
         if self.metrics is not None:
             self.metrics.counter(

@@ -1,0 +1,247 @@
+"""Aggregate trace analytics: exactness and reconciliation.
+
+The two load-bearing guarantees (both acceptance criteria of the
+observability PR):
+
+* tail attribution **sums to the measured end-to-end percentile** to
+  float precision, on a three-tier run with retries and hedging, across
+  seeds;
+* the RED dependency graph's per-edge counts **match the dispatcher's
+  ``edge_requests_total`` counters exactly** at sample rate 1.0.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    GAPS,
+    analyze_traces,
+    exemplars,
+    load_traces,
+    node_breakdowns,
+    red_graph,
+    tail_attribution,
+)
+from repro.analysis.trace_analytics import _quantile_blend
+from repro.apps import three_tier
+from repro.errors import ReproError
+from repro.resilience import HedgePolicy, ResiliencePolicy, RetryPolicy
+from repro.telemetry import MetricsRegistry, write_otlp
+from repro.workload import OpenLoopClient
+
+
+def _traced_run(seed, qps=2500, duration=0.4):
+    """A three-tier run with timeouts, retries, and hedging, traced at
+    sample rate 1.0 with the metrics registry attached."""
+    world = three_tier(seed=seed)
+    world.dispatcher.trace = True
+    registry = MetricsRegistry()
+    registry.instrument_world(world)
+    policy = ResiliencePolicy(
+        timeout=0.02,
+        retry=RetryPolicy(max_attempts=3, backoff_base=0.001),
+        hedge=HedgePolicy(delay=0.004, max_hedges=1),
+    )
+    client = OpenLoopClient(
+        world.sim, world.dispatcher, arrivals=qps, stop_at=duration,
+        resilience=policy,
+    )
+    client.start()
+    world.sim.run()
+    return world, client, registry
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return _traced_run(seed=3)
+
+
+class TestQuantileBlend:
+    def test_matches_numpy_percentile(self):
+        rng = np.random.default_rng(0)
+        values = np.sort(rng.exponential(1.0, size=137))
+        for q in (0.0, 12.5, 50.0, 95.0, 99.0, 100.0):
+            blended = sum(
+                w * values[i] for i, w in _quantile_blend(len(values), q)
+            )
+            assert blended == pytest.approx(
+                np.percentile(values, q), rel=0, abs=1e-15
+            )
+
+    def test_exact_rank_uses_one_trace(self):
+        assert _quantile_blend(5, 50.0) == [(2, 1.0)]
+        assert _quantile_blend(5, 100.0) == [(4, 1.0)]
+        assert _quantile_blend(1, 99.0) == [(0, 1.0)]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ReproError):
+            _quantile_blend(10, 101.0)
+
+
+class TestTailAttribution:
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_contributions_sum_to_e2e_percentile(self, seed):
+        # The headline acceptance criterion: on a seeded 3-tier run
+        # with retries + hedging, the per-node p50/p95/p99 contributions
+        # sum to the measured end-to-end percentile — not approximately,
+        # to float rounding.
+        world, client, _ = _traced_run(seed=seed)
+        traces = world.dispatcher.tracer.traces
+        ok_latencies = sorted(
+            t.completed_at - t.created_at for t in traces
+            if t.outcome == "ok" and t.completed_at is not None
+        )
+        assert len(ok_latencies) > 100
+        tail = tail_attribution(traces, percentiles=(50.0, 95.0, 99.0))
+        for q, attribution in tail.items():
+            measured = np.percentile(ok_latencies, q)
+            total = sum(attribution.contributions.values())
+            assert total == pytest.approx(measured, rel=0, abs=1e-12)
+            assert attribution.latency == pytest.approx(
+                measured, rel=0, abs=1e-12
+            )
+
+    def test_gaps_pseudo_node_present_and_ranked(self, traced_run):
+        world, _, _ = traced_run
+        tail = tail_attribution(world.dispatcher.tracer.traces)
+        attribution = tail[99.0]
+        assert GAPS in attribution.contributions
+        ranked = attribution.ranked()
+        values = [v for _, v in ranked]
+        assert values == sorted(values, reverse=True)
+        # The blended order statistics are named so the exemplar traces
+        # can be pulled up in the Perfetto export.
+        assert 1 <= len(attribution.trace_ids) <= 2
+
+    def test_rejects_trace_set_with_no_ok(self):
+        with pytest.raises(ReproError):
+            tail_attribution([])
+
+
+class TestRedGraph:
+    def test_edge_counts_match_dispatcher_counters_exactly(self, traced_run):
+        # Second acceptance criterion: span-per-edge-traversal counts
+        # reconcile with edge_requests_total at sample rate 1.0 — the
+        # traces and the metrics are two views of the same events.
+        world, _, registry = traced_run
+        edges = red_graph(world.dispatcher.tracer.traces)
+        counters = registry.collect()["counters"]
+        edge_counters = {
+            key: value for key, value in counters.items()
+            if key.startswith("edge_requests_total")
+        }
+        assert edge_counters, "dispatcher recorded no edge counters"
+        by_pair = {(e.upstream, e.service): e.count for e in edges}
+        for key, value in edge_counters.items():
+            labels = dict(
+                part.split("=") for part in
+                key[key.index("{") + 1:key.index("}")].replace('"', "").split(",")
+            )
+            pair = (labels["upstream"], labels["service"])
+            assert by_pair.pop(pair) == value
+        assert not by_pair, f"edges with no matching counter: {by_pair}"
+
+    def test_amplification_reflects_retries_and_hedges(self, traced_run):
+        world, _, _ = traced_run
+        edges = red_graph(world.dispatcher.tracer.traces)
+        # Retries/hedges launched extra attempts somewhere; at least
+        # one edge must show amplification above 1.0, and none below.
+        assert all(e.amplification >= 1.0 for e in edges)
+        assert any(e.amplification > 1.0 for e in edges)
+        for edge in edges:
+            assert edge.rate > 0
+            assert 0.0 <= edge.error_rate <= 1.0
+
+
+class TestNodeBreakdowns:
+    def test_parts_sum_to_duration_quantile(self, traced_run):
+        world, _, _ = traced_run
+        nodes = node_breakdowns(world.dispatcher.tracer.traces)
+        assert nodes
+        for node in nodes:
+            for duration, network, queueing, service in (
+                node.percentiles.values()
+            ):
+                assert network + queueing + service == pytest.approx(
+                    duration, rel=0, abs=1e-12
+                )
+
+    def test_cancelled_traversals_counted(self, traced_run):
+        world, _, _ = traced_run
+        nodes = node_breakdowns(world.dispatcher.tracer.traces)
+        # Timeouts + losing hedges cancelled some attempt somewhere.
+        assert sum(n.cancelled for n in nodes) > 0
+
+
+class TestExemplars:
+    def test_slowest_first_per_node(self, traced_run):
+        world, _, _ = traced_run
+        by_node = exemplars(world.dispatcher.tracer.traces, top=3)
+        assert by_node
+        for entries in by_node.values():
+            assert 1 <= len(entries) <= 3
+            latencies = [e.latency for e in entries]
+            assert latencies == sorted(latencies, reverse=True)
+            assert all(e.outcome == "ok" for e in entries)
+
+    def test_rejects_nonpositive_top(self, traced_run):
+        world, _, _ = traced_run
+        with pytest.raises(ReproError):
+            exemplars(world.dispatcher.tracer.traces, top=0)
+
+
+class TestLoadTraces:
+    def test_otlp_roundtrip_matches_in_memory_analytics(
+        self, traced_run, tmp_path
+    ):
+        world, _, _ = traced_run
+        traces = world.dispatcher.tracer.traces
+        # Split the corpus across nested files, the way a sweep's
+        # per-point exports land on disk.
+        half = len(traces) // 2
+        (tmp_path / "sub").mkdir()
+        write_otlp(tmp_path / "a.otlp.json", traces[:half])
+        write_otlp(tmp_path / "sub" / "b.otlp.json", traces[half:])
+        loaded = load_traces(tmp_path)
+        assert len(loaded) == len(traces)
+        direct = analyze_traces(traces)
+        via_files = analyze_traces(loaded)
+        assert via_files.traces == direct.traces
+        assert via_files.ok_traces == direct.ok_traces
+        for q, attribution in direct.tail.items():
+            assert via_files.tail[q].latency == pytest.approx(
+                attribution.latency, rel=0, abs=1e-12
+            )
+            assert via_files.tail[q].contributions == pytest.approx(
+                attribution.contributions
+            )
+        assert [
+            (e.upstream, e.service, e.count, e.errors)
+            for e in via_files.edges
+        ] == [
+            (e.upstream, e.service, e.count, e.errors)
+            for e in direct.edges
+        ]
+
+    def test_missing_dir_and_empty_dir_raise(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_traces(tmp_path / "nope")
+        with pytest.raises(ReproError):
+            load_traces(tmp_path)
+
+
+class TestAnalyzeTraces:
+    def test_bundle_is_complete(self, traced_run):
+        world, _, _ = traced_run
+        analytics = analyze_traces(
+            world.dispatcher.tracer.traces, percentiles=(50.0, 99.0), top=2
+        )
+        assert analytics.traces >= analytics.ok_traces > 0
+        assert analytics.duration > 0
+        assert set(analytics.tail) == {50.0, 99.0}
+        assert analytics.edges and analytics.nodes and analytics.exemplars
+        assert all(len(v) <= 2 for v in analytics.exemplars.values())
+
+    def test_rejects_empty_corpus(self):
+        with pytest.raises(ReproError):
+            analyze_traces([])

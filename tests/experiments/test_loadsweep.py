@@ -35,6 +35,29 @@ class TestMeasureAtLoad:
             measure_at_load(thrift_echo, 100, duration=0.1, warmup=0.2)
 
 
+class TestPointSlo:
+    def test_point_carries_slo_verdicts(self):
+        # A generous objective on a light load: monitored but met.
+        point = measure_at_load(
+            thrift_echo, 2000, duration=0.2, warmup=0.05, slo="p99<1s",
+        )
+        assert point.slo is not None
+        assert set(point.slo) == {"p99<1s"}
+        assert point.slo["p99<1s"]["breaches"] == 0
+        assert point.slo_breaches == 0
+
+    def test_overload_breaches_tight_slo(self):
+        point = measure_at_load(
+            thrift_echo, 90_000, duration=0.2, warmup=0.05, slo="p99<1ms",
+        )
+        assert point.slo_breaches >= 1
+
+    def test_no_slo_leaves_field_none(self):
+        point = measure_at_load(thrift_echo, 2000, duration=0.2, warmup=0.05)
+        assert point.slo is None
+        assert point.slo_breaches == 0
+
+
 class TestSweepAndSaturation:
     def test_sweep_sorts_loads(self):
         points = load_latency_sweep(

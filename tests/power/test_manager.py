@@ -6,7 +6,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.hardware import GHZ
 from repro.power import PowerManager
-from repro.telemetry import WindowedLatency
+from repro.telemetry import WindowedLatency, parse_slo
 from repro.topology import PathNode, PathTree
 from repro.workload import OpenLoopClient
 
@@ -91,4 +91,47 @@ class TestValidation:
             PowerManager(
                 sim, {"web": [svc]}, window, qos_target=1e-3,
                 decision_interval=0.0,
+            )
+        with pytest.raises(ConfigError):
+            PowerManager(sim, {"web": [svc]}, window)  # neither target
+
+
+class TestSloObjective:
+    def _parts(self, sim, network):
+        cluster, _, _ = build_world(sim, network)
+        svc = build_instance(sim, cluster, "web0", "node0", tier="web")
+        return svc, WindowedLatency(1.0)
+
+    def test_slo_supplies_target_and_percentile(self, sim, network):
+        svc, window = self._parts(sim, network)
+        manager = PowerManager(
+            sim, {"web": [svc]}, window, slo=parse_slo("p95<5ms")
+        )
+        assert manager.qos_target == pytest.approx(5e-3)
+        assert manager.percentile == 95.0
+        assert manager.slo is not None
+
+    def test_matching_explicit_target_is_accepted(self, sim, network):
+        svc, window = self._parts(sim, network)
+        manager = PowerManager(
+            sim, {"web": [svc]}, window, qos_target=5e-3,
+            slo=parse_slo("p99<5ms"),
+        )
+        assert manager.qos_target == pytest.approx(5e-3)
+
+    def test_conflicting_explicit_target_rejected(self, sim, network):
+        svc, window = self._parts(sim, network)
+        with pytest.raises(ConfigError, match="conflicting"):
+            PowerManager(
+                sim, {"web": [svc]}, window, qos_target=10e-3,
+                slo=parse_slo("p99<5ms"),
+            )
+
+    def test_availability_slo_rejected(self, sim, network):
+        # Algorithm 1 senses a latency percentile; an availability
+        # objective has no threshold in seconds to act on.
+        svc, window = self._parts(sim, network)
+        with pytest.raises(ConfigError, match="latency SLO"):
+            PowerManager(
+                sim, {"web": [svc]}, window, slo=parse_slo("avail>99.9%")
             )

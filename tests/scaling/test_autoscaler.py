@@ -123,3 +123,22 @@ class TestAutoScaler:
                        high_watermark=0.5)
         with pytest.raises(ConfigError):
             AutoScaler(sim, instances, balancer, decision_interval=0)
+
+    def test_breached_slo_forces_scale_up(self, sim, network):
+        # Load light enough that utilisation stays under the high
+        # watermark — without the SLO override nothing would scale.
+        dispatcher, scaler, _ = scaled_world(sim, network, high=0.95)
+        client = OpenLoopClient(sim, dispatcher, arrivals=300, stop_at=1.0)
+
+        class BreachedState:
+            breached = True
+
+        class StubMonitor:
+            states = [BreachedState()]
+
+        scaler.slo_monitor = StubMonitor()
+        scaler.start()
+        client.start()
+        sim.run(until=0.3)
+        assert scaler.slo_scale_ups >= 1
+        assert scaler.active >= 2

@@ -1,10 +1,11 @@
 """Tests for the in-simulation service monitor."""
 
+import numpy as np
 import pytest
 
 from repro.apps import two_tier
 from repro.errors import ReproError
-from repro.telemetry import ServiceMonitor
+from repro.telemetry import MetricsRegistry, ServiceMonitor
 from repro.workload import OpenLoopClient
 
 
@@ -56,6 +57,66 @@ class TestServiceMonitor:
         util = monitor.utilization["nginx0"].values
         # ~30k x ~135us / 8 cores ~ 0.5.
         assert 0.3 < util[2:].mean() < 0.75
+
+    def test_final_partial_window_is_sampled(self):
+        # stop_at=0.2 with interval=0.03 leaves a 0.02s tail window;
+        # it must be sampled at exactly stop_at, not dropped.
+        _, monitor = monitored_run(qps=5000, duration=0.2, interval=0.03)
+        times = monitor.queue_depth["nginx0"].times
+        assert times[-1] == pytest.approx(0.2)
+        # 6 full intervals (0.03 .. 0.18) + the closing partial sample.
+        assert len(times) == 7
+        deltas = np.diff(np.concatenate(([0.0], times)))
+        assert deltas[-1] == pytest.approx(0.02)
+
+    def test_exact_multiple_stop_has_no_extra_sample(self):
+        # stop_at an exact multiple of the interval: the last regular
+        # sample already lands on stop_at, so no partial window exists.
+        _, monitor = monitored_run(qps=5000, duration=0.2, interval=0.05)
+        times = monitor.queue_depth["nginx0"].times
+        assert times[-1] == pytest.approx(0.2)
+        assert len(times) == 4
+
+    def test_utilisation_clamped_to_unit_interval(self):
+        _, monitor = monitored_run(qps=75_000, duration=0.2, interval=0.03)
+        for series in monitor.utilization.values():
+            values = series.values
+            assert (values >= 0.0).all()
+            assert (values <= 1.0).all()
+
+    def test_bottleneck_mean_is_time_weighted(self):
+        # Two instances, hand-fed samples: "a" is busy only in a short
+        # final window, "b" moderately busy throughout. A plain mean
+        # would rank "a" first; the time-weighted mean must rank "b".
+        world = two_tier(seed=8)
+        monitor = ServiceMonitor(
+            world.sim, [world.instance("nginx"), world.instance("memcached")],
+            interval=0.01,
+        )
+        a, b = monitor.utilization.keys()
+        monitor.utilization[a].append(0.9, 0.0)   # 0.9s idle window
+        monitor.utilization[a].append(1.0, 1.0)   # 0.1s saturated window
+        monitor.utilization[b].append(0.9, 0.4)
+        monitor.utilization[b].append(1.0, 0.4)
+        assert monitor.bottleneck() == b
+
+    def test_registry_gauges_exposed(self):
+        world = two_tier(seed=8)
+        registry = MetricsRegistry()
+        monitor = ServiceMonitor(
+            world.sim, [world.instance("nginx")], interval=0.05,
+            stop_at=0.2, registry=registry,
+        )
+        client = OpenLoopClient(
+            world.sim, world.dispatcher, arrivals=20_000, stop_at=0.2
+        )
+        monitor.start()
+        client.start()
+        world.sim.run(until=0.2)
+        gauges = registry.collect()["gauges"]
+        assert 'monitor_queue_depth{instance="nginx0"}' in gauges
+        util = gauges['monitor_utilization{instance="nginx0"}']
+        assert 0.0 <= util <= 1.0
 
     def test_validation(self):
         world = two_tier(seed=8)

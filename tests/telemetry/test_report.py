@@ -1,0 +1,155 @@
+"""Edge cases of the plain-text report formatters.
+
+``format_cell`` feeds every table the benchmarks and the CLI print, so
+its corner cases (negative zero, bools, the precision-mode boundaries)
+get pinned here; ``format_run_manifest`` and
+``format_analytics_report`` are the CLI's summary surfaces.
+"""
+
+import pytest
+
+from repro.telemetry.report import (
+    format_analytics_report,
+    format_cell,
+    format_run_manifest,
+    format_table,
+)
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_negative_zero_renders_as_zero(self):
+        # -0.0 == 0 in float comparison; it must not print as "-0".
+        assert format_cell(-0.0) == "0"
+        assert format_cell(0.0) == "0"
+
+    def test_bool_is_not_formatted_as_int(self):
+        # bool is an int subclass; it must render True/False, not 1/0.
+        assert format_cell(True) == "True"
+        assert format_cell(False) == "False"
+        assert format_cell(1) == "1"
+        assert format_cell(0) == "0"
+
+    def test_int_renders_exact(self):
+        assert format_cell(123456789) == "123456789"
+        assert format_cell(-42) == "-42"
+
+    def test_precision_boundary_large(self):
+        # >= 1e5 switches to scientific/compact %g formatting.
+        assert format_cell(99999.4) == "99999.4"
+        assert format_cell(1e5) == "1e+05"
+        assert format_cell(123456.0) == "1.23e+05"
+
+    def test_precision_boundary_small(self):
+        # < 1e-3 switches to %g; 1e-3 itself stays fixed-point.
+        assert format_cell(1e-3) == "0.001"
+        assert format_cell(9.99e-4) == "0.000999"
+        assert format_cell(1.23456e-5) == "1.23e-05"
+
+    def test_fixed_point_strips_trailing_zeros(self):
+        assert format_cell(1.500) == "1.5"
+        assert format_cell(2.000) == "2"
+        # 0.125 is exact in binary: %.2f ties-to-even gives 0.12.
+        assert format_cell(0.125, precision=2) == "0.12"
+        assert format_cell(0.126, precision=2) == "0.13"
+
+    def test_negative_floats_keep_sign(self):
+        assert format_cell(-1.5) == "-1.5"
+        assert format_cell(-1.23456e-5) == "-1.23e-05"
+
+    def test_strings_pass_through(self):
+        assert format_cell("x") == "x"
+
+
+class TestFormatTable:
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError, match="2 cells"):
+            format_table(["a", "b", "c"], [[1, 2]])
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1], [1, 2]])
+
+    def test_title_and_alignment(self):
+        table = format_table(["col", "n"], [["x", 1]], title="t")
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+
+class TestFormatRunManifest:
+    def test_minimal_completed(self):
+        text = format_run_manifest({
+            "experiment": "fig8", "status": "completed",
+            "counts": {"ok": 30},
+        })
+        assert text.startswith("run fig8: completed, 30/30 points ok")
+
+    def test_failed_and_resumed_and_wall(self):
+        text = format_run_manifest({
+            "experiment": "fig8", "status": "partial",
+            "counts": {"ok": 28, "failed": 2},
+            "resumed_points": 5, "wall_time_s": 12.5,
+        })
+        assert "28/30 points ok" in text
+        assert "2 failed (kept in journal; resume retries them)" in text
+        assert "5 reused from journal" in text
+        assert "12.5s wall" in text
+
+    def test_unknown_outcomes_surface(self):
+        # A new worker outcome class must never vanish from the line.
+        text = format_run_manifest({
+            "experiment": "fig14", "status": "partial",
+            "counts": {"ok": 10, "failed": 1, "timeout": 3, "quarantined": 2},
+        })
+        assert "10/16 points ok" in text
+        assert "3 timeout" in text
+        assert "2 quarantined" in text
+
+    def test_slo_block_breached_and_met(self):
+        text = format_run_manifest({
+            "experiment": "fig14", "status": "completed",
+            "counts": {"ok": 4},
+            "slo": {
+                "p99<50ms": {"breaches": 2, "time_in_breach_s": 2.625},
+                "avail>99.9%": {"breaches": 0},
+            },
+        })
+        assert "SLO p99<50ms: 2 breaches (2.625s in breach)" in text
+        assert "SLO avail>99.9%: met" in text
+
+    def test_single_breach_singular(self):
+        text = format_run_manifest({
+            "experiment": "x", "status": "completed", "counts": {"ok": 1},
+            "slo": {"p99<5ms": {"breaches": 1, "time_in_breach_s": 0.5}},
+        })
+        assert "1 breach (0.5s in breach)" in text
+        assert "breaches" not in text
+
+    def test_empty_manifest_does_not_crash(self):
+        assert "unknown" in format_run_manifest({})
+
+
+class TestFormatAnalyticsReport:
+    def test_slo_and_profile_only(self):
+        # A run with SLOs/profiling but no tracing still reports.
+        text = format_analytics_report(
+            None,
+            slo={"p99<5ms": {
+                "breaches": 1, "pages": 1, "time_in_breach_s": 0.5,
+                "final_value": 0.006, "max_burn_rate": 2.0,
+            }},
+            profile={
+                "events": 100, "events_per_sec": 50000.0,
+                "hotspots": [{"key": "f", "count": 100,
+                              "seconds": 0.002, "mean_us": 20.0}],
+            },
+        )
+        assert "SLO verdicts" in text
+        assert "p99<5ms" in text
+        assert "engine profile: 100 events" in text
+        assert "hotspots" in text
+        assert "trace analytics" not in text
+
+    def test_empty_inputs_give_empty_report(self):
+        assert format_analytics_report(None) == ""

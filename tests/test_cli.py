@@ -188,3 +188,96 @@ class TestDurableExperimentFlags:
         assert code == 130
         err = capsys.readouterr().err
         assert "resume" in err
+
+
+class TestObservabilityFlags:
+    def _install(self, monkeypatch, exp_id, runner):
+        from repro.experiments import registry
+        from repro.experiments.registry import ExperimentSpec
+
+        cheap = ExperimentSpec(exp_id, "Figure S", "stub", runner)
+        monkeypatch.setitem(registry._BY_ID, exp_id, cheap)
+
+    def test_run_with_slo_prints_verdicts(self, spec_dir, capsys):
+        code = main([
+            "run", str(spec_dir), "--until", "0.3", "--slo", "p99<1s",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SLO verdicts" in out
+        assert "p99<1s" in out
+
+    def test_run_with_profile_prints_hotspots(self, spec_dir, capsys):
+        code = main([
+            "run", str(spec_dir), "--until", "0.3", "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine profile:" in out
+        assert "hotspots" in out
+
+    def test_run_with_trace_prints_analytics(self, spec_dir, capsys):
+        code = main(["run", str(spec_dir), "--until", "0.3", "--trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace analytics:" in out
+        assert "tail attribution" in out
+        assert "dependency graph" in out
+
+    def test_run_without_observability_skips_report(self, spec_dir, capsys):
+        code = main(["run", str(spec_dir), "--until", "0.3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace analytics" not in out
+        assert "SLO verdicts" not in out
+
+    def test_slo_forwarded_to_supporting_runner(self, capsys, monkeypatch):
+        seen = {}
+
+        def runner(slo=None):
+            seen["slo"] = slo
+            return "ran"
+
+        self._install(monkeypatch, "figS", runner)
+        assert main([
+            "experiments", "run", "figS",
+            "--slo", "p99<5ms", "--slo", "avail>99.9%",
+        ]) == 0
+        assert seen == {"slo": ["p99<5ms", "avail>99.9%"]}
+        capsys.readouterr()
+
+    def test_slo_rejected_by_unsupporting_runner(self, capsys, monkeypatch):
+        self._install(monkeypatch, "figNoSlo", lambda: "ran")
+        code = main([
+            "experiments", "run", "figNoSlo", "--slo", "p99<5ms",
+        ])
+        assert code == 2
+        assert "does not support slo" in capsys.readouterr().err
+
+    def test_bad_slo_spec_is_a_config_error(self, spec_dir, capsys):
+        code = main(["run", str(spec_dir), "--slo", "p99>5ms"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_analyze_over_exported_traces(self, spec_dir, capsys, tmp_path):
+        trace_dir = tmp_path / "traces"
+        assert main([
+            "run", str(spec_dir), "--until", "0.3",
+            "--trace-dir", str(trace_dir),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "analyze", str(trace_dir), "--percentiles", "50,99", "--top", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace analytics:" in out
+        assert "p50 ms" in out and "p99 ms" in out
+        assert "exemplars" in out
+
+    def test_analyze_empty_dir_exits_2(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path)])
+        assert code == 2
+        assert "otlp" in capsys.readouterr().err
