@@ -7,7 +7,7 @@
         [--slo SPEC ...] [--profile]
     python -m repro experiments list
     python -m repro experiments run <exp-id> [--seed N] [--jobs N]
-        [--run-dir DIR] [--no-resume] [--audit]
+        [--run-dir DIR] [--no-resume] [--audit] [--fault-plan FILE]
         [--trace-dir DIR] [--trace-sample R] [--slo SPEC ...]
     python -m repro analyze <trace-dir> [--percentiles LIST] [--top K]
 
@@ -42,6 +42,7 @@ from .config import SimulationSpec
 from .engine import EngineProfiler
 from .errors import ReproError
 from .experiments import registry
+from .faults import load_fault_plan
 from .telemetry import (
     SLOMonitor,
     TraceConfig,
@@ -151,6 +152,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         return 2
     print(f"running {spec.exp_id} ({spec.paper_ref}): {spec.title} ...")
     kwargs = {} if args.seed is None else {"seed": args.seed}
+    fault_plan = None
+    if args.fault_plan is not None:
+        fault_plan = load_fault_plan(args.fault_plan)
     result = spec.run(
         jobs=args.jobs,
         run_dir=args.run_dir,
@@ -159,6 +163,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir,
         trace_sample=args.trace_sample,
         slo=args.slo or None,
+        fault_plan=fault_plan,
         **kwargs,
     )
     print(repr(result))
@@ -251,6 +256,11 @@ def main(argv=None) -> int:
     exp_run.add_argument(
         "--audit", action="store_true",
         help="verify request conservation after each measurement",
+    )
+    exp_run.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="arm a faults.json plan against each measured world "
+             "(only experiments that support fault injection)",
     )
     exp_run.add_argument(
         "--trace-dir", default=None, metavar="DIR",

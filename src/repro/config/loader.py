@@ -114,7 +114,7 @@ class SimulationSpec:
         if self.faults_payload is not None:
             plan = parse_fault_plan(self.faults_payload, "faults.json")
             world.fault_injector = FaultInjector(
-                sim, deployment, cluster.network, plan
+                sim, deployment, cluster.network, plan, cluster=cluster
             ).arm()
         client = None
         if self.client_payload is not None:

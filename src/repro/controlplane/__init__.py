@@ -1,0 +1,52 @@
+"""A Kubernetes-style control plane running inside the simulation.
+
+The missing platform layer: :mod:`repro.faults` breaks instances and
+machines, :mod:`repro.resilience` masks failures per-request, and this
+package *heals* the deployment — declared replica specs
+(:class:`ReplicaSpec`), deterministic placement over failure domains
+(:class:`Scheduler`), a reconcile loop that reschedules dead replicas
+onto surviving machines with cold-start delay (:class:`ControlPlane`),
+SLO-gated deploys (:class:`RollingUpdate`, :class:`CanaryRollout`),
+and a horizontal autoscaler that requests capacity through the
+controller (:class:`HorizontalAutoscaler`).
+
+Everything here is opt-in: a world that never constructs a
+:class:`ControlPlane` behaves bit-identically to one built before this
+package existed.
+"""
+
+from .controller import ControlPlane
+from .hpa import HorizontalAutoscaler
+from .rollout import (
+    IN_PROGRESS,
+    ROLLED_BACK,
+    ROLLED_OUT,
+    CanaryRollout,
+    RollingUpdate,
+    RolloutResult,
+)
+from .scheduler import Scheduler
+from .spec import (
+    DOMAIN_LEVELS,
+    PACK,
+    SPREAD,
+    PlacementPolicy,
+    ReplicaSpec,
+)
+
+__all__ = [
+    "CanaryRollout",
+    "ControlPlane",
+    "DOMAIN_LEVELS",
+    "HorizontalAutoscaler",
+    "IN_PROGRESS",
+    "PACK",
+    "PlacementPolicy",
+    "ROLLED_BACK",
+    "ROLLED_OUT",
+    "ReplicaSpec",
+    "RollingUpdate",
+    "RolloutResult",
+    "SPREAD",
+    "Scheduler",
+]

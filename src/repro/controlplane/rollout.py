@@ -1,0 +1,291 @@
+"""Deploy strategies: rolling updates and SLO-gated canaries.
+
+Both strategies drive the :class:`~repro.controlplane.ControlPlane`
+rather than mutating the deployment directly, so every replica they
+touch pays real placement and cold-start costs and lands in the
+controller's action log.
+
+:class:`RollingUpdate` declares the new version and watches the
+reconciler replace stale replicas one at a time (max-surge 1).
+
+:class:`CanaryRollout` is the risk-managed path: surge a canary cohort
+running the candidate version, point a dedicated
+:class:`~repro.telemetry.slo.SLOMonitor` at *only* the canary cohort's
+completions, and gate on its burn rate — a breach rolls the cohort
+back automatically (the stable version never changed), while a clean
+observation window promotes the candidate into a rolling update of the
+remaining replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..engine import PRIORITY_MONITOR, Simulator
+from ..errors import ConfigError
+from ..service.microservice import STATE_UP
+from ..telemetry.slo import ALERT_BREACH, SLO, SLOAlert, SLOMonitor
+from .controller import ControlPlane
+
+#: Terminal rollout states.
+ROLLED_OUT = "rolled_out"
+ROLLED_BACK = "rolled_back"
+IN_PROGRESS = "in_progress"
+
+
+@dataclass
+class RolloutResult:
+    """What a deploy strategy did, for manifests and assertions."""
+
+    strategy: str
+    service: str
+    from_version: str
+    to_version: str
+    state: str = IN_PROGRESS
+    decided_at: Optional[float] = None
+    breaches: int = 0
+    #: replica name -> version at the end of the rollout.
+    final_versions: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def rolled_back(self) -> bool:
+        return self.state == ROLLED_BACK
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state == ROLLED_OUT
+
+
+class RollingUpdate:
+    """Replace every replica of a service with a new version, one
+    surge replacement at a time, with no SLO gate."""
+
+    def __init__(
+        self,
+        control_plane: ControlPlane,
+        service: str,
+        version: str,
+        factory=None,
+        check_interval: float = 0.05,
+    ) -> None:
+        self.cp = control_plane
+        self.service = service
+        self.version = version
+        self.factory = factory
+        self.check_interval = check_interval
+        self.result = RolloutResult(
+            strategy="rolling",
+            service=service,
+            from_version=control_plane.spec(service).version,
+            to_version=version,
+        )
+        self._started = False
+
+    def start(self) -> "RollingUpdate":
+        if self._started:
+            raise ConfigError("rollout already started")
+        self._started = True
+        self.cp.set_version(self.service, self.version, factory=self.factory)
+        self.cp.sim.schedule(
+            self.check_interval, self._check, priority=PRIORITY_MONITOR
+        )
+        return self
+
+    def _check(self) -> None:
+        versions = self.cp.versions(self.service)
+        ready = self.cp.ready_replicas(self.service)
+        done = (
+            len(ready) >= self.cp.desired(self.service)
+            and all(
+                versions.get(r.name) == self.version for r in ready
+            )
+            and len(versions) == len(ready)  # nothing still draining
+        )
+        if done:
+            self.result.state = ROLLED_OUT
+            self.result.decided_at = self.cp.sim.now
+            self.result.final_versions = versions
+            return
+        self.cp.sim.schedule(
+            self.check_interval, self._check, priority=PRIORITY_MONITOR
+        )
+
+
+class CanaryRollout:
+    """Surge a canary cohort, gate on its SLO burn rate, then promote
+    or roll back.
+
+    Phases (all on the simulated timeline):
+
+    1. **surge** — ``canary_replicas`` replicas of the candidate
+       version join the tier through the control plane (placement +
+       cold start), taking their proportional traffic share;
+    2. **observe** — a dedicated :class:`SLOMonitor` sees only the
+       canary cohort's completions (per-instance ``on_job_complete``
+       hooks feed service latencies). An
+       :data:`~repro.telemetry.slo.ALERT_BREACH` transition triggers
+       **rollback**: the cohort drains out and the stable version keeps
+       serving, untouched;
+    3. **promote** — a clean ``observe_for`` window promotes the
+       candidate: the cohort folds into the stable set and the
+       reconciler rolls the remaining replicas to the new version.
+    """
+
+    def __init__(
+        self,
+        control_plane: ControlPlane,
+        service: str,
+        version: str,
+        factory,
+        slos: Sequence[SLO],
+        canary_replicas: int = 1,
+        observe_for: float = 1.0,
+        check_interval: float = 0.05,
+        min_samples: int = 20,
+    ) -> None:
+        if canary_replicas < 1:
+            raise ConfigError(
+                f"canary_replicas must be >= 1, got {canary_replicas}"
+            )
+        if observe_for <= 0:
+            raise ConfigError(
+                f"observe_for must be > 0, got {observe_for!r}"
+            )
+        self.cp = control_plane
+        self.sim: Simulator = control_plane.sim
+        self.service = service
+        self.version = version
+        self.factory = factory
+        self.canary_replicas = canary_replicas
+        self.observe_for = observe_for
+        self.check_interval = check_interval
+        self.monitor = SLOMonitor(
+            self.sim,
+            list(slos),
+            registry=control_plane.metrics,
+            interval=check_interval,
+            min_samples=min_samples,
+        )
+        self.monitor.listeners.append(self._on_alert)
+        self.result = RolloutResult(
+            strategy="canary",
+            service=service,
+            from_version=control_plane.spec(service).version,
+            to_version=version,
+        )
+        self._started = False
+        self._observing_since: Optional[float] = None
+        self._hooked: set = set()
+
+    # Lifecycle -----------------------------------------------------------
+
+    def start(self) -> "CanaryRollout":
+        if self._started:
+            raise ConfigError("rollout already started")
+        self._started = True
+        self.cp._event(
+            "canary_start", service=self.service, version=self.version,
+            replicas=self.canary_replicas,
+        )
+        self.cp.add_canaries(
+            self.service, self.version, self.factory, self.canary_replicas
+        )
+        self.sim.schedule(
+            self.check_interval, self._check, priority=PRIORITY_MONITOR
+        )
+        return self
+
+    def _hook_cohort(self) -> List:
+        """Feed each live canary's completions into the monitor (once
+        per replica)."""
+        cohort = self.cp.canary_instances(self.service)
+        for inst in cohort:
+            if inst.name in self._hooked:
+                continue
+            self._hooked.add(inst.name)
+            inst.on_job_complete(
+                lambda job: self.monitor.observe(
+                    self.sim.now, job.service_latency, ok=True
+                )
+            )
+        return cohort
+
+    def _check(self) -> None:
+        if self.result.state != IN_PROGRESS:
+            return
+        cohort = self._hook_cohort()
+        live = [r for r in cohort if r.state == STATE_UP]
+        if self._observing_since is None:
+            if len(live) >= self.canary_replicas:
+                # Cohort fully up: the observation clock starts.
+                self._observing_since = self.sim.now
+                self.monitor.start(stop_at=None)
+                self.cp._event(
+                    "canary_observing", service=self.service,
+                    version=self.version, cohort=sorted(self._hooked),
+                )
+        elif self.sim.now - self._observing_since >= self.observe_for:
+            self._promote()
+            return
+        self.sim.schedule(
+            self.check_interval, self._check, priority=PRIORITY_MONITOR
+        )
+
+    # Verdicts ------------------------------------------------------------
+
+    def _on_alert(self, alert: SLOAlert) -> None:
+        if alert.kind != ALERT_BREACH:
+            return
+        self.result.breaches += 1
+        if self.result.state == IN_PROGRESS:
+            self._rollback(alert)
+
+    def _rollback(self, alert: SLOAlert) -> None:
+        self.result.state = ROLLED_BACK
+        self.result.decided_at = self.sim.now
+        self.cp._event(
+            "canary_rollback", service=self.service, version=self.version,
+            slo=alert.slo, burn_rate=alert.burn_rate,
+            severity=alert.severity,
+        )
+        self.cp.remove_canaries(self.service)
+        # Snapshot the versions still serving (the draining cohort is
+        # on its way out and does not count).
+        self._snapshot_final()
+
+    def _promote(self) -> None:
+        self.result.state = ROLLED_OUT
+        self.result.decided_at = self.sim.now
+        self.cp._event(
+            "canary_promote", service=self.service, version=self.version
+        )
+        self.cp.promote_canaries(self.service)
+        self.cp.set_version(self.service, self.version, factory=self.factory)
+        # The reconciler still has to roll the stale stable replicas;
+        # keep refreshing the snapshot until the fleet converges so
+        # final_versions reports what actually survived.
+        self._snapshot_final()
+        self.sim.schedule(
+            self.check_interval, self._watch_roll, priority=PRIORITY_MONITOR
+        )
+
+    def _snapshot_final(self) -> None:
+        self.result.final_versions = {
+            r.name: self.cp.version_of(r.name)
+            for r in self.cp.ready_replicas(self.service)
+        }
+
+    def _watch_roll(self) -> None:
+        self._snapshot_final()
+        versions = set(self.result.final_versions.values())
+        done = (
+            versions == {self.version}
+            and len(self.result.final_versions)
+            >= self.cp.desired(self.service)
+        )
+        if not done:
+            self.sim.schedule(
+                self.check_interval, self._watch_roll,
+                priority=PRIORITY_MONITOR,
+            )

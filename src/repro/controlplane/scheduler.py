@@ -1,0 +1,81 @@
+"""Placement: choosing a machine for each replica.
+
+The scheduler is a deterministic bin-packer over the cluster's
+schedulable machines (failed machines are skipped). Feasibility is
+free-core driven — a candidate must hold ``cores_per_replica``
+unallocated cores — and the placement policy ranks the feasible set:
+
+* ``spread``: fewest same-service replicas in the candidate's failure
+  domain (machine / rack / zone), ties broken by most free cores, then
+  cluster insertion order;
+* ``pack``: fewest free cores that still fit (fullest-first), ties
+  broken by cluster insertion order.
+
+No randomness anywhere: identical cluster state always yields the
+identical placement, which is what keeps control-plane runs
+reproducible across seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import SchedulingError
+from ..hardware import Cluster, Machine
+from .spec import PACK, ReplicaSpec
+
+
+class Scheduler:
+    """Deterministic replica placement over a :class:`Cluster`."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    def place(
+        self, spec: ReplicaSpec, occupied_machines: Sequence[str]
+    ) -> Machine:
+        """Choose the machine for one new replica of *spec*.
+
+        *occupied_machines* lists the machine of every live or pending
+        replica of the service (repeats allowed) — the spread policy
+        counts them per failure domain.
+
+        Raises :class:`~repro.errors.SchedulingError` when no
+        schedulable machine fits; the reconciler treats that replica as
+        *pending* and retries next cycle.
+        """
+        candidates = [
+            m
+            for m in self.cluster.up_machines
+            if m.unallocated_cores >= spec.cores_per_replica
+        ]
+        if not candidates:
+            raise SchedulingError(
+                f"no schedulable machine has {spec.cores_per_replica} free "
+                f"core(s) for service {spec.service!r} "
+                f"({len(self.cluster.up_machines)} of {len(self.cluster)} "
+                f"machines up)"
+            )
+        if spec.placement.strategy == PACK:
+            return min(candidates, key=lambda m: m.unallocated_cores)
+
+        # Spread: count existing replicas per failure domain.
+        level = spec.placement.domain
+        load: Dict[str, int] = {}
+        for name in occupied_machines:
+            domain = self.cluster.domain_of(self.cluster.machine(name), level)
+            load[domain] = load.get(domain, 0) + 1
+
+        def rank(machine: Machine):
+            domain = self.cluster.domain_of(machine, level)
+            return (load.get(domain, 0), -machine.unallocated_cores)
+
+        return min(candidates, key=rank)
+
+    def feasible_replicas(self, spec: ReplicaSpec) -> int:
+        """How many more replicas of *spec* the cluster could hold right
+        now (capacity planning / test introspection)."""
+        return sum(
+            m.unallocated_cores // spec.cores_per_replica
+            for m in self.cluster.up_machines
+        )

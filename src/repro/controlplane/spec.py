@@ -1,0 +1,84 @@
+"""Declarative replica specs: what the control plane keeps true.
+
+A :class:`ReplicaSpec` is the simulated analogue of a Kubernetes
+Deployment object: a desired replica count, the resources each replica
+pins, a placement policy over the cluster's failure domains, and a
+factory that materialises one replica. The control plane
+(:class:`~repro.controlplane.ControlPlane`) owns the reconciliation
+that keeps the live deployment matching the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import ConfigError
+
+#: Placement strategies.
+SPREAD = "spread"
+PACK = "pack"
+
+#: Failure-domain levels, innermost first.
+DOMAIN_LEVELS = ("machine", "rack", "zone")
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """How replicas of one service distribute over the cluster.
+
+    ``spread`` balances replicas across failure domains at *domain*
+    granularity (fewest same-service replicas in the candidate's
+    domain wins — machine kills then take out at most
+    ``ceil(replicas / domains)`` of a tier). ``pack`` bin-packs onto
+    the fullest machine that still fits, minimising the number of
+    machines in use.
+    """
+
+    strategy: str = SPREAD
+    domain: str = "machine"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in (SPREAD, PACK):
+            raise ConfigError(
+                f"unknown placement strategy {self.strategy!r}; "
+                f"expected {SPREAD!r} or {PACK!r}"
+            )
+        if self.domain not in DOMAIN_LEVELS:
+            raise ConfigError(
+                f"unknown failure-domain level {self.domain!r}; "
+                f"expected one of {DOMAIN_LEVELS}"
+            )
+
+
+#: Builds one replica. Called as ``factory(name, machine, cores,
+#: version)`` once the scheduler has reserved *cores* on *machine*;
+#: must return a :class:`~repro.service.Microservice` constructed with
+#: that exact core set, ``machine_name=machine.name``, and
+#: ``tier=spec.service`` (the control plane registers it with the
+#: deployment afterwards).
+ReplicaFactory = Callable[..., object]
+
+
+@dataclass
+class ReplicaSpec:
+    """Desired state for one service tier."""
+
+    service: str
+    replicas: int
+    cores_per_replica: int
+    factory: ReplicaFactory
+    placement: PlacementPolicy = field(default_factory=PlacementPolicy)
+    version: str = "v1"
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ConfigError(
+                f"spec {self.service!r}: replicas must be >= 1, "
+                f"got {self.replicas}"
+            )
+        if self.cores_per_replica < 1:
+            raise ConfigError(
+                f"spec {self.service!r}: cores_per_replica must be >= 1, "
+                f"got {self.cores_per_replica}"
+            )

@@ -86,6 +86,15 @@ class ResourceError(ReproError):
     """
 
 
+class SchedulingError(ResourceError):
+    """The control-plane scheduler cannot place a replica.
+
+    Raised when no schedulable machine has enough free cores for a
+    replica spec (the replica stays *pending* and the reconciler
+    retries), or when a placement request is malformed.
+    """
+
+
 class TopologyError(ReproError):
     """The inter-microservice graph or path tree is malformed.
 

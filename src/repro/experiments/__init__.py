@@ -5,6 +5,7 @@ comparison, and the figure/table registry."""
 from . import (
     audit,
     comparison,
+    orchestration,
     power_mgmt,
     registry,
     resilience,
@@ -12,6 +13,13 @@ from . import (
     validation,
 )
 from .audit import audit_client
+from .orchestration import (
+    NodeFailurePoint,
+    RolloutPoint,
+    build_cluster_world,
+    node_failure_experiment,
+    rollout_experiment,
+)
 from .replication import ReplicatedPoint, replicate_at_load
 from .loadsweep import (
     SweepPoint,
@@ -21,17 +29,23 @@ from .loadsweep import (
 )
 
 __all__ = [
+    "NodeFailurePoint",
     "ReplicatedPoint",
+    "RolloutPoint",
     "SweepPoint",
     "audit",
     "audit_client",
+    "build_cluster_world",
     "comparison",
     "load_latency_sweep",
     "measure_at_load",
+    "node_failure_experiment",
+    "orchestration",
     "power_mgmt",
     "registry",
     "replicate_at_load",
     "resilience",
+    "rollout_experiment",
     "saturation_load",
     "tail_at_scale",
     "validation",

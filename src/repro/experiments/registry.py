@@ -15,7 +15,14 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List
 
 from ..errors import ReproError
-from . import comparison, power_mgmt, resilience, tail_at_scale, validation
+from . import (
+    comparison,
+    orchestration,
+    power_mgmt,
+    resilience,
+    tail_at_scale,
+    validation,
+)
 
 
 @dataclass(frozen=True)
@@ -55,6 +62,11 @@ class ExperimentSpec:
         """Whether the runner can evaluate declarative SLOs live."""
         return self._accepts("slo")
 
+    @property
+    def supports_fault_plan(self) -> bool:
+        """Whether the runner can arm an injected fault plan."""
+        return self._accepts("fault_plan")
+
     def run(
         self,
         jobs: int = 1,
@@ -64,6 +76,7 @@ class ExperimentSpec:
         trace_dir: Any = None,
         trace_sample: float = 1.0,
         slo: Any = None,
+        fault_plan: Any = None,
         **kwargs: Any,
     ) -> Any:
         """Run the experiment.
@@ -105,6 +118,12 @@ class ExperimentSpec:
                     f"experiment {self.exp_id!r} does not support slo"
                 )
             kwargs.setdefault("slo", slo)
+        if fault_plan is not None:
+            if not self.supports_fault_plan:
+                raise ReproError(
+                    f"experiment {self.exp_id!r} does not support fault_plan"
+                )
+            kwargs.setdefault("fault_plan", fault_plan)
         return self.runner(**kwargs)
 
 
@@ -165,6 +184,18 @@ _SPECS: List[ExperimentSpec] = [
         "Hedged requests on the 100-replica straggler tier "
         "(p99 vs hedge delay)",
         resilience.hedging_sweep,
+    ),
+    ExperimentSpec(
+        "node_failure", "beyond the paper",
+        "Self-healing: machine kill, rescheduling onto survivors, "
+        "goodput recovery",
+        orchestration.node_failure_experiment,
+    ),
+    ExperimentSpec(
+        "rollout", "beyond the paper",
+        "SLO-gated canary deploys: regressed versions roll back, "
+        "clean ones promote",
+        orchestration.rollout_experiment,
     ),
     ExperimentSpec(
         "fig16", "Figure 16",

@@ -22,6 +22,8 @@ from .plan import (
     KINDS,
     LINK_DEGRADE,
     LINK_RESTORE,
+    MACHINE_FAIL,
+    MACHINE_RECOVER,
     PARTITION,
     RECOVER,
     SLOW,
@@ -39,6 +41,8 @@ __all__ = [
     "KINDS",
     "LINK_DEGRADE",
     "LINK_RESTORE",
+    "MACHINE_FAIL",
+    "MACHINE_RECOVER",
     "PARTITION",
     "RECOVER",
     "SLOW",

@@ -5,6 +5,11 @@ priority, so faults land after same-timestamp arrivals/completions —
 the state they see is the state a real operator's SIGKILL would see).
 The injector records everything it fires in :attr:`FaultInjector.log`
 for assertions and reports.
+
+:meth:`FaultInjector.arm` validates every fault target up front — an
+instance, machine, or link endpoint that does not exist in the
+deployment fails fast with a :class:`~repro.errors.FaultError` instead
+of blowing up minutes into a run.
 """
 
 from __future__ import annotations
@@ -12,8 +17,9 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..engine import PRIORITY_ADMIN, Simulator
-from ..errors import FaultError
-from ..hardware import NetworkFabric
+from ..errors import FaultError, ReproError
+from ..hardware import Cluster, NetworkFabric
+from ..service.microservice import STATE_DOWN
 from ..topology import Deployment
 from . import plan as _plan
 from .plan import Fault, FaultPlan
@@ -28,17 +34,23 @@ class FaultInjector:
         deployment: Deployment,
         network: Optional[NetworkFabric] = None,
         plan: Optional[FaultPlan] = None,
+        cluster: Optional[Cluster] = None,
     ) -> None:
+        """*cluster* is required for machine-level faults
+        (``fail_machine``/``recover_machine``) and, when given, lets
+        :meth:`arm` validate link-fault endpoints as real machines."""
         self.sim = sim
         self.deployment = deployment
         self.network = network
         self.plan = plan or FaultPlan()
+        self.cluster = cluster
         self.log: List[Tuple[float, Fault]] = []
         self._armed = False
 
     def arm(self) -> "FaultInjector":
         """Schedule every fault in the plan (idempotent; call once,
-        before or during the run — past-dated faults are rejected)."""
+        before or during the run — past-dated faults are rejected and
+        every fault target must exist)."""
         if self._armed:
             return self
         self._armed = True
@@ -47,6 +59,7 @@ class FaultInjector:
                 raise FaultError(
                     f"fault at t={fault.at} is in the past (now={self.sim.now})"
                 )
+            self._validate_target(fault)
             self.sim.schedule(
                 fault.at - self.sim.now,
                 self._fire,
@@ -55,9 +68,49 @@ class FaultInjector:
             )
         return self
 
+    def _validate_target(self, fault: Fault) -> None:
+        """Fail fast on targets that do not exist in the deployment."""
+        if fault.kind in _plan._INSTANCE_KINDS:
+            try:
+                self.deployment.find_instance(fault.instance)
+            except ReproError:
+                raise FaultError(
+                    f"{fault.kind!r} fault at t={fault.at} targets unknown "
+                    f"instance {fault.instance!r}; deployed instances: "
+                    f"{sorted(i.name for i in self.deployment.all_instances)}"
+                ) from None
+            return
+        if fault.kind in _plan._MACHINE_KINDS:
+            if self.cluster is None:
+                raise FaultError(
+                    f"{fault.kind!r} fault needs a Cluster, none was given"
+                )
+            if fault.machine not in self.cluster:
+                raise FaultError(
+                    f"{fault.kind!r} fault at t={fault.at} targets unknown "
+                    f"machine {fault.machine!r}; cluster has "
+                    f"{sorted(self.cluster.machine_names)}"
+                )
+            return
+        # Link kinds.
+        if self.network is None:
+            raise FaultError(
+                f"{fault.kind!r} fault needs a NetworkFabric, none was given"
+            )
+        if self.cluster is not None:
+            for endpoint in (fault.src, fault.dst):
+                if endpoint not in self.cluster:
+                    raise FaultError(
+                        f"{fault.kind!r} fault at t={fault.at} references "
+                        f"unknown machine {endpoint!r}; cluster has "
+                        f"{sorted(self.cluster.machine_names)}"
+                    )
+
+    # Firing ---------------------------------------------------------------
+
     def _fire(self, fault: Fault) -> None:
         self.log.append((self.sim.now, fault))
-        if fault.kind in (_plan.CRASH, _plan.RECOVER, _plan.DRAIN, _plan.SLOW):
+        if fault.kind in _plan._INSTANCE_KINDS:
             instance = self.deployment.find_instance(fault.instance)
             if fault.kind == _plan.CRASH:
                 instance.crash(disposition=fault.disposition)
@@ -67,6 +120,9 @@ class FaultInjector:
                 instance.start_draining()
             else:
                 instance.degrade(fault.factor)
+            return
+        if fault.kind in _plan._MACHINE_KINDS:
+            self._fire_machine(fault)
             return
         if self.network is None:
             raise FaultError(
@@ -80,6 +136,35 @@ class FaultInjector:
             self.network.partition(fault.src, fault.dst)
         else:
             self.network.heal(fault.src, fault.dst)
+
+    def _hosted_instances(self, machine_name: str) -> list:
+        """Every deployed instance pinned to *machine_name*, tier
+        replicas first, then the machine's netproc."""
+        hosted = [
+            inst
+            for inst in self.deployment.all_instances
+            if inst.machine_name == machine_name
+        ]
+        netproc = self.deployment.netproc(machine_name)
+        if netproc is not None:
+            hosted.append(netproc)
+        return hosted
+
+    def _fire_machine(self, fault: Fault) -> None:
+        machine = self.cluster.machine(fault.machine)
+        if fault.kind == _plan.MACHINE_FAIL:
+            machine.fail()
+            for instance in self._hosted_instances(fault.machine):
+                instance.crash(disposition=fault.disposition)
+        else:
+            machine.restore()
+            # Only still-deployed, still-down instances come back:
+            # replicas the control plane retired and rescheduled
+            # elsewhere stay gone, and a replica mid-drain keeps
+            # draining.
+            for instance in self._hosted_instances(fault.machine):
+                if instance.state == STATE_DOWN:
+                    instance.recover()
 
     def __repr__(self) -> str:
         return (

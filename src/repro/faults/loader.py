@@ -7,7 +7,8 @@ each entry names a fault ``kind`` plus its target fields::
       {"at": 1.0, "kind": "crash",   "instance": "leaf_0"},
       {"at": 2.0, "kind": "recover", "instance": "leaf_0"},
       {"at": 0.5, "kind": "slow",    "instance": "leaf_1", "factor": 10},
-      {"at": 1.5, "kind": "partition", "src": "m0", "dst": "m1"}
+      {"at": 1.5, "kind": "partition", "src": "m0", "dst": "m1"},
+      {"at": 2.5, "kind": "machine_fail", "machine": "m0"}
     ]}
 
 Validation errors surface as :class:`~repro.errors.ConfigError` (bad
@@ -24,7 +25,16 @@ from typing import Union
 from ..errors import ConfigError
 from .plan import Fault, FaultPlan
 
-_FIELDS = ("at", "kind", "instance", "src", "dst", "factor", "disposition")
+_FIELDS = (
+    "at",
+    "kind",
+    "instance",
+    "src",
+    "dst",
+    "machine",
+    "factor",
+    "disposition",
+)
 
 
 def parse_fault(payload: dict, source: str) -> Fault:
@@ -44,6 +54,7 @@ def parse_fault(payload: dict, source: str) -> Fault:
         instance=payload.get("instance"),
         src=payload.get("src"),
         dst=payload.get("dst"),
+        machine=payload.get("machine"),
         factor=float(payload.get("factor", 1.0)),
         disposition=str(payload.get("disposition", "fail")),
     )

@@ -28,11 +28,25 @@ LINK_DEGRADE = "link_degrade"
 LINK_RESTORE = "link_restore"
 PARTITION = "partition"
 HEAL = "heal"
+MACHINE_FAIL = "machine_fail"
+MACHINE_RECOVER = "machine_recover"
 
-KINDS = (CRASH, RECOVER, DRAIN, SLOW, LINK_DEGRADE, LINK_RESTORE, PARTITION, HEAL)
+KINDS = (
+    CRASH,
+    RECOVER,
+    DRAIN,
+    SLOW,
+    LINK_DEGRADE,
+    LINK_RESTORE,
+    PARTITION,
+    HEAL,
+    MACHINE_FAIL,
+    MACHINE_RECOVER,
+)
 
 _INSTANCE_KINDS = (CRASH, RECOVER, DRAIN, SLOW)
 _LINK_KINDS = (LINK_DEGRADE, LINK_RESTORE, PARTITION, HEAL)
+_MACHINE_KINDS = (MACHINE_FAIL, MACHINE_RECOVER)
 
 
 @dataclass(frozen=True)
@@ -42,10 +56,12 @@ class Fault:
     ``kind`` selects the mechanism; ``instance`` targets instance kinds
     (``crash``/``recover``/``drain``/``slow``), ``src``/``dst`` target
     link kinds (``link_degrade``/``link_restore``/``partition``/
-    ``heal``). ``factor`` is the slow-down multiplier for ``slow`` and
-    ``link_degrade``; ``disposition`` says what a crash does to
-    in-flight jobs (``fail`` notifies upstreams, ``drop`` loses them
-    silently).
+    ``heal``), and ``machine`` targets machine kinds
+    (``machine_fail``/``machine_recover`` — whole-server faults that
+    fan out to every hosted instance). ``factor`` is the slow-down
+    multiplier for ``slow`` and ``link_degrade``; ``disposition`` says
+    what a crash does to in-flight jobs (``fail`` notifies upstreams,
+    ``drop`` loses them silently).
     """
 
     at: float
@@ -53,6 +69,7 @@ class Fault:
     instance: Optional[str] = None
     src: Optional[str] = None
     dst: Optional[str] = None
+    machine: Optional[str] = None
     factor: float = 1.0
     disposition: str = "fail"
 
@@ -67,6 +84,8 @@ class Fault:
             raise FaultError(f"{self.kind!r} fault needs an instance name")
         if self.kind in _LINK_KINDS and not (self.src and self.dst):
             raise FaultError(f"{self.kind!r} fault needs src and dst machines")
+        if self.kind in _MACHINE_KINDS and not self.machine:
+            raise FaultError(f"{self.kind!r} fault needs a machine name")
         if self.kind in (SLOW, LINK_DEGRADE) and self.factor < 1.0:
             raise FaultError(
                 f"{self.kind!r} factor must be >= 1, got {self.factor!r}"
@@ -124,6 +143,27 @@ class FaultPlan:
     def heal(self, at: float, src: str, dst: str) -> "FaultPlan":
         """Heal a partition at *at*."""
         return self.add(Fault(at=at, kind=HEAL, src=src, dst=dst))
+
+    def fail_machine(
+        self, at: float, machine: str, disposition: str = "fail"
+    ) -> "FaultPlan":
+        """Kill the whole server at *at*: every hosted instance (tier
+        replicas and the machine's netproc) crashes with *disposition*
+        and the machine becomes unschedulable until recovered."""
+        return self.add(
+            Fault(
+                at=at,
+                kind=MACHINE_FAIL,
+                machine=machine,
+                disposition=disposition,
+            )
+        )
+
+    def recover_machine(self, at: float, machine: str) -> "FaultPlan":
+        """Bring a failed server back at *at*: the machine becomes
+        schedulable again and every still-deployed hosted instance
+        recovers."""
+        return self.add(Fault(at=at, kind=MACHINE_RECOVER, machine=machine))
 
     def sorted(self) -> List[Fault]:
         """The schedule in injection order (stable by time)."""

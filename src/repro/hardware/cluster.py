@@ -33,14 +33,33 @@ class Cluster:
         ladder: Optional[DvfsLadder] = None,
         network: Optional[NetworkFabric] = None,
         name_prefix: str = "node",
+        racks: int = 1,
+        zones: int = 1,
     ) -> "Cluster":
-        """*count* identical machines named ``node0..node{count-1}``."""
+        """*count* identical machines named ``node0..node{count-1}``.
+
+        With *racks* / *zones* > 1 machines are labelled round-robin
+        into failure domains (``rack0..``, ``zone0..``); each rack lives
+        entirely in one zone, matching the machine → rack → zone
+        containment the control plane's spread placement assumes.
+        """
         if count < 1:
             raise ResourceError(f"cluster needs >= 1 machine, got {count}")
+        if racks < 1 or zones < 1:
+            raise ResourceError(
+                f"racks and zones must be >= 1, got racks={racks} zones={zones}"
+            )
         cluster = cls(network)
         for i in range(count):
+            rack_id = i % racks
             cluster.add_machine(
-                Machine(f"{name_prefix}{i}", cores_per_machine, ladder)
+                Machine(
+                    f"{name_prefix}{i}",
+                    cores_per_machine,
+                    ladder,
+                    rack=f"rack{rack_id}",
+                    zone=f"zone{rack_id % zones}",
+                )
             )
         return cluster
 
@@ -66,6 +85,36 @@ class Cluster:
     @property
     def machine_names(self) -> list:
         return list(self._machines)
+
+    @property
+    def up_machines(self) -> list:
+        """Machines currently schedulable (not failed), insertion order."""
+        return [m for m in self._machines.values() if m.up]
+
+    def domain_of(self, machine: Machine, level: str) -> str:
+        """The failure-domain label of *machine* at *level*
+        (``machine`` | ``rack`` | ``zone``). Unlabelled machines are
+        their own domain at every level."""
+        if level == "machine":
+            return machine.name
+        if level == "rack":
+            return machine.rack or machine.name
+        if level == "zone":
+            return machine.zone or machine.name
+        raise ResourceError(
+            f"unknown failure-domain level {level!r}; "
+            "expected machine, rack, or zone"
+        )
+
+    def failure_domains(self, level: str) -> Dict[str, list]:
+        """Group machine names by failure domain at *level*
+        (insertion order within each domain)."""
+        domains: Dict[str, list] = {}
+        for machine in self._machines.values():
+            domains.setdefault(self.domain_of(machine, level), []).append(
+                machine.name
+            )
+        return domains
 
     @property
     def total_cores(self) -> int:

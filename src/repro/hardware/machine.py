@@ -5,6 +5,13 @@ each server". A :class:`Machine` owns a pool of cores; deployments
 carve dedicated :class:`~repro.hardware.core.CoreSet`s out of it, one
 per pinned microservice instance plus one for the machine's shared
 network-processing (soft_irq) service.
+
+Machines carry optional failure-domain labels (``rack``/``zone``) and a
+fail/restore lifecycle so the control plane
+(:mod:`repro.controlplane`) can spread replicas across domains and
+deschedule a failed node. Allocation is first-fit over free cores in
+core order; when nothing has ever been released this yields exactly the
+historical bump-pointer layout, so existing deployments are unchanged.
 """
 
 from __future__ import annotations
@@ -25,17 +32,22 @@ class Machine:
         num_cores: int,
         ladder: Optional[DvfsLadder] = None,
         frequency: Optional[float] = None,
+        rack: str = "",
+        zone: str = "",
     ) -> None:
         if num_cores < 1:
             raise ResourceError(f"machine {name!r} needs >= 1 core, got {num_cores}")
         self.name = name
+        self.rack = rack
+        self.zone = zone
         self.ladder = ladder or DvfsLadder.fixed(2.6 * GHZ)
         self.cores: List[CpuCore] = [
             CpuCore(f"{name}/cpu{i}", self.ladder, frequency)
             for i in range(num_cores)
         ]
-        self._next_unallocated = 0
+        self._core_owner: Dict[int, str] = {}
         self._allocations: Dict[str, CoreSet] = {}
+        self._failed = False
 
     @classmethod
     def table2(cls, name: str) -> "Machine":
@@ -43,6 +55,26 @@ class Machine:
         cores x 2 threads, 1.2-2.6 GHz DVFS. We expose the 40 hardware
         threads as schedulable cores."""
         return cls(name, num_cores=40, ladder=DvfsLadder.xeon_e5_2660_v3())
+
+    # Lifecycle ----------------------------------------------------------
+
+    @property
+    def up(self) -> bool:
+        """False after :meth:`fail` until :meth:`restore`."""
+        return not self._failed
+
+    def fail(self) -> None:
+        """Mark the machine failed (unschedulable).
+
+        Crashing the hosted instances is the fault injector's job
+        (:meth:`~repro.faults.FaultPlan.fail_machine` fans out); the
+        machine itself only tracks schedulability.
+        """
+        self._failed = True
+
+    def restore(self) -> None:
+        """Bring a failed machine back (schedulable again)."""
+        self._failed = False
 
     # Allocation ---------------------------------------------------------
 
@@ -52,14 +84,17 @@ class Machine:
 
     @property
     def unallocated_cores(self) -> int:
-        return self.num_cores - self._next_unallocated
+        return self.num_cores - len(self._core_owner)
 
     def allocate(self, owner: str, num_cores: int) -> CoreSet:
         """Pin *num_cores* dedicated cores to *owner*.
 
-        Allocation is first-fit over the remaining cores; the paper pins
-        each thread to a dedicated physical core, so cores are never
-        shared between owners.
+        Allocation is first-fit over the free cores in core order; the
+        paper pins each thread to a dedicated physical core, so cores
+        are never shared between owners. Freed cores (:meth:`release`)
+        are reused, so an allocate-release-allocate cycle can fragment
+        an owner's cores across the machine — harmless, since cores are
+        interchangeable.
         """
         if owner in self._allocations:
             raise ResourceError(
@@ -73,11 +108,38 @@ class Machine:
                 f"{owner!r} but only {self.unallocated_cores} remain "
                 f"unallocated of {self.num_cores}"
             )
-        start = self._next_unallocated
-        self._next_unallocated += num_cores
-        core_set = CoreSet(owner, self.cores[start : start + num_cores])
+        picked: List[int] = []
+        for index in range(self.num_cores):
+            if index not in self._core_owner:
+                picked.append(index)
+                if len(picked) == num_cores:
+                    break
+        for index in picked:
+            self._core_owner[index] = owner
+        core_set = CoreSet(owner, [self.cores[i] for i in picked])
         self._allocations[owner] = core_set
         return core_set
+
+    def release(self, owner: str) -> None:
+        """Return *owner*'s cores to the free pool.
+
+        Used by the control plane when a replica is retired or
+        rescheduled. Refuses to free cores that are still running work —
+        drain (or crash) the instance first.
+        """
+        core_set = self.allocation(owner)
+        busy = [core.core_id for core in core_set.cores if core.busy]
+        if busy:
+            raise ResourceError(
+                f"machine {self.name!r}: cannot release {owner!r}, "
+                f"cores still busy: {busy}"
+            )
+        del self._allocations[owner]
+        self._core_owner = {
+            index: holder
+            for index, holder in self._core_owner.items()
+            if holder != owner
+        }
 
     def allocation(self, owner: str) -> CoreSet:
         """The core set previously pinned to *owner*."""
@@ -106,7 +168,8 @@ class Machine:
         return sum(c.utilization(now, since) for c in self.cores) / self.num_cores
 
     def __repr__(self) -> str:
+        state = "" if self.up else " FAILED"
         return (
             f"<Machine {self.name} cores={self.num_cores} "
-            f"allocated={self._next_unallocated}>"
+            f"allocated={len(self._core_owner)}{state}>"
         )

@@ -120,6 +120,7 @@ class Job:
         "stage_pos",
         "on_complete",
         "on_fail",
+        "on_discard",
         "cancelled",
         "created_at",
         "first_dispatch_at",
@@ -145,6 +146,11 @@ class Job:
         # Fired when the owning instance crashes with this job in
         # flight or refuses it while down (resilience failure path).
         self.on_fail: Optional[Callable[["Job"], None]] = None
+        # Fired on ANY job loss, including silent crash dispositions
+        # that suppress on_fail. Internal resource reclamation (the
+        # dispatcher frees a lost message's in-order delivery slot
+        # here), never application-visible failure handling.
+        self.on_discard: Optional[Callable[["Job"], None]] = None
         # Set by request cancellation (timeout / hedge loser): the job
         # may still be executing, but its completion must not propagate.
         self.cancelled = False

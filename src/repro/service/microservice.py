@@ -222,6 +222,10 @@ class Microservice:
 
     def _fail_job(self, job: Job, notify: bool = True) -> None:
         self.jobs_failed += 1
+        # Resource reclamation runs even for silent ("drop") losses;
+        # only the application-visible failure callback is gated.
+        if job.on_discard is not None and not job.cancelled:
+            job.on_discard(job)
         if notify and job.on_fail is not None and not job.cancelled:
             job.on_fail(job)
 

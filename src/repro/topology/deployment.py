@@ -35,6 +35,7 @@ class Deployment:
         self._pool_policies: Dict[str, str] = {}
         self._netproc: Dict[str, Microservice] = {}
         self._pools: Dict[Tuple[str, str], ConnectionPool] = {}
+        self._retired: List[Microservice] = []
 
     # Registration -------------------------------------------------------
 
@@ -48,6 +49,32 @@ class Deployment:
             )
         replicas.append(instance)
         return instance
+
+    def remove_instance(self, name: str) -> Microservice:
+        """Retire a replica: take it out of its tier so balancers stop
+        seeing it, while keeping it findable by name for audits and
+        late-firing faults.
+
+        The control plane retires dead replicas it has replaced (so a
+        later ``machine_recover`` cannot resurrect them into a tier
+        that is already back at strength) and drained replicas it has
+        scaled down.
+        """
+        for service, replicas in self._instances.items():
+            for i, inst in enumerate(replicas):
+                if inst.name == name:
+                    replicas.pop(i)
+                    self._retired.append(inst)
+                    return inst
+        raise TopologyError(
+            f"no removable instance named {name!r}; deployed: "
+            f"{sorted(i.name for i in self.all_instances)}"
+        )
+
+    @property
+    def retired_instances(self) -> List[Microservice]:
+        """Replicas removed from their tiers, in retirement order."""
+        return list(self._retired)
 
     def set_balancer(self, service: str, policy: str) -> None:
         """Set the load-balancing policy for *service* (default RR)."""
@@ -99,6 +126,9 @@ class Deployment:
                 if inst.name == name:
                     return inst
         for inst in self._netproc.values():
+            if inst.name == name:
+                return inst
+        for inst in self._retired:
             if inst.name == name:
                 return inst
         raise TopologyError(f"no instance named {name!r} deployed")

@@ -701,17 +701,27 @@ class Dispatcher:
                 conn.deliver_in_order(instance.name, seq, lambda: None)
                 return
             deliver = lambda: conn.deliver_in_order(instance.name, seq, accept)
+            # If the message dies en route (mid-flight partition, or a
+            # down/crashing netproc relay), its sequence slot must still
+            # be consumed — otherwise every later message on this
+            # connection towards the receiver parks forever, wedging
+            # the connection past the instance's own recovery.
+            on_lost = lambda: conn.deliver_in_order(
+                instance.name, seq, lambda: None
+            )
         else:
             if self.network.is_partitioned(src_machine, instance.machine_name):
                 self.messages_dropped += 1
                 return
             deliver = accept
+            on_lost = None
         self._hop(
             src_machine,
             instance.machine_name,
             size,
             state.request,
             deliver,
+            on_lost,
         )
 
     def _deliver_job(
@@ -802,13 +812,26 @@ class Dispatcher:
         size_bytes: float,
         request: Request,
         deliver: Callable[[], None],
+        on_lost: Optional[Callable[[], None]] = None,
     ) -> None:
         """Route one message src -> dst.
 
         Cross-machine messages pass through the sender's and receiver's
         network-processing services (when deployed) around the wire
         delay; same-machine messages short-circuit through loopback.
+
+        Exactly one of *deliver* / *on_lost* eventually runs: *on_lost*
+        fires when the message is lost en route (mid-flight partition,
+        or a netproc relay that is down or crashes with the message),
+        so the sender can reclaim per-message resources such as the
+        connection's in-order delivery slot.
         """
+
+        def lost() -> None:
+            self.messages_dropped += 1
+            if on_lost is not None:
+                on_lost()
+
         if src_machine == dst_machine:
             delay = self._net_delay.delay(src_machine, dst_machine, size_bytes)
             self.sim.schedule(delay, deliver, priority=PRIORITY_ARRIVAL)
@@ -823,11 +846,12 @@ class Dispatcher:
                 return
             rx_job = Job(request, size_bytes=size_bytes)
             rx_job.on_complete = lambda _j: deliver()
+            rx_job.on_discard = lambda _j: lost()
             rx_proc.accept(rx_job)
 
         def over_wire() -> None:
             if self.network.is_partitioned(src_machine, dst_machine):
-                self.messages_dropped += 1
+                lost()
                 return  # lost on the severed link
             delay = self._net_delay.delay(src_machine, dst_machine, size_bytes)
             self.sim.schedule(delay, after_wire, priority=PRIORITY_ARRIVAL)
@@ -837,6 +861,7 @@ class Dispatcher:
             return
         tx_job = Job(request, size_bytes=size_bytes)
         tx_job.on_complete = lambda _j: over_wire()
+        tx_job.on_discard = lambda _j: lost()
         tx_proc.accept(tx_job)
 
     def __repr__(self) -> str:

@@ -102,6 +102,28 @@ class TestSpecWiring:
         assert len(world.fault_injector.log) == 1
         assert world.instance("cache").slow_factor == 2.0
 
+    def test_machine_faults_reach_the_cluster(self, spec_dir):
+        # The injector must be built with the cluster, or machine_fail
+        # kinds in faults.json are rejected at arm time.
+        (spec_dir / "faults.json").write_text(
+            json.dumps(
+                {
+                    "faults": [
+                        {"at": 0.01, "kind": "machine_fail",
+                         "machine": "server0"},
+                        {"at": 0.02, "kind": "machine_recover",
+                         "machine": "server0"},
+                    ]
+                }
+            )
+        )
+        spec = SimulationSpec.load(spec_dir)
+        world, client = spec.build(seed=1)
+        client.start()
+        world.sim.run()
+        assert len(world.fault_injector.log) == 2
+        assert world.cluster.machine("server0").up
+
     def test_no_faults_file_means_no_injector(self, spec_dir):
         spec = SimulationSpec.load(spec_dir)
         world, _ = spec.build(seed=1)

@@ -1,0 +1,85 @@
+"""Shared builders for control-plane tests: clustered worlds whose
+only tier is deployed by the controller."""
+
+import pytest
+
+from repro.controlplane import ControlPlane, PlacementPolicy, ReplicaSpec
+from repro.distributions import Deterministic, Exponential
+from repro.engine import Simulator
+from repro.hardware import Cluster, DvfsLadder, GHZ, NetworkFabric
+from repro.service import (
+    ExecutionPath,
+    Microservice,
+    PathSelector,
+    SingleQueue,
+    Stage,
+)
+from repro.topology import Deployment, Dispatcher, PathNode, PathTree
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+def make_cluster(machines=4, cores=4, racks=1, zones=1):
+    network = NetworkFabric(
+        propagation=Deterministic(10e-6),
+        loopback=Deterministic(1e-6),
+        bandwidth_bytes_per_s=1e12,
+    )
+    return Cluster.homogeneous(
+        machines, cores, DvfsLadder([2.6 * GHZ]), network,
+        racks=racks, zones=zones,
+    )
+
+
+def make_factory(sim, mean_service=1e-3, tier="web"):
+    """A ReplicaSpec factory building one-stage exponential replicas."""
+
+    def factory(name, machine, cores, version):
+        stage = Stage(
+            "process", 0, SingleQueue(), base=Exponential(mean_service)
+        )
+        selector = PathSelector([ExecutionPath(0, "only", [0])])
+        return Microservice(
+            name, sim, [stage], selector, cores,
+            machine_name=machine.name, tier=tier,
+        )
+
+    return factory
+
+
+def managed_world(
+    sim,
+    machines=4,
+    cores=4,
+    racks=1,
+    zones=1,
+    replicas=3,
+    cores_per_replica=1,
+    mean_service=1e-3,
+    placement="spread",
+    domain="machine",
+    reconcile_interval=0.05,
+    cold_start=0.1,
+    apply=True,
+):
+    """Cluster + deployment + dispatcher + control plane, with the
+    ``web`` tier applied (unless ``apply=False``)."""
+    cluster = make_cluster(machines, cores, racks, zones)
+    deployment = Deployment()
+    dispatcher = Dispatcher(sim, deployment, cluster.network)
+    deployment.set_pool("web", 8)
+    dispatcher.add_tree(PathTree().chain(PathNode("root", "web")))
+    cp = ControlPlane(
+        sim, cluster, deployment,
+        reconcile_interval=reconcile_interval, cold_start=cold_start,
+    )
+    factory = make_factory(sim, mean_service)
+    if apply:
+        cp.apply(ReplicaSpec(
+            "web", replicas, cores_per_replica, factory,
+            PlacementPolicy(placement, domain),
+        ))
+    return cluster, deployment, dispatcher, cp, factory

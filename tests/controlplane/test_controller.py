@@ -1,0 +1,297 @@
+"""The reconciler: self-healing, scaling, rolling updates, canaries."""
+
+import pytest
+
+from repro.controlplane import PlacementPolicy, ReplicaSpec
+from repro.errors import ConfigError
+from repro.faults import FaultInjector, FaultPlan
+from repro.resilience import ResiliencePolicy, RetryPolicy
+from repro.service.microservice import STATE_DOWN, STATE_UP
+from repro.workload import OpenLoopClient
+
+from .conftest import managed_world, make_factory, sim  # noqa: F401
+
+
+class TestApply:
+    def test_initial_placement_is_synchronous_and_spread(self, sim):
+        cluster, deployment, _, cp, _ = managed_world(sim, replicas=4)
+        live = deployment.instances("web")
+        assert [r.name for r in live] == ["web-0", "web-1", "web-2", "web-3"]
+        assert sorted(r.machine_name for r in live) == [
+            "node0", "node1", "node2", "node3"
+        ]
+        assert all(r.state == STATE_UP for r in live)
+        assert cp.placements == 4
+
+    def test_duplicate_spec_rejected(self, sim):
+        _, _, _, cp, factory = managed_world(sim)
+        with pytest.raises(ConfigError, match="already has a spec"):
+            cp.apply(ReplicaSpec("web", 2, 1, factory))
+
+    def test_versions_tracked_per_replica(self, sim):
+        _, _, _, cp, _ = managed_world(sim, replicas=2)
+        assert cp.versions("web") == {"web-0": "v1", "web-1": "v1"}
+
+
+class TestSelfHealing:
+    def test_machine_kill_reschedules_onto_survivors(self, sim):
+        cluster, deployment, dispatcher, cp, _ = managed_world(
+            sim, machines=4, replicas=4
+        )
+        cp.start(stop_at=2.0)
+        plan = FaultPlan().fail_machine(0.3, "node0")
+        FaultInjector(
+            sim, deployment, cluster.network, plan, cluster=cluster
+        ).arm()
+        client = OpenLoopClient(
+            sim, dispatcher, 300.0, stop_at=2.0,
+            resilience=ResiliencePolicy(
+                timeout=0.2, retry=RetryPolicy(max_attempts=3)
+            ),
+        )
+        client.start()
+        sim.run(until=2.5)
+
+        up = [r for r in deployment.instances("web") if r.state == STATE_UP]
+        assert len(up) == 4
+        assert all(r.machine_name != "node0" for r in up)
+        assert cp.reschedules == 1
+        assert cp.retirements == 1
+        # The dead replica's cores were released back to the machine.
+        assert cluster.machine("node0").unallocated_cores == 4
+        # No request hung: losses resolved as timeouts and retried.
+        assert client.requests_completed == client.requests_sent
+        # Recovered goodput carries the offered load again.
+        assert client.throughput(1.0, 2.0) > 250.0
+
+    def test_replacement_pays_cold_start(self, sim):
+        cluster, deployment, _, cp, _ = managed_world(
+            sim, machines=3, replicas=2, cold_start=0.25,
+        )
+        cp.start(stop_at=2.0)
+        plan = FaultPlan().crash(0.3, "web-0")
+        FaultInjector(sim, deployment, cluster.network, plan).arm()
+        sim.run(until=2.0)
+        ready = [e for e in cp.events if e.name == "ready"]
+        assert len(ready) == 1
+        placed = [
+            e for e in cp.events
+            if e.name == "place" and e.attrs.get("cold_start") is not None
+        ]
+        # ready lands exactly cold_start after the placement decision.
+        assert ready[0].t == pytest.approx(placed[0].t + 0.25)
+
+    def test_never_empties_the_tier(self, sim):
+        """Killing every machine leaves >= 1 registered corpse so the
+        balancer fast-fails instead of raising TopologyError."""
+        cluster, deployment, _, cp, _ = managed_world(
+            sim, machines=2, replicas=2
+        )
+        cp.start(stop_at=1.0)
+        plan = (
+            FaultPlan()
+            .fail_machine(0.2, "node0")
+            .fail_machine(0.2, "node1")
+        )
+        FaultInjector(
+            sim, deployment, cluster.network, plan, cluster=cluster
+        ).arm()
+        sim.run(until=1.0)
+        remaining = deployment.instances("web")
+        assert len(remaining) >= 1
+        assert all(r.state == STATE_DOWN for r in remaining)
+        # Nothing schedulable: placements stayed pending, not crashed.
+        assert cp.pending_placements > 0
+
+    def test_unschedulable_replacement_retries_after_restore(self, sim):
+        cluster, deployment, _, cp, _ = managed_world(
+            sim, machines=2, cores=1, replicas=2
+        )
+        cp.start(stop_at=3.0)
+        plan = (
+            FaultPlan()
+            .fail_machine(0.3, "node0")
+            .recover_machine(1.0, "node0")
+        )
+        FaultInjector(
+            sim, deployment, cluster.network, plan, cluster=cluster
+        ).arm()
+        sim.run(until=3.0)
+        up = [r for r in deployment.instances("web") if r.state == STATE_UP]
+        # Replacement could not fit anywhere until node0 came back.
+        assert len(up) == 2
+        assert cp.pending_placements > 0
+        ready = [e for e in cp.events if e.name == "ready"]
+        assert ready and ready[0].t > 1.0
+
+    def test_start_aborts_when_machine_dies_mid_cold_start(self, sim):
+        cluster, deployment, _, cp, _ = managed_world(
+            sim, machines=2, replicas=2, cold_start=0.3,
+        )
+        cp.start(stop_at=2.0)
+        # Kill node0 (hosts web-0); the replacement lands on node1;
+        # then kill node1 while the replacement is still cold-starting.
+        plan = (
+            FaultPlan()
+            .fail_machine(0.2, "node0")
+            .fail_machine(0.4, "node1")
+        )
+        FaultInjector(
+            sim, deployment, cluster.network, plan, cluster=cluster
+        ).arm()
+        sim.run(until=2.0)
+        aborted = [e for e in cp.events if e.name == "start_aborted"]
+        assert aborted
+        # The aborted start released its reserved core; only web-1's
+        # own core stays allocated (the last corpse is kept registered
+        # so the tier never empties).
+        assert cluster.machine("node1").unallocated_cores == 3
+        assert set(cluster.machine("node1").allocations) == {"web-1"}
+
+
+class TestScaling:
+    def test_scale_up_adds_replicas_with_cold_start(self, sim):
+        _, deployment, _, cp, _ = managed_world(sim, replicas=2)
+        cp.start(stop_at=1.0)
+        sim.schedule(0.1, lambda: cp.set_replicas("web", 4))
+        sim.run(until=1.0)
+        up = [r for r in deployment.instances("web") if r.state == STATE_UP]
+        assert len(up) == 4
+
+    def test_scale_down_drains_newest_then_retires(self, sim):
+        _, deployment, _, cp, _ = managed_world(sim, replicas=4)
+        cp.start(stop_at=1.0)
+        sim.schedule(0.1, lambda: cp.set_replicas("web", 2))
+        sim.run(until=1.0)
+        live = deployment.instances("web")
+        assert sorted(r.name for r in live) == ["web-0", "web-1"]
+        assert cp.retirements == 2
+        drains = [e for e in cp.events if e.name == "drain"]
+        assert {e.attrs["replica"] for e in drains} == {"web-2", "web-3"}
+        assert all(e.attrs["reason"] == "scale_down" for e in drains)
+
+    def test_scale_to_zero_rejected(self, sim):
+        _, _, _, cp, _ = managed_world(sim)
+        with pytest.raises(ConfigError, match="replicas must be >= 1"):
+            cp.set_replicas("web", 0)
+
+    def test_unknown_service_rejected(self, sim):
+        _, _, _, cp, _ = managed_world(sim)
+        with pytest.raises(ConfigError, match="no spec applied"):
+            cp.set_replicas("db", 2)
+
+
+class TestRollingUpdate:
+    def test_set_version_replaces_all_replicas_one_at_a_time(self, sim):
+        _, deployment, _, cp, _ = managed_world(sim, replicas=3)
+        cp.start(stop_at=4.0)
+        v2_factory = make_factory(sim)
+        sim.schedule(0.1, lambda: cp.set_version("web", "v2", v2_factory))
+        sim.run(until=4.0)
+        up = [r for r in deployment.instances("web") if r.state == STATE_UP]
+        assert len(up) == 3
+        assert all(cp.version_of(r.name) == "v2" for r in up)
+        # Old replicas drained for being stale, not dead.
+        drains = [e for e in cp.events if e.name == "drain"]
+        assert all(e.attrs["reason"] == "stale_version" for e in drains)
+        assert len(drains) == 3
+
+    def test_rolling_never_drops_below_desired(self, sim):
+        _, deployment, _, cp, _ = managed_world(sim, replicas=3)
+        cp.start(stop_at=4.0)
+        low_water = []
+
+        def watch():
+            up = [
+                r for r in deployment.instances("web")
+                if r.state == STATE_UP
+            ]
+            low_water.append(len(up))
+            sim.schedule(0.01, watch)
+
+        sim.schedule(0.1, lambda: cp.set_version("web", "v2"))
+        sim.schedule(0.0, watch)
+        sim.run(until=4.0)
+        assert min(low_water) >= 3  # max-surge, never max-unavailable
+
+
+class TestCanaryCohort:
+    def test_canaries_excluded_from_desired_count(self, sim):
+        _, deployment, _, cp, factory = managed_world(sim, replicas=2)
+        cp.start(stop_at=1.0)
+        sim.schedule(
+            0.1, lambda: cp.add_canaries("web", "v2", factory, 1)
+        )
+        sim.run(until=1.0)
+        assert len(cp.ready_replicas("web")) == 2  # stable set only
+        assert len(cp.canary_instances("web")) == 1
+        # The reconciler did not treat the canary as surplus.
+        assert cp.retirements == 0
+
+    def test_remove_canaries_drains_cohort(self, sim):
+        _, deployment, _, cp, factory = managed_world(sim, replicas=2)
+        cp.start(stop_at=2.0)
+        sim.schedule(
+            0.1, lambda: cp.add_canaries("web", "v2", factory, 1)
+        )
+        sim.schedule(0.5, lambda: cp.remove_canaries("web"))
+        sim.run(until=2.0)
+        assert cp.canary_instances("web") == []
+        live = deployment.instances("web")
+        assert sorted(r.name for r in live) == ["web-0", "web-1"]
+
+    def test_remove_canaries_cancels_pending_starts(self, sim):
+        cluster, _, _, cp, factory = managed_world(
+            sim, replicas=2, cold_start=0.5
+        )
+        cp.start(stop_at=2.0)
+        sim.schedule(
+            0.1, lambda: cp.add_canaries("web", "v2", factory, 1)
+        )
+        # Cancel while the canary is still cold-starting.
+        sim.schedule(0.3, lambda: cp.remove_canaries("web"))
+        sim.run(until=2.0)
+        cancelled = [e for e in cp.events if e.name == "start_cancelled"]
+        assert cancelled
+        # Reserved cores came back.
+        total_free = sum(m.unallocated_cores for m in cluster)
+        assert total_free == 4 * 4 - 2
+
+    def test_promote_folds_canaries_into_stable_set(self, sim):
+        _, _, _, cp, factory = managed_world(sim, replicas=2)
+        cp.start(stop_at=2.0)
+        sim.schedule(
+            0.1, lambda: cp.add_canaries("web", "v2", factory, 1)
+        )
+        sim.schedule(0.5, lambda: cp.promote_canaries("web"))
+        sim.run(until=2.0)
+        assert cp.canary_names("web") == set()
+        # Promoted canary now counts: 3 ready vs desired 2 — the
+        # reconciler drained the surplus (a stale v1 replica first).
+        assert len(cp.ready_replicas("web")) == 2
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_event_logs(self, sim):
+        def run():
+            from repro.engine import Simulator
+            local = Simulator(seed=5)
+            cluster, deployment, dispatcher, cp, _ = managed_world(
+                local, machines=4, replicas=4
+            )
+            cp.start(stop_at=1.5)
+            plan = FaultPlan().fail_machine(0.3, "node1")
+            FaultInjector(
+                local, deployment, cluster.network, plan, cluster=cluster
+            ).arm()
+            client = OpenLoopClient(local, dispatcher, 200.0, stop_at=1.5)
+            client.start()
+            local.run(until=2.0)
+            return [
+                (e.t, e.name, sorted(e.attrs.items())) for e in cp.events
+            ], client.requests_completed
+
+        events_a, completed_a = run()
+        events_b, completed_b = run()
+        assert events_a == events_b
+        assert completed_a == completed_b

@@ -1,0 +1,103 @@
+"""The horizontal autoscaler driving replica counts through the
+control plane."""
+
+import pytest
+
+from repro.controlplane import HorizontalAutoscaler
+from repro.errors import ConfigError
+from repro.workload import OpenLoopClient, StepPattern
+
+from .conftest import managed_world, sim  # noqa: F401
+
+
+def hpa_world(sim, replicas=2, **kwargs):
+    cluster, deployment, dispatcher, cp, factory = managed_world(
+        sim, machines=8, replicas=replicas,
+    )
+    hpa = HorizontalAutoscaler(
+        cp, "web",
+        target_utilization=0.6,
+        min_replicas=1, max_replicas=8,
+        decision_interval=0.2,
+        **kwargs,
+    )
+    return dispatcher, cp, hpa
+
+
+class TestScaleUp:
+    def test_overload_grows_the_tier_through_the_control_plane(self, sim):
+        # 2 one-core replicas at 1ms/request cannot hold 1500 QPS at
+        # 60% utilisation: the HPA must request more replicas.
+        dispatcher, cp, hpa = hpa_world(sim, replicas=2)
+        cp.start(stop_at=3.0)
+        hpa.start(stop_at=3.0)
+        client = OpenLoopClient(sim, dispatcher, 1500.0, stop_at=3.0)
+        client.start()
+        sim.run(until=3.5)
+        assert hpa.scale_ups >= 1
+        assert cp.desired("web") >= 3
+        assert len(cp.ready_replicas("web")) >= 3
+        # Growth went through placement, not direct deployment edits.
+        assert cp.placements >= cp.desired("web")
+        place_events = [e for e in cp.events if e.name == "place"]
+        assert len(place_events) == cp.placements
+
+    def test_scale_down_when_idle_drains_gracefully(self, sim):
+        pattern = StepPattern([(0.0, 1500.0), (1.5, 50.0)])
+        dispatcher, cp, hpa = hpa_world(sim, replicas=4)
+        cp.start(stop_at=5.0)
+        hpa.start(stop_at=5.0)
+        client = OpenLoopClient(sim, dispatcher, pattern, stop_at=5.0)
+        client.start()
+        sim.run(until=5.5)
+        assert hpa.scale_downs >= 1
+        assert cp.desired("web") < 4
+        # Scale-down retired replicas only after they went idle.
+        assert cp.retirements >= 1
+        assert client.requests_ok == client.requests_sent
+
+
+class TestSLOOverride:
+    def test_breach_forces_scale_up_at_low_utilization(self, sim):
+        dispatcher, cp, hpa = hpa_world(sim, replicas=2)
+
+        class BreachedState:
+            breached = True
+
+        class StubMonitor:
+            states = [BreachedState()]
+
+        hpa.slo_monitor = StubMonitor()
+        cp.start(stop_at=1.0)
+        hpa.start(stop_at=1.0)
+        client = OpenLoopClient(sim, dispatcher, 100.0, stop_at=1.0)
+        client.start()
+        sim.run(until=1.0)
+        assert hpa.slo_scale_ups >= 1
+        assert cp.desired("web") > 2
+
+
+class TestDeadband:
+    def test_no_flapping_inside_tolerance(self, sim):
+        # ~0.6 utilisation on 2 one-core 1ms replicas = 1200 QPS.
+        # Window-to-window utilisation wanders with queue busy periods,
+        # but stays well inside a 30% band — the replica count must
+        # hold perfectly still.
+        dispatcher, cp, hpa = hpa_world(sim, replicas=2, tolerance=0.3)
+        cp.start(stop_at=3.0)
+        hpa.start(stop_at=3.0)
+        client = OpenLoopClient(sim, dispatcher, 1200.0, stop_at=3.0)
+        client.start()
+        sim.run(until=3.0)
+        assert hpa.decisions >= 10
+        assert hpa.scale_ups + hpa.scale_downs == 0
+        assert cp.desired("web") == 2
+
+    def test_validation(self, sim):
+        _, cp, _ = hpa_world(sim)
+        with pytest.raises(ConfigError):
+            HorizontalAutoscaler(cp, "web", target_utilization=0.0)
+        with pytest.raises(ConfigError):
+            HorizontalAutoscaler(cp, "web", min_replicas=3, max_replicas=2)
+        with pytest.raises(ConfigError):
+            HorizontalAutoscaler(cp, "web", decision_interval=0)

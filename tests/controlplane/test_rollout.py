@@ -1,0 +1,108 @@
+"""Deploy strategies: rolling updates and SLO-gated canaries."""
+
+import pytest
+
+from repro.controlplane import CanaryRollout, RollingUpdate
+from repro.errors import ConfigError
+from repro.service.microservice import STATE_UP
+from repro.telemetry.slo import LATENCY, SLO
+from repro.workload import OpenLoopClient
+
+from .conftest import managed_world, make_factory, sim  # noqa: F401
+
+SLOS = [SLO(LATENCY, threshold=10e-3, percentile=95.0, window=0.5)]
+
+
+def drive(sim, dispatcher, qps=300.0, stop_at=4.0):
+    client = OpenLoopClient(sim, dispatcher, qps, stop_at=stop_at)
+    client.start()
+    return client
+
+
+class TestRollingUpdate:
+    def test_rolls_out_and_reports(self, sim):
+        _, deployment, dispatcher, cp, _ = managed_world(sim, replicas=3)
+        cp.start(stop_at=5.0)
+        rollout = RollingUpdate(cp, "web", "v2", factory=make_factory(sim))
+        sim.schedule(0.1, rollout.start)
+        drive(sim, dispatcher, stop_at=5.0)
+        sim.run(until=5.5)
+        assert rollout.result.succeeded
+        assert set(rollout.result.final_versions.values()) == {"v2"}
+        assert rollout.result.decided_at is not None
+
+    def test_double_start_rejected(self, sim):
+        _, _, _, cp, _ = managed_world(sim)
+        rollout = RollingUpdate(cp, "web", "v2")
+        rollout.start()
+        with pytest.raises(ConfigError, match="already started"):
+            rollout.start()
+
+
+class TestCanaryRollback:
+    def test_regressed_canary_breaches_and_rolls_back(self, sim):
+        """The acceptance scenario: a canary 30x slower than stable
+        breaches its cohort-scoped SLO; the rollout rolls back and the
+        stable fleet still runs the old version."""
+        _, deployment, dispatcher, cp, _ = managed_world(sim, replicas=3)
+        cp.start(stop_at=4.0)
+        bad = make_factory(sim, mean_service=30e-3)
+        rollout = CanaryRollout(
+            cp, "web", "v2", bad, slos=SLOS,
+            observe_for=1.5, min_samples=10,
+        )
+        sim.schedule(0.5, rollout.start)
+        client = drive(sim, dispatcher)
+        sim.run(until=5.0)
+
+        result = rollout.result
+        assert result.rolled_back
+        assert result.breaches >= 1
+        assert set(result.final_versions.values()) == {"v1"}
+        # The spec's target version never moved off the stable one.
+        assert cp.spec("web").version == "v1"
+        up = [r for r in deployment.instances("web") if r.state == STATE_UP]
+        assert len(up) == 3
+        assert all(cp.version_of(r.name) == "v1" for r in up)
+        # Traffic kept flowing throughout the bad deploy.
+        assert client.requests_completed == client.requests_sent
+
+    def test_rollback_is_recorded_in_events(self, sim):
+        _, _, dispatcher, cp, _ = managed_world(sim, replicas=3)
+        cp.start(stop_at=4.0)
+        rollout = CanaryRollout(
+            cp, "web", "v2", make_factory(sim, 30e-3), slos=SLOS,
+            observe_for=2.0, min_samples=10,
+        )
+        sim.schedule(0.5, rollout.start)
+        drive(sim, dispatcher)
+        sim.run(until=4.0)
+        names = [e.name for e in cp.events]
+        assert "canary_start" in names
+        assert "canary_rollback" in names
+        assert "canary_promote" not in names
+
+
+class TestCanaryPromotion:
+    def test_clean_canary_promotes_and_rolls_fleet(self, sim):
+        _, deployment, dispatcher, cp, _ = managed_world(sim, replicas=3)
+        cp.start(stop_at=8.0)
+        good = make_factory(sim)
+        rollout = CanaryRollout(
+            cp, "web", "v2", good, slos=SLOS,
+            observe_for=1.0, min_samples=10,
+        )
+        sim.schedule(0.2, rollout.start)
+        drive(sim, dispatcher, stop_at=8.0)
+        sim.run(until=8.5)
+        assert rollout.result.succeeded
+        up = [r for r in deployment.instances("web") if r.state == STATE_UP]
+        assert len(up) == 3
+        assert all(cp.version_of(r.name) == "v2" for r in up)
+
+    def test_validation(self, sim):
+        _, _, _, cp, factory = managed_world(sim)
+        with pytest.raises(ConfigError):
+            CanaryRollout(cp, "web", "v2", factory, SLOS, canary_replicas=0)
+        with pytest.raises(ConfigError):
+            CanaryRollout(cp, "web", "v2", factory, SLOS, observe_for=0)

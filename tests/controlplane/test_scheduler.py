@@ -1,0 +1,114 @@
+"""Placement: spread/pack ranking, failure domains, exhaustion."""
+
+import pytest
+
+from repro.controlplane import PlacementPolicy, ReplicaSpec, Scheduler
+from repro.errors import ConfigError, SchedulingError
+
+from .conftest import make_cluster
+
+
+def spec(placement="spread", domain="machine", cores=1):
+    return ReplicaSpec(
+        "web", 1, cores, factory=lambda *a: None,
+        placement=PlacementPolicy(placement, domain),
+    )
+
+
+class TestSpread:
+    def test_spread_prefers_empty_machines(self):
+        cluster = make_cluster(machines=3)
+        sched = Scheduler(cluster)
+        occupied = []
+        for expected in ("node0", "node1", "node2"):
+            machine = sched.place(spec(), occupied)
+            assert machine.name == expected
+            machine.allocate(f"r@{expected}", 1)
+            occupied.append(machine.name)
+
+    def test_spread_breaks_ties_by_free_cores(self):
+        cluster = make_cluster(machines=2, cores=4)
+        cluster.machine("node0").allocate("other", 2)
+        sched = Scheduler(cluster)
+        # Both machines host zero web replicas; node1 has more free
+        # cores and wins the tie.
+        assert sched.place(spec(), []).name == "node1"
+
+    def test_spread_over_racks(self):
+        cluster = make_cluster(machines=4, racks=2)
+        sched = Scheduler(cluster)
+        # node0/node2 are rack0, node1/node3 rack1. With one replica
+        # on node0, rack0 is loaded: the next goes to rack1.
+        machine = sched.place(spec(domain="rack"), ["node0"])
+        assert cluster.domain_of(machine, "rack") == "rack1"
+        # With both racks equally loaded, insertion order decides.
+        machine = sched.place(spec(domain="rack"), ["node0", "node1"])
+        assert machine.name == "node0"
+
+    def test_spread_determinism(self):
+        results = set()
+        for _ in range(5):
+            cluster = make_cluster(machines=4, racks=2)
+            machine = Scheduler(cluster).place(spec(domain="rack"), ["node1"])
+            results.add(machine.name)
+        assert len(results) == 1
+
+
+class TestPack:
+    def test_pack_chooses_fullest_fit(self):
+        cluster = make_cluster(machines=3, cores=4)
+        cluster.machine("node1").allocate("other", 3)
+        sched = Scheduler(cluster)
+        # node1 has 1 free core — the fullest that still fits 1.
+        assert sched.place(spec("pack"), []).name == "node1"
+
+    def test_pack_skips_machines_too_full(self):
+        cluster = make_cluster(machines=2, cores=4)
+        cluster.machine("node0").allocate("other", 3)
+        sched = Scheduler(cluster)
+        # A 2-core replica cannot fit node0's single free core.
+        assert sched.place(spec("pack", cores=2), []).name == "node1"
+
+
+class TestFeasibility:
+    def test_failed_machines_are_not_candidates(self):
+        cluster = make_cluster(machines=2)
+        cluster.machine("node0").fail()
+        assert Scheduler(cluster).place(spec(), []).name == "node1"
+
+    def test_exhausted_cluster_raises(self):
+        cluster = make_cluster(machines=2, cores=1)
+        for m in cluster:
+            m.allocate("filler", 1)
+        with pytest.raises(SchedulingError, match="no schedulable machine"):
+            Scheduler(cluster).place(spec(), [])
+
+    def test_all_machines_failed_raises(self):
+        cluster = make_cluster(machines=2)
+        for m in cluster:
+            m.fail()
+        with pytest.raises(SchedulingError, match="0 of 2"):
+            Scheduler(cluster).place(spec(), [])
+
+    def test_feasible_replicas_counts_free_slots(self):
+        cluster = make_cluster(machines=2, cores=4)
+        sched = Scheduler(cluster)
+        assert sched.feasible_replicas(spec(cores=2)) == 4
+        cluster.machine("node0").fail()
+        assert sched.feasible_replicas(spec(cores=2)) == 2
+        cluster.machine("node1").allocate("other", 3)
+        assert sched.feasible_replicas(spec(cores=2)) == 0
+
+
+class TestSpecValidation:
+    def test_placement_policy_validates(self):
+        with pytest.raises(ConfigError):
+            PlacementPolicy("scatter")
+        with pytest.raises(ConfigError):
+            PlacementPolicy("spread", "galaxy")
+
+    def test_replica_spec_validates(self):
+        with pytest.raises(ConfigError):
+            ReplicaSpec("web", 0, 1, factory=lambda *a: None)
+        with pytest.raises(ConfigError):
+            ReplicaSpec("web", 1, 0, factory=lambda *a: None)

@@ -112,12 +112,11 @@ class TestLinkFaults:
         # After the heal everything resolves ok again.
         assert all(r.ok for r in done if r.created_at >= 7e-3)
 
-    def test_link_fault_without_network_raises(self, sim, network):
+    def test_link_fault_without_network_fails_fast_at_arm(self, sim, network):
         cluster, deployment, dispatcher = two_replica_world(sim, network)
         plan = FaultPlan().partition(1e-3, "client", "node0")
-        FaultInjector(sim, deployment, network=None, plan=plan).arm()
         with pytest.raises(FaultError, match="NetworkFabric"):
-            sim.run()
+            FaultInjector(sim, deployment, network=None, plan=plan).arm()
 
 
 class TestArming:
@@ -137,14 +136,35 @@ class TestArming:
         with pytest.raises(FaultError, match="in the past"):
             FaultInjector(sim, deployment, network, plan).arm()
 
-    def test_unknown_instance_surfaces_topology_error(self, sim, network):
-        from repro.errors import TopologyError
-
+    def test_unknown_instance_fails_fast_at_arm(self, sim, network):
         cluster, deployment, dispatcher = two_replica_world(sim, network)
         plan = FaultPlan().crash(1e-3, "ghost")
-        FaultInjector(sim, deployment, network, plan).arm()
-        with pytest.raises(TopologyError, match="ghost"):
-            sim.run()
+        with pytest.raises(FaultError, match="unknown instance 'ghost'"):
+            FaultInjector(sim, deployment, network, plan).arm()
+
+    def test_unknown_machine_fails_fast_at_arm(self, sim, network):
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().fail_machine(1e-3, "ghost-node")
+        with pytest.raises(FaultError, match="unknown machine 'ghost-node'"):
+            FaultInjector(
+                sim, deployment, network, plan, cluster=cluster
+            ).arm()
+
+    def test_machine_fault_without_cluster_fails_fast(self, sim, network):
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().fail_machine(1e-3, "node0")
+        with pytest.raises(FaultError, match="needs a Cluster"):
+            FaultInjector(sim, deployment, network, plan).arm()
+
+    def test_unknown_link_endpoint_fails_fast_when_cluster_given(
+        self, sim, network
+    ):
+        cluster, deployment, dispatcher = two_replica_world(sim, network)
+        plan = FaultPlan().partition(1e-3, "node0", "ghost-node")
+        with pytest.raises(FaultError, match="unknown machine 'ghost-node'"):
+            FaultInjector(
+                sim, deployment, network, plan, cluster=cluster
+            ).arm()
 
 
 class TestAvailabilityStory:

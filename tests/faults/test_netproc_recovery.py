@@ -1,0 +1,80 @@
+"""Regression: crash→recover must leave connections usable.
+
+A message that dies en route — its netproc relay crashes or refuses it,
+or the link partitions mid-flight — must still consume its in-order
+delivery slot on the connection. Before the fix, the lost sequence
+number wedged every later message on that (connection, receiver)
+direction permanently, so a revived instance looked up to the balancer
+but its pools never carried traffic again.
+"""
+
+import pytest
+
+from repro.apps import builders
+from repro.faults import FaultInjector, FaultPlan
+from repro.resilience import ResiliencePolicy
+from repro.workload import OpenLoopClient
+
+
+def _parked_deliveries(deployment):
+    return sum(
+        len(waiting)
+        for pool in deployment.pools
+        for conn in pool.connections
+        for waiting in conn._parked.values()
+    )
+
+
+@pytest.mark.parametrize("disposition", ["fail", "drop"])
+def test_netproc_crash_recover_unwedges_connections(disposition):
+    world = builders.two_tier(seed=1)
+    plan = (
+        FaultPlan()
+        .crash(0.3, "netproc@server0", disposition=disposition)
+        .recover(0.5, "netproc@server0")
+    )
+    FaultInjector(world.sim, world.deployment, world.cluster.network, plan).arm()
+    client = OpenLoopClient(
+        world.sim,
+        world.dispatcher,
+        300.0,
+        stop_at=1.5,
+        resilience=ResiliencePolicy(timeout=0.2),
+    )
+    client.start()
+    world.sim.run(until=2.5)
+
+    # Every in-order slot was consumed: nothing parked behind a lost seq.
+    assert _parked_deliveries(world.deployment) == 0
+    # Every request resolved (losses surface as timeouts, not hangs).
+    assert client.requests_completed == client.requests_sent
+    # The revived instance serves traffic again: goodput after recovery
+    # is back near the offered 300 QPS.
+    recovered_goodput = client.throughput(1.0, 1.5)
+    assert recovered_goodput > 250.0
+
+
+def test_instance_crash_recover_under_load_resumes_goodput():
+    """The satellite's scenario: crash→recover plan under load against a
+    tier instance; the revived replica must rejoin the balancer rotation
+    and its pools must carry traffic."""
+    world = builders.load_balanced(seed=3, scale_out=2)
+    plan = FaultPlan().crash(0.4, "web0").recover(0.8, "web0")
+    FaultInjector(world.sim, world.deployment, world.cluster.network, plan).arm()
+    client = OpenLoopClient(
+        world.sim,
+        world.dispatcher,
+        200.0,
+        stop_at=2.0,
+        resilience=ResiliencePolicy(timeout=0.25),
+    )
+    client.start()
+    world.sim.run(until=3.0)
+
+    assert _parked_deliveries(world.deployment) == 0
+    assert client.requests_completed == client.requests_sent
+    web0 = world.deployment.find_instance("web0")
+    assert web0.healthy
+    # web0 took real work after recovery, not just before the crash.
+    assert web0.jobs_completed > 0
+    assert client.throughput(1.2, 2.0) > 150.0

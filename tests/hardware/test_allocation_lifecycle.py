@@ -1,0 +1,156 @@
+"""Allocation lifecycle: exhaustion, release, reuse, fragmentation.
+
+The control plane retires and reschedules replicas, so machines now see
+allocate-release-allocate cycles that the original deploy-once flow
+never exercised. These tests pin down the free-core accounting those
+cycles rely on — and that first-fit reuse preserves the historical
+bump-pointer layout when nothing was ever released.
+"""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hardware import Cluster, Machine
+
+
+class TestExhaustion:
+    def test_exact_fit_drains_machine(self):
+        m = Machine("node0", 4)
+        m.allocate("a", 3)
+        m.allocate("b", 1)
+        assert m.unallocated_cores == 0
+
+    def test_over_request_names_the_shortfall(self):
+        m = Machine("node0", 4)
+        m.allocate("a", 3)
+        with pytest.raises(ResourceError, match="requested 2 cores"):
+            m.allocate("b", 2)
+        # The failed request changed nothing.
+        assert m.unallocated_cores == 1
+        m.allocate("b", 1)
+
+    def test_zero_and_negative_requests_rejected(self):
+        m = Machine("node0", 2)
+        with pytest.raises(ResourceError):
+            m.allocate("a", 0)
+        with pytest.raises(ResourceError):
+            m.allocate("a", -1)
+        assert m.unallocated_cores == 2
+
+
+class TestReleaseAndReuse:
+    def test_allocate_release_allocate_reuses_cores(self):
+        m = Machine("node0", 2)
+        m.allocate("web-0", 2)
+        assert m.unallocated_cores == 0
+        m.release("web-0")
+        assert m.unallocated_cores == 2
+        again = m.allocate("web-1", 2)
+        assert len(again) == 2
+
+    def test_release_unknown_owner_rejected(self):
+        m = Machine("node0", 2)
+        with pytest.raises(ResourceError, match="no allocation"):
+            m.release("ghost")
+
+    def test_release_refuses_busy_cores(self):
+        m = Machine("node0", 2)
+        cores = m.allocate("web-0", 2)
+        cores.cores[0].acquire(now=1.0)
+        with pytest.raises(ResourceError, match="still busy"):
+            m.release("web-0")
+        # Still allocated: the refusal must not half-free the owner.
+        assert m.unallocated_cores == 0
+        cores.cores[0].release(now=2.0)
+        m.release("web-0")
+        assert m.unallocated_cores == 2
+
+    def test_double_release_rejected(self):
+        m = Machine("node0", 4)
+        m.allocate("a", 2)
+        m.release("a")
+        with pytest.raises(ResourceError):
+            m.release("a")
+
+
+class TestFragmentation:
+    def test_first_fit_fills_freed_hole(self):
+        m = Machine("node0", 4)
+        a = m.allocate("a", 1)
+        m.allocate("b", 1)
+        m.allocate("c", 1)
+        freed = {c.core_id for c in a.cores}
+        m.release("a")
+        d = m.allocate("d", 1)
+        # The lowest-index free core is the hole "a" left behind.
+        assert {c.core_id for c in d.cores} == freed
+
+    def test_fragmented_owner_spans_noncontiguous_cores(self):
+        m = Machine("node0", 4)
+        m.allocate("a", 1)  # cpu0
+        m.allocate("b", 1)  # cpu1
+        m.allocate("c", 1)  # cpu2
+        m.release("b")      # hole at cpu1
+        wide = m.allocate("wide", 2)  # cpu1 + cpu3
+        ids = sorted(c.core_id for c in wide.cores)
+        assert ids == ["node0/cpu1", "node0/cpu3"]
+
+    def test_fragmented_free_cores_still_sum(self):
+        m = Machine("node0", 6)
+        for i in range(6):
+            m.allocate(f"o{i}", 1)
+        m.release("o1")
+        m.release("o4")
+        assert m.unallocated_cores == 2
+        # A 2-core request fits even though the free cores are not
+        # adjacent — cores are interchangeable.
+        m.allocate("pair", 2)
+        assert m.unallocated_cores == 0
+
+    def test_bump_pointer_layout_when_nothing_released(self):
+        """Without any release, first-fit must equal the historical
+        bump-pointer allocator exactly — the bit-identity guarantee for
+        worlds that never run a control plane."""
+        m = Machine("node0", 6)
+        layout = []
+        for i, width in enumerate([2, 1, 3]):
+            cs = m.allocate(f"o{i}", width)
+            layout.extend(c.core_id for c in cs.cores)
+        assert layout == [f"node0/cpu{i}" for i in range(6)]
+
+
+class TestFailureDomains:
+    def test_homogeneous_rack_zone_labels(self):
+        cluster = Cluster.homogeneous(4, 1, racks=2, zones=2)
+        assert [m.rack for m in cluster] == ["rack0", "rack1"] * 2
+        assert [m.zone for m in cluster] == ["zone0", "zone1"] * 2
+
+    def test_domain_of_levels(self):
+        cluster = Cluster.homogeneous(2, 1, racks=2, zones=1)
+        node0 = cluster.machine("node0")
+        assert cluster.domain_of(node0, "machine") == "node0"
+        assert cluster.domain_of(node0, "rack") == "rack0"
+        assert cluster.domain_of(node0, "zone") == "zone0"
+        with pytest.raises(ResourceError):
+            cluster.domain_of(node0, "galaxy")
+
+    def test_unlabelled_machine_is_its_own_domain(self):
+        cluster = Cluster()
+        m = cluster.add_machine(Machine("solo", 1))
+        assert cluster.domain_of(m, "rack") == "solo"
+        assert cluster.domain_of(m, "zone") == "solo"
+
+    def test_failed_machines_leave_up_set(self):
+        cluster = Cluster.homogeneous(3, 1)
+        cluster.machine("node1").fail()
+        assert [m.name for m in cluster.up_machines] == ["node0", "node2"]
+        cluster.machine("node1").restore()
+        assert len(cluster.up_machines) == 3
+
+    def test_failure_domain_grouping(self):
+        cluster = Cluster.homogeneous(4, 1, racks=2, zones=1)
+        assert cluster.failure_domains("rack") == {
+            "rack0": ["node0", "node2"],
+            "rack1": ["node1", "node3"],
+        }
+        assert set(cluster.failure_domains("zone")) == {"zone0"}

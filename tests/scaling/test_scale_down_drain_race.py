@@ -1,0 +1,95 @@
+"""Scale-down racing a draining replica.
+
+A replica can be draining (graceful shutdown, canary rollback) at the
+same moment the autoscaler steps its active window down. The balancer
+must keep routing every request to a healthy replica — never to the
+draining one, and never crash because the healthy subset got shorter
+than the active count mid-decision.
+"""
+
+import pytest
+
+from repro.scaling import ActiveSetBalancer, AutoScaler
+from repro.topology import PathNode, PathTree
+from repro.workload import OpenLoopClient
+
+from ..topology.conftest import build_instance, build_world, network, sim  # noqa: F401
+
+
+def drain_world(sim, network, replicas=3, initial_active=3):
+    cluster, deployment, dispatcher = build_world(
+        sim, network, machines=replicas, cores=4
+    )
+    instances = [
+        build_instance(
+            sim, cluster, f"web{i}", f"node{i}",
+            service_time=1e-3, cores=1, tier="web",
+        )
+        for i in range(replicas)
+    ]
+    for inst in instances:
+        deployment.add_instance(inst)
+    balancer = ActiveSetBalancer(replicas, initial_active)
+    deployment._balancers["web"] = balancer
+    dispatcher.add_tree(PathTree().chain(PathNode("web", "web")))
+    scaler = AutoScaler(
+        sim, instances, balancer,
+        decision_interval=0.05, low_watermark=0.3, high_watermark=0.7,
+    )
+    return dispatcher, scaler, instances, balancer
+
+
+class TestScaleDownDrainRace:
+    def test_draining_replica_takes_no_new_requests(self, sim, network):
+        """Light load drives the scaler down while web0 — inside the
+        active window — is draining: every request must land on a
+        healthy replica and resolve."""
+        dispatcher, scaler, instances, _ = drain_world(sim, network)
+        web0 = instances[0]
+        sim.schedule(0.2, web0.start_draining)
+        before = {}
+        sim.schedule(
+            0.2, lambda: before.update(accepted=web0.jobs_accepted)
+        )
+        client = OpenLoopClient(sim, dispatcher, arrivals=200, stop_at=1.0)
+        scaler.start()
+        client.start()
+        sim.run(until=1.5)
+
+        # The scaler stepped down under the light load...
+        assert scaler.active == 1
+        # ...while the draining replica never took another request.
+        assert web0.jobs_accepted == before["accepted"]
+        # And nothing was lost in the race: every request resolved ok.
+        assert client.requests_completed == client.requests_sent
+        assert client.requests_ok == client.requests_sent
+
+    def test_scale_down_below_healthy_count_keeps_serving(self, sim, network):
+        """active_count can momentarily exceed the healthy subset when
+        a drain shrinks it; the pick must clamp, not crash."""
+        dispatcher, scaler, instances, balancer = drain_world(
+            sim, network, replicas=2, initial_active=2
+        )
+        sim.schedule(0.1, instances[0].start_draining)
+        client = OpenLoopClient(sim, dispatcher, arrivals=150, stop_at=0.8)
+        scaler.start()
+        client.start()
+        sim.run(until=1.2)
+        assert client.requests_ok == client.requests_sent
+        # All post-drain traffic flowed to the one healthy replica.
+        assert instances[1].jobs_completed > 0
+
+    def test_drained_replica_finishes_queued_work(self, sim, network):
+        """Draining is graceful: whatever web0 accepted before the
+        drain completes even as the scaler steps down around it."""
+        dispatcher, scaler, instances, _ = drain_world(sim, network)
+        web0 = instances[0]
+        client = OpenLoopClient(sim, dispatcher, arrivals=600, stop_at=1.0)
+        scaler.start()
+        client.start()
+        sim.schedule(0.3, web0.start_draining)
+        sim.run(until=2.0)
+        assert web0.queued_jobs == 0
+        assert not web0._running
+        assert web0.jobs_completed == web0.jobs_accepted
+        assert client.requests_ok == client.requests_sent
