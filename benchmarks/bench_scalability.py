@@ -80,6 +80,14 @@ def test_cluster_size_scaling(benchmark, emit):
         }
         for size, (events, elapsed) in results.items()
     })
+    # The per-size rate table also rides the "engine" section, so one
+    # key in BENCH_engine.json answers "how fast is the engine at what
+    # world size" without joining sections.
+    bench_record("engine", {
+        "cluster_events_per_s": {
+            str(size): round(rate) for size, rate in rates.items()
+        }
+    })
     # Event rate must not collapse with world size (>= 1/4 of small-world
     # rate even at 50x the cluster size).
     assert rates[500] > rates[10] / 4

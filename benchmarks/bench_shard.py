@@ -1,0 +1,191 @@
+"""Sharded-core scalability: the 500-leaf fan-out world across shard
+counts.
+
+Three guarantees of :mod:`repro.shard`, checked on every push:
+
+* **Identity.** Under a draw-free propagation fabric, the sharded run
+  is bit-identical to the vanilla single-simulator engine — same
+  outcome counts, same latency samples — at every shard count.
+* **Scalability.** On machines with enough cores, shards=4 processes
+  events at >= 2x the single-shard rate on the 500-leaf world (the
+  root shard batches its fan-in notifications per request, so no shard
+  carries more than ~a quarter of the events).
+* **No single-shard regression.** The slab-allocated event fast path
+  keeps the vanilla engine's throughput within noise of the session
+  baseline recorded by ``bench_scalability.py``.
+
+Results land in ``BENCH_shard.json`` (see ``bench_record_shard``), a
+separate artifact from ``BENCH_engine.json`` because sharded numbers
+carry their own identity/tolerance contract.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.distributions import Deterministic
+from repro.hardware import NetworkFabric
+from repro.shard import measure_fanout_sharded, measure_fanout_vanilla
+from repro.telemetry import format_table
+
+from . import conftest as bench
+from .bench_scalability import raw_engine_throughput
+from .conftest import bench_record_shard, run_once, scaled_n
+
+#: The benchmark world: 500 leaves, healthy, driven hard enough that
+#: the event stream dwarfs the per-window sync cost. The 100 us
+#: deterministic propagation keeps the run draw-free (bit-identity
+#: holds at every shard count) and gives a 200 us round-trip lookahead
+#: — about 1500 conservative windows over the run.
+CLUSTER_SIZE = 500
+QPS = 200.0
+SEED = 3
+PROPAGATION = 100e-6
+
+
+def det_fabric():
+    return NetworkFabric(propagation=Deterministic(PROPAGATION))
+
+
+def measure(shards, requests, mode="auto"):
+    start = time.perf_counter()
+    if shards == 1:
+        result = measure_fanout_vanilla(
+            CLUSTER_SIZE, 0.0, qps=QPS, num_requests=requests,
+            seed=SEED, network=det_fabric(),
+        )
+    else:
+        result = measure_fanout_sharded(
+            CLUSTER_SIZE, 0.0, qps=QPS, num_requests=requests,
+            seed=SEED, shards=shards, network=det_fabric(), mode=mode,
+        )
+    result["wall_s"] = time.perf_counter() - start
+    return result
+
+
+def test_sharded_scalability(benchmark, emit):
+    requests = scaled_n(60)
+
+    def sweep():
+        return {shards: measure(shards, requests) for shards in (1, 2, 4)}
+
+    results = run_once(benchmark, sweep)
+    vanilla = results[1]
+
+    emit("\n=== Sharded core: 500-leaf fan-out scalability ===")
+    rows = []
+    payload = {}
+    for shards, result in results.items():
+        rate = result["events_total"] / result["wall_s"]
+        speedup = result["wall_s"] and vanilla["wall_s"] / result["wall_s"]
+        rows.append([
+            shards, result["mode"], result["events_total"],
+            round(result["wall_s"], 2), round(rate / 1e3),
+            result["rounds"], result["messages"], round(speedup, 2),
+        ])
+        payload[str(shards)] = {
+            "mode": result["mode"],
+            "events_total": result["events_total"],
+            "wall_s": round(result["wall_s"], 4),
+            "events_per_s": round(rate),
+            "rounds": result["rounds"],
+            "messages": result["messages"],
+            "speedup_vs_1": round(speedup, 4),
+            "requests": result["requests"],
+        }
+    emit(format_table(
+        ["shards", "mode", "events", "wall s", "k ev/s",
+         "rounds", "msgs", "speedup"],
+        rows,
+    ))
+    bench_record_shard("fanout_500", payload)
+    bench_record_shard("config", {
+        "cluster_size": CLUSTER_SIZE,
+        "qps": QPS,
+        "requests": requests,
+        "seed": SEED,
+        "propagation_s": PROPAGATION,
+        "cpu_count": os.cpu_count(),
+    })
+
+    # Identity: deterministic fabric => bit-identical to vanilla at
+    # every shard count, not just statistically close.
+    for shards in (2, 4):
+        sharded = results[shards]
+        assert sharded["outcomes"] == vanilla["outcomes"], (
+            f"shards={shards} outcome counts diverged from shards=1"
+        )
+        assert sharded["latencies"] == vanilla["latencies"], (
+            f"shards={shards} latency samples diverged from shards=1"
+        )
+        assert sharded["requests_sent"] == vanilla["requests_sent"]
+
+    # Scalability: only meaningful where 4 workers can actually run in
+    # parallel (and actually ran as processes).
+    cores = os.cpu_count() or 1
+    speedup4 = vanilla["wall_s"] / results[4]["wall_s"]
+    if cores >= 4 and results[4]["mode"] == "process":
+        assert speedup4 >= 2.0, (
+            f"shards=4 speedup {speedup4:.2f}x < 2x on a {cores}-core "
+            f"machine (wall {results[4]['wall_s']:.2f}s vs vanilla "
+            f"{vanilla['wall_s']:.2f}s)"
+        )
+    else:
+        emit(f"(speedup assertion skipped: {cores} core(s), "
+             f"shards=4 ran {results[4]['mode']})")
+
+
+def test_single_shard_throughput_no_worse_than_baseline(benchmark, emit):
+    rates = run_once(
+        benchmark,
+        lambda: [raw_engine_throughput(100_000) for _ in range(3)],
+    )
+    rate = max(rates)
+    spread = (max(rates) - min(rates)) / max(rates)
+    tolerance = max(0.02, 2.0 * spread)
+    emit("\n=== Sharded core: single-shard engine guard ===")
+    emit(f"event loop: {rate / 1e3:.0f}k events/s "
+         f"(spread {spread:.1%}, tolerance {tolerance:.1%})")
+    payload = {
+        "events_per_s": round(rate),
+        "noise_spread": round(spread, 4),
+    }
+    baseline = None
+    try:
+        fresh = os.path.getmtime(bench.BENCH_JSON) >= bench._SESSION_START
+        if fresh:
+            with open(bench.BENCH_JSON) as fh:
+                baseline = json.load(fh)["engine"]["raw_events_per_s"]
+    except (OSError, ValueError, KeyError):
+        baseline = None
+    if baseline is not None:
+        payload["baseline_events_per_s"] = baseline
+        payload["ratio"] = round(rate / baseline, 4)
+        emit(f"baseline (this session): {baseline / 1e3:.0f}k events/s "
+             f"-> ratio {rate / baseline:.3f}")
+        assert rate >= baseline * (1.0 - tolerance), (
+            f"single-shard engine rate {rate:.0f}/s fell more than "
+            f"{tolerance:.1%} below the session baseline {baseline:.0f}/s "
+            f"— the event slab must not tax the vanilla path"
+        )
+    else:
+        emit("no fresh BENCH_engine.json baseline in this session; "
+             "recorded the measurement only")
+    bench_record_shard("single_shard_guard", payload)
+
+
+@pytest.mark.parametrize("shards", [2])
+def test_sharded_identity_smoke(shards, benchmark, emit):
+    """A fast standalone identity check (CI perf-smoke runs this plus
+    the full scalability bench): shards=N and shards=1 agree exactly
+    on outcome counts under the deterministic fabric."""
+    requests = max(10, scaled_n(60) // 3)
+    vanilla = measure(1, requests)
+    sharded = run_once(benchmark, measure, shards, requests)
+    assert sharded["outcomes"] == vanilla["outcomes"]
+    assert sharded["latencies"] == vanilla["latencies"]
+    emit(f"\nshards={shards} identity smoke: "
+         f"{sharded['requests']} requests, outcomes "
+         f"{sharded['outcomes']} == vanilla")

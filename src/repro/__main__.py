@@ -164,6 +164,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         trace_sample=args.trace_sample,
         slo=args.slo or None,
         fault_plan=fault_plan,
+        shards=args.shards,
         **kwargs,
     )
     print(repr(result))
@@ -275,6 +276,13 @@ def main(argv=None) -> int:
         "--slo", action="append", default=[], metavar="SPEC",
         help="attach a live SLO per measurement (e.g. 'p99<5ms'); "
              "repeatable; summaries land in the run manifest",
+    )
+    exp_run.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run each measurement on the sharded parallel simulation "
+             "core with N shards (conservative time-window sync; only "
+             "experiments whose topology is ported to repro.shard; "
+             "--shards 1 is always the single-simulator engine)",
     )
     exp_parser.set_defaults(func=_cmd_experiments)
 

@@ -31,6 +31,19 @@ class Distribution(abc.ABC):
     def mean(self) -> float:
         """Expected value (used for calibration and BigHouse folding)."""
 
+    def minimum(self) -> float:
+        """A guaranteed lower bound on every draw (the infimum of the
+        support).
+
+        The sharded simulation core uses this as conservative
+        *lookahead*: no cross-shard message can arrive sooner than the
+        network's minimum delay, so shards may safely simulate that far
+        past each other. The default of ``0.0`` is always sound —
+        distributions whose support starts higher (Deterministic,
+        Uniform, Shifted) override it to unlock a useful lookahead.
+        """
+        return 0.0
+
     def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw *n* values; subclasses override with vectorised versions."""
         return np.array([self.sample(rng) for _ in range(n)])

@@ -32,6 +32,9 @@ class Deterministic(Distribution):
     def mean(self) -> float:
         return self.value
 
+    def minimum(self) -> float:
+        return self.value
+
     def __repr__(self) -> str:
         return f"Deterministic({self.value!r})"
 
@@ -79,6 +82,9 @@ class Uniform(Distribution):
 
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
+
+    def minimum(self) -> float:
+        return self.low
 
     def __repr__(self) -> str:
         return f"Uniform({self.low!r}, {self.high!r})"
@@ -141,6 +147,9 @@ class Pareto(Distribution):
 
     def mean(self) -> float:
         return self.scale * self.shape / (self.shape - 1.0)
+
+    def minimum(self) -> float:
+        return self.scale
 
     def __repr__(self) -> str:
         return f"Pareto(scale={self.scale!r}, shape={self.shape!r})"
@@ -227,6 +236,13 @@ class Mixture(Distribution):
             sum(w * c.mean() for w, c in zip(self.weights, self.components))
         )
 
+    def minimum(self) -> float:
+        return min(
+            c.minimum()
+            for w, c in zip(self.weights, self.components)
+            if w > 0
+        )
+
     def __repr__(self) -> str:
         parts = ", ".join(
             f"{w:.3f}*{c!r}" for w, c in zip(self.weights, self.components)
@@ -250,6 +266,9 @@ class Scaled(Distribution):
     def mean(self) -> float:
         return self.factor * self.inner.mean()
 
+    def minimum(self) -> float:
+        return self.factor * self.inner.minimum()
+
     def __repr__(self) -> str:
         return f"Scaled({self.inner!r}, {self.factor!r})"
 
@@ -269,6 +288,9 @@ class Shifted(Distribution):
 
     def mean(self) -> float:
         return self.offset + self.inner.mean()
+
+    def minimum(self) -> float:
+        return self.offset + self.inner.minimum()
 
     def __repr__(self) -> str:
         return f"Shifted({self.inner!r}, {self.offset!r})"

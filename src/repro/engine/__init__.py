@@ -14,6 +14,8 @@ from .event import (
     PRIORITY_ARRIVAL,
     PRIORITY_COMPLETION,
     PRIORITY_MONITOR,
+    acquire_event,
+    release_event,
 )
 from .event_queue import EventQueue
 from .profiler import EngineProfiler, ProfileEntry
@@ -33,4 +35,6 @@ __all__ = [
     "PRIORITY_ARRIVAL",
     "PRIORITY_COMPLETION",
     "PRIORITY_MONITOR",
+    "acquire_event",
+    "release_event",
 ]

@@ -108,6 +108,18 @@ class WorkloadError(ReproError):
     """A workload definition cannot be realised (bad rate, empty mix...)."""
 
 
+class ShardingError(ReproError):
+    """The sharded parallel simulation core detected a broken contract.
+
+    Examples: a cross-shard message stamped earlier than the sender's
+    conservative lookahead permits, a shard plan whose zero-lookahead
+    (loopback) edges span shards, or a worker process that died
+    mid-window. Sharding problems are always *configuration or
+    engine* problems — a model that runs under ``shards=1`` never
+    raises this.
+    """
+
+
 class DistributionError(ReproError):
     """A processing-time distribution is invalid (negative scale, empty
     histogram, probabilities that do not sum to one...)."""

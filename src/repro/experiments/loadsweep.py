@@ -125,6 +125,7 @@ def measure_at_load(
     trace: Union[bool, TraceConfig] = False,
     trace_dir: Optional[Union[str, Path]] = None,
     slo: Optional[SLOSpec] = None,
+    shards: int = 1,
     **world_kwargs,
 ) -> SweepPoint:
     """Build a fresh world, drive it at *qps* for *duration* seconds,
@@ -159,6 +160,37 @@ def measure_at_load(
     if warmup >= duration:
         raise ReproError(
             f"warmup ({warmup}) must be shorter than duration ({duration})"
+        )
+    if shards > 1:
+        # The sharded core replaces the whole build-world/client/run
+        # pipeline, so it is an opt-in capability of the *builder*:
+        # models advertise it by attaching a ``sharded_runner``
+        # callable (see repro.experiments.tail_at_scale). Anything
+        # else fails loudly rather than silently measuring unsharded.
+        runner = getattr(build_world, "sharded_runner", None)
+        if runner is None:
+            raise ReproError(
+                f"builder {getattr(build_world, '__name__', build_world)!r} "
+                f"has no sharded runner; only topologies ported to "
+                f"repro.shard support shards > 1 (run with shards=1)"
+            )
+        unsupported = {
+            "mix": mix, "fault_plan": fault_plan, "audit": audit or None,
+            "trace": trace or None, "trace_dir": trace_dir, "slo": slo,
+        }
+        blocked = [name for name, value in unsupported.items() if value]
+        if blocked:
+            raise ReproError(
+                f"shards > 1 does not support {', '.join(blocked)}; "
+                f"run those with shards=1"
+            )
+        return runner(
+            qps=qps,
+            duration=duration,
+            warmup=warmup,
+            seed=derive_seed(seed, float(qps)),
+            shards=shards,
+            **world_kwargs,
         )
     if trace_dir is not None and not trace:
         trace = True
@@ -266,6 +298,7 @@ def load_latency_sweep(
     trace: Union[bool, TraceConfig] = False,
     trace_dir: Optional[Union[str, Path]] = None,
     slo: Optional[SLOSpec] = None,
+    shards: int = 1,
     **world_kwargs,
 ) -> List[SweepPoint]:
     """One :func:`measure_at_load` per offered load, ascending.
@@ -297,7 +330,7 @@ def load_latency_sweep(
     point = functools.partial(
         measure_at_load, build_world, duration=duration, warmup=warmup,
         mix=mix, seed=seed, fault_plan=fault_plan, audit=audit,
-        trace=trace, trace_dir=trace_dir, slo=slo,
+        trace=trace, trace_dir=trace_dir, slo=slo, shards=shards,
         **world_kwargs,
     )
     if run_dir is None:
@@ -314,6 +347,10 @@ def load_latency_sweep(
         **({"trace": trace} if trace else {}),
         **({"slo": [s.name for s in resolve_slos(slo, window=1.0)]}
            if slo else {}),
+        # shards joins the config only when sharded — the journal keys
+        # of existing shards=1 sweeps must not change, and sharded
+        # points are a different (tolerance-bearing) measurement.
+        **({"shards": shards} if shards != 1 else {}),
         **world_kwargs,
     )
     seeds = [derive_seed(seed, float(qps)) for qps in loads]

@@ -67,6 +67,11 @@ class ExperimentSpec:
         """Whether the runner can arm an injected fault plan."""
         return self._accepts("fault_plan")
 
+    @property
+    def supports_shards(self) -> bool:
+        """Whether the runner can use the sharded parallel core."""
+        return self._accepts("shards")
+
     def run(
         self,
         jobs: int = 1,
@@ -77,6 +82,7 @@ class ExperimentSpec:
         trace_sample: float = 1.0,
         slo: Any = None,
         fault_plan: Any = None,
+        shards: int = 1,
         **kwargs: Any,
     ) -> Any:
         """Run the experiment.
@@ -124,6 +130,13 @@ class ExperimentSpec:
                     f"experiment {self.exp_id!r} does not support fault_plan"
                 )
             kwargs.setdefault("fault_plan", fault_plan)
+        if shards != 1:
+            if not self.supports_shards:
+                raise ReproError(
+                    f"experiment {self.exp_id!r} does not support the "
+                    f"sharded parallel core (--shards)"
+                )
+            kwargs.setdefault("shards", shards)
         return self.runner(**kwargs)
 
 

@@ -18,7 +18,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 from ..apps.base import World, add_client_machine, new_world
 from ..distributions import Deterministic, Exponential
-from ..errors import ConfigError
+from ..errors import ConfigError, ReproError
 from ..hardware import Machine, NetworkFabric
 from ..service import (
     ExecutionPath,
@@ -96,6 +96,20 @@ def build_fanout_cluster(
     return world
 
 
+def _fanout_sharded_runner(*args, **kwargs):
+    """Late import so ``repro.shard`` stays an optional layer of the
+    import graph (it imports back into this module)."""
+    from ..shard import fanout_sharded_load_point
+
+    return fanout_sharded_load_point(*args, **kwargs)
+
+
+#: Opt-in hook read by :func:`repro.experiments.loadsweep.measure_at_load`
+#: when called with ``shards > 1`` — builders without the attribute get
+#: a loud error instead of a silently-unsharded run.
+build_fanout_cluster.sharded_runner = _fanout_sharded_runner
+
+
 def _one_stage_service(world, machine_name, tier, dist, cores):
     machine = world.cluster.machine(machine_name)
     core_set = machine.allocate(tier, cores)
@@ -141,6 +155,8 @@ def measure_tail_at_scale(
     trace: Union[bool, TraceConfig] = False,
     trace_dir: Optional[Union[str, Path]] = None,
     slo: Optional[SLOSpec] = None,
+    shards: int = 1,
+    network: Optional[NetworkFabric] = None,
 ) -> TailAtScalePoint:
     """Drive one (cluster size, slow fraction) configuration and report
     the p50/p99 of the fan-in-synchronised end-to-end latency.
@@ -148,11 +164,41 @@ def measure_tail_at_scale(
     With *trace_dir* set (implies ``trace=True``), the sampled traces
     export there as Perfetto and OTLP JSON named by the cell. *slo*
     attaches live objectives (spec strings or :class:`SLO` objects)
-    whose verdicts ride the returned point."""
+    whose verdicts ride the returned point.
+
+    ``shards > 1`` runs the cell on the sharded parallel core
+    (:func:`repro.shard.measure_fanout_sharded`): one worker process
+    per shard, synchronised by conservative time windows. Requires a
+    *network* whose propagation has a positive minimum (otherwise the
+    planner falls back to one shard with a ``RuntimeWarning``), and is
+    mutually exclusive with the single-simulator-only knobs (*audit*,
+    *trace*, *slo*). ``shards=1`` is always the vanilla engine.
+    """
+    if shards > 1:
+        if audit or trace or trace_dir is not None or slo is not None:
+            raise ReproError(
+                "shards > 1 does not support audit/trace/slo "
+                "instrumentation yet; run those with shards=1"
+            )
+        from ..shard import measure_fanout_sharded
+
+        result = measure_fanout_sharded(
+            cluster_size, slow_fraction, qps=qps,
+            num_requests=num_requests, slow_factor=slow_factor,
+            seed=seed, shards=shards, network=network,
+        )
+        return TailAtScalePoint(
+            cluster_size=cluster_size,
+            slow_fraction=slow_fraction,
+            p50=result["p50"],
+            p99=result["p99"],
+            requests=result["requests"],
+        )
     if trace_dir is not None and not trace:
         trace = True
     world = build_fanout_cluster(
-        cluster_size, slow_fraction, slow_factor, seed=seed
+        cluster_size, slow_fraction, slow_factor, seed=seed,
+        network=network,
     )
     if trace:
         world.dispatcher.trace = trace
@@ -206,12 +252,15 @@ def _measure_grid_point(
     trace: Union[bool, TraceConfig] = False,
     trace_dir: Optional[Union[str, Path]] = None,
     slo: Optional[SLOSpec] = None,
+    shards: int = 1,
+    network: Optional[NetworkFabric] = None,
 ) -> TailAtScalePoint:
     """Picklable per-cell worker for the parallel grid sweep."""
     size, frac = size_and_fraction
     return measure_tail_at_scale(
         size, frac, qps=qps, num_requests=num_requests, seed=seed,
         audit=audit, trace=trace, trace_dir=trace_dir, slo=slo,
+        shards=shards, network=network,
     )
 
 
@@ -231,6 +280,8 @@ def tail_at_scale_sweep(
     trace_dir: Optional[Union[str, Path]] = None,
     trace_sample: float = 1.0,
     slo: Optional[SLOSpec] = None,
+    shards: int = 1,
+    network: Optional[NetworkFabric] = None,
 ):
     """The full Fig 14 grid. Each (size, fraction) cell simulates an
     independent cluster, so ``jobs > 1`` fans the grid out across
@@ -240,7 +291,10 @@ def tail_at_scale_sweep(
     ``resume=True`` skips them on restart — see
     :mod:`repro.runner.runstore`. With *trace_dir* set, every cell
     exports its sampled traces (at *trace_sample*) there as
-    Perfetto/OTLP JSON.
+    Perfetto/OTLP JSON. ``shards > 1`` runs every cell on the sharded
+    parallel core (see :func:`measure_tail_at_scale`); combine with
+    ``jobs=1``, since each cell then owns one worker process per
+    shard.
     """
     grid = [
         (size, frac) for frac in slow_fractions for size in cluster_sizes
@@ -252,6 +306,7 @@ def tail_at_scale_sweep(
     cell = functools.partial(
         _measure_grid_point, qps=qps, num_requests=num_requests, seed=seed,
         audit=audit, trace=trace, trace_dir=trace_dir, slo=slo,
+        shards=shards, network=network,
     )
     if run_dir is None:
         return parallel_map(
@@ -260,6 +315,12 @@ def tail_at_scale_sweep(
     config = {
         "qps": qps, "num_requests": num_requests, "audit": audit,
     }
+    # Journal-key stability: older journals hashed a config without
+    # these knobs, so only non-default values contribute.
+    if shards != 1:
+        config["shards"] = shards
+    if network is not None:
+        config["network"] = repr(network)
     if trace:
         config["trace"] = repr(trace)
     if slo:

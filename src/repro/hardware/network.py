@@ -107,6 +107,22 @@ class NetworkFabric:
         factor = self._link_factors.get((src_machine, dst_machine))
         return base if factor is None else base * factor
 
+    def lookahead(self) -> float:
+        """Guaranteed minimum cross-machine delay (conservative lookahead).
+
+        The sharded simulation core may let two shards simulate
+        independently as long as neither runs past the other's clock
+        plus this bound: no cross-machine message can ever arrive
+        sooner. It is ``propagation.minimum()`` — serialisation time
+        only adds delay, degrade factors are >= 1, and partitions drop
+        messages entirely, so none of the mutable fault state can
+        shrink a delay below the propagation infimum. A zero return
+        (e.g. the default exponential propagation, whose support
+        touches 0) means conservative sharding cannot make progress;
+        callers must then fall back to a single shard.
+        """
+        return self.propagation.minimum()
+
     def delay_sampler(
         self,
         rng: np.random.Generator,

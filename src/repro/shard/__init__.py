@@ -1,0 +1,65 @@
+"""Sharded parallel simulation core (conservative time windows).
+
+The single-simulator engine in :mod:`repro.engine` is strictly
+sequential: one event heap, one clock. This package partitions a
+cluster topology into *shards* — groups of machines, each with its own
+:class:`~repro.engine.Simulator` running in its own worker process —
+and synchronises them with the classic conservative windowing scheme:
+the :class:`~repro.hardware.NetworkFabric`'s guaranteed minimum
+cross-machine delay (its *lookahead*) bounds how far shards may drift
+apart, and cross-shard dispatches travel as time-stamped mailbox
+messages exchanged at window barriers.
+
+Layering:
+
+* :mod:`~repro.shard.message` — the mailbox currency and its
+  canonical (machine-independent) delivery order;
+* :mod:`~repro.shard.partition` — planning machines onto shards,
+  colocation groups, and the loud zero-lookahead fallback;
+* :mod:`~repro.shard.sync` — :class:`ShardHost` (one shard's
+  simulator + mailbox) and :class:`ConservativeCoordinator` (the
+  round loop, with a per-pair lookahead closure so an idle shard
+  never throttles the others);
+* :mod:`~repro.shard.worker` — process-mode execution, inline mode,
+  and the sandbox fallback;
+* :mod:`~repro.shard.fanout` — the first ported model: the Fig 14
+  fan-out/fan-in cluster, with single-shard-equivalence guarantees.
+
+Determinism contract: all shards share one root seed and draw from
+named :class:`~repro.engine.RandomStreams`, so the shard count decides
+*where* a component's stream is instantiated, never *what* it yields —
+``shards=1`` is bit-identical to the unsharded engine, and any two
+``shards>=2`` runs are bit-identical to each other.
+"""
+
+from .fanout import (
+    FanoutLeafHost,
+    FanoutRootHost,
+    fanout_sharded_load_point,
+    measure_fanout_sharded,
+    measure_fanout_vanilla,
+    plan_fanout_shards,
+)
+from .message import ShardMessage, deterministic_order
+from .partition import ShardPlan, fabric_lookahead, plan_shards
+from .sync import ConservativeCoordinator, ShardHost
+from .worker import ShardWorkerProxy, run_sharded, start_shard_hosts
+
+__all__ = [
+    "ConservativeCoordinator",
+    "FanoutLeafHost",
+    "FanoutRootHost",
+    "ShardHost",
+    "ShardMessage",
+    "ShardPlan",
+    "ShardWorkerProxy",
+    "deterministic_order",
+    "fabric_lookahead",
+    "fanout_sharded_load_point",
+    "measure_fanout_sharded",
+    "measure_fanout_vanilla",
+    "plan_fanout_shards",
+    "plan_shards",
+    "run_sharded",
+    "start_shard_hosts",
+]

@@ -1,0 +1,50 @@
+"""Time-stamped cross-shard mailbox messages.
+
+In the sharded simulation core (see :mod:`repro.shard.sync`), a
+dispatch that crosses a shard boundary does not call into the remote
+model directly — it becomes a :class:`ShardMessage` stamped with the
+simulated time the payload arrives at the receiver. Messages collect
+in the sender's outbox during a time window and are exchanged at the
+window barrier; the receiver schedules each one at its stamp.
+
+Determinism: the receiver may get messages from several shards whose
+real-world arrival order is arbitrary (process scheduling). Delivery
+order is therefore fixed by :attr:`ShardMessage.sort_key` —
+``(time, priority, src_shard, seq)`` — which is a pure function of the
+simulation, never of the host machine. ``seq`` is a per-sender
+counter, so two messages from one shard always deliver in send order;
+ties across shards break by shard id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """One cross-shard delivery, stamped in simulated seconds.
+
+    ``kind`` and ``payload`` are interpreted by the receiving
+    :class:`~repro.shard.sync.ShardHost` subclass; the payload must be
+    picklable (plain tuples of primitives) so process-mode workers can
+    ship it over a pipe.
+    """
+
+    time: float
+    priority: int
+    src_shard: int
+    seq: int
+    kind: str
+    payload: tuple
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int, int]:
+        """Deterministic delivery order (see module docstring)."""
+        return (self.time, self.priority, self.src_shard, self.seq)
+
+
+def deterministic_order(messages: Iterable[ShardMessage]) -> List[ShardMessage]:
+    """Sort *messages* into their canonical delivery order."""
+    return sorted(messages, key=lambda m: m.sort_key)

@@ -1,0 +1,179 @@
+"""Partitioning a cluster topology into shards.
+
+A shard is a set of machines whose models run inside one
+:class:`~repro.engine.Simulator`. Everything that communicates with
+zero minimum latency must share a shard: conservative synchronisation
+(:mod:`repro.shard.sync`) only works when every cross-shard edge has a
+strictly positive *lookahead* — the guaranteed minimum delay of the
+:class:`~repro.hardware.NetworkFabric` between distinct machines.
+
+Two rules follow:
+
+* **Colocation groups** — machines named in one ``colocate`` group are
+  pinned to the same shard, because messages between colocated
+  services ride the loopback path whose minimum is typically far below
+  the cross-machine propagation floor (and the client/dispatcher pair
+  exchanges callbacks with no network at all).
+* **Zero-lookahead fallback** — when ``fabric.lookahead() <= 0`` (the
+  default exponential propagation has an infimum of 0), no positive
+  window exists and :func:`plan_shards` *loudly* degrades to a single
+  shard instead of deadlocking. Results are then exactly the
+  single-shard results.
+
+Assignment is deterministic: machines are distributed contiguously in
+the caller-supplied order, so the same topology always yields the same
+plan — a prerequisite for the reproducibility contract (shard count
+must never change which RNG stream serves which draw; streams are
+named per component via
+:class:`~repro.engine.RandomStreams`, so placement only decides *where*
+a stream is instantiated, never *what* it yields).
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ShardingError
+from ..hardware import NetworkFabric
+
+
+@dataclass
+class ShardPlan:
+    """The outcome of partitioning: who runs where, and how far apart.
+
+    ``num_shards`` is the *effective* shard count — 1 when the plan
+    fell back (see :attr:`fallback_reason`). ``lookahead`` is the
+    conservative window bound shared by every cross-shard edge.
+    """
+
+    num_shards: int
+    assignments: Dict[str, int] = field(default_factory=dict)
+    lookahead: float = 0.0
+    fallback_reason: Optional[str] = None
+
+    @property
+    def sharded(self) -> bool:
+        return self.num_shards > 1
+
+    def machines_of(self, shard: int) -> List[str]:
+        """Machine names assigned to *shard*, in assignment order."""
+        return [m for m, s in self.assignments.items() if s == shard]
+
+
+def fabric_lookahead(fabric: NetworkFabric) -> float:
+    """The conservative cross-shard lookahead of *fabric*.
+
+    Delegates to :meth:`NetworkFabric.lookahead` (the propagation
+    infimum); a separate function so callers that only have a fabric
+    handle read naturally at the planning layer.
+    """
+    return fabric.lookahead()
+
+
+def plan_shards(
+    machines: Sequence[str],
+    num_shards: int,
+    fabric: NetworkFabric,
+    colocate: Optional[Sequence[Sequence[str]]] = None,
+) -> ShardPlan:
+    """Assign *machines* to *num_shards* shards.
+
+    *colocate* lists groups of machine names that must land on one
+    shard (zero-lookahead neighbours). Each group is pinned to the
+    shard of its first member; remaining machines are spread
+    contiguously and evenly over all shards in input order.
+
+    Returns a 1-shard plan (with a ``RuntimeWarning`` and a
+    ``fallback_reason``) when the fabric's lookahead is not strictly
+    positive or there are fewer free machines than shards.
+    """
+    if num_shards < 1:
+        raise ShardingError(f"num_shards must be >= 1, got {num_shards!r}")
+    machines = list(machines)
+    seen = set()
+    for name in machines:
+        if name in seen:
+            raise ShardingError(f"duplicate machine {name!r} in shard plan")
+        seen.add(name)
+
+    def single(reason: Optional[str]) -> ShardPlan:
+        return ShardPlan(
+            num_shards=1,
+            assignments={name: 0 for name in machines},
+            lookahead=0.0,
+            fallback_reason=reason,
+        )
+
+    if num_shards == 1:
+        return single(None)
+
+    lookahead = fabric_lookahead(fabric)
+    if not lookahead > 0.0 or math.isinf(lookahead):
+        reason = (
+            f"network lookahead is {lookahead!r}: conservative windows "
+            f"cannot make progress (the propagation distribution's "
+            f"support touches zero); falling back to shards=1. Use a "
+            f"propagation distribution with a positive minimum "
+            f"(e.g. Deterministic or Shifted) to enable sharding."
+        )
+        warnings.warn(reason, RuntimeWarning, stacklevel=2)
+        return single(reason)
+
+    groups: List[List[str]] = []
+    grouped: Dict[str, int] = {}
+    for group in colocate or ():
+        group = list(group)
+        merged = None
+        for name in group:
+            if name not in seen:
+                raise ShardingError(
+                    f"colocate group names unknown machine {name!r}"
+                )
+            if name in grouped:
+                merged = grouped[name]
+        if merged is None:
+            merged = len(groups)
+            groups.append([])
+        for name in group:
+            if name not in grouped:
+                grouped[name] = merged
+                groups[merged].append(name)
+
+    # Units to place: colocation groups count as one unit, pinned by
+    # their first member's position in the input order.
+    units: List[List[str]] = []
+    emitted_groups = set()
+    for name in machines:
+        gid = grouped.get(name)
+        if gid is None:
+            units.append([name])
+        elif gid not in emitted_groups:
+            emitted_groups.add(gid)
+            units.append(groups[gid])
+
+    if len(units) < num_shards:
+        reason = (
+            f"only {len(units)} placeable unit(s) for {num_shards} "
+            f"shards; falling back to shards=1"
+        )
+        warnings.warn(reason, RuntimeWarning, stacklevel=2)
+        return single(reason)
+
+    # Contiguous deterministic assignment: unit k of n goes to shard
+    # floor(k * num_shards / n) — balanced within one unit, and stable
+    # under the input order.
+    assignments: Dict[str, int] = {}
+    n = len(units)
+    for k, unit in enumerate(units):
+        shard = (k * num_shards) // n
+        for name in unit:
+            assignments[name] = shard
+    return ShardPlan(
+        num_shards=num_shards,
+        assignments=assignments,
+        lookahead=lookahead,
+        fallback_reason=None,
+    )

@@ -1,0 +1,322 @@
+"""Conservative time-window synchronisation across shards.
+
+Each shard owns a :class:`~repro.engine.Simulator` and advances in
+rounds under a :class:`ConservativeCoordinator`. The algorithm is the
+classic conservative (CMB/YAWNS-style) window scheme:
+
+* every shard reports its **effective horizon** ``eff_i`` — the
+  earliest simulated time at which it could possibly execute anything
+  (its next local event, or the earliest undelivered inbound message);
+* shard ``i`` may safely run to ``bound_i = min_j(eff_j + D[j][i])``,
+  where ``D[j][i]`` is the minimum latency of any path of cross-shard
+  edges from ``j`` to ``i`` (the *lookahead* closure; ``D[i][i]`` is
+  the shortest cycle through ``i``, bounding replies to ``i``'s own
+  sends) — no event any shard executes this round can cause an
+  arrival at ``i`` earlier than that;
+* messages emitted during a round are exchanged at the barrier and
+  scheduled by the receiver at their stamps before the next round.
+
+Progress is guaranteed when every cross-shard edge has strictly
+positive lookahead: the shard holding the globally earliest event
+always has ``bound > eff`` and therefore executes it. A message
+stamped earlier than the sender's clock plus its edge lookahead is a
+broken contract and raises :class:`~repro.errors.ShardingError` — the
+conservative guarantee is checked, not assumed.
+
+Determinism: inbound messages are sorted by their canonical
+:attr:`~repro.shard.message.ShardMessage.sort_key` before scheduling,
+so delivery never depends on process timing; each shard draws from
+named :class:`~repro.engine.RandomStreams` derived from the shared
+root seed, so shard count never changes which values a component
+draws.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine import PRIORITY_ARRIVAL, Simulator
+from ..errors import ShardingError
+from .message import ShardMessage, deterministic_order
+
+INF = math.inf
+
+#: Absolute slack for the send-time lookahead guard: delay arithmetic
+#: (``now + sample``) and bound arithmetic (``now + minimum``) round
+#: differently at the last ulp, and a one-ulp shortfall is not a
+#: causality violation.
+_GUARD_SLACK = 1e-15
+
+
+class ShardHost:
+    """One shard: a simulator plus mailbox plumbing.
+
+    Subclasses implement :meth:`handle` (apply one inbound message to
+    the local model) and extend :meth:`finalize` (return the shard's
+    results as a picklable dict). The host is driven either in-process
+    or inside a worker process (:mod:`repro.shard.worker`) — the
+    interface is identical.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        sim: Simulator,
+        lookahead: float,
+        end_time: Optional[float] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.sim = sim
+        #: Minimum extra delay this shard adds to any outbound message
+        #: (its outgoing edges' lookahead floor). The send guard checks
+        #: against it.
+        self.lookahead = float(lookahead)
+        #: Optional hard horizon (duration-style measurements stop the
+        #: clock at a fixed time, mirroring ``Simulator.run(until=...)``
+        #: in the single-shard harness). Events stamped past it never
+        #: run and do not count towards the reported horizon, so the
+        #: coordinator terminates once every shard reaches it.
+        self.end_time = end_time
+        self._outbox: List[Tuple[int, ShardMessage]] = []
+        self._send_seq = 0
+        self._pending_advance: Optional[
+            Tuple[float, List[ShardMessage]]
+        ] = None
+
+    # Outbound ---------------------------------------------------------
+
+    def send(
+        self,
+        dst_shard: int,
+        time: float,
+        kind: str,
+        payload: tuple,
+        priority: int = PRIORITY_ARRIVAL,
+    ) -> None:
+        """Queue a cross-shard delivery stamped at absolute *time*.
+
+        The stamp must respect the conservative contract:
+        ``time >= now + lookahead``. Violations raise
+        :class:`~repro.errors.ShardingError` at the sender, where the
+        bug is, instead of surfacing later as a past-event crash at the
+        receiver.
+        """
+        if time < self.sim.now + self.lookahead - _GUARD_SLACK:
+            raise ShardingError(
+                f"shard {self.shard_id} stamped a message at t={time!r} "
+                f"but its clock is {self.sim.now!r} with lookahead "
+                f"{self.lookahead!r}: conservative windows require "
+                f"stamps >= clock + lookahead"
+            )
+        self._send_seq += 1
+        self._outbox.append((
+            dst_shard,
+            ShardMessage(
+                time=float(time),
+                priority=priority,
+                src_shard=self.shard_id,
+                seq=self._send_seq,
+                kind=kind,
+                payload=payload,
+            ),
+        ))
+
+    # Coordinator interface --------------------------------------------
+
+    def horizon(self) -> float:
+        """Earliest pending local event time (``inf`` when idle).
+
+        Events at or past :attr:`end_time` will never run, so they do
+        not count — a shard whose remaining work is entirely beyond the
+        measurement horizon reports idle.
+        """
+        t = self.sim.events.peek_time()
+        if t is None:
+            return INF
+        if self.end_time is not None and t > self.end_time:
+            # run(until=...) is inclusive, so only *strictly* later
+            # events are unreachable.
+            return INF
+        return t
+
+    def begin_advance(
+        self, until: float, inbound: Sequence[ShardMessage]
+    ) -> None:
+        """Stage one round (two-phase so process proxies can overlap)."""
+        self._pending_advance = (until, list(inbound))
+
+    def finish_advance(self) -> Tuple[float, List[Tuple[int, ShardMessage]]]:
+        """Run the staged round; returns (new horizon, outbox)."""
+        assert self._pending_advance is not None, "begin_advance not called"
+        until, inbound = self._pending_advance
+        self._pending_advance = None
+        return self.advance(until, inbound)
+
+    def advance(
+        self, until: float, inbound: Sequence[ShardMessage]
+    ) -> Tuple[float, List[Tuple[int, ShardMessage]]]:
+        """Deliver *inbound*, run to *until* (inclusive), drain outbox."""
+        for msg in deterministic_order(inbound):
+            if msg.time < self.sim.now:
+                raise ShardingError(
+                    f"shard {self.shard_id} received {msg.kind!r} from "
+                    f"shard {msg.src_shard} stamped t={msg.time!r} but "
+                    f"its clock is already {self.sim.now!r}: the "
+                    f"coordinator's window bound was not conservative"
+                )
+            self.sim.schedule_at(
+                msg.time, self.handle, msg, priority=msg.priority
+            )
+        limit = until
+        if self.end_time is not None:
+            limit = min(limit, self.end_time)
+        if math.isinf(limit):
+            self.sim.run()
+        else:
+            self.sim.run(until=limit)
+        out = self._outbox
+        self._outbox = []
+        return self.horizon(), out
+
+    # Model hooks ------------------------------------------------------
+
+    def handle(self, message: ShardMessage) -> None:
+        """Apply one inbound message at its stamped time."""
+        raise NotImplementedError
+
+    def finalize(self) -> dict:
+        """Shard results after the last round (picklable)."""
+        return {
+            "shard": self.shard_id,
+            "events": self.sim.events_processed,
+            "clock": self.sim.now,
+        }
+
+
+class ConservativeCoordinator:
+    """Runs a set of shard hosts to completion in conservative rounds.
+
+    *lookaheads* maps ``(src, dst)`` shard pairs to the minimum delay
+    of that edge; absent pairs mean "never sends directly". The
+    coordinator closes the matrix over paths (an idle intermediate
+    shard can be woken next round and relay), checks every finite
+    entry is strictly positive, and then iterates rounds until every
+    shard is idle with an empty mailbox.
+
+    *max_window* optionally caps each round at
+    ``min(eff) + max_window`` — useful to bound the memory of a shard
+    racing far ahead; it cannot affect results, only round count.
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence,
+        lookaheads: Dict[Tuple[int, int], float],
+        max_window: Optional[float] = None,
+    ) -> None:
+        self.hosts = list(hosts)
+        n = len(self.hosts)
+        if n == 0:
+            raise ShardingError("coordinator needs at least one shard")
+        if max_window is not None and not max_window > 0:
+            raise ShardingError(
+                f"max_window must be positive, got {max_window!r}"
+            )
+        self.max_window = max_window
+        self.rounds = 0
+        self.messages_exchanged = 0
+        dist = [[INF] * n for _ in range(n)]
+        for (src, dst), la in lookaheads.items():
+            if not 0 <= src < n or not 0 <= dst < n:
+                raise ShardingError(
+                    f"lookahead edge ({src}, {dst}) outside 0..{n - 1}"
+                )
+            if src == dst:
+                continue
+            if not la > 0.0:
+                raise ShardingError(
+                    f"cross-shard edge ({src}, {dst}) has non-positive "
+                    f"lookahead {la!r}; conservative sync cannot make "
+                    f"progress — colocate the endpoints or fall back to "
+                    f"shards=1 (see repro.shard.partition)"
+                )
+            dist[src][dst] = min(dist[src][dst], float(la))
+        # Close over relay paths (Floyd–Warshall): when j is idle this
+        # round, a message k -> j -> i next round is bounded by
+        # D[k][j] + D[j][i], and the window for i must respect it.
+        # The diagonal D[i][i] relaxes to the shortest *cycle* through
+        # i — a message i sends can come back as a reply no earlier
+        # than one round trip, and that bounds i against its own
+        # future (request/reply topologies are cycles, so without the
+        # diagonal a shard could race past replies to messages it is
+        # about to send).
+        for k in range(n):
+            dk = dist[k]
+            for i in range(n):
+                dik = dist[i][k]
+                if math.isinf(dik):
+                    continue
+                di = dist[i]
+                for j in range(n):
+                    via = dik + dk[j]
+                    if via < di[j]:
+                        di[j] = via
+        self._dist = dist
+
+    def run(self) -> List[dict]:
+        """Drive all shards to completion; returns per-shard finalize
+        dicts (in shard order)."""
+        hosts = self.hosts
+        n = len(hosts)
+        dist = self._dist
+        pending: List[List[ShardMessage]] = [[] for _ in range(n)]
+        horizons = [host.horizon() for host in hosts]
+        last_state: Optional[tuple] = None
+        while True:
+            effs = [
+                min(
+                    horizons[i],
+                    min((m.time for m in pending[i]), default=INF),
+                )
+                for i in range(n)
+            ]
+            if all(math.isinf(e) for e in effs):
+                break
+            state = (tuple(effs), tuple(len(p) for p in pending))
+            if state == last_state:
+                raise ShardingError(
+                    f"conservative rounds stalled at horizons {effs!r}: "
+                    f"no shard advanced and no messages moved"
+                )
+            last_state = state
+            min_eff = min(effs)
+            bounds = []
+            for i in range(n):
+                # j ranges over *all* shards: j == i uses the shortest
+                # cycle through i (replies to i's own sends).
+                bound = min(
+                    (
+                        effs[j] + dist[j][i]
+                        for j in range(n)
+                        if not math.isinf(dist[j][i])
+                    ),
+                    default=INF,
+                )
+                if self.max_window is not None:
+                    bound = min(bound, min_eff + self.max_window)
+                bounds.append(bound)
+            for i in range(n):
+                hosts[i].begin_advance(bounds[i], pending[i])
+                pending[i] = []
+            for i in range(n):
+                horizons[i], out = hosts[i].finish_advance()
+                for dst, msg in out:
+                    if not 0 <= dst < n:
+                        raise ShardingError(
+                            f"shard {i} addressed unknown shard {dst}"
+                        )
+                    pending[dst].append(msg)
+                    self.messages_exchanged += 1
+            self.rounds += 1
+        return [host.finalize() for host in hosts]

@@ -1,0 +1,234 @@
+"""Per-shard worker processes.
+
+Process-mode execution of :class:`~repro.shard.sync.ShardHost`: each
+shard's simulator runs in its own OS process and the
+:class:`~repro.shard.sync.ConservativeCoordinator` talks to it through
+a :class:`ShardWorkerProxy` over a pipe. The proxy exposes the exact
+host interface (``horizon`` / ``begin_advance`` / ``finish_advance`` /
+``finalize``), so the coordinator is oblivious to where a shard runs —
+which is also what makes inline mode (everything in-process, used by
+the determinism tests and the sandbox fallback) bit-identical to
+process mode by construction: the round structure and message order
+are decided by the coordinator, never by process scheduling.
+
+Hosts are built *inside* the worker from a picklable
+``(builder, kwargs)`` spec — module-level builder functions taking
+primitives — mirroring the :mod:`repro.runner.parallel` discipline.
+Seeding needs no per-worker derivation: every shard constructs its
+simulator from the **same root seed**, and determinism comes from the
+named-stream discipline (:class:`~repro.engine.RandomStreams` derives
+each component's generator from its name via ``SeedSequence``, so the
+draws of ``service/leaf7`` are identical no matter which process, or
+shard count, instantiates them).
+
+Environments where processes cannot be created (restricted sandboxes:
+no fork, no pipes) degrade to inline mode with a ``RuntimeWarning`` —
+same results, just single-core, matching ``parallel_map``'s fallback
+contract.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+import warnings
+from typing import Callable, List, Sequence, Tuple
+
+from ..errors import ShardingError
+from .message import ShardMessage
+from .sync import ShardHost
+
+
+def _worker_main(conn, builder: Callable, kwargs: dict) -> None:
+    """Worker process body: build the host, serve coordinator commands."""
+    try:
+        host = builder(**kwargs)
+    except BaseException:
+        conn.send(("err", traceback.format_exc()))
+        conn.close()
+        return
+    conn.send(("ok", host.horizon()))
+    try:
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            try:
+                if op == "advance":
+                    _op, until, inbound = cmd
+                    horizon, out = host.advance(until, inbound)
+                    conn.send(("ok", (horizon, out)))
+                elif op == "finalize":
+                    conn.send(("ok", host.finalize()))
+                elif op == "stop":
+                    return
+                else:
+                    conn.send(("err", f"unknown shard command {op!r}"))
+            except BaseException:
+                conn.send(("err", traceback.format_exc()))
+    except (EOFError, OSError):
+        return  # parent went away; nothing left to serve
+    finally:
+        conn.close()
+
+
+class ShardWorkerProxy:
+    """Coordinator-side handle to one worker-process shard."""
+
+    def __init__(self, shard_id: int, process, conn, horizon: float) -> None:
+        self.shard_id = shard_id
+        self._process = process
+        self._conn = conn
+        self._initial_horizon = horizon
+        self._in_flight = False
+
+    def _recv(self):
+        try:
+            status, payload = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ShardingError(
+                f"shard worker {self.shard_id} died mid-window "
+                f"(exitcode={self._process.exitcode})"
+            ) from exc
+        if status != "ok":
+            raise ShardingError(
+                f"shard worker {self.shard_id} failed:\n{payload}"
+            )
+        return payload
+
+    # Host interface ---------------------------------------------------
+
+    def horizon(self) -> float:
+        return self._initial_horizon
+
+    def begin_advance(
+        self, until: float, inbound: Sequence[ShardMessage]
+    ) -> None:
+        assert not self._in_flight
+        self._in_flight = True
+        self._conn.send(("advance", until, list(inbound)))
+
+    def finish_advance(self):
+        assert self._in_flight
+        self._in_flight = False
+        return self._recv()
+
+    def finalize(self) -> dict:
+        self._conn.send(("finalize",))
+        result = self._recv()
+        self.close()
+        return result
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout=10)
+        if self._process.is_alive():  # pragma: no cover - hung worker
+            self._process.terminate()
+            self._process.join(timeout=10)
+        self._conn.close()
+
+
+HostSpec = Tuple[Callable, dict]
+
+
+def start_shard_hosts(
+    specs: Sequence[HostSpec], mode: str = "auto"
+) -> Tuple[List, str]:
+    """Build one host per spec; returns ``(hosts, effective_mode)``.
+
+    ``mode``:
+
+    * ``"inline"`` — construct every host in this process.
+    * ``"process"`` — one worker process per shard; raises
+      :class:`~repro.errors.ShardingError` if processes cannot start.
+    * ``"auto"`` — process mode, degrading to inline with a
+      ``RuntimeWarning`` where process infrastructure is unavailable.
+    """
+    if mode not in ("auto", "process", "inline"):
+        raise ShardingError(
+            f'shard mode must be "auto", "process" or "inline", '
+            f"got {mode!r}"
+        )
+    if mode == "inline" or len(specs) <= 1:
+        return [builder(**kwargs) for builder, kwargs in specs], "inline"
+    try:
+        return _start_processes(specs), "process"
+    except (OSError, PermissionError) as exc:
+        if mode == "process":
+            raise ShardingError(
+                f"cannot start shard worker processes: {exc}"
+            ) from exc
+        warnings.warn(
+            f"shard worker processes unavailable ({exc}); running "
+            f"{len(specs)} shards inline in one process",
+            RuntimeWarning, stacklevel=2,
+        )
+        return [builder(**kwargs) for builder, kwargs in specs], "inline"
+
+
+def _start_processes(specs: Sequence[HostSpec]) -> List[ShardWorkerProxy]:
+    ctx = multiprocessing.get_context()
+    proxies: List[ShardWorkerProxy] = []
+    try:
+        for shard_id, (builder, kwargs) in enumerate(specs):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, builder, kwargs),
+                daemon=True,
+                name=f"repro-shard-{shard_id}",
+            )
+            process.start()
+            child_conn.close()
+            status, payload = parent_conn.recv()
+            if status != "ok":
+                raise ShardingError(
+                    f"shard {shard_id} failed to build:\n{payload}"
+                )
+            proxies.append(
+                ShardWorkerProxy(shard_id, process, parent_conn, payload)
+            )
+    except BaseException:
+        for proxy in proxies:
+            proxy.close()
+        raise
+    return proxies
+
+
+def run_sharded(
+    specs: Sequence[HostSpec],
+    lookaheads,
+    mode: str = "auto",
+    max_window=None,
+) -> Tuple[List[dict], "object"]:
+    """Build hosts, run the conservative rounds, return results.
+
+    Returns ``(per-shard finalize dicts, coordinator)`` — the
+    coordinator exposes ``rounds`` and ``messages_exchanged`` for
+    telemetry. Worker cleanup is owned here: a failure mid-run still
+    tears the processes down.
+    """
+    from .sync import ConservativeCoordinator
+
+    hosts, effective_mode = start_shard_hosts(specs, mode=mode)
+    coordinator = ConservativeCoordinator(
+        hosts, lookaheads, max_window=max_window
+    )
+    coordinator.mode = effective_mode
+    try:
+        results = coordinator.run()
+    except BaseException:
+        for host in hosts:
+            if isinstance(host, ShardWorkerProxy):
+                host.close()
+        raise
+    return results, coordinator
+
+
+__all__ = [
+    "ShardWorkerProxy",
+    "start_shard_hosts",
+    "run_sharded",
+]

@@ -834,7 +834,12 @@ class Dispatcher:
 
         if src_machine == dst_machine:
             delay = self._net_delay.delay(src_machine, dst_machine, size_bytes)
-            self.sim.schedule(delay, deliver, priority=PRIORITY_ARRIVAL)
+            # Wire deliveries are fire-and-forget: cancellation happens
+            # via request/attempt state checked at delivery time, never
+            # by cancelling the event — so the slab applies.
+            self.sim.schedule_transient(
+                delay, deliver, priority=PRIORITY_ARRIVAL
+            )
             return
 
         rx_proc = self.deployment.netproc(dst_machine)
@@ -854,7 +859,9 @@ class Dispatcher:
                 lost()
                 return  # lost on the severed link
             delay = self._net_delay.delay(src_machine, dst_machine, size_bytes)
-            self.sim.schedule(delay, after_wire, priority=PRIORITY_ARRIVAL)
+            self.sim.schedule_transient(
+                delay, after_wire, priority=PRIORITY_ARRIVAL
+            )
 
         if tx_proc is None:
             over_wire()

@@ -139,7 +139,10 @@ class OpenLoopClient:
         if self.max_requests is not None and self.requests_sent >= self.max_requests:
             return
         gap = self._next_gap(now)
-        self.sim.schedule(gap, self._fire, priority=PRIORITY_ARRIVAL)
+        # Arrival ticks are the single hottest schedule in any load
+        # test and are never cancelled (stop_at/max_requests are
+        # checked at fire time), so they qualify for the event slab.
+        self.sim.schedule_transient(gap, self._fire, priority=PRIORITY_ARRIVAL)
 
     def _on_complete(self, request: Request) -> None:
         self.requests_completed += 1

@@ -1,0 +1,76 @@
+"""Distribution.minimum() — the support infimum the sharded core uses
+as conservative lookahead. The contract: no draw is ever below it."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Pareto,
+    Scaled,
+    Shifted,
+    Uniform,
+    Weibull,
+)
+
+
+class TestExactMinima:
+    def test_deterministic(self):
+        assert Deterministic(0.5).minimum() == 0.5
+
+    def test_uniform(self):
+        assert Uniform(0.2, 0.9).minimum() == 0.2
+
+    def test_pareto(self):
+        assert Pareto(scale=1e-4, shape=2.0).minimum() == 1e-4
+
+    def test_scaled(self):
+        assert Scaled(Deterministic(2.0), 3.0).minimum() == 6.0
+
+    def test_shifted(self):
+        assert Shifted(Exponential(1.0), 0.25).minimum() == 0.25
+
+    def test_mixture_min_over_positive_weights(self):
+        mix = Mixture(
+            [Deterministic(0.3), Deterministic(0.7)], [0.5, 0.5]
+        )
+        assert mix.minimum() == 0.3
+
+    def test_mixture_ignores_zero_weight_components(self):
+        mix = Mixture(
+            [Deterministic(0.1), Deterministic(0.7)], [0.0, 1.0]
+        )
+        assert mix.minimum() == 0.7
+
+
+class TestDefaultZero:
+    @pytest.mark.parametrize("dist", [
+        Exponential(1e-3),
+        LogNormal(1e-3, 0.5),
+        Erlang(3, 1e-3),
+        Weibull(1.5, 1e-3),
+    ])
+    def test_unbounded_below_support_reports_zero(self, dist):
+        assert dist.minimum() == 0.0
+
+
+class TestContract:
+    @pytest.mark.parametrize("dist", [
+        Deterministic(0.5),
+        Uniform(0.2, 0.9),
+        Pareto(scale=1e-4, shape=2.0),
+        Shifted(Exponential(1e-3), 2e-4),
+        Scaled(Shifted(Exponential(1e-3), 1e-4), 2.0),
+        Mixture([Uniform(0.1, 0.2), Deterministic(0.15)], [0.3, 0.7]),
+        Exponential(1e-3),
+        Erlang(3, 1e-3),
+    ])
+    def test_no_draw_below_minimum(self, dist):
+        rng = np.random.default_rng(123)
+        floor = dist.minimum()
+        draws = dist.sample_many(rng, 2000)
+        assert float(np.min(draws)) >= floor

@@ -1,0 +1,81 @@
+"""The transient-event slab: recycling must be invisible to results."""
+
+from repro.engine import Simulator
+from repro.engine.event import (
+    _FREE_CAP,
+    _FREE_EVENTS,
+    Event,
+    acquire_event,
+    release_event,
+)
+
+
+class TestSlab:
+    def test_acquire_marks_transient(self):
+        event = acquire_event(1.0, lambda: None, (), 0)
+        assert event.transient
+        assert event.time == 1.0
+
+    def test_release_then_acquire_recycles(self):
+        _FREE_EVENTS.clear()
+        event = acquire_event(1.0, lambda: None, (), 0)
+        release_event(event)
+        assert event.fn is None  # no stale closure retained
+        again = acquire_event(2.0, lambda: None, ("x",), 5)
+        assert again is event
+        assert again.time == 2.0
+        assert again.priority == 5
+        assert again.args == ("x",)
+        assert not again.cancelled
+
+    def test_free_list_is_bounded(self):
+        _FREE_EVENTS.clear()
+        events = [acquire_event(0.0, lambda: None, (), 0)
+                  for _ in range(_FREE_CAP + 50)]
+        for event in events:
+            release_event(event)
+        assert len(_FREE_EVENTS) == _FREE_CAP
+
+    def test_plain_events_are_not_transient(self):
+        assert not Event(0.0, lambda: None).transient
+
+
+class TestScheduleTransient:
+    def test_fires_like_schedule(self):
+        sim = Simulator(seed=0)
+        fired = []
+        sim.schedule_transient(0.5, fired.append, "a")
+        sim.schedule(0.25, fired.append, "b")
+        sim.run()
+        assert fired == ["b", "a"]
+        assert sim.now == 0.5
+
+    def test_recycled_across_many_schedules(self):
+        _FREE_EVENTS.clear()
+        sim = Simulator(seed=0)
+
+        def chain(k):
+            if k:
+                sim.schedule_transient(1e-3, chain, k - 1)
+
+        sim.schedule_transient(0.0, chain, 200)
+        sim.run()
+        assert sim.events_processed == 201
+        # The firing event is only released after its callback returns,
+        # so the chain ping-pongs between exactly two slab objects —
+        # 201 events, 2 allocations.
+        assert len(_FREE_EVENTS) == 2
+
+    def test_interleaves_deterministically_with_regular_events(self):
+        def run_once():
+            sim = Simulator(seed=4)
+            log = []
+            rng = sim.random.stream("slab-test")
+            for i in range(50):
+                t = float(rng.random())
+                sim.schedule_transient(t, log.append, ("t", round(t, 9)))
+                sim.schedule(t, log.append, ("r", round(t, 9)))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

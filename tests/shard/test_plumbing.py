@@ -1,0 +1,104 @@
+"""--shards plumbing: experiment registry, load sweeps, tail@scale
+routing, and the CLI all thread the shard count through — and refuse
+loudly where the sharded core cannot honour a knob."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.distributions import Deterministic
+from repro.errors import ReproError
+from repro.experiments import registry
+from repro.experiments.loadsweep import measure_at_load
+from repro.experiments.tail_at_scale import (
+    build_fanout_cluster,
+    measure_tail_at_scale,
+)
+from repro.hardware import NetworkFabric
+
+
+def det_fabric():
+    return NetworkFabric(propagation=Deterministic(20e-6))
+
+
+class TestRegistry:
+    def test_fig14_supports_shards(self):
+        assert registry.get("fig14").supports_shards
+
+    def test_validation_figures_do_not(self):
+        assert not registry.get("fig5").supports_shards
+        assert not registry.get("fig8").supports_shards
+
+    def test_unsupported_experiment_rejects_shards(self):
+        with pytest.raises(ReproError, match="--shards"):
+            registry.get("fig5").run(shards=2)
+
+    def test_shards_one_is_always_accepted(self):
+        # shards=1 must not even consult the capability.
+        spec = registry.ExperimentSpec(
+            "toy", "none", "no shards kwarg", lambda: "ran"
+        )
+        assert not spec.supports_shards
+        assert spec.run(shards=1) == "ran"
+        with pytest.raises(ReproError, match="--shards"):
+            spec.run(shards=2)
+
+
+class TestTailAtScaleRouting:
+    def test_sharded_point_matches_vanilla(self):
+        vanilla = measure_tail_at_scale(
+            8, 0.1, qps=60.0, num_requests=30, seed=5,
+            network=det_fabric(),
+        )
+        sharded = measure_tail_at_scale(
+            8, 0.1, qps=60.0, num_requests=30, seed=5,
+            shards=2, network=det_fabric(),
+        )
+        assert sharded.p50 == vanilla.p50
+        assert sharded.p99 == vanilla.p99
+        assert sharded.requests == vanilla.requests
+
+    @pytest.mark.parametrize("knob", [
+        {"audit": True},
+        {"trace": True},
+        {"slo": "p99<5ms"},
+    ])
+    def test_instrumentation_knobs_blocked_when_sharded(self, knob):
+        with pytest.raises(ReproError, match="shards"):
+            measure_tail_at_scale(
+                4, 0.0, qps=60.0, num_requests=10,
+                shards=2, network=det_fabric(), **knob
+            )
+
+
+class TestMeasureAtLoad:
+    def test_sharded_load_point_matches_vanilla(self):
+        common = dict(
+            qps=80.0, duration=0.4, warmup=0.1, seed=3,
+            cluster_size=6, slow_fraction=0.0, network=det_fabric(),
+        )
+        vanilla = measure_at_load(build_fanout_cluster, **common)
+        sharded = measure_at_load(
+            build_fanout_cluster, shards=2, mode="inline", **common
+        )
+        assert sharded == vanilla
+
+    def test_builder_without_runner_rejected(self):
+        def bare_builder(seed=0):  # pragma: no cover - never called
+            raise AssertionError
+
+        with pytest.raises(ReproError, match="no sharded runner"):
+            measure_at_load(bare_builder, qps=10.0, shards=2)
+
+    def test_blocked_knobs_listed(self):
+        with pytest.raises(ReproError, match="audit"):
+            measure_at_load(
+                build_fanout_cluster, qps=10.0, shards=2, audit=True,
+                cluster_size=4, slow_fraction=0.0,
+            )
+
+
+class TestCLI:
+    def test_shards_rejected_for_unsupported_experiment(self, capsys):
+        code = main(["experiments", "run", "fig5", "--shards", "2"])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
