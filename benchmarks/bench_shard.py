@@ -1,7 +1,7 @@
 """Sharded-core scalability: the 500-leaf fan-out world across shard
 counts.
 
-Three guarantees of :mod:`repro.shard`, checked on every push:
+Four guarantees of :mod:`repro.shard`, checked on every push:
 
 * **Identity.** Under a draw-free propagation fabric, the sharded run
   is bit-identical to the vanilla single-simulator engine — same
@@ -13,6 +13,10 @@ Three guarantees of :mod:`repro.shard`, checked on every push:
 * **No single-shard regression.** The slab-allocated event fast path
   keeps the vanilla engine's throughput within noise of the session
   baseline recorded by ``bench_scalability.py``.
+* **Free supervision.** The shard supervisor's fault-tolerance
+  machinery (liveness deadlines, barrier-replay journal) costs nothing
+  measurable on a fault-free run, and supervised results are
+  bit-identical to bare-proxy results.
 
 Results land in ``BENCH_shard.json`` (see ``bench_record_shard``), a
 separate artifact from ``BENCH_engine.json`` because sharded numbers
@@ -174,6 +178,85 @@ def test_single_shard_throughput_no_worse_than_baseline(benchmark, emit):
         emit("no fresh BENCH_engine.json baseline in this session; "
              "recorded the measurement only")
     bench_record_shard("single_shard_guard", payload)
+
+
+def test_supervisor_fault_free_overhead(benchmark, emit):
+    """The shard supervisor (liveness deadlines + barrier-replay
+    journal) must be free when nothing fails: the supervised process
+    run stays within noise of the bare-proxy run, and its results are
+    bit-identical. Guards the journal's per-round recording cost."""
+    from repro.errors import ShardingError
+    from repro.shard.fanout import _fanout_specs, plan_fanout_shards
+    from repro.shard.worker import run_sharded
+
+    requests = scaled_n(40)
+    fabric = det_fabric()
+    plan = plan_fanout_shards(CLUSTER_SIZE, 4, fabric)
+    if not plan.sharded:  # pragma: no cover - deterministic fabric
+        pytest.skip(f"cannot shard: {plan.fallback_reason}")
+    specs, edges = _fanout_specs(
+        plan, cluster_size=CLUSTER_SIZE, slow_fraction=0.0,
+        slow_factor=10.0, mean_service=1e-3, seed=SEED, qps=QPS,
+        fabric=fabric, num_requests=requests,
+    )
+
+    def timed(supervise):
+        start = time.perf_counter()
+        results, coordinator = run_sharded(
+            specs, edges, mode="process", supervise=supervise
+        )
+        wall = time.perf_counter() - start
+        return results, coordinator, wall
+
+    def sweep():
+        # Interleave the modes so machine noise hits both equally.
+        runs = {"never": [], "auto": []}
+        for _ in range(2):
+            for supervise in ("never", "auto"):
+                runs[supervise].append(timed(supervise))
+        return runs
+
+    try:
+        runs = run_once(benchmark, sweep)
+    except ShardingError as exc:  # pragma: no cover - no processes
+        pytest.skip(f"process workers unavailable: {exc}")
+
+    bare_results, bare_coord, _ = runs["never"][0]
+    sup_results, sup_coord, _ = runs["auto"][0]
+    assert sup_coord.supervised and not bare_coord.supervised
+    assert sup_coord.recovery == {
+        "restarts": 0, "replayed_rounds": 0, "per_shard": {},
+    }
+    assert sup_results[0]["latencies"] == bare_results[0]["latencies"], \
+        "supervision changed the results of a fault-free run"
+    assert sup_results[0]["outcomes"] == bare_results[0]["outcomes"]
+
+    bare_wall = min(wall for _, _, wall in runs["never"])
+    sup_wall = min(wall for _, _, wall in runs["auto"])
+    walls = [wall for trials in runs.values() for _, _, wall in trials]
+    spread = (max(walls) - min(walls)) / max(walls)
+    overhead = sup_wall / bare_wall - 1.0
+    # Pipe round-trips dominate; the journal's in-memory appends and
+    # digests are noise. Tolerance floors at 15% so a loaded CI runner
+    # cannot flake the guard, and widens with the observed spread.
+    tolerance = max(0.15, 2.0 * spread)
+    emit("\n=== Sharded core: supervisor fault-free overhead ===")
+    emit(f"bare {bare_wall:.2f}s vs supervised {sup_wall:.2f}s "
+         f"-> overhead {overhead:+.1%} (spread {spread:.1%}, "
+         f"tolerance {tolerance:.1%})")
+    bench_record_shard("supervisor_overhead", {
+        "bare_wall_s": round(bare_wall, 4),
+        "supervised_wall_s": round(sup_wall, 4),
+        "overhead": round(overhead, 4),
+        "noise_spread": round(spread, 4),
+        "rounds": sup_coord.rounds,
+        "requests": requests,
+    })
+    assert overhead <= tolerance, (
+        f"fault-free supervision cost {overhead:.1%} exceeds "
+        f"{tolerance:.1%} — the barrier-replay journal must not tax "
+        f"the happy path"
+    )
 
 
 @pytest.mark.parametrize("shards", [2])

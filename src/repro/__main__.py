@@ -9,6 +9,7 @@
     python -m repro experiments run <exp-id> [--seed N] [--jobs N]
         [--run-dir DIR] [--no-resume] [--audit] [--fault-plan FILE]
         [--trace-dir DIR] [--trace-sample R] [--slo SPEC ...]
+        [--shards N] [--shard-timeout S] [--shard-restarts N]
     python -m repro analyze <trace-dir> [--percentiles LIST] [--top K]
 
 ``run`` loads a Table I spec directory (machines.json, services/,
@@ -165,6 +166,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         slo=args.slo or None,
         fault_plan=fault_plan,
         shards=args.shards,
+        shard_timeout=args.shard_timeout,
+        shard_restarts=args.shard_restarts,
         **kwargs,
     )
     print(repr(result))
@@ -283,6 +286,18 @@ def main(argv=None) -> int:
              "core with N shards (conservative time-window sync; only "
              "experiments whose topology is ported to repro.shard; "
              "--shards 1 is always the single-simulator engine)",
+    )
+    exp_run.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per conservative window before a shard "
+             "worker counts as hung and is killed + replayed "
+             "(default 300; needs --shards N)",
+    )
+    exp_run.add_argument(
+        "--shard-restarts", type=int, default=None, metavar="N",
+        help="restart budget per shard worker: dead/hung workers are "
+             "rebuilt and replayed from the round journal up to N "
+             "times before the run aborts (default 3; needs --shards N)",
     )
     exp_parser.set_defaults(func=_cmd_experiments)
 

@@ -12,7 +12,7 @@ from . import (
     tail_at_scale,
     validation,
 )
-from .audit import audit_client
+from .audit import audit_client, audit_sharded_run
 from .orchestration import (
     NodeFailurePoint,
     RolloutPoint,
@@ -35,6 +35,7 @@ __all__ = [
     "SweepPoint",
     "audit",
     "audit_client",
+    "audit_sharded_run",
     "build_cluster_world",
     "comparison",
     "load_latency_sweep",

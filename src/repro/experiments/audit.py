@@ -13,7 +13,7 @@ is ever expected to fire.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..engine import Simulator
 from ..errors import AuditError
@@ -93,4 +93,173 @@ def audit_client(
         raise AuditError(
             f"conservation audit failed for client {client.name!r}: "
             + "; ".join(problems)
+        )
+
+
+def audit_sharded_run(
+    results: Sequence[dict],
+    *,
+    messages_exchanged: Optional[int] = None,
+    clock_start: float = 0.0,
+) -> None:
+    """Merged conservation audit over per-shard ``finalize()`` dicts.
+
+    The sharded equivalent of :func:`audit_client`: the client object
+    lives inside a worker process, so the audit runs on the counters
+    each shard ships home instead. Invariants:
+
+    * **cross-shard message conservation, per round**: everything shard
+      *i* sent to shard *j* in round *r* was received by *j* from *i*
+      in round *r + 1*, exactly once (the coordinator's barrier
+      semantics — and the invariant a recovery bug would break first);
+    * round 0 received nothing (no shard had sent yet) and the final
+      round sent nothing (a send would have forced another round);
+    * total traffic matches the coordinator's independent
+      ``messages_exchanged`` counter, when given;
+    * every shard's clock is finite and never ran backwards past
+      *clock_start*;
+    * the root shard's client counters conserve requests:
+      ``sent == sum(outcomes) + in_flight``, the latency recorder holds
+      exactly the ok resolutions, and the client/dispatcher admission
+      counters agree.
+    """
+    problems: List[str] = []
+    ledgers = []
+    for result in results:
+        ledger = result.get("conservation")
+        if ledger is None:
+            problems.append(
+                f"shard {result.get('shard')!r} returned no conservation "
+                f"ledger (host predates the merged audit?)"
+            )
+            continue
+        ledgers.append((int(result["shard"]), ledger))
+
+    if not problems:
+        rounds = {shard: len(ledger["sent"]) for shard, ledger in ledgers}
+        if len(set(rounds.values())) > 1:
+            problems.append(
+                f"shards disagree on the round count: {rounds}"
+            )
+        else:
+            n_rounds = next(iter(rounds.values()), 0)
+            sent: Dict[int, List[dict]] = {
+                shard: ledger["sent"] for shard, ledger in ledgers
+            }
+            received: Dict[int, List[dict]] = {
+                shard: ledger["received"] for shard, ledger in ledgers
+            }
+            for shard, rounds_recv in received.items():
+                if rounds_recv and any(rounds_recv[0].values()):
+                    problems.append(
+                        f"shard {shard} received {rounds_recv[0]} in "
+                        f"round 0, before anything was sent"
+                    )
+            for shard, rounds_sent in sent.items():
+                if rounds_sent and any(rounds_sent[-1].values()):
+                    problems.append(
+                        f"shard {shard} sent {rounds_sent[-1]} in the "
+                        f"final round; those messages were never "
+                        f"delivered"
+                    )
+            for r in range(n_rounds - 1):
+                for src, rounds_sent in sent.items():
+                    for dst_key, count in rounds_sent[r].items():
+                        dst = int(dst_key)
+                        got = 0
+                        if dst in received:
+                            got = received[dst][r + 1].get(str(src), 0)
+                        elif dst not in sent:
+                            problems.append(
+                                f"shard {src} sent to unknown shard "
+                                f"{dst} in round {r}"
+                            )
+                            continue
+                        if count != got:
+                            problems.append(
+                                f"round {r}: shard {src} sent {count} "
+                                f"message(s) to shard {dst} but shard "
+                                f"{dst} received {got} in round {r + 1}"
+                            )
+            total_sent = sum(
+                count
+                for rounds_sent in sent.values()
+                for per_round in rounds_sent
+                for count in per_round.values()
+            )
+            total_recv = sum(
+                count
+                for rounds_recv in received.values()
+                for per_round in rounds_recv
+                for count in per_round.values()
+            )
+            if total_sent != total_recv:
+                problems.append(
+                    f"total cross-shard traffic does not conserve: "
+                    f"{total_sent} sent != {total_recv} received"
+                )
+            if (
+                messages_exchanged is not None
+                and total_recv != messages_exchanged
+            ):
+                problems.append(
+                    f"shards received {total_recv} messages but the "
+                    f"coordinator routed {messages_exchanged}"
+                )
+
+    for result in results:
+        clock = result.get("clock")
+        if clock is None or not math.isfinite(clock):
+            problems.append(
+                f"shard {result.get('shard')!r} clock is not finite: "
+                f"{clock!r}"
+            )
+        elif clock < clock_start:
+            problems.append(
+                f"shard {result.get('shard')!r} clock ran backwards: "
+                f"now={clock} < start={clock_start}"
+            )
+
+    for result in results:
+        if "requests_sent" not in result:
+            continue  # leaf shard: no client counters to conserve
+        shard = result.get("shard")
+        r_sent = result["requests_sent"]
+        admitted = result.get("requests_submitted")
+        if admitted is not None and r_sent != admitted:
+            problems.append(
+                f"shard {shard!r}: conservation broken: client sent "
+                f"{r_sent} requests but the dispatcher admitted "
+                f"{admitted}"
+            )
+        outcomes = result.get("outcomes", {})
+        resolved = sum(outcomes.values())
+        in_flight = result.get("in_flight", 0)
+        completed = result.get("requests_completed", resolved)
+        if in_flight < 0:
+            problems.append(
+                f"shard {shard!r}: in_flight is negative ({in_flight})"
+            )
+        if resolved != completed:
+            problems.append(
+                f"shard {shard!r}: outcome tallies sum to {resolved} "
+                f"but requests_completed={completed}"
+            )
+        if r_sent != resolved + in_flight:
+            problems.append(
+                f"shard {shard!r}: conservation broken: "
+                f"sent={r_sent} != resolved={resolved} + "
+                f"in_flight={in_flight}"
+            )
+        ok = outcomes.get(OUTCOME_OK, 0)
+        recorded = len(result.get("latencies", ()))
+        if recorded != ok:
+            problems.append(
+                f"shard {shard!r}: latency recorder holds {recorded} "
+                f"samples but {ok} requests resolved ok"
+            )
+
+    if problems:
+        raise AuditError(
+            "sharded conservation audit failed: " + "; ".join(problems)
         )

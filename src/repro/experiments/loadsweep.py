@@ -74,6 +74,50 @@ def slo_manifest_summary(results: Sequence[Any]) -> Dict[str, Any]:
     return {"slo": merged} if merged else {}
 
 
+def shard_recovery_manifest_summary(results: Sequence[Any]) -> Dict[str, Any]:
+    """Aggregate per-point shard-supervisor recovery reports into the
+    ``{"shard_recovery": ...}`` manifest block (total restarts and
+    replayed rounds, plus per-shard attribution keyed by shard id,
+    summed over the points that needed recovery)."""
+    total_restarts = 0
+    total_replayed = 0
+    per_shard: Dict[str, Dict[str, Any]] = {}
+    for result in results:
+        recovery = getattr(result, "shard_recovery", None)
+        if not recovery:
+            continue
+        total_restarts += recovery.get("restarts", 0)
+        total_replayed += recovery.get("replayed_rounds", 0)
+        for shard, report in (recovery.get("per_shard") or {}).items():
+            agg = per_shard.setdefault(str(shard), {
+                "restarts": 0, "replayed_rounds": 0, "failures": [],
+            })
+            agg["restarts"] += report.get("restarts", 0)
+            agg["replayed_rounds"] += report.get("replayed_rounds", 0)
+            agg["failures"].extend(report.get("failures", ()))
+    if not total_restarts:
+        return {}
+    return {"shard_recovery": {
+        "restarts": total_restarts,
+        "replayed_rounds": total_replayed,
+        "per_shard": per_shard,
+    }}
+
+
+def _combined_manifest_extra(
+    *summaries: Callable[[Sequence[Any]], Dict[str, Any]],
+) -> Callable[[Sequence[Any]], Dict[str, Any]]:
+    """Merge several manifest-summary callables into one."""
+
+    def extra(results: Sequence[Any]) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {}
+        for summary in summaries:
+            merged.update(summary(results))
+        return merged
+
+    return extra
+
+
 @register_result_type
 @dataclass
 class SweepPoint:
@@ -90,6 +134,12 @@ class SweepPoint:
     #: with ``--slo`` objectives; ``None`` otherwise. Optional with a
     #: default so journals written before SLOs existed still decode.
     slo: Optional[Dict[str, dict]] = None
+    #: Shard-supervisor recovery report (restarts / replayed_rounds /
+    #: per-shard attribution) when worker processes had to be rebuilt
+    #: mid-run; ``None`` for unsharded or fault-free points, which
+    #: keeps an unfaulted sharded point equal to its vanilla twin and
+    #: lets journals written before supervision existed still decode.
+    shard_recovery: Optional[dict] = None
 
     @property
     def slo_breaches(self) -> int:
@@ -126,6 +176,9 @@ def measure_at_load(
     trace_dir: Optional[Union[str, Path]] = None,
     slo: Optional[SLOSpec] = None,
     shards: int = 1,
+    shard_timeout: Optional[float] = None,
+    shard_restarts: Optional[int] = None,
+    shard_journal_dir: Optional[Union[str, Path]] = None,
     **world_kwargs,
 ) -> SweepPoint:
     """Build a fresh world, drive it at *qps* for *duration* seconds,
@@ -175,7 +228,7 @@ def measure_at_load(
                 f"repro.shard support shards > 1 (run with shards=1)"
             )
         unsupported = {
-            "mix": mix, "fault_plan": fault_plan, "audit": audit or None,
+            "mix": mix,
             "trace": trace or None, "trace_dir": trace_dir, "slo": slo,
         }
         blocked = [name for name, value in unsupported.items() if value]
@@ -184,13 +237,33 @@ def measure_at_load(
                 f"shards > 1 does not support {', '.join(blocked)}; "
                 f"run those with shards=1"
             )
+        journal_path = None
+        if shard_journal_dir is not None:
+            journal_path = (
+                Path(shard_journal_dir) / f"shard_journal_qps{qps:g}.jsonl"
+            )
         return runner(
             qps=qps,
             duration=duration,
             warmup=warmup,
             seed=derive_seed(seed, float(qps)),
             shards=shards,
+            audit=audit,
+            fault_plan=fault_plan,
+            shard_timeout=shard_timeout,
+            shard_restarts=shard_restarts,
+            journal_path=journal_path,
             **world_kwargs,
+        )
+    if fault_plan is not None and fault_plan.shard_faults():
+        raise ReproError(
+            "fault plan carries shard_kill/shard_hang faults, which "
+            "target the sharded execution layer; run with --shards N"
+        )
+    if shard_timeout is not None or shard_restarts is not None:
+        raise ReproError(
+            "shard_timeout/shard_restarts tune the shard supervisor; "
+            "they need shards > 1"
         )
     if trace_dir is not None and not trace:
         trace = True
@@ -299,6 +372,8 @@ def load_latency_sweep(
     trace_dir: Optional[Union[str, Path]] = None,
     slo: Optional[SLOSpec] = None,
     shards: int = 1,
+    shard_timeout: Optional[float] = None,
+    shard_restarts: Optional[int] = None,
     **world_kwargs,
 ) -> List[SweepPoint]:
     """One :func:`measure_at_load` per offered load, ascending.
@@ -327,10 +402,19 @@ def load_latency_sweep(
     loads = sorted(loads)
     if trace_dir is not None and not trace:
         trace = True
+    # Sharded points mirror their replay journals into the run
+    # directory so a post-mortem can verify recovery digests.
+    shard_journal_dir = (
+        Path(run_dir) / "shard_journals"
+        if run_dir is not None and shards > 1
+        else None
+    )
     point = functools.partial(
         measure_at_load, build_world, duration=duration, warmup=warmup,
         mix=mix, seed=seed, fault_plan=fault_plan, audit=audit,
         trace=trace, trace_dir=trace_dir, slo=slo, shards=shards,
+        shard_timeout=shard_timeout, shard_restarts=shard_restarts,
+        shard_journal_dir=shard_journal_dir,
         **world_kwargs,
     )
     if run_dir is None:
@@ -359,10 +443,15 @@ def load_latency_sweep(
         for qps, derived in zip(loads, seeds)
     ]
     store = RunStore(run_dir, experiment, config=config)
+    summaries = [shard_recovery_manifest_summary] if shards > 1 else []
+    if slo:
+        summaries.append(slo_manifest_summary)
     return durable_map(
         point, loads, store=store, keys=keys, seeds=seeds,
         resume=resume, jobs=jobs, retries=retries, timeout=timeout,
-        manifest_extra=slo_manifest_summary if slo else None,
+        manifest_extra=(
+            _combined_manifest_extra(*summaries) if summaries else None
+        ),
     )
 
 

@@ -72,6 +72,12 @@ class ExperimentSpec:
         """Whether the runner can use the sharded parallel core."""
         return self._accepts("shards")
 
+    @property
+    def supports_shard_tuning(self) -> bool:
+        """Whether the runner exposes the shard-supervisor knobs
+        (window timeout, restart budget)."""
+        return self._accepts("shard_timeout")
+
     def run(
         self,
         jobs: int = 1,
@@ -83,6 +89,8 @@ class ExperimentSpec:
         slo: Any = None,
         fault_plan: Any = None,
         shards: int = 1,
+        shard_timeout: Any = None,
+        shard_restarts: Any = None,
         **kwargs: Any,
     ) -> Any:
         """Run the experiment.
@@ -137,6 +145,21 @@ class ExperimentSpec:
                     f"sharded parallel core (--shards)"
                 )
             kwargs.setdefault("shards", shards)
+        if shard_timeout is not None or shard_restarts is not None:
+            if shards == 1:
+                raise ReproError(
+                    "--shard-timeout/--shard-restarts tune the shard "
+                    "supervisor; they need --shards N"
+                )
+            if not self.supports_shard_tuning:
+                raise ReproError(
+                    f"experiment {self.exp_id!r} does not expose the "
+                    f"shard supervisor knobs"
+                )
+            if shard_timeout is not None:
+                kwargs.setdefault("shard_timeout", shard_timeout)
+            if shard_restarts is not None:
+                kwargs.setdefault("shard_restarts", shard_restarts)
         return self.runner(**kwargs)
 
 

@@ -142,6 +142,10 @@ class TailAtScalePoint:
     #: Per-SLO verdicts when the cell ran with objectives attached
     #: (``None`` otherwise; defaulted so old journals still decode).
     slo: Optional[dict] = None
+    #: Shard-supervisor recovery report when worker processes had to
+    #: be rebuilt mid-run (``None`` for unsharded or fault-free cells,
+    #: so unfaulted results stay identical and old journals decode).
+    shard_recovery: Optional[dict] = None
 
 
 def measure_tail_at_scale(
@@ -157,6 +161,10 @@ def measure_tail_at_scale(
     slo: Optional[SLOSpec] = None,
     shards: int = 1,
     network: Optional[NetworkFabric] = None,
+    fault_plan=None,
+    shard_timeout: Optional[float] = None,
+    shard_restarts: Optional[int] = None,
+    shard_journal_dir: Optional[Union[str, Path]] = None,
 ) -> TailAtScalePoint:
     """Drive one (cluster size, slow fraction) configuration and report
     the p50/p99 of the fan-in-synchronised end-to-end latency.
@@ -170,22 +178,35 @@ def measure_tail_at_scale(
     (:func:`repro.shard.measure_fanout_sharded`): one worker process
     per shard, synchronised by conservative time windows. Requires a
     *network* whose propagation has a positive minimum (otherwise the
-    planner falls back to one shard with a ``RuntimeWarning``), and is
-    mutually exclusive with the single-simulator-only knobs (*audit*,
-    *trace*, *slo*). ``shards=1`` is always the vanilla engine.
+    planner falls back to one shard with a ``RuntimeWarning``).
+    *audit* works under shards too — it runs the merged cross-shard
+    conservation audit on the per-shard finalize counters; *trace* and
+    *slo* remain single-simulator-only. *fault_plan* under shards may
+    carry ``shard_kill``/``shard_hang`` chaos (the supervisor recovers
+    and results must not change); under ``shards=1`` it arms the
+    ordinary in-simulation :class:`~repro.faults.FaultInjector`.
     """
     if shards > 1:
-        if audit or trace or trace_dir is not None or slo is not None:
+        if trace or trace_dir is not None or slo is not None:
             raise ReproError(
-                "shards > 1 does not support audit/trace/slo "
+                "shards > 1 does not support trace/slo "
                 "instrumentation yet; run those with shards=1"
             )
         from ..shard import measure_fanout_sharded
 
+        journal_path = None
+        if shard_journal_dir is not None:
+            journal_path = (
+                Path(shard_journal_dir)
+                / f"shard_journal_size{cluster_size}_slow{slow_fraction:g}.jsonl"
+            )
         result = measure_fanout_sharded(
             cluster_size, slow_fraction, qps=qps,
             num_requests=num_requests, slow_factor=slow_factor,
             seed=seed, shards=shards, network=network,
+            audit=audit, fault_plan=fault_plan,
+            shard_timeout=shard_timeout, shard_restarts=shard_restarts,
+            journal_path=journal_path,
         )
         return TailAtScalePoint(
             cluster_size=cluster_size,
@@ -193,6 +214,19 @@ def measure_tail_at_scale(
             p50=result["p50"],
             p99=result["p99"],
             requests=result["requests"],
+            shard_recovery=(
+                result["recovery"] if result["restarts"] else None
+            ),
+        )
+    if fault_plan is not None and fault_plan.shard_faults():
+        raise ReproError(
+            "fault plan carries shard_kill/shard_hang faults, which "
+            "target the sharded execution layer; run with --shards N"
+        )
+    if shard_timeout is not None or shard_restarts is not None:
+        raise ReproError(
+            "shard_timeout/shard_restarts tune the shard supervisor; "
+            "they need shards > 1"
         )
     if trace_dir is not None and not trace:
         trace = True
@@ -200,6 +234,13 @@ def measure_tail_at_scale(
         cluster_size, slow_fraction, slow_factor, seed=seed,
         network=network,
     )
+    if fault_plan is not None:
+        from ..faults import FaultInjector
+
+        FaultInjector(
+            world.sim, world.deployment, world.cluster.network,
+            fault_plan, cluster=world.cluster,
+        ).arm()
     if trace:
         world.dispatcher.trace = trace
     client = OpenLoopClient(
@@ -254,13 +295,19 @@ def _measure_grid_point(
     slo: Optional[SLOSpec] = None,
     shards: int = 1,
     network: Optional[NetworkFabric] = None,
+    fault_plan=None,
+    shard_timeout: Optional[float] = None,
+    shard_restarts: Optional[int] = None,
+    shard_journal_dir: Optional[Union[str, Path]] = None,
 ) -> TailAtScalePoint:
     """Picklable per-cell worker for the parallel grid sweep."""
     size, frac = size_and_fraction
     return measure_tail_at_scale(
         size, frac, qps=qps, num_requests=num_requests, seed=seed,
         audit=audit, trace=trace, trace_dir=trace_dir, slo=slo,
-        shards=shards, network=network,
+        shards=shards, network=network, fault_plan=fault_plan,
+        shard_timeout=shard_timeout, shard_restarts=shard_restarts,
+        shard_journal_dir=shard_journal_dir,
     )
 
 
@@ -282,6 +329,9 @@ def tail_at_scale_sweep(
     slo: Optional[SLOSpec] = None,
     shards: int = 1,
     network: Optional[NetworkFabric] = None,
+    fault_plan=None,
+    shard_timeout: Optional[float] = None,
+    shard_restarts: Optional[int] = None,
 ):
     """The full Fig 14 grid. Each (size, fraction) cell simulates an
     independent cluster, so ``jobs > 1`` fans the grid out across
@@ -303,10 +353,17 @@ def tail_at_scale_sweep(
         TraceConfig(sample_rate=trace_sample) if trace_dir is not None
         else False
     )
+    shard_journal_dir = (
+        Path(run_dir) / "shard_journals"
+        if run_dir is not None and shards > 1
+        else None
+    )
     cell = functools.partial(
         _measure_grid_point, qps=qps, num_requests=num_requests, seed=seed,
         audit=audit, trace=trace, trace_dir=trace_dir, slo=slo,
-        shards=shards, network=network,
+        shards=shards, network=network, fault_plan=fault_plan,
+        shard_timeout=shard_timeout, shard_restarts=shard_restarts,
+        shard_journal_dir=shard_journal_dir,
     )
     if run_dir is None:
         return parallel_map(
@@ -316,7 +373,9 @@ def tail_at_scale_sweep(
         "qps": qps, "num_requests": num_requests, "audit": audit,
     }
     # Journal-key stability: older journals hashed a config without
-    # these knobs, so only non-default values contribute.
+    # these knobs, so only non-default values contribute. Supervision
+    # tuning (shard_timeout/shard_restarts) and journal mirroring are
+    # operational knobs that cannot change results, so they never join.
     if shards != 1:
         config["shards"] = shards
     if network is not None:
@@ -325,6 +384,8 @@ def tail_at_scale_sweep(
         config["trace"] = repr(trace)
     if slo:
         config["slo"] = [s.name for s in resolve_slos(slo, window=1.0)]
+    if fault_plan is not None and len(fault_plan):
+        config["fault_plan"] = repr(fault_plan.sorted())
     keys = [
         point_key(
             experiment, {"size": size, "frac": frac}, seed, config
@@ -332,9 +393,22 @@ def tail_at_scale_sweep(
         for size, frac in grid
     ]
     store = RunStore(run_dir, experiment, config=config)
+    summaries = []
+    if shards > 1:
+        from .loadsweep import shard_recovery_manifest_summary
+
+        summaries.append(shard_recovery_manifest_summary)
+    if slo:
+        summaries.append(slo_manifest_summary)
+    if summaries:
+        from .loadsweep import _combined_manifest_extra
+
+        manifest_extra = _combined_manifest_extra(*summaries)
+    else:
+        manifest_extra = None
     return durable_map(
         cell, grid, store=store, keys=keys,
         seeds=[seed] * len(grid), resume=resume, jobs=jobs,
         retries=retries, timeout=timeout,
-        manifest_extra=slo_manifest_summary if slo else None,
+        manifest_extra=manifest_extra,
     )

@@ -26,6 +26,8 @@ from .plan import (
     MACHINE_RECOVER,
     PARTITION,
     RECOVER,
+    SHARD_HANG,
+    SHARD_KILL,
     SLOW,
     Fault,
     FaultPlan,
@@ -45,6 +47,8 @@ __all__ = [
     "MACHINE_RECOVER",
     "PARTITION",
     "RECOVER",
+    "SHARD_HANG",
+    "SHARD_KILL",
     "SLOW",
     "load_fault_plan",
     "parse_fault",

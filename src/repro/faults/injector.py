@@ -70,6 +70,12 @@ class FaultInjector:
 
     def _validate_target(self, fault: Fault) -> None:
         """Fail fast on targets that do not exist in the deployment."""
+        if fault.kind in _plan._SHARD_KINDS:
+            raise FaultError(
+                f"{fault.kind!r} targets the sharded execution layer, "
+                f"not the simulated world; run with --shards N so the "
+                f"shard supervisor can inject it"
+            )
         if fault.kind in _plan._INSTANCE_KINDS:
             try:
                 self.deployment.find_instance(fault.instance)

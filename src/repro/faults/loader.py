@@ -8,8 +8,13 @@ each entry names a fault ``kind`` plus its target fields::
       {"at": 2.0, "kind": "recover", "instance": "leaf_0"},
       {"at": 0.5, "kind": "slow",    "instance": "leaf_1", "factor": 10},
       {"at": 1.5, "kind": "partition", "src": "m0", "dst": "m1"},
-      {"at": 2.5, "kind": "machine_fail", "machine": "m0"}
+      {"at": 2.5, "kind": "machine_fail", "machine": "m0"},
+      {"at": 3, "kind": "shard_kill", "shard": 1}
     ]}
+
+``shard_kill`` / ``shard_hang`` are execution-layer faults: ``at`` is
+a conservative round index and ``shard`` the worker to strike; they
+only apply to sharded runs (``--shards N``).
 
 Validation errors surface as :class:`~repro.errors.ConfigError` (bad
 file shape) or :class:`~repro.errors.FaultError` (bad fault fields),
@@ -32,6 +37,7 @@ _FIELDS = (
     "src",
     "dst",
     "machine",
+    "shard",
     "factor",
     "disposition",
 )
@@ -55,6 +61,10 @@ def parse_fault(payload: dict, source: str) -> Fault:
         src=payload.get("src"),
         dst=payload.get("dst"),
         machine=payload.get("machine"),
+        shard=(
+            int(payload["shard"]) if payload.get("shard") is not None
+            else None
+        ),
         factor=float(payload.get("factor", 1.0)),
         disposition=str(payload.get("disposition", "fail")),
     )

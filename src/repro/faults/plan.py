@@ -30,6 +30,8 @@ PARTITION = "partition"
 HEAL = "heal"
 MACHINE_FAIL = "machine_fail"
 MACHINE_RECOVER = "machine_recover"
+SHARD_KILL = "shard_kill"
+SHARD_HANG = "shard_hang"
 
 KINDS = (
     CRASH,
@@ -42,11 +44,17 @@ KINDS = (
     HEAL,
     MACHINE_FAIL,
     MACHINE_RECOVER,
+    SHARD_KILL,
+    SHARD_HANG,
 )
 
 _INSTANCE_KINDS = (CRASH, RECOVER, DRAIN, SLOW)
 _LINK_KINDS = (LINK_DEGRADE, LINK_RESTORE, PARTITION, HEAL)
 _MACHINE_KINDS = (MACHINE_FAIL, MACHINE_RECOVER)
+#: Execution-layer faults: they strike the *worker process* running a
+#: shard, not anything inside the simulated world, and ``at`` is a
+#: conservative round index rather than a simulated timestamp.
+_SHARD_KINDS = (SHARD_KILL, SHARD_HANG)
 
 
 @dataclass(frozen=True)
@@ -58,7 +66,10 @@ class Fault:
     link kinds (``link_degrade``/``link_restore``/``partition``/
     ``heal``), and ``machine`` targets machine kinds
     (``machine_fail``/``machine_recover`` — whole-server faults that
-    fan out to every hosted instance). ``factor`` is the slow-down
+    fan out to every hosted instance), and ``shard`` targets the
+    execution-layer kinds (``shard_kill``/``shard_hang`` — SIGKILL or
+    silence the worker *process* running that shard; ``at`` is then a
+    conservative round index, not a simulated time). ``factor`` is the slow-down
     multiplier for ``slow`` and ``link_degrade``; ``disposition`` says
     what a crash does to in-flight jobs (``fail`` notifies upstreams,
     ``drop`` loses them silently).
@@ -70,6 +81,7 @@ class Fault:
     src: Optional[str] = None
     dst: Optional[str] = None
     machine: Optional[str] = None
+    shard: Optional[int] = None
     factor: float = 1.0
     disposition: str = "fail"
 
@@ -86,6 +98,17 @@ class Fault:
             raise FaultError(f"{self.kind!r} fault needs src and dst machines")
         if self.kind in _MACHINE_KINDS and not self.machine:
             raise FaultError(f"{self.kind!r} fault needs a machine name")
+        if self.kind in _SHARD_KINDS:
+            if self.shard is None or self.shard < 0:
+                raise FaultError(
+                    f"{self.kind!r} fault needs a shard id >= 0, "
+                    f"got {self.shard!r}"
+                )
+            if self.at != int(self.at):
+                raise FaultError(
+                    f"{self.kind!r} faults fire at a conservative round "
+                    f"index (an integer), got at={self.at!r}"
+                )
         if self.kind in (SLOW, LINK_DEGRADE) and self.factor < 1.0:
             raise FaultError(
                 f"{self.kind!r} factor must be >= 1, got {self.factor!r}"
@@ -164,6 +187,27 @@ class FaultPlan:
         schedulable again and every still-deployed hosted instance
         recovers."""
         return self.add(Fault(at=at, kind=MACHINE_RECOVER, machine=machine))
+
+    def kill_shard(self, shard_id: int, at_round: int) -> "FaultPlan":
+        """SIGKILL the worker process of shard *shard_id* at
+        conservative round *at_round* (an execution-layer fault: the
+        supervisor must rebuild and replay the shard, and the run's
+        results must not change)."""
+        return self.add(Fault(at=at_round, kind=SHARD_KILL, shard=shard_id))
+
+    def hang_shard(self, shard_id: int, at_round: int) -> "FaultPlan":
+        """Silence the worker process of shard *shard_id* at round
+        *at_round* — alive but unresponsive, the failure mode the
+        supervisor's window deadline exists for."""
+        return self.add(Fault(at=at_round, kind=SHARD_HANG, shard=shard_id))
+
+    def shard_faults(self) -> List[Fault]:
+        """The execution-layer (``shard_*``) subset, in round order."""
+        return [f for f in self.sorted() if f.kind in _SHARD_KINDS]
+
+    def sim_faults(self) -> List[Fault]:
+        """The in-simulation subset (everything except ``shard_*``)."""
+        return [f for f in self.sorted() if f.kind not in _SHARD_KINDS]
 
     def sorted(self) -> List[Fault]:
         """The schedule in injection order (stable by time)."""

@@ -20,12 +20,19 @@ from .parallel import (
     parallel_map,
     resolve_jobs,
 )
-from .runstore import RunStore, durable_map, point_key, register_result_type
+from .runstore import (
+    RunStore,
+    append_jsonl,
+    durable_map,
+    point_key,
+    register_result_type,
+)
 from .seeding import derive_seed
 
 __all__ = [
     "ItemFailure",
     "RunStore",
+    "append_jsonl",
     "parallel_map",
     "resolve_jobs",
     "derive_seed",

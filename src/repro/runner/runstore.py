@@ -160,6 +160,22 @@ def point_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
 
 
+def append_jsonl(path: Union[str, Path], entry: dict) -> None:
+    """Durably append one JSON line (open-write-fsync-close).
+
+    The journal discipline shared by :class:`RunStore` and the sharded
+    replay log (:class:`repro.shard.journal.ReplayJournal`): entries
+    land seconds apart, so per-line durability beats throughput, and a
+    torn final line from a killed process leaves every earlier line
+    intact.
+    """
+    line = json.dumps(entry, sort_keys=True)
+    with open(path, "a") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
 def write_json_atomic(path: Union[str, Path], payload: dict) -> None:
     """Write *payload* as JSON via a same-directory temp file and
     :func:`os.replace`, so readers never observe a torn file."""
@@ -310,13 +326,8 @@ class RunStore:
         })
 
     def _append(self, entry: dict) -> None:
-        """Durably append one journal line (open-write-fsync-close:
-        points land seconds apart, durability beats throughput here)."""
-        line = json.dumps(entry, sort_keys=True)
-        with open(self.journal_path, "a") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        """Durably append one journal line (see :func:`append_jsonl`)."""
+        append_jsonl(self.journal_path, entry)
         self._entries[entry["key"]] = entry
 
     # -- manifest ---------------------------------------------------------

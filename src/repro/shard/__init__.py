@@ -22,6 +22,11 @@ Layering:
   never throttles the others);
 * :mod:`~repro.shard.worker` — process-mode execution, inline mode,
   and the sandbox fallback;
+* :mod:`~repro.shard.journal` + :mod:`~repro.shard.supervisor` — the
+  fault-tolerance layer: a barrier-replay journal of every completed
+  round and per-worker supervision (liveness deadlines, budgeted
+  restart with verified replay) so a dead or hung worker costs a
+  recovery, not the run;
 * :mod:`~repro.shard.fanout` — the first ported model: the Fig 14
   fan-out/fan-in cluster, with single-shard-equivalence guarantees.
 
@@ -40,26 +45,44 @@ from .fanout import (
     measure_fanout_vanilla,
     plan_fanout_shards,
 )
+from .journal import ReplayJournal, load_replay_journal, outbound_digest
 from .message import ShardMessage, deterministic_order
 from .partition import ShardPlan, fabric_lookahead, plan_shards
+from .supervisor import ShardSupervisor
 from .sync import ConservativeCoordinator, ShardHost
-from .worker import ShardWorkerProxy, run_sharded, start_shard_hosts
+from .worker import (
+    DEFAULT_WINDOW_TIMEOUT,
+    ShardWorkerDied,
+    ShardWorkerHung,
+    ShardWorkerProxy,
+    run_sharded,
+    spawn_worker,
+    start_shard_hosts,
+)
 
 __all__ = [
     "ConservativeCoordinator",
+    "DEFAULT_WINDOW_TIMEOUT",
     "FanoutLeafHost",
     "FanoutRootHost",
+    "ReplayJournal",
     "ShardHost",
     "ShardMessage",
     "ShardPlan",
+    "ShardSupervisor",
+    "ShardWorkerDied",
+    "ShardWorkerHung",
     "ShardWorkerProxy",
     "deterministic_order",
     "fabric_lookahead",
     "fanout_sharded_load_point",
+    "load_replay_journal",
     "measure_fanout_sharded",
     "measure_fanout_vanilla",
+    "outbound_digest",
     "plan_fanout_shards",
     "plan_shards",
     "run_sharded",
+    "spawn_worker",
     "start_shard_hosts",
 ]

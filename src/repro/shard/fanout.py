@@ -461,6 +461,7 @@ class FanoutRootHost(ShardHost):
         times, values = recorder.samples()
         base.update(
             requests_sent=self.client.requests_sent,
+            requests_submitted=self.requests_submitted,
             requests_completed=self.client.requests_completed,
             outcomes=dict(self.client.outcomes),
             completions=[float(t) for t in times],
@@ -618,6 +619,7 @@ def _fanout_specs(
 
 def _result_dict(plan, coordinator, results) -> dict:
     root = results[0]
+    recovery = getattr(coordinator, "recovery", None)
     return {
         "shards": plan.num_shards,
         "mode": getattr(coordinator, "mode", "inline"),
@@ -633,7 +635,37 @@ def _result_dict(plan, coordinator, results) -> dict:
         "p99": root.get("p99"),
         "window": root.get("window"),
         "fallback_reason": plan.fallback_reason,
+        "restarts": recovery["restarts"] if recovery else 0,
+        "replayed_rounds": recovery["replayed_rounds"] if recovery else 0,
+        "recovery": recovery,
     }
+
+
+def _shard_chaos(fault_plan, plan: ShardPlan) -> Optional[dict]:
+    """``FaultPlan`` -> the coordinator's chaos schedule.
+
+    Only execution-layer (``shard_kill`` / ``shard_hang``) faults are
+    meaningful under shards; anything else in the plan is a loud error
+    — in-simulation faults are not supported on the sharded fan-out
+    world, and silently dropping them would fake a chaos result.
+    """
+    if fault_plan is None:
+        return None
+    from ..faults.plan import SHARD_HANG, SHARD_KILL
+
+    chaos: Dict[int, List[Tuple[int, str]]] = {}
+    for fault in fault_plan.sorted():
+        if fault.kind not in (SHARD_KILL, SHARD_HANG):
+            raise ShardingError(
+                f"fault kind {fault.kind!r} targets the simulated "
+                f"world; the sharded fan-out runner only supports the "
+                f"execution-layer kinds shard_kill/shard_hang (run "
+                f"in-simulation fault plans with shards=1)"
+            )
+        plan.validate_shard(fault.shard)
+        action = "kill" if fault.kind == SHARD_KILL else "hang"
+        chaos.setdefault(int(fault.at), []).append((fault.shard, action))
+    return chaos
 
 
 def measure_fanout_vanilla(
@@ -647,10 +679,12 @@ def measure_fanout_vanilla(
     network: Optional[NetworkFabric] = None,
     stop_at: Optional[float] = None,
     warmup: Optional[float] = None,
+    audit: bool = False,
 ) -> dict:
     """The same measurement on the ordinary single-simulator engine
     (the reference the equivalence tests compare against, and the
     fallback when no positive lookahead exists)."""
+    from ..experiments.audit import audit_client
     from ..experiments.tail_at_scale import build_fanout_cluster
 
     world = build_fanout_cluster(
@@ -673,6 +707,8 @@ def measure_fanout_vanilla(
         world.sim.run(until=stop_at)
     else:
         world.sim.run()
+    if audit:
+        audit_client(client, world.sim, dispatcher=world.dispatcher)
     recorder = client.latencies
     times, values = recorder.samples()
     result = {
@@ -690,6 +726,9 @@ def measure_fanout_vanilla(
         "p99": recorder.p99() if len(recorder) else None,
         "window": None,
         "fallback_reason": None,
+        "restarts": 0,
+        "replayed_rounds": 0,
+        "recovery": None,
     }
     if stop_at is not None and warmup is not None:
         completed = recorder.count(since=warmup, until=stop_at)
@@ -720,6 +759,11 @@ def measure_fanout_sharded(
     max_window: Optional[float] = None,
     stop_at: Optional[float] = None,
     warmup: Optional[float] = None,
+    audit: bool = False,
+    fault_plan=None,
+    shard_timeout: Optional[float] = None,
+    shard_restarts: Optional[int] = None,
+    journal_path=None,
 ) -> dict:
     """Run the fan-out world across *shards* simulator shards.
 
@@ -729,6 +773,14 @@ def measure_fanout_sharded(
     Falls back — loudly, via the planner's ``RuntimeWarning`` — to the
     single-shard engine when the fabric has no positive lookahead, so
     the returned dict always has the same shape.
+
+    *audit* runs the merged cross-shard conservation audit
+    (:func:`repro.experiments.audit.audit_sharded_run`) on the
+    per-shard finalize counters. *fault_plan* may carry
+    ``shard_kill``/``shard_hang`` faults (execution-layer chaos: the
+    supervisor must recover and the results must not change);
+    *shard_timeout*, *shard_restarts* and *journal_path* tune the
+    supervision layer (see :func:`repro.shard.worker.run_sharded`).
     """
     if num_requests is None and stop_at is None:
         raise ShardingError(
@@ -737,6 +789,16 @@ def measure_fanout_sharded(
     fabric = network if network is not None else NetworkFabric()
     plan = plan_fanout_shards(cluster_size, shards, fabric)
     if not plan.sharded:
+        if fault_plan is not None and len(fault_plan):
+            raise ShardingError(
+                f"fault plan carries {len(fault_plan)} shard fault(s) "
+                f"but the run is not sharded"
+                + (
+                    f" ({plan.fallback_reason})"
+                    if plan.fallback_reason
+                    else ""
+                )
+            )
         result = measure_fanout_vanilla(
             cluster_size,
             slow_fraction,
@@ -748,9 +810,11 @@ def measure_fanout_sharded(
             network=fabric,
             stop_at=stop_at,
             warmup=warmup,
+            audit=audit,
         )
         result["fallback_reason"] = plan.fallback_reason
         return result
+    chaos = _shard_chaos(fault_plan, plan)
     specs, edges = _fanout_specs(
         plan,
         cluster_size=cluster_size,
@@ -764,9 +828,21 @@ def measure_fanout_sharded(
         stop_at=stop_at,
         warmup=warmup,
     )
+    run_kwargs: dict = {"chaos": chaos, "journal_path": journal_path}
+    if shard_timeout is not None:
+        run_kwargs["window_timeout"] = shard_timeout
+    if shard_restarts is not None:
+        run_kwargs["max_shard_restarts"] = shard_restarts
     results, coordinator = run_sharded(
-        specs, edges, mode=mode, max_window=max_window
+        specs, edges, mode=mode, max_window=max_window, **run_kwargs
     )
+    if audit:
+        from ..experiments.audit import audit_sharded_run
+
+        audit_sharded_run(
+            results,
+            messages_exchanged=coordinator.messages_exchanged,
+        )
     return _result_dict(plan, coordinator, results)
 
 
@@ -784,6 +860,11 @@ def fanout_sharded_load_point(
     network: Optional[NetworkFabric] = None,
     mode: str = "auto",
     max_window: Optional[float] = None,
+    audit: bool = False,
+    fault_plan=None,
+    shard_timeout: Optional[float] = None,
+    shard_restarts: Optional[int] = None,
+    journal_path=None,
 ):
     """``measure_at_load``-compatible sharded runner for the fan-out
     world (attached to ``build_fanout_cluster.sharded_runner``).
@@ -791,6 +872,9 @@ def fanout_sharded_load_point(
     *seed* arrives already derived per load point; returns a
     :class:`~repro.experiments.loadsweep.SweepPoint` with statistics
     over the post-warmup window, wedge semantics included.
+    ``shard_recovery`` is populated only when workers actually had to
+    be restarted, so an unfaulted sharded point stays equal to its
+    vanilla twin.
     """
     from ..experiments.loadsweep import SweepPoint
 
@@ -808,11 +892,18 @@ def fanout_sharded_load_point(
         max_window=max_window,
         stop_at=duration,
         warmup=warmup,
+        audit=audit,
+        fault_plan=fault_plan,
+        shard_timeout=shard_timeout,
+        shard_restarts=shard_restarts,
+        journal_path=journal_path,
     )
+    recovery = result["recovery"] if result["restarts"] else None
     window = result["window"] or {"completed": 0}
     if not window["completed"]:
         return SweepPoint(qps, 0.0, float("inf"), float("inf"),
-                          float("inf"), float("inf"), 0)
+                          float("inf"), float("inf"), 0,
+                          shard_recovery=recovery)
     return SweepPoint(
         offered_qps=qps,
         throughput=window["throughput"],
@@ -821,6 +912,7 @@ def fanout_sharded_load_point(
         p95=window["p95"],
         p99=window["p99"],
         completed=window["completed"],
+        shard_recovery=recovery,
     )
 
 

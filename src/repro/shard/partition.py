@@ -62,6 +62,26 @@ class ShardPlan:
         """Machine names assigned to *shard*, in assignment order."""
         return [m for m, s in self.assignments.items() if s == shard]
 
+    def validate_shard(self, shard) -> int:
+        """Check *shard* names a shard of this plan; returns it.
+
+        Used by the chaos layer to fail fast when a ``shard_kill``
+        fault targets a shard that does not exist (or the plan fell
+        back to one shard, where killing the only worker cannot be
+        recovered into the same run)."""
+        if shard is None or not 0 <= int(shard) < self.num_shards:
+            detail = (
+                f"; plan fell back to a single shard "
+                f"({self.fallback_reason})"
+                if self.fallback_reason
+                else ""
+            )
+            raise ShardingError(
+                f"fault targets shard {shard!r} but the plan has "
+                f"shards 0..{self.num_shards - 1}{detail}"
+            )
+        return int(shard)
+
 
 def fabric_lookahead(fabric: NetworkFabric) -> float:
     """The conservative cross-shard lookahead of *fabric*.

@@ -83,6 +83,14 @@ class ShardHost:
         self._pending_advance: Optional[
             Tuple[float, List[ShardMessage]]
         ] = None
+        # Per-round conservation ledger for the merged cross-shard
+        # audit: one dict per advance() call (== one per coordinator
+        # round, since every host advances every round), keyed by the
+        # peer shard id as a string (picklable *and* JSON-safe, so the
+        # ledger survives the worker pipe and the run manifest).
+        self._round_sent: Dict[str, int] = {}
+        self._conservation_sent: List[Dict[str, int]] = []
+        self._conservation_recv: List[Dict[str, int]] = []
 
     # Outbound ---------------------------------------------------------
 
@@ -110,6 +118,8 @@ class ShardHost:
                 f"stamps >= clock + lookahead"
             )
         self._send_seq += 1
+        key = str(dst_shard)
+        self._round_sent[key] = self._round_sent.get(key, 0) + 1
         self._outbox.append((
             dst_shard,
             ShardMessage(
@@ -157,6 +167,10 @@ class ShardHost:
         self, until: float, inbound: Sequence[ShardMessage]
     ) -> Tuple[float, List[Tuple[int, ShardMessage]]]:
         """Deliver *inbound*, run to *until* (inclusive), drain outbox."""
+        received: Dict[str, int] = {}
+        for msg in inbound:
+            key = str(msg.src_shard)
+            received[key] = received.get(key, 0) + 1
         for msg in deterministic_order(inbound):
             if msg.time < self.sim.now:
                 raise ShardingError(
@@ -177,6 +191,9 @@ class ShardHost:
             self.sim.run(until=limit)
         out = self._outbox
         self._outbox = []
+        self._conservation_recv.append(received)
+        self._conservation_sent.append(self._round_sent)
+        self._round_sent = {}
         return self.horizon(), out
 
     # Model hooks ------------------------------------------------------
@@ -186,11 +203,22 @@ class ShardHost:
         raise NotImplementedError
 
     def finalize(self) -> dict:
-        """Shard results after the last round (picklable)."""
+        """Shard results after the last round (picklable).
+
+        The ``conservation`` block is the shard's half of the merged
+        cross-shard audit (:func:`repro.experiments.audit.audit_sharded_run`):
+        per-round send/receive counts keyed by peer shard, which the
+        coordinator's barrier semantics tie together — everything sent
+        in round *r* is delivered in round *r + 1*, exactly once.
+        """
         return {
             "shard": self.shard_id,
             "events": self.sim.events_processed,
             "clock": self.sim.now,
+            "conservation": {
+                "sent": list(self._conservation_sent),
+                "received": list(self._conservation_recv),
+            },
         }
 
 
@@ -207,6 +235,15 @@ class ConservativeCoordinator:
     *max_window* optionally caps each round at
     ``min(eff) + max_window`` — useful to bound the memory of a shard
     racing far ahead; it cannot affect results, only round count.
+
+    *journal*, when given, is a
+    :class:`~repro.shard.journal.ReplayJournal` the coordinator fills
+    with every completed round (bounds, inbound messages, outbound
+    digests) — the replay log supervised workers recover from.
+    *chaos* maps a round index to ``[(shard_id, action), ...]`` fault
+    injections (``"kill"`` / ``"hang"``), fired just after the round's
+    commands are staged; it requires hosts exposing the injection
+    hooks (supervised process workers).
     """
 
     def __init__(
@@ -214,8 +251,14 @@ class ConservativeCoordinator:
         hosts: Sequence,
         lookaheads: Dict[Tuple[int, int], float],
         max_window: Optional[float] = None,
+        journal=None,
+        chaos: Optional[Dict[int, Sequence[Tuple[int, str]]]] = None,
     ) -> None:
         self.hosts = list(hosts)
+        self.journal = journal
+        self.chaos = dict(chaos) if chaos else {}
+        #: ``(round, shard, action)`` triples actually injected.
+        self.chaos_fired: List[Tuple[int, int, str]] = []
         n = len(self.hosts)
         if n == 0:
             raise ShardingError("coordinator needs at least one shard")
@@ -223,6 +266,23 @@ class ConservativeCoordinator:
             raise ShardingError(
                 f"max_window must be positive, got {max_window!r}"
             )
+        for at_round, injections in self.chaos.items():
+            for shard, action in injections:
+                if not 0 <= shard < n:
+                    raise ShardingError(
+                        f"chaos at round {at_round} targets shard "
+                        f"{shard}, outside 0..{n - 1}"
+                    )
+                if action not in ("kill", "hang"):
+                    raise ShardingError(
+                        f"chaos action must be 'kill' or 'hang', "
+                        f"got {action!r}"
+                    )
+                if not hasattr(self.hosts[shard], "inject_kill"):
+                    raise ShardingError(
+                        "chaos injection requires supervised process "
+                        "workers (host has no injection hooks)"
+                    )
         self.max_window = max_window
         self.rounds = 0
         self.messages_exchanged = 0
@@ -267,6 +327,8 @@ class ConservativeCoordinator:
     def run(self) -> List[dict]:
         """Drive all shards to completion; returns per-shard finalize
         dicts (in shard order)."""
+        if self.journal is not None:
+            from .journal import outbound_digest
         hosts = self.hosts
         n = len(hosts)
         dist = self._dist
@@ -306,11 +368,25 @@ class ConservativeCoordinator:
                 if self.max_window is not None:
                     bound = min(bound, min_eff + self.max_window)
                 bounds.append(bound)
+            inbounds = pending
+            pending = [[] for _ in range(n)]
             for i in range(n):
-                hosts[i].begin_advance(bounds[i], pending[i])
-                pending[i] = []
+                hosts[i].begin_advance(bounds[i], inbounds[i])
+            # Chaos lands after the round's commands are staged: a
+            # "kill" strikes the worker mid-advance (it may or may not
+            # have replied — recovery must handle both), a "hang" is
+            # queued behind the advance and silences the *next* read.
+            for shard, action in self.chaos.get(self.rounds, ()):
+                host = hosts[shard]
+                if action == "kill":
+                    host.inject_kill()
+                else:
+                    host.inject_hang()
+                self.chaos_fired.append((self.rounds, shard, action))
+            outs: List[List[Tuple[int, ShardMessage]]] = []
             for i in range(n):
                 horizons[i], out = hosts[i].finish_advance()
+                outs.append(out)
                 for dst, msg in out:
                     if not 0 <= dst < n:
                         raise ShardingError(
@@ -318,5 +394,12 @@ class ConservativeCoordinator:
                         )
                     pending[dst].append(msg)
                     self.messages_exchanged += 1
+            if self.journal is not None:
+                self.journal.record_round(
+                    self.rounds,
+                    bounds,
+                    inbounds,
+                    [outbound_digest(out) for out in outs],
+                )
             self.rounds += 1
         return [host.finalize() for host in hosts]

@@ -109,3 +109,46 @@ class TestLoader:
         )
         plan = load_fault_plan(path)
         assert plan.faults[0].factor == 4.0
+
+
+class TestShardFaults:
+    def test_builders_and_partition_of_the_plan(self):
+        plan = (
+            FaultPlan()
+            .crash(1.0, "leaf_0")
+            .kill_shard(1, 2)
+            .hang_shard(3, 5)
+        )
+        assert [f.kind for f in plan.shard_faults()] == [
+            "shard_kill", "shard_hang",
+        ]
+        assert [f.kind for f in plan.sim_faults()] == ["crash"]
+        assert plan.shard_faults()[0].shard == 1
+        assert plan.shard_faults()[0].at == 2
+
+    def test_shard_kind_needs_a_shard(self):
+        with pytest.raises(FaultError, match="shard"):
+            Fault(at=2.0, kind="shard_kill")
+        with pytest.raises(FaultError):
+            Fault(at=2.0, kind="shard_hang", shard=-1)
+
+    def test_shard_fault_fires_at_a_round_index(self):
+        with pytest.raises(FaultError, match="round index"):
+            Fault(at=2.5, kind="shard_kill", shard=1)
+        Fault(at=2.0, kind="shard_kill", shard=1)  # integral float ok
+
+    def test_loader_parses_shard_field(self):
+        plan = parse_fault_plan(
+            {"faults": [{"at": 3, "kind": "shard_kill", "shard": 1}]},
+            "faults.json",
+        )
+        assert plan.faults[0].shard == 1
+        assert plan.faults[0].kind == "shard_kill"
+
+    def test_injector_rejects_shard_kinds(self):
+        from repro.engine import Simulator
+        from repro.faults import FaultInjector
+
+        plan = FaultPlan().kill_shard(1, 2)
+        with pytest.raises(FaultError, match="--shards"):
+            FaultInjector(Simulator(), {}, None, plan).arm()

@@ -58,7 +58,6 @@ class TestTailAtScaleRouting:
         assert sharded.requests == vanilla.requests
 
     @pytest.mark.parametrize("knob", [
-        {"audit": True},
         {"trace": True},
         {"slo": "p99<5ms"},
     ])
@@ -68,6 +67,14 @@ class TestTailAtScaleRouting:
                 4, 0.0, qps=60.0, num_requests=10,
                 shards=2, network=det_fabric(), **knob
             )
+
+    def test_audit_allowed_when_sharded(self):
+        # The merged conservation audit lifted the old --audit block.
+        point = measure_tail_at_scale(
+            4, 0.0, qps=60.0, num_requests=10, seed=5,
+            shards=2, network=det_fabric(), audit=True,
+        )
+        assert point.requests == 10
 
 
 class TestMeasureAtLoad:
@@ -90,10 +97,17 @@ class TestMeasureAtLoad:
             measure_at_load(bare_builder, qps=10.0, shards=2)
 
     def test_blocked_knobs_listed(self):
-        with pytest.raises(ReproError, match="audit"):
+        with pytest.raises(ReproError, match="slo"):
             measure_at_load(
-                build_fanout_cluster, qps=10.0, shards=2, audit=True,
+                build_fanout_cluster, qps=10.0, shards=2, slo="p99<5ms",
                 cluster_size=4, slow_fraction=0.0,
+            )
+
+    def test_shard_tuning_needs_shards(self):
+        with pytest.raises(ReproError, match="shards"):
+            measure_at_load(
+                build_fanout_cluster, qps=10.0, shards=1,
+                shard_restarts=5, cluster_size=4, slow_fraction=0.0,
             )
 
 
@@ -102,3 +116,20 @@ class TestCLI:
         code = main(["experiments", "run", "fig5", "--shards", "2"])
         assert code == 2
         assert "--shards" in capsys.readouterr().err
+
+    def test_shard_tuning_needs_shards(self, capsys):
+        code = main([
+            "experiments", "run", "fig14", "--shard-restarts", "5",
+        ])
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_shard_tuning_rejected_for_unsupported_runner(self):
+        spec = registry.ExperimentSpec(
+            "toy", "none", "shards but no tuning",
+            lambda shards=1: "ran",
+        )
+        assert spec.supports_shards
+        assert not spec.supports_shard_tuning
+        with pytest.raises(ReproError, match="supervisor knobs"):
+            spec.run(shards=2, shard_timeout=1.0)
