@@ -259,6 +259,111 @@ def test_supervisor_fault_free_overhead(benchmark, emit):
     )
 
 
+def test_adapter_social_network(benchmark, emit):
+    """The generic shard adapter on the Social Network world.
+
+    Three contracts (ISSUE 9): ``shards=1`` stays bit-identical to the
+    vanilla engine, shard counts 2 and 4 stay bit-identical to *each
+    other* under the draw-free fabric (at this load same-instant queue
+    ties occur, where the adapter's tie order is shard-invariant but
+    not vanilla's — see the ``repro.shard.adapter`` contracts), and
+    with telemetry off the per-shard ``finalize()`` payloads ship
+    **no** trace/SLO freight — the blocked-knob lift must cost nothing
+    when the knobs are unused."""
+    from repro.apps import social_network
+    from repro.experiments.loadsweep import measure_vanilla_point
+    from repro.runner import derive_seed
+    from repro.shard.adapter import (
+        build_world_shard_host,
+        sharded_load_point,
+    )
+    from repro.shard.partition import plan_shards
+    from repro.shard.worker import run_sharded
+
+    qps, duration, warmup = 4000.0, 0.2, 0.05
+    seed = derive_seed(SEED, qps)
+    fabric_kwargs = {"network": det_fabric()}
+
+    def point(shards, mode="auto"):
+        start = time.perf_counter()
+        if shards == 1:
+            result = measure_vanilla_point(
+                social_network, qps, duration, warmup, seed,
+                **fabric_kwargs,
+            )
+        else:
+            result = sharded_load_point(
+                social_network, qps, duration, warmup, seed, shards,
+                mode=mode, **fabric_kwargs,
+            )
+        return result, time.perf_counter() - start
+
+    def sweep():
+        return {shards: point(shards) for shards in (1, 2, 4)}
+
+    results = run_once(benchmark, sweep)
+    vanilla_point, vanilla_wall = results[1]
+    two_point, two_wall = results[2]
+    adapter_point, adapter_wall = results[4]
+
+    emit("\n=== Sharded core: Social Network via the generic adapter ===")
+    emit(f"shards=1 {vanilla_wall:.2f}s vs shards=2 {two_wall:.2f}s vs "
+         f"shards=4 {adapter_wall:.2f}s "
+         f"({adapter_point.completed} completions)")
+    bench_record_shard("social_adapter", {
+        "qps": qps,
+        "duration_s": duration,
+        "completed": adapter_point.completed,
+        "p99_s": adapter_point.p99,
+        "vanilla_wall_s": round(vanilla_wall, 4),
+        "shards2_wall_s": round(two_wall, 4),
+        "shards4_wall_s": round(adapter_wall, 4),
+        "shard_counts_identical": two_point == adapter_point,
+    })
+
+    # Identity contracts: N-invariance, and shards=1 == vanilla.
+    assert two_point == adapter_point, (
+        "adapter-built Social Network diverged between shard counts "
+        "under a draw-free fabric"
+    )
+    explicit_one = sharded_load_point(
+        social_network, qps, duration, warmup, seed, 1,
+        mode="inline", **fabric_kwargs,
+    )
+    assert explicit_one == vanilla_point, (
+        "shards=1 through the adapter must be bit-identical to vanilla"
+    )
+
+    # Telemetry-off shipping guard: no trace/SLO freight in any
+    # per-shard result when the knobs are off.
+    probe = social_network(seed=seed, **fabric_kwargs)
+    plan = plan_shards(probe.cluster.machine_names, 4, probe.cluster.network)
+    assert plan.sharded
+    common = dict(
+        builder=social_network, world_kwargs=dict(fabric_kwargs),
+        seed=seed, assignments=dict(plan.assignments),
+        lookahead=plan.lookahead, qps=qps, duration=duration,
+        warmup=warmup, client_machine="client", mix=None, trace=False,
+        slo=None,
+    )
+    specs = [
+        (build_world_shard_host, dict(common, shard_id=i))
+        for i in range(plan.num_shards)
+    ]
+    edges = {
+        (i, j): plan.lookahead
+        for i in range(plan.num_shards)
+        for j in range(plan.num_shards)
+        if i != j
+    }
+    raw_results, _ = run_sharded(specs, edges, mode="inline")
+    for raw in raw_results:
+        assert "trace_spans" not in raw and "traces" not in raw, (
+            "telemetry-off run shipped trace freight cross-shard"
+        )
+        assert "slo" not in raw
+
+
 @pytest.mark.parametrize("shards", [2])
 def test_sharded_identity_smoke(shards, benchmark, emit):
     """A fast standalone identity check (CI perf-smoke runs this plus

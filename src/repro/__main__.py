@@ -283,9 +283,10 @@ def main(argv=None) -> int:
     exp_run.add_argument(
         "--shards", type=int, default=1, metavar="N",
         help="run each measurement on the sharded parallel simulation "
-             "core with N shards (conservative time-window sync; only "
-             "experiments whose topology is ported to repro.shard; "
-             "--shards 1 is always the single-simulator engine)",
+             "core with N shards (conservative time-window sync; "
+             "fig5/fig12b run through the generic shard adapter, fig14 "
+             "through the hand-written fan-out port; --shards 1 is "
+             "always the single-simulator engine)",
     )
     exp_run.add_argument(
         "--shard-timeout", type=float, default=None, metavar="SECONDS",

@@ -519,3 +519,41 @@ def single_memcached(
 def default_value_sizes() -> Exponential:
     """The exponentially distributed request value sizes of SSIV-A."""
     return Exponential(cal.DEFAULT_VALUE_BYTES)
+
+
+# Sharded runners ------------------------------------------------------
+#
+# Opt-in hooks read by :func:`repro.experiments.loadsweep.measure_at_load`
+# when called with ``shards > 1``. Both route through the generic world
+# adapter (:func:`repro.shard.adapter.sharded_load_point`), which
+# replicates the full world per shard and runs the real dispatcher
+# behind ShardHost mailboxes — no hand re-expression of dispatch logic
+# per topology. ``supported_telemetry`` declares which sweep knobs the
+# runner can honour (the adapter ships per-shard telemetry home at
+# finalize and merges it); loadsweep's blocked-knob check reads it.
+
+
+def _two_tier_sharded_runner(*args, **kwargs):
+    """Late import so ``repro.shard`` stays an optional layer of the
+    import graph."""
+    from ..shard.adapter import sharded_load_point
+
+    return sharded_load_point(two_tier, *args, **kwargs)
+
+
+def _social_network_sharded_runner(*args, **kwargs):
+    """Late import so ``repro.shard`` stays an optional layer of the
+    import graph."""
+    from ..shard.adapter import sharded_load_point
+
+    return sharded_load_point(social_network, *args, **kwargs)
+
+
+_two_tier_sharded_runner.supported_telemetry = (
+    "mix", "trace", "trace_dir", "slo",
+)
+_social_network_sharded_runner.supported_telemetry = (
+    "mix", "trace", "trace_dir", "slo",
+)
+two_tier.sharded_runner = _two_tier_sharded_runner
+social_network.sharded_runner = _social_network_sharded_runner

@@ -23,9 +23,12 @@ from .orchestration import (
 from .replication import ReplicatedPoint, replicate_at_load
 from .loadsweep import (
     SweepPoint,
+    find_shard_journal,
     load_latency_sweep,
     measure_at_load,
+    measure_vanilla_point,
     saturation_load,
+    shard_journal_name,
 )
 
 __all__ = [
@@ -38,8 +41,10 @@ __all__ = [
     "audit_sharded_run",
     "build_cluster_world",
     "comparison",
+    "find_shard_journal",
     "load_latency_sweep",
     "measure_at_load",
+    "measure_vanilla_point",
     "node_failure_experiment",
     "orchestration",
     "power_mgmt",
@@ -48,6 +53,7 @@ __all__ = [
     "resilience",
     "rollout_experiment",
     "saturation_load",
+    "shard_journal_name",
     "tail_at_scale",
     "validation",
 ]

@@ -163,6 +163,58 @@ class SweepPoint:
         ]
 
 
+def _trace_requested(
+    trace: Union[bool, TraceConfig],
+    trace_dir: Optional[Union[str, Path]],
+) -> bool:
+    """Would this trace/trace_dir pair actually sample anything?
+
+    ``trace_dir`` alone implies default tracing; a
+    :class:`~repro.telemetry.tracing.TraceConfig` with
+    ``sample_rate=0`` is a configured no-op and must not trip the
+    sharded blocked-knob check (or pay telemetry shipping).
+    """
+    if trace_dir is not None:
+        return True
+    if isinstance(trace, TraceConfig):
+        return trace.sample_rate > 0
+    return bool(trace)
+
+
+def shard_journal_name(derived_seed: int) -> str:
+    """Per-point replay-journal filename, keyed by the derived seed.
+
+    The seed is derived from the full float load
+    (:func:`~repro.runner.derive_seed`), so distinct points can never
+    collide — unlike the old ``qps%g`` naming, where e.g. 1000000.0
+    and 1000000.4 both formatted as ``qps1e+06``.
+    """
+    return f"shard_journal_seed{derived_seed}.jsonl"
+
+
+def find_shard_journal(
+    shard_journal_dir: Union[str, Path],
+    derived_seed: int,
+    qps: Optional[float] = None,
+) -> Optional[Path]:
+    """Locate a point's replay journal, old or new naming.
+
+    Prefers the seed-keyed name; falls back to the legacy
+    ``shard_journal_qps{qps:g}.jsonl`` name (journals written before
+    the seed keying) when *qps* is given. Returns ``None`` when
+    neither exists.
+    """
+    base = Path(shard_journal_dir)
+    path = base / shard_journal_name(derived_seed)
+    if path.exists():
+        return path
+    if qps is not None:
+        legacy = base / f"shard_journal_qps{qps:g}.jsonl"
+        if legacy.exists():
+            return legacy
+    return None
+
+
 def measure_at_load(
     build_world: Callable[..., World],
     qps: float,
@@ -227,32 +279,51 @@ def measure_at_load(
                 f"has no sharded runner; only topologies ported to "
                 f"repro.shard support shards > 1 (run with shards=1)"
             )
-        unsupported = {
-            "mix": mix,
-            "trace": trace or None, "trace_dir": trace_dir, "slo": slo,
+        # Telemetry knobs are forwarded only when the runner declares
+        # them (adapter-based runners carry ``supported_telemetry``;
+        # the hand-written fan-out runner carries none). A knob is
+        # "requested" only when it would actually do something — a
+        # TraceConfig with sampling disabled is a no-op, not a block.
+        supported = frozenset(getattr(runner, "supported_telemetry", ()))
+        requested = {
+            "mix": mix is not None,
+            "trace": _trace_requested(trace, trace_dir),
+            "trace_dir": trace_dir is not None,
+            "slo": slo is not None,
         }
-        blocked = [name for name, value in unsupported.items() if value]
+        blocked = [
+            name for name, active in requested.items()
+            if active and name not in supported
+        ]
         if blocked:
             raise ReproError(
-                f"shards > 1 does not support {', '.join(blocked)}; "
-                f"run those with shards=1"
+                f"this sharded runner does not support "
+                f"{', '.join(blocked)}; run those with shards=1"
             )
+        derived = derive_seed(seed, float(qps))
         journal_path = None
         if shard_journal_dir is not None:
-            journal_path = (
-                Path(shard_journal_dir) / f"shard_journal_qps{qps:g}.jsonl"
+            journal_path = Path(shard_journal_dir) / shard_journal_name(derived)
+        telemetry = {
+            name: value
+            for name, value in (
+                ("mix", mix), ("trace", trace),
+                ("trace_dir", trace_dir), ("slo", slo),
             )
+            if name in supported
+        }
         return runner(
             qps=qps,
             duration=duration,
             warmup=warmup,
-            seed=derive_seed(seed, float(qps)),
+            seed=derived,
             shards=shards,
             audit=audit,
             fault_plan=fault_plan,
             shard_timeout=shard_timeout,
             shard_restarts=shard_restarts,
             journal_path=journal_path,
+            **telemetry,
             **world_kwargs,
         )
     if fault_plan is not None and fault_plan.shard_faults():
@@ -265,9 +336,40 @@ def measure_at_load(
             "shard_timeout/shard_restarts tune the shard supervisor; "
             "they need shards > 1"
         )
+    return measure_vanilla_point(
+        build_world, qps, duration, warmup, derive_seed(seed, float(qps)),
+        mix=mix, fault_plan=fault_plan, audit=audit, trace=trace,
+        trace_dir=trace_dir, slo=slo, **world_kwargs,
+    )
+
+
+def measure_vanilla_point(
+    build_world: Callable[..., World],
+    qps: float,
+    duration: float,
+    warmup: float,
+    derived_seed: int,
+    *,
+    mix: Optional[RequestMix] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    audit: bool = False,
+    trace: Union[bool, TraceConfig] = False,
+    trace_dir: Optional[Union[str, Path]] = None,
+    slo: Optional[SLOSpec] = None,
+    **world_kwargs,
+) -> SweepPoint:
+    """The raw single-simulator measurement behind one sweep point.
+
+    Split out of :func:`measure_at_load` so the sharded adapter's
+    planner fallback (:func:`repro.shard.adapter.sharded_load_point`)
+    can run the *identical* code path with the *identical*
+    already-derived seed — which is what makes ``shards=1`` trivially
+    bit-identical to vanilla. Callers are expected to have done the
+    shard/tuning guard checks; *derived_seed* is used as-is.
+    """
     if trace_dir is not None and not trace:
         trace = True
-    world = build_world(seed=derive_seed(seed, float(qps)), **world_kwargs)
+    world = build_world(seed=derived_seed, **world_kwargs)
     if trace:
         world.dispatcher.trace = trace
     if fault_plan is not None:

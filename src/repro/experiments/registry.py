@@ -138,7 +138,15 @@ class ExperimentSpec:
                     f"experiment {self.exp_id!r} does not support fault_plan"
                 )
             kwargs.setdefault("fault_plan", fault_plan)
-        if shards != 1:
+        # Shard gating, untangled: ``shards=1`` is the default single-core
+        # path and is ALWAYS accepted, capable runner or not — only a
+        # request for actual parallelism (shards >= 2) requires runner
+        # support. The supervisor knobs ride on top of parallelism, so
+        # they are checked against the *requested* shard count, never
+        # against runner capability first.
+        if shards < 1:
+            raise ReproError(f"--shards must be >= 1, got {shards}")
+        if shards > 1:
             if not self.supports_shards:
                 raise ReproError(
                     f"experiment {self.exp_id!r} does not support the "

@@ -106,7 +106,11 @@ def _fanout_sharded_runner(*args, **kwargs):
 
 #: Opt-in hook read by :func:`repro.experiments.loadsweep.measure_at_load`
 #: when called with ``shards > 1`` — builders without the attribute get
-#: a loud error instead of a silently-unsharded run.
+#: a loud error instead of a silently-unsharded run. The hand-written
+#: fan-out runner predates the generic world adapter and supports no
+#: telemetry knobs under shards (adapter-based runners declare theirs
+#: via ``supported_telemetry``; see repro.apps.builders).
+_fanout_sharded_runner.supported_telemetry = ()
 build_fanout_cluster.sharded_runner = _fanout_sharded_runner
 
 

@@ -44,6 +44,10 @@ def _real_and_sim(
     timeout: Optional[float] = None,
     trace_dir: RunDir = None,
     trace_sample: float = 1.0,
+    slo: Optional[str] = None,
+    shards: int = 1,
+    shard_timeout: Optional[float] = None,
+    shard_restarts: Optional[int] = None,
     **world_kwargs,
 ) -> SweepPair:
     """Run the same sweep with and without the realism layer.
@@ -53,11 +57,14 @@ def _real_and_sim(
     whole multi-sweep figure checkpoints into one directory. With
     *trace_dir* set, both sides export per-load Perfetto/OTLP traces
     under ``{trace_dir}/{experiment}/{side}``, sampled at
-    *trace_sample*.
+    *trace_sample*. With ``shards > 1`` both sides run on the sharded
+    parallel core through the builder's adapter runner
+    (:mod:`repro.shard.adapter`); telemetry still merges at the root.
     """
     durable = dict(
         run_dir=run_dir, resume=resume, audit=audit, retries=retries,
-        timeout=timeout,
+        timeout=timeout, slo=slo, shards=shards,
+        shard_timeout=shard_timeout, shard_restarts=shard_restarts,
     )
 
     def tracing(side: str) -> dict:
@@ -98,6 +105,10 @@ def fig5_two_tier(
     audit: bool = False,
     trace_dir: RunDir = None,
     trace_sample: float = 1.0,
+    slo: Optional[str] = None,
+    shards: int = 1,
+    shard_timeout: Optional[float] = None,
+    shard_restarts: Optional[int] = None,
 ) -> Dict[str, SweepPair]:
     """Fig 5: 2-tier load-latency across thread/process configs."""
     loads_by_processes = loads_by_processes or {
@@ -119,6 +130,10 @@ def fig5_two_tier(
             audit=audit,
             trace_dir=trace_dir,
             trace_sample=trace_sample,
+            slo=slo,
+            shards=shards,
+            shard_timeout=shard_timeout,
+            shard_restarts=shard_restarts,
             experiment=f"fig5/{key}",
             nginx_processes=nginx_procs,
             memcached_threads=mc_threads,
@@ -230,9 +245,16 @@ def fig12b_social_network(
     audit: bool = False,
     trace_dir: RunDir = None,
     trace_sample: float = 1.0,
+    slo: Optional[str] = None,
+    shards: int = 1,
+    shard_timeout: Optional[float] = None,
+    shard_restarts: Optional[int] = None,
 ) -> SweepPair:
     """Fig 12(b): Social Network end-to-end validation."""
     return _real_and_sim(social_network, loads, duration, warmup, seed,
                          jobs=jobs, run_dir=run_dir, resume=resume,
                          audit=audit, trace_dir=trace_dir,
-                         trace_sample=trace_sample, experiment="fig12b")
+                         trace_sample=trace_sample, slo=slo,
+                         shards=shards, shard_timeout=shard_timeout,
+                         shard_restarts=shard_restarts,
+                         experiment="fig12b")

@@ -27,8 +27,15 @@ Layering:
   round and per-worker supervision (liveness deadlines, budgeted
   restart with verified replay) so a dead or hung worker costs a
   recovery, not the run;
+* :mod:`~repro.shard.adapter` — the generic world adapter: runs the
+  real :class:`~repro.topology.Dispatcher`/``Microservice`` wiring of
+  *any* registered topology behind ShardHost mailboxes (full-world
+  replication, machine ownership), with merged telemetry
+  (traces/SLO/mix) shipped home at ``finalize()``;
 * :mod:`~repro.shard.fanout` — the first ported model: the Fig 14
-  fan-out/fan-in cluster, with single-shard-equivalence guarantees.
+  fan-out/fan-in cluster, kept as a hand-written port because its
+  per-shard fan-in batching (one message per shard per request) beats
+  the adapter's generic one-message-per-parent scheme at 500 leaves.
 
 Determinism contract: all shards share one root seed and draw from
 named :class:`~repro.engine.RandomStreams`, so the shard count decides
@@ -37,6 +44,13 @@ named :class:`~repro.engine.RandomStreams`, so the shard count decides
 ``shards>=2`` runs are bit-identical to each other.
 """
 
+from .adapter import (
+    ShardedDispatcher,
+    WorldShardHost,
+    build_world_shard_host,
+    sharded_load_point,
+    validate_world_shardable,
+)
 from .fanout import (
     FanoutLeafHost,
     FanoutRootHost,
@@ -73,6 +87,9 @@ __all__ = [
     "ShardWorkerDied",
     "ShardWorkerHung",
     "ShardWorkerProxy",
+    "ShardedDispatcher",
+    "WorldShardHost",
+    "build_world_shard_host",
     "deterministic_order",
     "fabric_lookahead",
     "fanout_sharded_load_point",
@@ -83,6 +100,8 @@ __all__ = [
     "plan_fanout_shards",
     "plan_shards",
     "run_sharded",
+    "sharded_load_point",
     "spawn_worker",
     "start_shard_hosts",
+    "validate_world_shardable",
 ]

@@ -36,7 +36,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..engine import PRIORITY_ARRIVAL, Simulator
+from ..engine import PRIORITY_ARRIVAL, Event, Simulator
 from ..errors import ShardingError
 from .message import ShardMessage, deterministic_order
 
@@ -171,17 +171,20 @@ class ShardHost:
         for msg in inbound:
             key = str(msg.src_shard)
             received[key] = received.get(key, 0) + 1
+        now = self.sim.now
+        delivery = []
         for msg in deterministic_order(inbound):
-            if msg.time < self.sim.now:
+            if msg.time < now:
                 raise ShardingError(
                     f"shard {self.shard_id} received {msg.kind!r} from "
                     f"shard {msg.src_shard} stamped t={msg.time!r} but "
                     f"its clock is already {self.sim.now!r}: the "
                     f"coordinator's window bound was not conservative"
                 )
-            self.sim.schedule_at(
-                msg.time, self.handle, msg, priority=msg.priority
-            )
+            delivery.append(Event(msg.time, self.handle, (msg,), msg.priority))
+        # One vectorised insert for the whole window's mailbox instead
+        # of per-message schedule_at calls (see EventQueue.push_batch).
+        self.sim.events.push_batch(delivery)
         limit = until
         if self.end_time is not None:
             limit = min(limit, self.end_time)

@@ -24,13 +24,18 @@ class TestRegistry:
     def test_fig14_supports_shards(self):
         assert registry.get("fig14").supports_shards
 
-    def test_validation_figures_do_not(self):
-        assert not registry.get("fig5").supports_shards
+    def test_adapter_ported_figures_support_shards(self):
+        # fig5/fig12b run through the generic world adapter since the
+        # sharded_runner hooks landed on their builders.
+        assert registry.get("fig5").supports_shards
+        assert registry.get("fig12b").supports_shards
+
+    def test_unported_figures_do_not(self):
         assert not registry.get("fig8").supports_shards
 
     def test_unsupported_experiment_rejects_shards(self):
         with pytest.raises(ReproError, match="--shards"):
-            registry.get("fig5").run(shards=2)
+            registry.get("fig8").run(shards=2)
 
     def test_shards_one_is_always_accepted(self):
         # shards=1 must not even consult the capability.
@@ -113,7 +118,7 @@ class TestMeasureAtLoad:
 
 class TestCLI:
     def test_shards_rejected_for_unsupported_experiment(self, capsys):
-        code = main(["experiments", "run", "fig5", "--shards", "2"])
+        code = main(["experiments", "run", "fig8", "--shards", "2"])
         assert code == 2
         assert "--shards" in capsys.readouterr().err
 
