@@ -4,13 +4,15 @@
 
     python -m repro run <spec-dir> [--seed N] [--until S] [--real]
         [--trace] [--trace-sample R] [--trace-dir DIR]
-        [--slo SPEC ...] [--profile]
+        [--slo SPEC ...] [--scrape-interval S] [--profile]
     python -m repro experiments list
     python -m repro experiments run <exp-id> [--seed N] [--jobs N]
         [--run-dir DIR] [--no-resume] [--audit] [--fault-plan FILE]
         [--trace-dir DIR] [--trace-sample R] [--slo SPEC ...]
+        [--scrape-interval S]
         [--shards N] [--shard-timeout S] [--shard-restarts N]
     python -m repro analyze <trace-dir> [--percentiles LIST] [--top K]
+        [--timeline]
 
 ``run`` loads a Table I spec directory (machines.json, services/,
 graph.json, path.json, client.json, optional faults.json), simulates
@@ -21,8 +23,13 @@ docs/operations.md). ``--trace``/``--trace-dir`` record per-request
 spans and export them as Perfetto and OTLP JSON (see
 docs/observability.md). ``--slo`` attaches live objectives
 (``p99<5ms``, ``avail>99.9%``) evaluated on the simulation clock;
-``--profile`` times event handlers; ``analyze`` rebuilds the full
-analytics report offline from exported OTLP trace files.
+``--profile`` times event handlers; ``--scrape-interval`` samples
+per-tier utilisation/queue-depth and client QPS/p99 into sim-time
+timelines exported as ``timeseries.json`` + Perfetto counter tracks
+(see docs/observability.md); ``analyze`` rebuilds the full analytics
+report offline from exported OTLP trace files, and with ``--timeline``
+also renders exported timeline artifacts (per-tier utilisation over
+time, shard straggler ranking).
 
 Exit codes: 0 on success, 2 on configuration/simulation errors
 (:class:`~repro.errors.ReproError`, printed as a one-line message),
@@ -38,13 +45,20 @@ import json
 import sys
 from pathlib import Path
 
-from .analysis import analyze_traces, load_traces
+from .analysis import (
+    analyze_traces,
+    format_timeline_report,
+    load_timelines,
+    load_traces,
+)
 from .config import SimulationSpec
 from .engine import EngineProfiler
 from .errors import ReproError
 from .experiments import registry
 from .faults import load_fault_plan
 from .telemetry import (
+    MetricsRegistry,
+    Scraper,
     SLOMonitor,
     TraceConfig,
     format_analytics_report,
@@ -52,8 +66,11 @@ from .telemetry import (
     format_table,
     ms,
     parse_slo,
+    scrape_tiers,
+    timeline_payload,
     write_otlp,
     write_perfetto,
+    write_timeline,
 )
 from .testbed import RealismConfig
 
@@ -81,6 +98,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         slo_monitor = SLOMonitor(world.sim, slos, interval=interval)
         slo_monitor.attach(client)
         slo_monitor.start(stop_at=args.until)
+    scraper = None
+    if args.scrape_interval is not None:
+        metrics = MetricsRegistry()
+        metrics.instrument_world(world)
+        scraper = Scraper(
+            world.sim,
+            interval=args.scrape_interval,
+            tiers=scrape_tiers(world.deployment),
+            client=client,
+            registry=metrics,
+            stop_at=args.until,
+        ).start()
     if args.profile:
         world.sim.profiler = EngineProfiler()
     client.start()
@@ -108,15 +137,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["p95 (ms)", ms(lat.p95())],
         ["p99 (ms)", ms(lat.p99())],
     ]
+    timeline = None
+    scrape_series = None
+    if scraper is not None:
+        scrape_series = scraper.snapshot()
+        meta = {"spec": str(args.spec_dir), "seed": args.seed}
+        if args.until is not None:
+            meta["duration"] = args.until
+        timeline = timeline_payload(
+            scrape_series, interval=args.scrape_interval, meta=meta
+        )
+        rows.append(["timeline series", len(scrape_series)])
     if tracing:
         tracer = world.dispatcher.tracer
         rows.append(["traces sampled", len(tracer.traces)])
         if args.trace_dir is not None:
             base = Path(args.trace_dir)
             base.mkdir(parents=True, exist_ok=True)
-            write_perfetto(base / "trace.perfetto.json", tracer.traces)
+            write_perfetto(base / "trace.perfetto.json", tracer.traces,
+                           counters=scrape_series)
             write_otlp(base / "trace.otlp.json", tracer.traces)
             rows.append(["trace dir", str(base)])
+    if timeline is not None and args.trace_dir is not None:
+        base = Path(args.trace_dir)
+        base.mkdir(parents=True, exist_ok=True)
+        write_timeline(base / "timeseries.json", timeline)
+        rows.append(["timeline artifact", str(base / "timeseries.json")])
     print(format_table(
         ["metric", "value"],
         rows,
@@ -135,6 +181,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 world.sim.profiler.summary() if args.profile else None
             ),
         ))
+    if timeline is not None:
+        print()
+        print(format_timeline_report(timeline, name=str(args.spec_dir)))
     return 0
 
 
@@ -164,6 +213,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir,
         trace_sample=args.trace_sample,
         slo=args.slo or None,
+        scrape_interval=args.scrape_interval,
         fault_plan=fault_plan,
         shards=args.shards,
         shard_timeout=args.shard_timeout,
@@ -184,9 +234,34 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     percentiles = tuple(float(q) for q in args.percentiles.split(","))
-    traces = load_traces(args.trace_dir)
-    analytics = analyze_traces(traces, percentiles=percentiles, top=args.top)
-    print(format_analytics_report(analytics, top=args.top))
+    first = True
+    if args.timeline:
+        base = Path(args.trace_dir)
+        for path, payload in load_timelines(base):
+            try:
+                label = str(path.relative_to(base))
+            except ValueError:
+                label = str(path)
+            if not first:
+                print()
+            print(format_timeline_report(payload, name=label))
+            first = False
+    try:
+        traces = load_traces(args.trace_dir)
+    except ReproError:
+        # --timeline directories need not hold OTLP traces (a
+        # scrape-only run exports just timeseries.json); without
+        # --timeline the old contract stands: no traces is an error.
+        if not args.timeline:
+            raise
+        traces = []
+    if traces:
+        analytics = analyze_traces(
+            traces, percentiles=percentiles, top=args.top
+        )
+        if not first:
+            print()
+        print(format_analytics_report(analytics, top=args.top))
     return 0
 
 
@@ -226,6 +301,14 @@ def main(argv=None) -> int:
         "--slo", action="append", default=[], metavar="SPEC",
         help="attach a live SLO (e.g. 'p99<5ms' or 'avail>99.9%%'); "
              "repeatable; verdicts print in the analytics report",
+    )
+    run_parser.add_argument(
+        "--scrape-interval", type=float, default=None, metavar="SECONDS",
+        help="sample per-tier utilisation/queue-depth and client "
+             "QPS/p99 every S simulated seconds into named timelines "
+             "(off by default; printed as tables, and exported as "
+             "timeseries.json + Perfetto counter tracks with "
+             "--trace-dir)",
     )
     run_parser.add_argument(
         "--profile", action="store_true",
@@ -281,6 +364,13 @@ def main(argv=None) -> int:
              "repeatable; summaries land in the run manifest",
     )
     exp_run.add_argument(
+        "--scrape-interval", type=float, default=None, metavar="SECONDS",
+        help="sample sim-time timelines every S simulated seconds per "
+             "measurement (only experiments that support scraping; "
+             "artifacts export with --trace-dir, shard-runtime "
+             "introspection rides the timeline under --shards)",
+    )
+    exp_run.add_argument(
         "--shards", type=int, default=1, metavar="N",
         help="run each measurement on the sharded parallel simulation "
              "core with N shards (conservative time-window sync; "
@@ -317,6 +407,14 @@ def main(argv=None) -> int:
     analyze_parser.add_argument(
         "--top", type=int, default=8, metavar="K",
         help="rows per table / exemplars per node (default 8)",
+    )
+    analyze_parser.add_argument(
+        "--timeline", action="store_true",
+        help="also render timeline artifacts (timeseries.json, "
+             "written by --scrape-interval): per-tier utilisation and "
+             "client QPS/p99 over sim-time, plus the reconciled shard "
+             "straggler report for sharded runs; trace analytics "
+             "become optional when set",
     )
     analyze_parser.set_defaults(func=_cmd_analyze)
 

@@ -1,0 +1,283 @@
+"""Timeline rendering: scraped ``timeseries.json`` artifacts back into
+tables.
+
+``repro analyze --timeline DIR`` drives this module: it finds every
+timeline artifact a run or sweep exported
+(:func:`load_timelines`), bins each named series over sim-time
+(:func:`format_timeline_report`), and — for sharded runs — renders the
+coordinator's runtime introspection (per-shard wall accounting, window
+efficiency, mailbox volume, and the straggler ranking of which shard
+bounded each conservative round).
+
+The shard section is *reconciled*, not merely printed: the straggler
+attribution must sum to exactly the coordinator's round count and the
+per-edge mailbox totals must sum to exactly ``messages_exchanged``;
+any mismatch raises :class:`~repro.errors.ReproError` rather than
+rendering numbers that silently disagree with the run's own counters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+from ..telemetry.report import Cell, format_cell, format_table, ms
+from ..telemetry.scrape import load_timeline
+
+__all__ = [
+    "format_timeline_report",
+    "load_timelines",
+    "reconcile_shard_runtime",
+]
+
+
+def load_timelines(
+    timeline_dir: Union[str, Path],
+) -> List[Tuple[Path, Dict[str, Any]]]:
+    """Every timeline artifact under *timeline_dir*, sorted by path.
+
+    Matches both the single-run name (``timeseries.json``) and the
+    per-sweep-point names (``qps*.timeseries.json``), searched
+    recursively. Raises :class:`ReproError` when the directory holds
+    none — an ``analyze --timeline`` over a scrape-off run is a user
+    error, not an empty report.
+    """
+    base = Path(timeline_dir)
+    if not base.is_dir():
+        raise ReproError(f"timeline dir {str(base)!r} does not exist")
+    paths = sorted(
+        path
+        for path in base.rglob("*.json")
+        if path.name == "timeseries.json"
+        or path.name.endswith(".timeseries.json")
+    )
+    if not paths:
+        raise ReproError(
+            f"no timeline artifacts (timeseries.json / "
+            f"*.timeseries.json) under {str(base)!r}; run with "
+            f"--scrape-interval to produce them"
+        )
+    return [(path, load_timeline(path)) for path in paths]
+
+
+def _bin_edges(series: Mapping[str, Mapping[str, Sequence[float]]],
+               bins: int) -> List[float]:
+    """Uniform sim-time bin edges spanning every sample of *series*."""
+    times = [t for data in series.values() for t in data["times"]]
+    if not times:
+        return []
+    lo, hi = min(times), max(times)
+    if hi == lo:
+        hi = lo + 1.0
+    width = (hi - lo) / bins
+    return [lo + i * width for i in range(bins + 1)]
+
+
+def _bin_means(data: Mapping[str, Sequence[float]],
+               edges: Sequence[float]) -> List[Optional[float]]:
+    """Mean of the samples landing in each bin (None for empty bins).
+
+    The last bin is right-inclusive so the final sample — the scrape
+    loop's close-out tick at exactly ``stop_at`` — is never dropped.
+    """
+    out: List[Optional[float]] = []
+    times, values = data["times"], data["values"]
+    last = len(edges) - 2
+    for i, (lo, hi) in enumerate(zip(edges[:-1], edges[1:])):
+        picked = [
+            v for t, v in zip(times, values)
+            if lo <= t < hi or (i == last and t == hi)
+        ]
+        out.append(sum(picked) / len(picked) if picked else None)
+    return out
+
+
+def reconcile_shard_runtime(runtime: Mapping[str, Any]) -> None:
+    """Assert a runtime report's cross-counters agree exactly.
+
+    * the straggler attribution (one binding shard per round) must sum
+      to the coordinator's round count;
+    * the per-edge mailbox totals (rebuilt from the shards'
+      conservation ledgers) must sum to ``messages_exchanged``.
+    """
+    rounds = int(runtime.get("rounds", 0))
+    straggler = runtime.get("straggler_rounds") or {}
+    attributed = sum(int(count) for count in straggler.values())
+    if attributed != rounds:
+        raise ReproError(
+            f"straggler attribution covers {attributed} rounds but the "
+            f"coordinator ran {rounds}; the timeline artifact is "
+            f"inconsistent"
+        )
+    messages = int(runtime.get("messages_exchanged", 0))
+    mailbox = runtime.get("mailbox_volume") or {}
+    shipped = sum(int(count) for count in mailbox.values())
+    if shipped != messages:
+        raise ReproError(
+            f"mailbox volume sums to {shipped} messages but the "
+            f"coordinator exchanged {messages}; the timeline artifact "
+            f"is inconsistent"
+        )
+
+
+def _shard_sections(runtime: Mapping[str, Any],
+                    precision: int) -> List[str]:
+    reconcile_shard_runtime(runtime)
+    sections: List[str] = []
+    rounds = int(runtime.get("rounds", 0))
+    sections.append(
+        f"shard runtime ({runtime.get('mode', '?')}): "
+        f"{rounds} rounds, "
+        f"{runtime.get('messages_exchanged', 0)} messages, "
+        f"{runtime.get('stalls', 0)} stalls, "
+        f"{format_cell(float(runtime.get('wall_s', 0.0)), precision)}s wall"
+    )
+    per_shard = runtime.get("per_shard") or {}
+    straggler = runtime.get("straggler_rounds") or {}
+    if per_shard:
+        rows: List[List[Cell]] = []
+        for shard in sorted(per_shard, key=int):
+            stats = per_shard[shard]
+            bound = int(straggler.get(shard, 0))
+            rows.append([
+                shard,
+                stats.get("events", 0),
+                float(stats.get("busy_wall_s", 0.0)),
+                float(stats.get("blocked_wall_s", 0.0)),
+                stats.get("idle_rounds", 0),
+                float(stats.get("window_efficiency", 0.0)),
+                bound,
+                (100.0 * bound / rounds) if rounds else 0.0,
+            ])
+        sections.append(format_table(
+            ["shard", "events", "busy s", "blocked s", "idle rounds",
+             "events/sim-s window", "bound rounds", "bound %"],
+            rows,
+            title="shard imbalance (busy = host advance wall; bound = "
+                  "rounds whose horizon this shard limited; bound "
+                  "rounds sum to the coordinator's round count)",
+            precision=precision,
+        ))
+    if straggler:
+        ranking = sorted(
+            straggler.items(), key=lambda kv: (-kv[1], int(kv[0]))
+        )
+        sections.append(
+            "critical shards (most horizon-binding first): "
+            + ", ".join(
+                f"shard {shard} ({count}/{rounds} rounds)"
+                for shard, count in ranking
+            )
+        )
+    mailbox = runtime.get("mailbox_volume") or {}
+    if mailbox:
+        sections.append(format_table(
+            ["edge", "messages"],
+            [
+                [edge, count]
+                for edge, count in sorted(
+                    mailbox.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            ],
+            title="mailbox volume per shard edge (sums to "
+                  "messages_exchanged)",
+            precision=precision,
+        ))
+    return sections
+
+
+def format_timeline_report(
+    payload: Mapping[str, Any],
+    *,
+    name: str = "",
+    bins: int = 6,
+    precision: int = 3,
+) -> str:
+    """Render one timeline artifact as aligned tables.
+
+    Sections: a header identifying the run, per-tier utilisation /
+    queue-depth over binned sim-time, client QPS and p99 over time,
+    and — when the artifact carries a ``shard_runtime`` block — the
+    reconciled shard imbalance report (see
+    :func:`reconcile_shard_runtime`).
+    """
+    if bins < 1:
+        raise ReproError(f"bins must be >= 1, got {bins!r}")
+    series: Dict[str, Any] = payload.get("series") or {}
+    meta = payload.get("meta") or {}
+    header = "timeline"
+    if name:
+        header += f" {name}"
+    identity = ", ".join(
+        f"{key}={format_cell(meta[key], precision)}"
+        for key in ("qps", "duration", "warmup", "shards")
+        if key in meta
+    )
+    if identity:
+        header += f" ({identity})"
+    header += (
+        f": {len(series)} series, "
+        f"interval {format_cell(float(payload.get('interval', 0.0)), precision)}s"
+    )
+    sections: List[str] = [header]
+    edges = _bin_edges(series, bins)
+    if edges:
+        centres = [
+            (lo + hi) / 2.0 for lo, hi in zip(edges[:-1], edges[1:])
+        ]
+        time_headers = [f"t={format_cell(c, precision)}s" for c in centres]
+
+        def grid(prefix: str) -> List[List[Cell]]:
+            rows: List[List[Cell]] = []
+            for full_name in sorted(series):
+                if not full_name.startswith(prefix):
+                    continue
+                rows.append(
+                    [full_name[len(prefix):]]
+                    + list(_bin_means(series[full_name], edges))
+                )
+            return rows
+
+        util_rows = grid("util/")
+        if util_rows:
+            sections.append(format_table(
+                ["tier"] + time_headers, util_rows,
+                title="per-tier utilisation over sim-time (bin means, "
+                      "fraction of cores busy)",
+                precision=precision,
+            ))
+        depth_rows = grid("depth/")
+        if depth_rows:
+            sections.append(format_table(
+                ["tier"] + time_headers, depth_rows,
+                title="per-tier queue depth over sim-time (bin means)",
+                precision=precision,
+            ))
+        client_rows: List[List[Cell]] = []
+        if "client/qps" in series:
+            client_rows.append(
+                ["qps"] + list(_bin_means(series["client/qps"], edges))
+            )
+        for q in ("p50", "p99"):
+            key = f"client/{q}"
+            if key in series:
+                client_rows.append([f"{q} ms"] + [
+                    None if v is None else ms(v)
+                    for v in _bin_means(series[key], edges)
+                ])
+        if "client/inflight" in series:
+            client_rows.append(
+                ["in flight"]
+                + list(_bin_means(series["client/inflight"], edges))
+            )
+        if client_rows:
+            sections.append(format_table(
+                ["client"] + time_headers, client_rows,
+                title="client over sim-time (bin means)",
+                precision=precision,
+            ))
+    runtime = payload.get("shard_runtime")
+    if runtime:
+        sections.extend(_shard_sections(runtime, precision))
+    return "\n\n".join(sections)

@@ -550,10 +550,10 @@ def _social_network_sharded_runner(*args, **kwargs):
 
 
 _two_tier_sharded_runner.supported_telemetry = (
-    "mix", "trace", "trace_dir", "slo",
+    "mix", "trace", "trace_dir", "slo", "scrape",
 )
 _social_network_sharded_runner.supported_telemetry = (
-    "mix", "trace", "trace_dir", "slo",
+    "mix", "trace", "trace_dir", "slo", "scrape",
 )
 two_tier.sharded_runner = _two_tier_sharded_runner
 social_network.sharded_runner = _social_network_sharded_runner

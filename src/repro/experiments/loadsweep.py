@@ -104,6 +104,48 @@ def shard_recovery_manifest_summary(results: Sequence[Any]) -> Dict[str, Any]:
     }}
 
 
+def shard_sync_manifest_summary(results: Sequence[Any]) -> Dict[str, Any]:
+    """Aggregate per-point coordinator counters into the
+    ``{"shard_sync": ...}`` manifest block (rounds / messages / stalls
+    / restarts plus the merged straggler ranking and per-shard restart
+    attribution). Points ride the counters as a non-declared
+    ``shard_sync`` attribute, so points resumed from a journal simply
+    don't contribute."""
+    totals = {
+        "points": 0, "rounds": 0, "messages_exchanged": 0,
+        "stalls": 0, "restarts": 0,
+    }
+    straggler: Dict[str, int] = {}
+    per_shard_restarts: Dict[str, int] = {}
+    shards = 0
+    mode = None
+    for result in results:
+        sync = getattr(result, "shard_sync", None)
+        if not sync:
+            continue
+        totals["points"] += 1
+        totals["rounds"] += sync.get("rounds", 0)
+        totals["messages_exchanged"] += sync.get("messages_exchanged", 0)
+        totals["stalls"] += sync.get("stalls", 0)
+        totals["restarts"] += sync.get("restarts", 0)
+        shards = max(shards, sync.get("shards", 0))
+        mode = sync.get("mode", mode)
+        for shard, count in (sync.get("straggler_rounds") or {}).items():
+            straggler[str(shard)] = straggler.get(str(shard), 0) + count
+        for shard, count in (sync.get("per_shard_restarts") or {}).items():
+            per_shard_restarts[str(shard)] = (
+                per_shard_restarts.get(str(shard), 0) + count
+            )
+    if not totals["points"]:
+        return {}
+    block: Dict[str, Any] = dict(totals, shards=shards, mode=mode)
+    if straggler:
+        block["straggler_rounds"] = straggler
+    if per_shard_restarts:
+        block["per_shard_restarts"] = per_shard_restarts
+    return {"shard_sync": block}
+
+
 def _combined_manifest_extra(
     *summaries: Callable[[Sequence[Any]], Dict[str, Any]],
 ) -> Callable[[Sequence[Any]], Dict[str, Any]]:
@@ -140,6 +182,12 @@ class SweepPoint:
     #: keeps an unfaulted sharded point equal to its vanilla twin and
     #: lets journals written before supervision existed still decode.
     shard_recovery: Optional[dict] = None
+    #: The point's ``timeseries.json`` document
+    #: (:func:`repro.telemetry.scrape.timeline_payload`) when it ran
+    #: with ``--scrape-interval``; ``None`` otherwise, so scrape-off
+    #: points stay equal to points measured before scraping existed
+    #: and old journals still decode.
+    timeline: Optional[dict] = None
 
     @property
     def slo_breaches(self) -> int:
@@ -227,6 +275,7 @@ def measure_at_load(
     trace: Union[bool, TraceConfig] = False,
     trace_dir: Optional[Union[str, Path]] = None,
     slo: Optional[SLOSpec] = None,
+    scrape_interval: Optional[float] = None,
     shards: int = 1,
     shard_timeout: Optional[float] = None,
     shard_restarts: Optional[int] = None,
@@ -290,6 +339,7 @@ def measure_at_load(
             "trace": _trace_requested(trace, trace_dir),
             "trace_dir": trace_dir is not None,
             "slo": slo is not None,
+            "scrape": scrape_interval is not None,
         }
         blocked = [
             name for name, active in requested.items()
@@ -312,6 +362,10 @@ def measure_at_load(
             )
             if name in supported
         }
+        if "scrape" in supported:
+            # The knob is named "scrape" (capability-wise) but the
+            # runner kwarg carries the interval itself.
+            telemetry["scrape_interval"] = scrape_interval
         return runner(
             qps=qps,
             duration=duration,
@@ -339,7 +393,8 @@ def measure_at_load(
     return measure_vanilla_point(
         build_world, qps, duration, warmup, derive_seed(seed, float(qps)),
         mix=mix, fault_plan=fault_plan, audit=audit, trace=trace,
-        trace_dir=trace_dir, slo=slo, **world_kwargs,
+        trace_dir=trace_dir, slo=slo, scrape_interval=scrape_interval,
+        **world_kwargs,
     )
 
 
@@ -356,6 +411,7 @@ def measure_vanilla_point(
     trace: Union[bool, TraceConfig] = False,
     trace_dir: Optional[Union[str, Path]] = None,
     slo: Optional[SLOSpec] = None,
+    scrape_interval: Optional[float] = None,
     **world_kwargs,
 ) -> SweepPoint:
     """The raw single-simulator measurement behind one sweep point.
@@ -392,6 +448,21 @@ def measure_vanilla_point(
         )
         slo_monitor.attach(client)
         slo_monitor.start(stop_at=duration)
+    scraper = None
+    if scrape_interval is not None:
+        from ..telemetry.metrics import MetricsRegistry
+        from ..telemetry.scrape import Scraper, scrape_tiers
+
+        registry = MetricsRegistry()
+        registry.instrument_world(world)
+        scraper = Scraper(
+            world.sim,
+            interval=scrape_interval,
+            tiers=scrape_tiers(world.deployment),
+            client=client,
+            registry=registry,
+            stop_at=duration,
+        ).start()
     clock_start = world.sim.now
     client.start()
     world.sim.run(until=duration)
@@ -400,13 +471,34 @@ def measure_vanilla_point(
             client, world.sim, dispatcher=world.dispatcher,
             clock_start=clock_start,
         )
+    timeline = None
+    scrape_series = None
+    if scraper is not None:
+        from ..telemetry.scrape import timeline_payload
+
+        scrape_series = scraper.snapshot()
+        timeline = timeline_payload(
+            scrape_series,
+            interval=scrape_interval,
+            meta={
+                "qps": qps, "duration": duration, "warmup": warmup,
+                "seed": derived_seed, "shards": 1,
+            },
+        )
     if trace and trace_dir is not None:
         traces = world.dispatcher.tracer.traces
         base = Path(trace_dir)
         base.mkdir(parents=True, exist_ok=True)
         stem = f"qps{qps:g}"
-        write_perfetto(base / f"{stem}.perfetto.json", traces)
+        write_perfetto(base / f"{stem}.perfetto.json", traces,
+                       counters=scrape_series)
         write_otlp(base / f"{stem}.otlp.json", traces)
+    if timeline is not None and trace_dir is not None:
+        from ..telemetry.scrape import write_timeline
+
+        base = Path(trace_dir)
+        base.mkdir(parents=True, exist_ok=True)
+        write_timeline(base / f"qps{qps:g}.timeseries.json", timeline)
 
     slo_summary = (
         slo_monitor.summary() if slo_monitor is not None else None
@@ -417,7 +509,8 @@ def measure_vanilla_point(
         # Fully wedged system: report the offered load with infinite-ish
         # latency markers rather than crashing the sweep.
         return SweepPoint(qps, 0.0, float("inf"), float("inf"), float("inf"),
-                          float("inf"), 0, slo=slo_summary)
+                          float("inf"), 0, slo=slo_summary,
+                          timeline=timeline)
     window = (warmup, duration)
     return SweepPoint(
         offered_qps=qps,
@@ -428,6 +521,7 @@ def measure_vanilla_point(
         p99=recorder.percentile(99, since=warmup, until=duration),
         completed=completed,
         slo=slo_summary,
+        timeline=timeline,
     )
 
 
@@ -473,6 +567,7 @@ def load_latency_sweep(
     trace: Union[bool, TraceConfig] = False,
     trace_dir: Optional[Union[str, Path]] = None,
     slo: Optional[SLOSpec] = None,
+    scrape_interval: Optional[float] = None,
     shards: int = 1,
     shard_timeout: Optional[float] = None,
     shard_restarts: Optional[int] = None,
@@ -514,7 +609,8 @@ def load_latency_sweep(
     point = functools.partial(
         measure_at_load, build_world, duration=duration, warmup=warmup,
         mix=mix, seed=seed, fault_plan=fault_plan, audit=audit,
-        trace=trace, trace_dir=trace_dir, slo=slo, shards=shards,
+        trace=trace, trace_dir=trace_dir, slo=slo,
+        scrape_interval=scrape_interval, shards=shards,
         shard_timeout=shard_timeout, shard_restarts=shard_restarts,
         shard_journal_dir=shard_journal_dir,
         **world_kwargs,
@@ -533,6 +629,11 @@ def load_latency_sweep(
         **({"trace": trace} if trace else {}),
         **({"slo": [s.name for s in resolve_slos(slo, window=1.0)]}
            if slo else {}),
+        # Like trace: scraping joins the config only when on, so the
+        # journal keys of existing scrape-off sweeps never change (and
+        # a scraped rerun doesn't silently reuse timeline-less points).
+        **({"scrape": scrape_interval} if scrape_interval is not None
+           else {}),
         # shards joins the config only when sharded — the journal keys
         # of existing shards=1 sweeps must not change, and sharded
         # points are a different (tolerance-bearing) measurement.
@@ -545,7 +646,10 @@ def load_latency_sweep(
         for qps, derived in zip(loads, seeds)
     ]
     store = RunStore(run_dir, experiment, config=config)
-    summaries = [shard_recovery_manifest_summary] if shards > 1 else []
+    summaries = (
+        [shard_recovery_manifest_summary, shard_sync_manifest_summary]
+        if shards > 1 else []
+    )
     if slo:
         summaries.append(slo_manifest_summary)
     return durable_map(

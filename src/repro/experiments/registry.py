@@ -63,6 +63,12 @@ class ExperimentSpec:
         return self._accepts("slo")
 
     @property
+    def supports_scrape(self) -> bool:
+        """Whether the runner can sample sim-time timelines
+        (``--scrape-interval``)."""
+        return self._accepts("scrape_interval")
+
+    @property
     def supports_fault_plan(self) -> bool:
         """Whether the runner can arm an injected fault plan."""
         return self._accepts("fault_plan")
@@ -87,6 +93,7 @@ class ExperimentSpec:
         trace_dir: Any = None,
         trace_sample: float = 1.0,
         slo: Any = None,
+        scrape_interval: Any = None,
         fault_plan: Any = None,
         shards: int = 1,
         shard_timeout: Any = None,
@@ -132,6 +139,13 @@ class ExperimentSpec:
                     f"experiment {self.exp_id!r} does not support slo"
                 )
             kwargs.setdefault("slo", slo)
+        if scrape_interval is not None:
+            if not self.supports_scrape:
+                raise ReproError(
+                    f"experiment {self.exp_id!r} does not support "
+                    f"scrape_interval"
+                )
+            kwargs.setdefault("scrape_interval", scrape_interval)
         if fault_plan is not None:
             if not self.supports_fault_plan:
                 raise ReproError(

@@ -45,6 +45,7 @@ def _real_and_sim(
     trace_dir: RunDir = None,
     trace_sample: float = 1.0,
     slo: Optional[str] = None,
+    scrape_interval: Optional[float] = None,
     shards: int = 1,
     shard_timeout: Optional[float] = None,
     shard_restarts: Optional[int] = None,
@@ -63,8 +64,9 @@ def _real_and_sim(
     """
     durable = dict(
         run_dir=run_dir, resume=resume, audit=audit, retries=retries,
-        timeout=timeout, slo=slo, shards=shards,
-        shard_timeout=shard_timeout, shard_restarts=shard_restarts,
+        timeout=timeout, slo=slo, scrape_interval=scrape_interval,
+        shards=shards, shard_timeout=shard_timeout,
+        shard_restarts=shard_restarts,
     )
 
     def tracing(side: str) -> dict:
@@ -106,6 +108,7 @@ def fig5_two_tier(
     trace_dir: RunDir = None,
     trace_sample: float = 1.0,
     slo: Optional[str] = None,
+    scrape_interval: Optional[float] = None,
     shards: int = 1,
     shard_timeout: Optional[float] = None,
     shard_restarts: Optional[int] = None,
@@ -131,6 +134,7 @@ def fig5_two_tier(
             trace_dir=trace_dir,
             trace_sample=trace_sample,
             slo=slo,
+            scrape_interval=scrape_interval,
             shards=shards,
             shard_timeout=shard_timeout,
             shard_restarts=shard_restarts,
@@ -246,6 +250,7 @@ def fig12b_social_network(
     trace_dir: RunDir = None,
     trace_sample: float = 1.0,
     slo: Optional[str] = None,
+    scrape_interval: Optional[float] = None,
     shards: int = 1,
     shard_timeout: Optional[float] = None,
     shard_restarts: Optional[int] = None,
@@ -255,6 +260,7 @@ def fig12b_social_network(
                          jobs=jobs, run_dir=run_dir, resume=resume,
                          audit=audit, trace_dir=trace_dir,
                          trace_sample=trace_sample, slo=slo,
+                         scrape_interval=scrape_interval,
                          shards=shards, shard_timeout=shard_timeout,
                          shard_restarts=shard_restarts,
                          experiment="fig12b")

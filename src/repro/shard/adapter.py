@@ -103,7 +103,27 @@ __all__ = [
 #: Telemetry knobs every adapter-based runner supports; loadsweep's
 #: blocked-knob check reads this attribute off the runner instead of
 #: guessing from ``**kwargs`` signatures.
-ADAPTER_KNOBS = ("mix", "trace", "trace_dir", "slo")
+ADAPTER_KNOBS = ("mix", "trace", "trace_dir", "slo", "scrape")
+
+
+def _owned_tiers(deployment, assignments: Dict[str, int],
+                 shard_id: int) -> Dict[str, list]:
+    """The scrape-tier grouping restricted to machines this shard
+    owns — the sharded counterpart of
+    :func:`repro.telemetry.scrape.scrape_tiers`, so merged sharded
+    timelines use the same series names as a vanilla run."""
+    tiers: Dict[str, list] = {}
+    for service in deployment.services:
+        owned = [
+            inst for inst in deployment.instances(service)
+            if assignments.get(inst.machine_name) == shard_id
+        ]
+        if owned:
+            tiers[service] = owned
+    for machine, proc in deployment.netprocs.items():
+        if assignments.get(machine) == shard_id:
+            tiers[proc.name] = [proc]
+    return tiers
 
 
 def _iter_trees(dispatcher: Dispatcher) -> List[PathTree]:
@@ -625,7 +645,8 @@ class WorldShardHost(ShardHost):
                  seed: int, assignments: Dict[str, int], lookahead: float,
                  qps: float, duration: float, warmup: Optional[float],
                  client_machine: str = "client", mix=None,
-                 trace=False, slo=None) -> None:
+                 trace=False, slo=None,
+                 scrape_interval: Optional[float] = None) -> None:
         world = builder(seed=seed, **world_kwargs)
         super().__init__(shard_id, world.sim, lookahead, end_time=duration)
         self.client_machine = client_machine
@@ -660,6 +681,20 @@ class WorldShardHost(ShardHost):
                 self._slo_monitor.attach(self.client)
                 self._slo_monitor.start(stop_at=duration)
             self.client.start()
+        self._scraper = None
+        if scrape_interval is not None:
+            from ..telemetry.scrape import Scraper
+
+            # Each shard scrapes only the tiers it owns (the replica's
+            # other instances never execute, so their series would be
+            # flat zeros); the root additionally scrapes the client.
+            self._scraper = Scraper(
+                world.sim,
+                interval=scrape_interval,
+                tiers=_owned_tiers(world.deployment, assignments, shard_id),
+                client=self.client,
+                stop_at=duration,
+            ).start()
 
     def handle(self, message) -> None:
         self.dispatcher._arrive(message.kind, message.payload)
@@ -668,6 +703,11 @@ class WorldShardHost(ShardHost):
         base = super().finalize()
         dispatcher = self.dispatcher
         base["requests_submitted"] = dispatcher.requests_submitted
+        if self._scraper is not None:
+            base["scrape"] = {
+                "interval": self._scraper.interval,
+                "series": self._scraper.snapshot(),
+            }
         if self.trace_active:
             dispatcher.shadow_remaining()
             base["trace_spans"] = {
@@ -787,6 +827,7 @@ def sharded_load_point(
     trace=False,
     trace_dir=None,
     slo=None,
+    scrape_interval: Optional[float] = None,
     mode: str = "auto",
     max_window: Optional[float] = None,
     audit: bool = False,
@@ -826,7 +867,7 @@ def sharded_load_point(
         return measure_vanilla_point(
             build_world, qps, duration, warmup, seed,
             mix=mix, audit=audit, trace=trace, trace_dir=trace_dir,
-            slo=slo, **world_kwargs,
+            slo=slo, scrape_interval=scrape_interval, **world_kwargs,
         )
     chaos = _shard_chaos(fault_plan, plan)
     tracing = _trace_active(trace, trace_dir)
@@ -837,6 +878,7 @@ def sharded_load_point(
         assignments=dict(plan.assignments), lookahead=plan.lookahead,
         qps=qps, duration=duration, warmup=warmup,
         client_machine=client_machine, mix=mix, trace=trace, slo=slo,
+        scrape_interval=scrape_interval,
     )
     specs = [
         (build_world_shard_host, dict(common, shard_id=shard))
@@ -863,6 +905,29 @@ def sharded_load_point(
             results, messages_exchanged=coordinator.messages_exchanged
         )
     root = results[plan.assignments[client_machine]]
+    recovery = getattr(coordinator, "recovery", None)
+    restarts = recovery["restarts"] if recovery else 0
+    timeline = None
+    scrape_series: Dict[str, dict] = {}
+    if scrape_interval is not None:
+        from ..telemetry.scrape import timeline_payload
+
+        # Tiers are machine-owned, so per-shard series names are
+        # disjoint (the root alone contributes ``client/*``); the
+        # merged union carries the same names a vanilla run scrapes.
+        for result in results:
+            scrape_series.update(
+                (result.get("scrape") or {}).get("series", {})
+            )
+        timeline = timeline_payload(
+            scrape_series,
+            interval=scrape_interval,
+            meta={
+                "qps": qps, "duration": duration, "warmup": warmup,
+                "seed": seed, "shards": plan.num_shards,
+            },
+            shard_runtime=coordinator.runtime,
+        )
     if trace_dir is not None:
         from pathlib import Path
 
@@ -872,28 +937,51 @@ def sharded_load_point(
         base = Path(trace_dir)
         base.mkdir(parents=True, exist_ok=True)
         stem = f"qps{qps:g}"
-        write_perfetto(base / f"{stem}.perfetto.json", traces)
+        write_perfetto(base / f"{stem}.perfetto.json", traces,
+                       counters=scrape_series or None)
         write_otlp(base / f"{stem}.otlp.json", traces)
+        if timeline is not None:
+            from ..telemetry.scrape import write_timeline
+
+            write_timeline(base / f"{stem}.timeseries.json", timeline)
     elif tracing:
         _merge_traces(results, root)
-    recovery = getattr(coordinator, "recovery", None)
-    restarts = recovery["restarts"] if recovery else 0
     slo_summary = root.get("slo")
     window = root.get("window") or {}
     if not window.get("completed"):
-        return SweepPoint(
+        point = SweepPoint(
             qps, 0.0, math.inf, math.inf, math.inf, math.inf, 0,
             slo=slo_summary,
             shard_recovery=recovery if restarts else None,
+            timeline=timeline,
         )
-    return SweepPoint(
-        qps,
-        window["throughput"],
-        window["mean"],
-        window["p50"],
-        window["p95"],
-        window["p99"],
-        window["completed"],
-        slo=slo_summary,
-        shard_recovery=recovery if restarts else None,
-    )
+    else:
+        point = SweepPoint(
+            qps,
+            window["throughput"],
+            window["mean"],
+            window["p50"],
+            window["p95"],
+            window["p99"],
+            window["completed"],
+            slo=slo_summary,
+            shard_recovery=recovery if restarts else None,
+            timeline=timeline,
+        )
+    # Coordinator counters ride as a non-declared attribute: dataclass
+    # equality ignores it, so shards=1-vs-vanilla identity checks and
+    # journal round-trips are unaffected (resumed points simply lack it).
+    point.shard_sync = {
+        "shards": plan.num_shards,
+        "mode": getattr(coordinator, "mode", "inline"),
+        "rounds": coordinator.rounds,
+        "messages_exchanged": coordinator.messages_exchanged,
+        "stalls": coordinator.stalls,
+        "restarts": restarts,
+        "per_shard_restarts": {
+            str(shard): info.get("restarts", 0)
+            for shard, info in ((recovery or {}).get("per_shard") or {}).items()
+        },
+        "straggler_rounds": dict(coordinator.runtime["straggler_rounds"]),
+    }
+    return point

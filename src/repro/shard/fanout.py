@@ -634,6 +634,12 @@ def _result_dict(plan, coordinator, results) -> dict:
         "mode": getattr(coordinator, "mode", "inline"),
         "rounds": coordinator.rounds,
         "messages": coordinator.messages_exchanged,
+        "stalls": getattr(coordinator, "stalls", 0),
+        "straggler_rounds": dict(
+            (getattr(coordinator, "runtime", None) or {}).get(
+                "straggler_rounds", {}
+            )
+        ),
         "events_total": sum(r["events"] for r in results),
         "requests_sent": root["requests_sent"],
         "requests": len(root["latencies"]),
@@ -725,6 +731,8 @@ def measure_fanout_vanilla(
         "mode": "single",
         "rounds": 0,
         "messages": 0,
+        "stalls": 0,
+        "straggler_rounds": {},
         "events_total": world.sim.events_processed,
         "requests_sent": client.requests_sent,
         "requests": len(recorder),
@@ -910,19 +918,39 @@ def fanout_sharded_load_point(
     recovery = result["recovery"] if result["restarts"] else None
     window = result["window"] or {"completed": 0}
     if not window["completed"]:
-        return SweepPoint(qps, 0.0, float("inf"), float("inf"),
-                          float("inf"), float("inf"), 0,
-                          shard_recovery=recovery)
-    return SweepPoint(
-        offered_qps=qps,
-        throughput=window["throughput"],
-        mean=window["mean"],
-        p50=window["p50"],
-        p95=window["p95"],
-        p99=window["p99"],
-        completed=window["completed"],
-        shard_recovery=recovery,
-    )
+        point = SweepPoint(qps, 0.0, float("inf"), float("inf"),
+                           float("inf"), float("inf"), 0,
+                           shard_recovery=recovery)
+    else:
+        point = SweepPoint(
+            offered_qps=qps,
+            throughput=window["throughput"],
+            mean=window["mean"],
+            p50=window["p50"],
+            p95=window["p95"],
+            p99=window["p99"],
+            completed=window["completed"],
+            shard_recovery=recovery,
+        )
+    # Non-declared attribute: dataclass equality ignores it, so the
+    # sharded-vs-vanilla identity contracts are untouched (and journal
+    # round-trips simply drop it).
+    point.shard_sync = {
+        "shards": result["shards"],
+        "mode": result["mode"],
+        "rounds": result["rounds"],
+        "messages_exchanged": result["messages"],
+        "stalls": result.get("stalls", 0),
+        "restarts": result["restarts"],
+        "per_shard_restarts": {
+            str(shard): info.get("restarts", 0)
+            for shard, info in (
+                (result["recovery"] or {}).get("per_shard") or {}
+            ).items()
+        },
+        "straggler_rounds": dict(result.get("straggler_rounds", {})),
+    }
+    return point
 
 
 __all__ = [

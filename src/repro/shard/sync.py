@@ -34,6 +34,7 @@ draws.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine import PRIORITY_ARRIVAL, Event, Simulator
@@ -91,6 +92,15 @@ class ShardHost:
         self._round_sent: Dict[str, int] = {}
         self._conservation_sent: List[Dict[str, int]] = []
         self._conservation_recv: List[Dict[str, int]] = []
+        # Runtime introspection (always on — a few appends per *round*,
+        # never per event, so it stays off the engine fast path): wall
+        # seconds spent executing each advance, events executed per
+        # round, and the simulated window each round granted. Shipped
+        # home in finalize()["runtime"] and aggregated by
+        # ConservativeCoordinator.runtime_report.
+        self._advance_wall: List[float] = []
+        self._events_per_round: List[int] = []
+        self._granted_windows: List[float] = []
 
     # Outbound ---------------------------------------------------------
 
@@ -167,6 +177,9 @@ class ShardHost:
         self, until: float, inbound: Sequence[ShardMessage]
     ) -> Tuple[float, List[Tuple[int, ShardMessage]]]:
         """Deliver *inbound*, run to *until* (inclusive), drain outbox."""
+        wall_start = time.perf_counter()
+        events_before = self.sim.events_processed
+        clock_before = self.sim.now
         received: Dict[str, int] = {}
         for msg in inbound:
             key = str(msg.src_shard)
@@ -197,6 +210,17 @@ class ShardHost:
         self._conservation_recv.append(received)
         self._conservation_sent.append(self._round_sent)
         self._round_sent = {}
+        self._advance_wall.append(time.perf_counter() - wall_start)
+        self._events_per_round.append(
+            self.sim.events_processed - events_before
+        )
+        # The simulated window this round granted. An unbounded round
+        # (limit == inf: the shard drains) reports the clock it
+        # actually covered instead of an unusable infinity.
+        granted = limit - clock_before
+        if math.isinf(granted):
+            granted = self.sim.now - clock_before
+        self._granted_windows.append(max(0.0, granted))
         return self.horizon(), out
 
     # Model hooks ------------------------------------------------------
@@ -221,6 +245,16 @@ class ShardHost:
             "conservation": {
                 "sent": list(self._conservation_sent),
                 "received": list(self._conservation_recv),
+            },
+            # Wall/window introspection per round; the coordinator
+            # folds it into runtime_report (busy vs blocked wall,
+            # window efficiency, idle rounds). Like the conservation
+            # ledger, a replayed host rebuilds it from round zero, so
+            # recovery keeps it consistent.
+            "runtime": {
+                "busy_wall_s": float(sum(self._advance_wall)),
+                "events_per_round": list(self._events_per_round),
+                "granted_windows_s": list(self._granted_windows),
             },
         }
 
@@ -289,6 +323,21 @@ class ConservativeCoordinator:
         self.max_window = max_window
         self.rounds = 0
         self.messages_exchanged = 0
+        #: Stall detections. A stall aborts the run, so this is 0 on
+        #: success and 1 on a :class:`~repro.errors.ShardingError`
+        #: stall abort — surfaced so post-mortems (and the manifest)
+        #: can tell a stall from any other failure.
+        self.stalls = 0
+        #: Per round: the shard whose effective horizon bounded the
+        #: round (argmin eff, ties to the lowest id) — the round's
+        #: straggler, holding the globally earliest work.
+        self.bound_by: List[int] = []
+        #: ``shard id -> rounds it bounded``; values sum to exactly
+        #: :attr:`rounds` (one attribution per round, checked by the
+        #: timeline report's reconciliation).
+        self.straggler_rounds: Dict[int, int] = {}
+        #: Total wall seconds spent inside :meth:`run`'s round loop.
+        self.wall_s = 0.0
         dist = [[INF] * n for _ in range(n)]
         for (src, dst), la in lookaheads.items():
             if not 0 <= src < n or not 0 <= dst < n:
@@ -339,6 +388,7 @@ class ConservativeCoordinator:
         horizons = [host.horizon() for host in hosts]
         last_state: Optional[tuple] = None
         while True:
+            round_start = time.perf_counter()
             effs = [
                 min(
                     horizons[i],
@@ -350,12 +400,20 @@ class ConservativeCoordinator:
                 break
             state = (tuple(effs), tuple(len(p) for p in pending))
             if state == last_state:
+                self.stalls += 1
                 raise ShardingError(
                     f"conservative rounds stalled at horizons {effs!r}: "
                     f"no shard advanced and no messages moved"
                 )
             last_state = state
             min_eff = min(effs)
+            # Straggler attribution: the shard holding the globally
+            # earliest work bounds every window this round.
+            binding = min(range(n), key=lambda i: (effs[i], i))
+            self.bound_by.append(binding)
+            self.straggler_rounds[binding] = (
+                self.straggler_rounds.get(binding, 0) + 1
+            )
             bounds = []
             for i in range(n):
                 # j ranges over *all* shards: j == i uses the shortest
@@ -405,4 +463,77 @@ class ConservativeCoordinator:
                     [outbound_digest(out) for out in outs],
                 )
             self.rounds += 1
+            self.wall_s += time.perf_counter() - round_start
         return [host.finalize() for host in hosts]
+
+    def runtime_report(self, results: Sequence[dict]) -> dict:
+        """Fold coordinator counters and per-shard ``finalize`` runtime
+        blocks into one introspection report.
+
+        Per shard: wall seconds spent executing (``busy_wall_s``, from
+        the host's own advance timing), wall seconds the coordinator's
+        round loop ran while the shard was *not* executing
+        (``blocked_wall_s`` — barrier waits in process mode, the other
+        shards' turns inline), rounds that granted the shard a window
+        it executed nothing in (``idle_rounds``), and window efficiency
+        (events executed per simulated second of granted window).
+        Plus the round-level attribution: which shard bounded each
+        round's horizon (``straggler_rounds``, summing to exactly
+        :attr:`rounds`) and per-edge mailbox volume series rebuilt from
+        the conservation ledgers (totals sum to exactly
+        :attr:`messages_exchanged`).
+        """
+        per_shard: Dict[str, dict] = {}
+        mailbox_total: Dict[str, int] = {}
+        mailbox_per_round: Dict[str, List[int]] = {}
+        for result in results:
+            shard = result["shard"]
+            runtime = result.get("runtime") or {}
+            events_per_round = list(runtime.get("events_per_round", ()))
+            granted = list(runtime.get("granted_windows_s", ()))
+            busy = float(runtime.get("busy_wall_s", 0.0))
+            granted_total = float(sum(granted))
+            per_shard[str(shard)] = {
+                "events": result.get("events", 0),
+                "busy_wall_s": busy,
+                "blocked_wall_s": max(0.0, self.wall_s - busy),
+                "rounds": len(events_per_round),
+                "idle_rounds": sum(
+                    1 for count in events_per_round if count == 0
+                ),
+                "events_per_round": events_per_round,
+                "granted_windows_s": granted,
+                "window_efficiency": (
+                    sum(events_per_round) / granted_total
+                    if granted_total > 0 else 0.0
+                ),
+            }
+            sent = (result.get("conservation") or {}).get("sent", ())
+            for round_index, round_sent in enumerate(sent):
+                for dst, count in round_sent.items():
+                    edge = f"{shard}->{dst}"
+                    mailbox_total[edge] = (
+                        mailbox_total.get(edge, 0) + count
+                    )
+                    series = mailbox_per_round.setdefault(edge, [])
+                    while len(series) <= round_index:
+                        series.append(0)
+                    series[round_index] += count
+        return {
+            "rounds": self.rounds,
+            "messages_exchanged": self.messages_exchanged,
+            "stalls": self.stalls,
+            "wall_s": self.wall_s,
+            "mode": getattr(self, "mode", "inline"),
+            "straggler_rounds": {
+                str(shard): count
+                for shard, count in sorted(self.straggler_rounds.items())
+            },
+            "bound_by": list(self.bound_by),
+            "per_shard": per_shard,
+            "mailbox_volume": dict(sorted(mailbox_total.items())),
+            "mailbox_per_round": {
+                edge: list(series)
+                for edge, series in sorted(mailbox_per_round.items())
+            },
+        }

@@ -3,6 +3,7 @@ report formatting."""
 
 from .availability import AvailabilityMonitor
 from .export import (
+    counters_from_perfetto,
     from_otlp,
     read_otlp,
     to_otlp,
@@ -20,6 +21,16 @@ from .report import (
     format_table,
     ms,
     us,
+)
+from .scrape import (
+    TIMELINE_SCHEMA,
+    Scraper,
+    load_timeline,
+    scrape_tiers,
+    series_from_json,
+    series_to_json,
+    timeline_payload,
+    write_timeline,
 )
 from .slo import (
     ALERT_BREACH,
@@ -58,25 +69,34 @@ __all__ = [
     "SLOMonitor",
     "SPAN_CANCELLED",
     "SPAN_OK",
+    "Scraper",
     "ServiceMonitor",
     "Span",
     "SpanEvent",
+    "TIMELINE_SCHEMA",
     "TimeSeries",
     "Trace",
     "TraceConfig",
     "Tracer",
     "WindowedLatency",
+    "counters_from_perfetto",
     "format_analytics_report",
     "format_run_manifest",
     "parse_slo",
     "format_series",
     "format_table",
     "from_otlp",
+    "load_timeline",
     "ms",
     "read_otlp",
+    "scrape_tiers",
+    "series_from_json",
+    "series_to_json",
+    "timeline_payload",
     "to_otlp",
     "to_perfetto",
     "us",
     "write_otlp",
     "write_perfetto",
+    "write_timeline",
 ]

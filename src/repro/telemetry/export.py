@@ -35,9 +35,49 @@ _NS = 1e9
 
 # Perfetto / Chrome trace_event ---------------------------------------------
 
-def to_perfetto(traces: Iterable[Trace]) -> Dict[str, Any]:
-    """Render *traces* as a Chrome ``trace_event`` JSON object."""
+#: pid hosting counter tracks in the trace_event export. Request spans
+#: use the request id as pid; 0 is never a request id (ids start at 1),
+#: so the timeline process can't collide with a request process.
+_COUNTER_PID = 0
+
+
+def to_perfetto(
+    traces: Iterable[Trace],
+    counters: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Render *traces* as a Chrome ``trace_event`` JSON object.
+
+    *counters*, when given, maps series name ->
+    ``{"times": [...], "values": [...]}`` (seconds / value — the
+    :meth:`repro.telemetry.scrape.Scraper.snapshot` shape) and is
+    merged in as Perfetto counter tracks: one ``ph: "C"`` event per
+    sample under a dedicated ``timeline`` process. The exact float
+    timestamp rides in ``args["t_s"]`` (the microsecond ``ts`` field
+    quantises), so :func:`counters_from_perfetto` round-trips the
+    series bit-for-bit.
+    """
     events: List[Dict[str, Any]] = []
+    if counters:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": _COUNTER_PID,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": "timeline"},
+        })
+        for name in sorted(counters):
+            series = counters[name]
+            for t, value in zip(series["times"], series["values"]):
+                events.append({
+                    "name": name,
+                    "cat": "timeline",
+                    "ph": "C",
+                    "ts": t * _US,
+                    "pid": _COUNTER_PID,
+                    "tid": 0,
+                    "args": {"value": value, "t_s": t},
+                })
     for trace in traces:
         pid = int(trace.request_id)
         events.append({
@@ -83,11 +123,46 @@ def to_perfetto(traces: Iterable[Trace]) -> Dict[str, Any]:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_perfetto(path, traces: Iterable[Trace]) -> None:
-    """Write ``to_perfetto(traces)`` to ``path`` as JSON."""
+def write_perfetto(
+    path,
+    traces: Iterable[Trace],
+    counters: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> None:
+    """Write ``to_perfetto(traces, counters)`` to ``path`` as JSON."""
     with open(path, "w") as fh:
-        json.dump(to_perfetto(traces), fh)
+        json.dump(to_perfetto(traces, counters), fh)
         fh.write("\n")
+
+
+def counters_from_perfetto(
+    payload: Dict[str, Any],
+) -> Dict[str, Dict[str, List[float]]]:
+    """Reconstruct counter-track series from a trace_event payload.
+
+    Inverse of the *counters* side of :func:`to_perfetto`: returns
+    ``{name: {"times": [...], "values": [...]}}`` using the exact
+    ``args["t_s"]`` stamps (falling back to ``ts``/1e6 for files
+    written by other tools).
+    """
+    try:
+        events = payload["traceEvents"]
+    except (KeyError, TypeError):
+        raise ReproError(
+            "not a trace_event payload: missing traceEvents"
+        )
+    series: Dict[str, Dict[str, List[float]]] = {}
+    for event in events:
+        if event.get("ph") != "C":
+            continue
+        args = event.get("args", {})
+        entry = series.setdefault(
+            event["name"], {"times": [], "values": []}
+        )
+        entry["times"].append(
+            float(args.get("t_s", event.get("ts", 0.0) / _US))
+        )
+        entry["values"].append(float(args.get("value", 0.0)))
+    return series
 
 
 # OTLP-style JSON -------------------------------------------------------------

@@ -116,10 +116,22 @@ def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote, and line feed must be written as ``\\\\``,
+    ``\\"`` and ``\\n`` — otherwise a value like ``he said "hi"``
+    renders an unparseable (and ambiguous) key."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
     if not labels:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in labels
+    )
     return f"{name}{{{inner}}}"
 
 

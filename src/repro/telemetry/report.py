@@ -108,6 +108,36 @@ def format_run_manifest(manifest: dict) -> str:
     wall = manifest.get("wall_time_s")
     if wall is not None:
         parts.append(f"{format_cell(float(wall))}s wall")
+    sync = manifest.get("shard_sync")
+    if sync:
+        parts.append(
+            f"shards={sync.get('shards', '?')}"
+            f" ({sync.get('mode', '?')}):"
+            f" {sync.get('rounds', 0)} rounds,"
+            f" {sync.get('messages_exchanged', 0)} messages,"
+            f" {sync.get('stalls', 0)} stalls"
+        )
+        straggler = sync.get("straggler_rounds") or {}
+        if straggler:
+            shard, bound = max(
+                straggler.items(), key=lambda kv: (kv[1], kv[0])
+            )
+            parts.append(
+                f"critical shard {shard} bounded "
+                f"{bound}/{sync.get('rounds', 0)} rounds"
+            )
+    recovery = manifest.get("shard_recovery")
+    if recovery:
+        restarts = recovery.get("restarts", 0)
+        per_shard = recovery.get("per_shard") or {}
+        detail = ", ".join(
+            f"shard {shard}: {report.get('restarts', 0)}"
+            for shard, report in sorted(per_shard.items())
+        )
+        parts.append(
+            f"{restarts} shard restart{'s' if restarts != 1 else ''}"
+            + (f" ({detail})" if detail else "")
+        )
     slo = manifest.get("slo")
     if slo:
         for name in sorted(slo):

@@ -64,8 +64,13 @@ class TimeSeries:
         values = self.values
         lo = times[0] if t_start is None else t_start
         hi = times[-1] if t_end is None else t_end
-        if hi <= lo:
+        if hi < lo or (hi == lo and t_end is not None):
             raise ReproError("resample window must have positive length")
+        if hi == lo:
+            # Default window over a single-sample series (or one where
+            # every sample shares a timestamp — duplicate monitor ticks
+            # are legal): one bin holds everything.
+            hi = lo + bin_width
         # One extra bin when hi lands exactly on an edge, so every bin is
         # uniformly right-exclusive and the last sample still lands.
         n_bins = int(np.floor((hi - lo) / bin_width + 1e-12)) + 1

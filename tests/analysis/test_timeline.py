@@ -1,0 +1,150 @@
+"""Timeline rendering and shard-runtime reconciliation."""
+
+import pytest
+
+from repro.analysis import (
+    format_timeline_report,
+    load_timelines,
+    reconcile_shard_runtime,
+)
+from repro.analysis.timeline import _bin_edges, _bin_means
+from repro.errors import ReproError
+from repro.telemetry import timeline_payload, write_timeline
+
+
+def _series(samples):
+    return {
+        "times": [t for t, _ in samples],
+        "values": [v for _, v in samples],
+    }
+
+
+def _payload(**kwargs):
+    series = {
+        "util/web": _series([(0.1, 0.5), (0.2, 0.7), (0.3, 0.9)]),
+        "depth/web": _series([(0.1, 1.0), (0.2, 3.0), (0.3, 5.0)]),
+        "client/qps": _series([(0.1, 100.0), (0.2, 200.0), (0.3, 300.0)]),
+        "client/p99": _series([(0.1, 0.004), (0.3, 0.008)]),
+    }
+    return timeline_payload(
+        series, interval=0.1,
+        meta={"qps": 2000.0, "duration": 0.3, "warmup": 0.05, "shards": 1},
+        **kwargs,
+    )
+
+
+RUNTIME = {
+    "rounds": 10,
+    "messages_exchanged": 7,
+    "stalls": 0,
+    "wall_s": 0.5,
+    "mode": "inline",
+    "straggler_rounds": {"0": 6, "1": 4},
+    "per_shard": {
+        "0": {"events": 100, "busy_wall_s": 0.3, "blocked_wall_s": 0.1,
+              "idle_rounds": 1, "window_efficiency": 200.0},
+        "1": {"events": 40, "busy_wall_s": 0.1, "blocked_wall_s": 0.3,
+              "idle_rounds": 5, "window_efficiency": 80.0},
+    },
+    "mailbox_volume": {"0->1": 4, "1->0": 3},
+}
+
+
+class TestLoadTimelines:
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="does not exist"):
+            load_timelines(tmp_path / "nope")
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="no timeline artifacts"):
+            load_timelines(tmp_path)
+
+    def test_finds_run_and_sweep_names_recursively(self, tmp_path):
+        write_timeline(tmp_path / "timeseries.json", _payload())
+        sub = tmp_path / "fig5"
+        sub.mkdir()
+        write_timeline(sub / "qps2000.timeseries.json", _payload())
+        (tmp_path / "trace.otlp.json").write_text("{}")  # must be ignored
+        loaded = load_timelines(tmp_path)
+        assert [p.name for p, _ in loaded] == [
+            "qps2000.timeseries.json", "timeseries.json",
+        ]
+
+    def test_foreign_json_with_matching_name_rejected(self, tmp_path):
+        (tmp_path / "timeseries.json").write_text('{"schema": "other"}')
+        with pytest.raises(ReproError, match="schema"):
+            load_timelines(tmp_path)
+
+
+class TestBinning:
+    def test_edges_span_all_series(self):
+        edges = _bin_edges(
+            {"a": _series([(0.0, 1.0)]), "b": _series([(2.0, 1.0)])},
+            bins=4,
+        )
+        assert edges[0] == 0.0 and edges[-1] == 2.0
+        assert len(edges) == 5
+
+    def test_single_instant_gets_nonzero_width(self):
+        edges = _bin_edges({"a": _series([(1.0, 5.0)])}, bins=2)
+        assert edges[0] == 1.0 and edges[-1] == 2.0
+
+    def test_no_samples_no_edges(self):
+        assert _bin_edges({}, bins=3) == []
+
+    def test_means_keep_last_right_inclusive_sample(self):
+        data = _series([(0.0, 2.0), (0.5, 4.0), (1.0, 6.0)])
+        means = _bin_means(data, [0.0, 0.5, 1.0])
+        assert means == [2.0, 5.0]
+
+    def test_empty_bins_are_none(self):
+        data = _series([(0.0, 1.0), (3.0, 2.0)])
+        means = _bin_means(data, [0.0, 1.0, 2.0, 3.0])
+        assert means == [1.0, None, 2.0]
+
+
+class TestReconcile:
+    def test_consistent_runtime_passes(self):
+        reconcile_shard_runtime(RUNTIME)
+
+    def test_straggler_mismatch_raises(self):
+        cooked = dict(RUNTIME, straggler_rounds={"0": 6, "1": 3})
+        with pytest.raises(ReproError, match="straggler"):
+            reconcile_shard_runtime(cooked)
+
+    def test_mailbox_mismatch_raises(self):
+        cooked = dict(RUNTIME, mailbox_volume={"0->1": 4, "1->0": 4})
+        with pytest.raises(ReproError, match="mailbox"):
+            reconcile_shard_runtime(cooked)
+
+
+class TestFormatReport:
+    def test_report_sections_and_identity(self):
+        report = format_timeline_report(_payload(), name="demo", bins=3)
+        assert "timeline demo (qps=2000" in report
+        assert "per-tier utilisation over sim-time" in report
+        assert "per-tier queue depth" in report
+        assert "client over sim-time" in report
+        # p99 renders in milliseconds.
+        assert "p99 ms" in report
+        assert "web" in report
+
+    def test_shard_sections_render_and_reconcile(self):
+        report = format_timeline_report(
+            _payload(shard_runtime=RUNTIME), bins=2
+        )
+        assert "shard runtime (inline): 10 rounds, 7 messages" in report
+        assert "shard imbalance" in report
+        assert "critical shards" in report
+        # Shard 0 bounded 6/10 rounds and must lead the ranking.
+        assert "shard 0 (6/10 rounds)" in report
+        assert "mailbox volume" in report
+
+    def test_inconsistent_runtime_refuses_to_render(self):
+        cooked = dict(RUNTIME, rounds=11)
+        with pytest.raises(ReproError, match="straggler"):
+            format_timeline_report(_payload(shard_runtime=cooked))
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ReproError, match="bins"):
+            format_timeline_report(_payload(), bins=0)

@@ -83,6 +83,28 @@ class TestKillAndResume:
         manifest = json.loads((run_dir / "manifest.json").read_text())
         assert manifest["resumed_points"] == 0
 
+    def test_scrape_joins_sweep_config(self, tmp_path):
+        run_dir = tmp_path / "run"
+        load_latency_sweep(
+            thrift_echo, LOADS[:2], run_dir=run_dir, **SWEEP
+        )
+        # Enabling scraping joins the config: journaled unscraped
+        # points must not be silently reused without timelines.
+        scraped = load_latency_sweep(
+            thrift_echo, LOADS[:2], run_dir=run_dir, resume=True,
+            scrape_interval=0.05, **SWEEP
+        )
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["resumed_points"] == 0
+        assert all(p.timeline is not None for p in scraped)
+        # But scrape-off journal keys are unchanged from before the
+        # scrape feature existed: the original points still resume.
+        load_latency_sweep(
+            thrift_echo, LOADS[:2], run_dir=run_dir, resume=True, **SWEEP
+        )
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["resumed_points"] == 2
+
     def test_tail_at_scale_resumes(self, tmp_path):
         run_dir = tmp_path / "run"
         grid = dict(

@@ -75,6 +75,32 @@ class TestSupervisorKnobGating:
         assert result["shard_restarts"] == 7
 
 
+def _scrapable_runner(scrape_interval=None, **kwargs):
+    return dict(kwargs, scrape_interval=scrape_interval)
+
+
+SCRAPABLE = ExperimentSpec("scrapable", "-", "scrape support",
+                           _scrapable_runner)
+
+
+class TestScrapeGating:
+    def test_scrape_rejected_without_support(self):
+        assert not PLAIN.supports_scrape
+        with pytest.raises(ReproError, match="scrape_interval"):
+            PLAIN.run(scrape_interval=0.01)
+
+    def test_scrape_forwarded_when_supported(self):
+        assert SCRAPABLE.supports_scrape
+        assert SCRAPABLE.run(scrape_interval=0.01) == {
+            "scrape_interval": 0.01
+        }
+
+    def test_scrape_off_never_forwarded(self):
+        # Off is the default everywhere; the registry must not inject
+        # the kwarg into runners that do not declare it.
+        assert PLAIN.run() == {}
+
+
 class TestRegisteredCapabilities:
     @pytest.mark.parametrize("exp_id", ["fig5", "fig12b", "fig14"])
     def test_ported_topologies_support_shards(self, exp_id):
@@ -89,3 +115,16 @@ class TestRegisteredCapabilities:
 
     def test_serial_experiments_do_not(self):
         assert not registry.get("fig16").supports_shards
+
+    @pytest.mark.parametrize("exp_id", ["fig5", "fig12b"])
+    def test_adapter_experiments_support_scrape(self, exp_id):
+        assert registry.get(exp_id).supports_scrape
+
+    def test_fanout_port_refuses_scrape(self):
+        # The hand-written fan-out runner declares no scrape support:
+        # asking fig14 for a timeline is a loud error, never a
+        # silently-unscraped run.
+        spec = registry.get("fig14")
+        assert not spec.supports_scrape
+        with pytest.raises(ReproError, match="scrape_interval"):
+            spec.run(scrape_interval=0.01)

@@ -410,3 +410,25 @@ class TestExperimentPlumbing:
         assert block["shard_recovery"]["per_shard"]["1"]["failures"] == [
             "a", "b", "a", "b",
         ]
+
+    def test_sync_manifest_summary_aggregates(self):
+        from repro.experiments.loadsweep import shard_sync_manifest_summary
+
+        plain = SweepPoint(10.0, 10.0, 1e-3, 1e-3, 1e-3, 1e-3, 5)
+        synced = SweepPoint(20.0, 20.0, 1e-3, 1e-3, 1e-3, 1e-3, 5)
+        synced.shard_sync = {
+            "shards": 2, "mode": "inline", "rounds": 10,
+            "messages_exchanged": 7, "stalls": 1, "restarts": 1,
+            "per_shard_restarts": {"1": 1},
+            "straggler_rounds": {"0": 6, "1": 4},
+        }
+        assert shard_sync_manifest_summary([plain]) == {}
+        block = shard_sync_manifest_summary(
+            [plain, synced, synced]
+        )["shard_sync"]
+        assert block["points"] == 2 and block["rounds"] == 20
+        assert block["messages_exchanged"] == 14
+        assert block["stalls"] == 2 and block["restarts"] == 2
+        assert block["shards"] == 2 and block["mode"] == "inline"
+        assert block["straggler_rounds"] == {"0": 12, "1": 8}
+        assert block["per_shard_restarts"] == {"1": 2}

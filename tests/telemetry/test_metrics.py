@@ -88,6 +88,38 @@ class TestRegistry:
         reg.write(path)
         assert json.loads(path.read_text())["counters"]["n"] == 1.0
 
+    def test_label_values_escaped_per_exposition_format(self, tmp_path):
+        # Regression: a quote, backslash, or newline in a label value
+        # was rendered raw, producing keys a Prometheus-style parser
+        # cannot read back (and making distinct values collide).
+        reg = MetricsRegistry()
+        reg.counter("hits", path='say "hi"').inc()
+        reg.counter("hits", path="a\\b").inc(2)
+        reg.counter("hits", path="line\nbreak").inc(3)
+        out = reg.collect()["counters"]
+        assert out['hits{path="say \\"hi\\""}'] == 1
+        assert out['hits{path="a\\\\b"}'] == 2
+        assert out['hits{path="line\\nbreak"}'] == 3
+        # No raw newline or unescaped quote survives into any key, so
+        # the written artifact stays line-parseable.
+        path = tmp_path / "metrics.json"
+        reg.write(path)
+        for key in json.loads(path.read_text())["counters"]:
+            assert "\n" not in key
+
+    def test_escaping_prevents_label_injection(self):
+        # Pre-fix, the crafted value `x",v="y` rendered byte-identical
+        # to the honest two-label series {a="x", v="y"} — two distinct
+        # series collapsing onto one collected key, the second silently
+        # overwriting the first.
+        reg = MetricsRegistry()
+        reg.counter("c", a='x",v="y').inc()
+        reg.counter("c", a="x", v="y").inc(2)
+        out = reg.collect()["counters"]
+        assert len(out) == 2
+        assert out['c{a="x\\",v=\\"y"}'] == 1
+        assert out['c{a="x",v="y"}'] == 2
+
 
 class TestWorldWiring:
     def build(self):

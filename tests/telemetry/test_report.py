@@ -126,6 +126,38 @@ class TestFormatRunManifest:
         assert "1 breach (0.5s in breach)" in text
         assert "breaches" not in text
 
+    def test_shard_sync_block_with_critical_shard(self):
+        text = format_run_manifest({
+            "experiment": "fig12b", "status": "completed",
+            "counts": {"ok": 5},
+            "shard_sync": {
+                "shards": 4, "mode": "process", "rounds": 1277,
+                "messages_exchanged": 833, "stalls": 2,
+                "straggler_rounds": {"0": 500, "1": 308, "2": 192,
+                                     "3": 277},
+            },
+        })
+        assert "shards=4 (process): 1277 rounds, 833 messages, 2 stalls" \
+            in text
+        assert "critical shard 0 bounded 500/1277 rounds" in text
+
+    def test_shard_recovery_block_attributes_restarts(self):
+        text = format_run_manifest({
+            "experiment": "fig12b", "status": "completed",
+            "counts": {"ok": 5},
+            "shard_recovery": {
+                "restarts": 3,
+                "per_shard": {"1": {"restarts": 2}, "3": {"restarts": 1}},
+            },
+        })
+        assert "3 shard restarts (shard 1: 2, shard 3: 1)" in text
+        single = format_run_manifest({
+            "experiment": "x", "status": "completed", "counts": {"ok": 1},
+            "shard_recovery": {"restarts": 1,
+                               "per_shard": {"1": {"restarts": 1}}},
+        })
+        assert "1 shard restart (shard 1: 1)" in single
+
     def test_empty_manifest_does_not_crash(self):
         assert "unknown" in format_run_manifest({})
 

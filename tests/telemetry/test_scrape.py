@@ -1,0 +1,171 @@
+"""Sim-time scrape loop: sampling, export round-trips, and the
+never-changes-results contract."""
+
+import pytest
+
+from repro.apps import two_tier
+from repro.engine import Simulator
+from repro.errors import ReproError
+from repro.experiments.loadsweep import measure_vanilla_point
+from repro.telemetry import (
+    TIMELINE_SCHEMA,
+    MetricsRegistry,
+    Scraper,
+    counters_from_perfetto,
+    load_timeline,
+    scrape_tiers,
+    series_from_json,
+    series_to_json,
+    timeline_payload,
+    to_perfetto,
+    write_timeline,
+)
+
+QPS = 2000.0
+
+
+class TestScraperLifecycle:
+    def test_interval_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(ReproError):
+            Scraper(sim, interval=0.0)
+        with pytest.raises(ReproError):
+            Scraper(sim, interval=-1.0)
+
+    def test_start_twice_raises(self):
+        scraper = Scraper(Simulator(), interval=0.1)
+        scraper.start()
+        with pytest.raises(ReproError):
+            scraper.start()
+
+    def test_tick_cadence_includes_partial_closeout(self):
+        # stop_at is not a multiple of the interval: the loop must add
+        # one final sample at exactly stop_at (the ServiceMonitor
+        # contract) instead of dropping the partial window.
+        sim = Simulator()
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        scraper = Scraper(
+            sim, interval=0.025, registry=reg, stop_at=0.09
+        ).start()
+        sim.run(until=0.2)
+        times = scraper.series["counter/n"].times.tolist()
+        assert times == pytest.approx([0.025, 0.05, 0.075, 0.09])
+
+    def test_registry_series_are_cumulative(self):
+        sim = Simulator()
+        reg = MetricsRegistry()
+        counter = reg.counter("done", outcome="ok")
+        sim.schedule(0.01, lambda: counter.inc(2))
+        sim.schedule(0.11, lambda: counter.inc(3))
+        scraper = Scraper(
+            sim, interval=0.1, registry=reg, stop_at=0.2
+        ).start()
+        sim.run(until=0.2)
+        series = scraper.series['counter/done{outcome="ok"}']
+        assert series.values.tolist() == [2.0, 5.0]
+
+    def test_drain_run_terminates_without_stop_at(self):
+        # With no horizon the scrape tick must stand down once it is
+        # the only pending event, or a drain-style run never finishes.
+        sim = Simulator()
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.0)
+        sim.schedule(0.32, lambda: None)
+        scraper = Scraper(sim, interval=0.1, registry=reg).start()
+        sim.run(max_events=10_000)
+        assert len(sim.events) == 0
+        # Ticks at 0.1/0.2/0.3 see the model event still pending; the
+        # 0.4 tick finds the queue empty and does not reschedule.
+        assert scraper.series["gauge/g"].times.tolist() == pytest.approx(
+            [0.1, 0.2, 0.3, 0.4]
+        )
+
+    def test_scrape_tiers_covers_services_and_netprocs(self):
+        world = two_tier(seed=1)
+        tiers = scrape_tiers(world.deployment)
+        for service in world.deployment.services:
+            assert service in tiers
+            assert tiers[service]
+        for proc in world.deployment.netprocs.values():
+            assert tiers[proc.name] == [proc]
+
+
+class TestScrapeNeverChangesResults:
+    def test_vanilla_outcome_identity(self):
+        off = measure_vanilla_point(two_tier, QPS, 0.05, 0.01, 7)
+        on = measure_vanilla_point(
+            two_tier, QPS, 0.05, 0.01, 7, scrape_interval=0.01
+        )
+        # The scrape loop reads state and draws no randomness: every
+        # measured field must be identical, not merely close.
+        assert off.timeline is None and on.timeline is not None
+        assert on == type(off)(
+            **{f: getattr(off, f) for f in off.__dataclass_fields__
+               if f != "timeline"},
+            timeline=on.timeline,
+        )
+
+    def test_scraped_point_carries_expected_series(self):
+        on = measure_vanilla_point(
+            two_tier, QPS, 0.05, 0.01, 7, scrape_interval=0.01
+        )
+        series = on.timeline["series"]
+        assert "client/qps" in series and "client/inflight" in series
+        world = two_tier(seed=7)
+        for service in world.deployment.services:
+            assert f"util/{service}" in series
+            assert f"depth/{service}" in series
+        for data in series.values():
+            assert len(data["times"]) == len(data["values"]) > 0
+        # Utilisation samples are fractions of cores busy.
+        for name, data in series.items():
+            if name.startswith("util/"):
+                assert all(0.0 <= v <= 1.0 for v in data["values"])
+
+
+class TestTimelineArtifact:
+    def _payload(self):
+        sim = Simulator()
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        scraper = Scraper(
+            sim, interval=0.05, registry=reg, stop_at=0.2
+        ).start()
+        sim.run(until=0.2)
+        return timeline_payload(
+            scraper.snapshot(), interval=0.05, meta={"qps": 100.0}
+        )
+
+    def test_write_load_roundtrip(self, tmp_path):
+        payload = self._payload()
+        path = tmp_path / "timeseries.json"
+        write_timeline(path, payload)
+        assert load_timeline(path) == payload
+        assert payload["schema"] == TIMELINE_SCHEMA
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "timeseries.json"
+        path.write_text('{"series": {}}')
+        with pytest.raises(ReproError, match="schema"):
+            load_timeline(path)
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ReproError):
+            load_timeline(path)
+
+    def test_series_json_roundtrip(self):
+        payload = self._payload()
+        for name, data in payload["series"].items():
+            series = series_from_json(name, data)
+            assert series_to_json(series) == data
+
+    def test_perfetto_counter_roundtrip_is_bit_exact(self):
+        snapshot = self._payload()["series"]
+        doc = to_perfetto([], counters=snapshot)
+        tracks = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert tracks and all(e["pid"] == 0 for e in tracks)
+        assert counters_from_perfetto(doc) == snapshot
+
+    def test_counters_from_perfetto_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            counters_from_perfetto({"not": "a trace"})

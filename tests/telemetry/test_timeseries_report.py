@@ -56,6 +56,37 @@ class TestTimeSeries:
         centres, values = TimeSeries().resample(1.0)
         assert centres.size == 0 and values.size == 0
 
+    def test_resample_single_sample_default_window(self):
+        # Regression: one sample made the default window zero-length
+        # and raised; it now yields one bin holding the sample.
+        ts = TimeSeries()
+        ts.append(2.0, 7.0)
+        centres, means = ts.resample(1.0)
+        assert centres.tolist() == [2.5]
+        assert means.tolist() == [7.0]
+
+    def test_resample_duplicate_timestamps_share_a_bin(self):
+        # Equal timestamps are legal appends (monotonicity is
+        # non-strict); a series made only of them resamples like the
+        # single-sample case rather than raising.
+        ts = TimeSeries()
+        ts.append(1.0, 3.0)
+        ts.append(1.0, 5.0)
+        centres, means = ts.resample(0.5)
+        assert centres.tolist() == [1.25]
+        assert means.tolist() == [4.0]
+
+    def test_resample_explicit_degenerate_window_still_raises(self):
+        # The single-bin rescue applies only to the *default* window;
+        # an explicitly zero-length or inverted window is a caller
+        # error.
+        ts = TimeSeries()
+        ts.append(1.0, 3.0)
+        with pytest.raises(ReproError):
+            ts.resample(1.0, t_start=1.0, t_end=1.0)
+        with pytest.raises(ReproError):
+            ts.resample(1.0, t_start=2.0, t_end=1.0)
+
     def test_last_on_empty_raises(self):
         with pytest.raises(ReproError):
             TimeSeries().last()

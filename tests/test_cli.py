@@ -259,6 +259,56 @@ class TestObservabilityFlags:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_run_with_scrape_prints_timeline(self, spec_dir, capsys):
+        code = main([
+            "run", str(spec_dir), "--until", "0.3",
+            "--scrape-interval", "0.05",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "timeline series" in out
+        assert "per-tier utilisation over sim-time" in out
+
+    def test_scrape_artifact_written_to_trace_dir(self, spec_dir, capsys,
+                                                  tmp_path):
+        out_dir = tmp_path / "out"
+        code = main([
+            "run", str(spec_dir), "--until", "0.3",
+            "--scrape-interval", "0.05", "--trace-dir", str(out_dir),
+        ])
+        assert code == 0
+        assert "timeline artifact" in capsys.readouterr().out
+        from repro.telemetry import load_timeline
+
+        payload = load_timeline(out_dir / "timeseries.json")
+        assert payload["series"]
+
+    def test_scrape_forwarded_to_supporting_runner(self, capsys,
+                                                   monkeypatch):
+        seen = {}
+
+        def runner(scrape_interval=None):
+            seen["scrape_interval"] = scrape_interval
+            return "ran"
+
+        self._install(monkeypatch, "figScrape", runner)
+        assert main([
+            "experiments", "run", "figScrape", "--scrape-interval", "0.01",
+        ]) == 0
+        assert seen == {"scrape_interval": 0.01}
+        capsys.readouterr()
+
+    def test_scrape_rejected_by_unsupporting_runner(self, capsys,
+                                                    monkeypatch):
+        self._install(monkeypatch, "figNoScrape", lambda: "ran")
+        code = main([
+            "experiments", "run", "figNoScrape",
+            "--scrape-interval", "0.01",
+        ])
+        assert code == 2
+        assert "does not support scrape_interval" in \
+            capsys.readouterr().err
+
 
 class TestAnalyzeCommand:
     def test_analyze_over_exported_traces(self, spec_dir, capsys, tmp_path):
@@ -281,3 +331,40 @@ class TestAnalyzeCommand:
         code = main(["analyze", str(tmp_path)])
         assert code == 2
         assert "otlp" in capsys.readouterr().err
+
+    def test_analyze_timeline_renders_tables(self, spec_dir, capsys,
+                                             tmp_path):
+        out_dir = tmp_path / "out"
+        assert main([
+            "run", str(spec_dir), "--until", "0.3",
+            "--scrape-interval", "0.05", "--trace-dir", str(out_dir),
+        ]) == 0
+        capsys.readouterr()
+        code = main(["analyze", str(out_dir), "--timeline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-tier utilisation over sim-time" in out
+        assert "client over sim-time" in out
+        # The trace report still renders alongside the timelines.
+        assert "trace analytics:" in out
+
+    def test_analyze_timeline_without_traces_is_fine(self, capsys,
+                                                     tmp_path):
+        # A scraped-but-untraced run leaves only timeseries.json;
+        # --timeline must render it instead of dying on missing OTLP.
+        from repro.telemetry import timeline_payload, write_timeline
+
+        write_timeline(tmp_path / "timeseries.json", timeline_payload(
+            {"client/qps": {"times": [0.1, 0.2], "values": [5.0, 7.0]}},
+            interval=0.1,
+        ))
+        code = main(["analyze", str(tmp_path), "--timeline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "client over sim-time" in out
+        assert "trace analytics" not in out
+
+    def test_analyze_timeline_empty_dir_exits_2(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path), "--timeline"])
+        assert code == 2
+        assert "timeline" in capsys.readouterr().err
